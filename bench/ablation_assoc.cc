@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Associativity ablation. The prediction field widths follow the cache
+ * geometry: 2^S = size / associativity, so every doubling of
+ * associativity removes one carry-free OR bit from the set-index field
+ * and pushes it into the tag (Section 3's address split). This bench
+ * quantifies the interplay: higher associativity lowers the miss ratio
+ * but shrinks the field the software support aligns for, so prediction
+ * accuracy (and FAC's gain) can move either way.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Table t;
+    t.header({"Benchmark", "assoc", "S", "D$miss%", "fail%", "spd"});
+
+    const uint32_t assocs[] = {1, 2, 4};
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        for (uint32_t assoc : assocs) {
+            CacheConfig dcache{16 * 1024, 32, assoc, 6};
+            FacConfig fc = facConfigFor(dcache);
+
+            ProfileRequest preq;
+            preq.workload = w->name;
+            preq.build = buildOptions(opt, CodeGenPolicy::withSupport());
+            preq.facConfigs = {fc};
+            preq.maxInsts = opt.maxInsts;
+            ProfileResult prof = runProfile(preq);
+
+            auto timeWith = [&](bool fac_on) {
+                TimingRequest req;
+                req.workload = w->name;
+                req.build = buildOptions(opt,
+                                         CodeGenPolicy::withSupport());
+                req.pipe = fac_on ? facPipelineConfig() : baselineConfig();
+                req.pipe.dcache = dcache;
+                if (fac_on)
+                    req.pipe.fac = fc;
+                req.maxInsts = opt.maxInsts;
+                return runTiming(req).stats;
+            };
+            PipeStats base = timeWith(false);
+            PipeStats fac = timeWith(true);
+
+            t.row({w->name, strprintf("%u-way", assoc),
+                   strprintf("%u", fc.setBits),
+                   fmtPct(base.dcacheMissRatio(), 2),
+                   fmtPct(prof.fac[0].loadFailRate(), 1),
+                   fmtF(speedup(base.cycles, fac.cycles), 3)});
+        }
+        std::fprintf(stderr, "assoc: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Ablation: associativity vs the prediction field split "
+              "(with software support, 32B blocks)", t);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Future-work extension (Section 5.4): "A strategy for placement of
+ * large alignments should eliminate many array index failures", with
+ * the footnote that "in the case of Spice aligning a single large array
+ * to its size would eliminate nearly all mispredictions". This bench
+ * measures prediction failure rates and speedups with the standard
+ * software support versus support plus size-alignment of large statics
+ * and heap objects, and the memory cost of doing so.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Table t;
+    t.header({"Benchmark", "SW fail%", "SW+LA fail%", "SW spd",
+              "SW+LA spd", "Mem%"});
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        FacConfig fc{.blockBits = 5, .setBits = 14};
+
+        auto profileWith = [&](const CodeGenPolicy &pol) {
+            ProfileRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.facConfigs = {fc};
+            req.maxInsts = opt.maxInsts;
+            return runProfile(req);
+        };
+        auto timeWith = [&](const CodeGenPolicy &pol,
+                            const PipelineConfig &pipe) {
+            TimingRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.pipe = pipe;
+            req.maxInsts = opt.maxInsts;
+            return runTiming(req);
+        };
+
+        CodeGenPolicy sw = CodeGenPolicy::withSupport();
+        CodeGenPolicy la = CodeGenPolicy::withLargeAlignment();
+
+        ProfileResult psw = profileWith(sw);
+        ProfileResult pla = profileWith(la);
+
+        uint64_t base = timeWith(CodeGenPolicy::baseline(),
+                                 baselineConfig()).stats.cycles;
+        uint64_t csw = timeWith(sw, facPipelineConfig()).stats.cycles;
+        uint64_t cla = timeWith(la, facPipelineConfig()).stats.cycles;
+
+        t.row({w->name,
+               fmtPct(psw.fac[0].loadFailRate(), 1),
+               fmtPct(pla.fac[0].loadFailRate(), 1),
+               fmtF(speedup(base, csw), 3),
+               fmtF(speedup(base, cla), 3),
+               fmtF(pctChange(psw.memUsageBytes, pla.memUsageBytes),
+                    1)});
+        std::fprintf(stderr, "largealign: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Future work (Section 5.4): software support with large-"
+              "alignment placement (SW+LA) — the paper's proposed fix "
+              "for array-index failures", t);
+    return 0;
+}

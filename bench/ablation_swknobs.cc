@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Software-support decomposition (Section 4 has one subsection per
+ * mechanism): measures the load prediction failure rate with each
+ * mechanism enabled alone — global-pointer alignment (linker), stack
+ * alignment + frame sorting (compiler), heap/static allocation
+ * alignment + structure rounding (allocator) — and all together. Shows
+ * which accesses each mechanism rescues per workload.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+namespace
+{
+
+CodeGenPolicy
+gpOnly()
+{
+    CodeGenPolicy p = CodeGenPolicy::baseline();
+    p.link.alignGlobalPointer = true;
+    return p;
+}
+
+CodeGenPolicy
+stackOnly()
+{
+    CodeGenPolicy p = CodeGenPolicy::baseline();
+    p.stack = StackPolicy{.spAlign = 64, .maxFrameAlign = 256,
+                          .explicitAlignBigFrames = true};
+    p.sortFrameScalars = true;
+    return p;
+}
+
+CodeGenPolicy
+allocOnly()
+{
+    CodeGenPolicy p = CodeGenPolicy::baseline();
+    p.heap = HeapPolicy{.minAlign = 32};
+    p.link.alignStatics = true;
+    p.roundStructs = true;
+    return p;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Table t;
+    t.header({"Benchmark", "none%", "gp%", "stack%", "alloc%", "all%"});
+
+    const std::pair<const char *, CodeGenPolicy> policies[] = {
+        {"none", CodeGenPolicy::baseline()},
+        {"gp", gpOnly()},
+        {"stack", stackOnly()},
+        {"alloc", allocOnly()},
+        {"all", CodeGenPolicy::withSupport()},
+    };
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        std::vector<std::string> row{w->name};
+        for (const auto &[label, pol] : policies) {
+            ProfileRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.facConfigs = {FacConfig{.blockBits = 5, .setBits = 14}};
+            req.maxInsts = opt.maxInsts;
+            ProfileResult r = runProfile(req);
+            row.push_back(fmtPct(r.fac[0].loadFailRate(), 1));
+        }
+        t.row(row);
+        std::fprintf(stderr, "swknobs: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Ablation (Section 4): load prediction failure rate with "
+              "each software-support mechanism enabled alone (32B "
+              "blocks)", t);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Issue-width ablation — the paper's motivating trend: "The current
+ * trend to increase processor issue widths further amplifies load
+ * latencies because exploitation of instruction level parallelism
+ * decreases the amount of work between load instructions"
+ * (Section 1). This bench scales the machine from 2- to 8-wide
+ * (functional units and cache ports scaled proportionally) and measures
+ * the FAC speedup at each width: if the paper's argument holds, the
+ * speedup grows with width.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+namespace
+{
+
+PipelineConfig
+scaledConfig(unsigned width, bool fac_on)
+{
+    PipelineConfig c = fac_on ? facPipelineConfig() : baselineConfig();
+    c.fetchWidth = width;
+    c.issueWidth = width;
+    c.fetchBufferSize = 4 * width;
+    c.numIntAlus = width;
+    c.numMemUnits = std::max(1u, width / 2);
+    c.numFpAdders = std::max(1u, width / 2);
+    c.maxLoadsPerCycle = std::max(1u, width / 2);
+    c.maxStoresPerCycle = std::max(1u, width / 4);
+    return c;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    const unsigned widths[] = {2, 4, 8};
+
+    Table t;
+    std::vector<std::string> hdr{"Benchmark"};
+    for (unsigned w : widths) {
+        hdr.push_back(strprintf("IPC@%u", w));
+        hdr.push_back(strprintf("spd@%u", w));
+    }
+    t.header(hdr);
+
+    std::vector<std::vector<double>> spd(std::size(widths));
+    std::vector<double> weights;
+    std::vector<bool> is_fp;
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        std::vector<std::string> row{w->name};
+        for (size_t wi = 0; wi < std::size(widths); ++wi) {
+            auto stats = [&](bool fac_on) {
+                TimingRequest req;
+                req.workload = w->name;
+                req.build = buildOptions(opt,
+                                         CodeGenPolicy::withSupport());
+                req.pipe = scaledConfig(widths[wi], fac_on);
+                req.maxInsts = opt.maxInsts;
+                return runTiming(req).stats;
+            };
+            PipeStats base = stats(false);
+            PipeStats fac = stats(true);
+            double s = speedup(base.cycles, fac.cycles);
+            spd[wi].push_back(s);
+            if (wi == 0) {
+                weights.push_back(static_cast<double>(base.cycles));
+                is_fp.push_back(w->floatingPoint);
+            }
+            row.push_back(fmtF(base.ipc()));
+            row.push_back(fmtF(s, 3));
+        }
+        t.row(row);
+        std::fprintf(stderr, "width: %-10s done\n", w->name);
+    }
+
+    if (opt.workloadFilter.empty()) {
+        t.separator();
+        for (bool fp : {false, true}) {
+            std::vector<std::string> cells{fp ? "FP-Avg" : "Int-Avg"};
+            for (size_t wi = 0; wi < std::size(widths); ++wi) {
+                cells.push_back("-");
+                cells.push_back(
+                    fmtF(groupAverage(spd[wi], weights, is_fp, fp), 3));
+            }
+            t.row(cells);
+        }
+    }
+
+    emit(opt, "Ablation (Section 1 motivation): FAC speedup (HW+SW, "
+              "32B blocks) vs machine issue width — wider issue leaves "
+              "more exposed load latency for FAC to reclaim", t);
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared plumbing for the bench harnesses: command-line options, the
+ * per-workload run loop, and the paper's run-time-weighted Int/FP
+ * averaging.
+ *
+ * Common flags accepted by every bench:
+ *   --csv              emit CSV instead of the aligned table
+ *   --workload=NAME    restrict to one workload
+ *   --scale=N          workload size multiplier (default 1)
+ *   --max-insts=N      cap simulated instructions per run (0 = full run)
+ *   --seed=N           workload data seed
+ */
+
+#ifndef FACSIM_BENCH_BENCH_UTIL_HH
+#define FACSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/stats.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace facsim::bench
+{
+
+/** Parsed common options. */
+struct Options
+{
+    bool csv = false;
+    std::string workloadFilter;
+    uint64_t scale = 1;
+    uint64_t maxInsts = 0;
+    uint64_t seed = 0x5eed;
+    /** Flags the bench recognised beyond the common set. */
+    std::vector<std::string> extra;
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (a == "--csv") {
+            o.csv = true;
+        } else if (const char *v = val("--workload=")) {
+            o.workloadFilter = v;
+        } else if (const char *v = val("--scale=")) {
+            o.scale = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = val("--max-insts=")) {
+            o.maxInsts = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = val("--seed=")) {
+            o.seed = std::strtoull(v, nullptr, 0);
+        } else {
+            o.extra.push_back(a);
+        }
+    }
+    return o;
+}
+
+/** Workloads selected by the filter, in paper order. */
+inline std::vector<const WorkloadInfo *>
+selectedWorkloads(const Options &o)
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (o.workloadFilter.empty() || o.workloadFilter == w.name)
+            out.push_back(&w);
+    }
+    if (out.empty())
+        fatal("no workload matches '%s'", o.workloadFilter.c_str());
+    return out;
+}
+
+inline BuildOptions
+buildOptions(const Options &o, const CodeGenPolicy &pol)
+{
+    BuildOptions b;
+    b.policy = pol;
+    b.scale = o.scale;
+    b.seed = o.seed;
+    return b;
+}
+
+/**
+ * Run-time-weighted group average, as the paper's Int-Avg / FP-Avg bars:
+ * weights are baseline cycle counts.
+ */
+inline double
+groupAverage(const std::vector<double> &values,
+             const std::vector<double> &weights,
+             const std::vector<bool> &is_fp, bool want_fp)
+{
+    std::vector<double> v, w;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (is_fp[i] == want_fp) {
+            v.push_back(values[i]);
+            w.push_back(weights[i]);
+        }
+    }
+    return weightedMean(v, w);
+}
+
+/** Print the table in the requested format, with a caption. */
+inline void
+emit(const Options &o, const std::string &caption, const Table &t)
+{
+    if (o.csv) {
+        t.printCsv(std::cout);
+    } else {
+        std::cout << caption << "\n\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+} // namespace facsim::bench
+
+#endif // FACSIM_BENCH_BENCH_UTIL_HH

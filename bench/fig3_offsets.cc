@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 3 reproduction: cumulative load-offset size distributions for
+ * global-, stack- and general-pointer accesses. The paper plots Gcc, Sc,
+ * Doduc and Spice as representative; those are the default set here
+ * (--workload=NAME selects any other).
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+namespace
+{
+
+const char *
+bucketLabel(unsigned i)
+{
+    static char buf[8];
+    if (i == OffsetHistogram::moreBucket)
+        return "More";
+    if (i == OffsetHistogram::negBucket)
+        return "Neg";
+    std::snprintf(buf, sizeof(buf), "%u", i);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::vector<const WorkloadInfo *> workloads;
+    if (opt.workloadFilter.empty()) {
+        for (const char *n : {"gcc", "sc", "doduc", "spice"})
+            workloads.push_back(&workload(n));
+    } else {
+        workloads = selectedWorkloads(opt);
+    }
+
+    static const char *class_names[3] = {"Global", "Stack", "General"};
+
+    for (const WorkloadInfo *w : workloads) {
+        ProfileRequest req;
+        req.workload = w->name;
+        req.build = buildOptions(opt, CodeGenPolicy::baseline());
+        req.maxInsts = opt.maxInsts;
+        ProfileResult r = runProfile(req);
+
+        Table t;
+        t.header({"Offset bits", "Global cum%", "Stack cum%",
+                  "General cum%", "", "General curve"});
+        // Buckets 0..16, then "More", then "Neg" (cumulative reaches 1).
+        for (unsigned b = 0; b < OffsetHistogram::numBuckets; ++b) {
+            std::vector<std::string> row{bucketLabel(b)};
+            for (int c = 0; c < 3; ++c) {
+                const OffsetHistogram &h = r.offsets[c];
+                row.push_back(h.total ? fmtPct(h.cumulative(b), 1) : "-");
+            }
+            // ASCII rendering of the general-pointer curve (the one the
+            // paper's analysis leans on hardest).
+            const OffsetHistogram &gh = r.offsets[2];
+            unsigned bars = gh.total
+                ? static_cast<unsigned>(gh.cumulative(b) * 30.0 + 0.5)
+                : 0;
+            row.push_back("|");
+            row.push_back(std::string(bars, '#'));
+            t.row(row);
+        }
+        emit(opt, strprintf("Figure 3 [%s]: cumulative load-offset "
+                            "distribution by addressing class "
+                            "(loads: %s global / %s stack / %s general)",
+                            w->name,
+                            fmtPct(r.fracGlobal, 1).c_str(),
+                            fmtPct(r.fracStack, 1).c_str(),
+                            fmtPct(r.fracGeneral, 1).c_str()),
+             t);
+        (void)class_names;
+    }
+    return 0;
+}

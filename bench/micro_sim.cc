@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator itself: predictor
+ * throughput, cache model throughput, functional emulation rate and
+ * timing-pipeline rate. These guard against performance regressions in
+ * the simulation infrastructure (the experiments above run hundreds of
+ * millions of simulated instructions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/config.hh"
+#include "sim/machine.hh"
+#include "cpu/pipeline.hh"
+#include "util/rng.hh"
+
+using namespace facsim;
+
+namespace
+{
+
+void
+BM_FacPredict(benchmark::State &state)
+{
+    FastAddrCalc fac(FacConfig{.blockBits = 5, .setBits = 14});
+    Rng rng(1);
+    std::vector<std::pair<uint32_t, int32_t>> inputs;
+    for (int i = 0; i < 4096; ++i)
+        inputs.emplace_back(static_cast<uint32_t>(rng.next()),
+                            static_cast<int32_t>(rng.range(1 << 14)));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto [base, ofs] = inputs[i++ & 4095];
+        benchmark::DoNotOptimize(fac.predict(base, ofs, false));
+    }
+}
+BENCHMARK(BM_FacPredict);
+
+void
+BM_CacheRead(benchmark::State &state)
+{
+    Cache cache(CacheConfig{16 * 1024, 32, 1, 6});
+    Rng rng(2);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(static_cast<uint32_t>(rng.range(64 * 1024)));
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.read(addrs[i++ & 4095]));
+}
+BENCHMARK(BM_CacheRead);
+
+void
+BM_EmulatorRate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(workload("grep"), BuildOptions{});
+        state.ResumeTiming();
+        uint64_t n = m.emulator().run(200'000);
+        state.counters["insts"] = static_cast<double>(n);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_EmulatorRate)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineRate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(workload("grep"), BuildOptions{});
+        Pipeline pipe(facPipelineConfig(32), m.emulator());
+        state.ResumeTiming();
+        pipe.run(200'000);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_PipelineRate)->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Machine m(workload("tomcatv"), BuildOptions{});
+        benchmark::DoNotOptimize(m.image().gpValue);
+    }
+}
+BENCHMARK(BM_MachineBuild)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

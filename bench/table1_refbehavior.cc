@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1 reproduction: "Program Reference Behavior" — dynamic
+ * instruction and reference counts plus the load breakdown by addressing
+ * class (global / stack / general pointer). Pass --list to print the
+ * Table 2 style workload inventory instead.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    for (const std::string &x : opt.extra) {
+        if (x == "--list") {
+            Table t;
+            t.header({"Benchmark", "Group", "Modelled input"});
+            for (const WorkloadInfo &w : allWorkloads())
+                t.row({w.name, w.floatingPoint ? "FP" : "Int", w.input});
+            emit(opt, "Table 2: Benchmark programs and their inputs", t);
+            return 0;
+        }
+    }
+
+    Table t;
+    t.header({"Benchmark", "Insts", "Refs", "%Loads", "%Stores",
+              "%Global", "%Stack", "%General"});
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        ProfileRequest req;
+        req.workload = w->name;
+        req.build = buildOptions(opt, CodeGenPolicy::baseline());
+        req.maxInsts = opt.maxInsts;
+        ProfileResult r = runProfile(req);
+        uint64_t refs = r.loads + r.stores;
+        t.row({w->name, fmtCount(r.insts), fmtCount(refs),
+               fmtPct(static_cast<double>(r.loads) / r.insts, 1),
+               fmtPct(static_cast<double>(r.stores) / r.insts, 1),
+               fmtPct(r.fracGlobal, 1), fmtPct(r.fracStack, 1),
+               fmtPct(r.fracGeneral, 1)});
+        std::fprintf(stderr, "table1: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Table 1: Program reference behavior (loads broken down "
+              "by addressing class)", t);
+    return 0;
+}

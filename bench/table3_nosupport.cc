@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 3 reproduction: program statistics *without* software support —
+ * instructions, baseline cycles, loads, stores, I/D-cache miss ratios,
+ * memory usage, and the prediction failure rates for loads and stores at
+ * both 16- and 32-byte cache blocks.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Table t;
+    t.header({"Benchmark", "Insts", "Cycles", "Loads", "Stores",
+              "I$miss%", "D$miss%", "Mem",
+              "L16%", "S16%", "L32%", "S32%"});
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        // Functional profile with both predictor geometries at once.
+        ProfileRequest preq;
+        preq.workload = w->name;
+        preq.build = buildOptions(opt, CodeGenPolicy::baseline());
+        preq.facConfigs = {
+            FacConfig{.blockBits = 4, .setBits = 14},
+            FacConfig{.blockBits = 5, .setBits = 14},
+        };
+        preq.maxInsts = opt.maxInsts;
+        ProfileResult prof = runProfile(preq);
+
+        // One timing run on the baseline machine for the cycle count and
+        // cache miss ratios.
+        TimingRequest treq;
+        treq.workload = w->name;
+        treq.build = preq.build;
+        treq.pipe = baselineConfig();
+        treq.maxInsts = opt.maxInsts;
+        TimingResult tim = runTiming(treq);
+
+        t.row({w->name, fmtCount(prof.insts), fmtCount(tim.stats.cycles),
+               fmtCount(prof.loads), fmtCount(prof.stores),
+               fmtPct(tim.stats.icacheMissRatio(), 2),
+               fmtPct(tim.stats.dcacheMissRatio(), 2),
+               fmtCount(tim.memUsageBytes),
+               fmtPct(prof.fac[0].loadFailRate(), 1),
+               fmtPct(prof.fac[0].storeFailRate(), 1),
+               fmtPct(prof.fac[1].loadFailRate(), 1),
+               fmtPct(prof.fac[1].storeFailRate(), 1)});
+        std::fprintf(stderr, "table3: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Table 3: Program statistics without software support\n"
+              "(L16/S16, L32/S32 = failed load/store predictions at 16- "
+              "and 32-byte blocks)", t);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 4 reproduction: program statistics *with* software support —
+ * percent changes in instructions, cycles, loads, stores and memory
+ * usage relative to the unsupported build, absolute I/D miss-ratio
+ * deltas, and the with-support prediction failure rates (All and
+ * No R+R) at 32-byte blocks. Pass --tlb to additionally run the
+ * Section 5.4 data-TLB comparison.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    bool with_tlb = false;
+    for (const std::string &x : opt.extra)
+        if (x == "--tlb")
+            with_tlb = true;
+
+    Table t;
+    std::vector<std::string> hdr{
+        "Benchmark", "Insts%", "Cycles%", "Loads%", "Stores%",
+        "dI$miss", "dD$miss", "Mem%", "L-All%", "S-All%", "L-NoRR%",
+        "S-NoRR%"};
+    if (with_tlb)
+        hdr.push_back("dTLBmiss");
+    t.header(hdr);
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        FacConfig fc{.blockBits = 5, .setBits = 14};
+
+        auto profileWith = [&](const CodeGenPolicy &pol) {
+            ProfileRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.facConfigs = {fc};
+            req.withTlb = with_tlb;
+            req.maxInsts = opt.maxInsts;
+            return runProfile(req);
+        };
+        auto timeWith = [&](const CodeGenPolicy &pol) {
+            TimingRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.pipe = baselineConfig();
+            req.maxInsts = opt.maxInsts;
+            return runTiming(req);
+        };
+
+        ProfileResult pb = profileWith(CodeGenPolicy::baseline());
+        ProfileResult ps = profileWith(CodeGenPolicy::withSupport());
+        TimingResult tb = timeWith(CodeGenPolicy::baseline());
+        TimingResult ts = timeWith(CodeGenPolicy::withSupport());
+
+        std::vector<std::string> row{
+            w->name,
+            fmtF(pctChange(pb.insts, ps.insts), 1),
+            fmtF(pctChange(tb.stats.cycles, ts.stats.cycles), 1),
+            fmtF(pctChange(pb.loads, ps.loads), 1),
+            fmtF(pctChange(pb.stores, ps.stores), 1),
+            fmtF((ts.stats.icacheMissRatio() -
+                  tb.stats.icacheMissRatio()) * 100.0, 2),
+            fmtF((ts.stats.dcacheMissRatio() -
+                  tb.stats.dcacheMissRatio()) * 100.0, 2),
+            fmtF(pctChange(pb.memUsageBytes, ps.memUsageBytes), 1),
+            fmtPct(ps.fac[0].loadFailRate(), 1),
+            fmtPct(ps.fac[0].storeFailRate(), 1),
+            fmtPct(ps.fac[0].loadFailRateNoRR(), 1),
+            fmtPct(ps.fac[0].storeFailRateNoRR(), 1)};
+        if (with_tlb)
+            row.push_back(fmtF((ps.tlbMissRatio - pb.tlbMissRatio) *
+                               100.0, 3));
+        t.row(row);
+        std::fprintf(stderr, "table4: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Table 4: Program statistics with software support "
+              "(changes vs. Table 3; failure rates at 32-byte blocks)",
+         t);
+    return 0;
+}

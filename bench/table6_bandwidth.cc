@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 6 reproduction: memory-bandwidth overhead of speculation — the
+ * mispredicted speculative cache accesses actually performed during the
+ * timing run, as a percentage of total references, for the four corners
+ * {R+R speculation, no R+R} x {hardware only, software support}.
+ *
+ * Shape to check: large overheads without software support (tens of
+ * percent for the worst FP codes), a few percent with support, and
+ * near-elimination once R+R speculation is disabled.
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Table t;
+    t.header({"Benchmark", "RR/HW%", "RR/SW%", "noRR/HW%", "noRR/SW%"});
+
+    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+        auto overhead = [&](bool spec_rr, bool software) {
+            TimingRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, software
+                                     ? CodeGenPolicy::withSupport()
+                                     : CodeGenPolicy::baseline());
+            req.pipe = facPipelineConfig(32, spec_rr);
+            req.maxInsts = opt.maxInsts;
+            return runTiming(req).stats.bandwidthOverhead();
+        };
+        t.row({w->name,
+               fmtPct(overhead(true, false), 2),
+               fmtPct(overhead(true, true), 2),
+               fmtPct(overhead(false, false), 2),
+               fmtPct(overhead(false, true), 2)});
+        std::fprintf(stderr, "table6: %-10s done\n", w->name);
+    }
+
+    emit(opt, "Table 6: Memory bandwidth overhead — failed speculative "
+              "cache accesses as a percentage of total references", t);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Example: the textual-assembler path. A saxpy-style kernel written as
+ * assembly source is assembled, linked with and without the software
+ * support, and timed on the baseline and fast-address-calculation
+ * machines — no C++ code generation involved.
+ *
+ *   build/examples/asm_program
+ */
+
+#include <cstdio>
+
+#include "asm/parser.hh"
+#include "cpu/pipeline.hh"
+#include "link/linker.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "workloads/codegen_policy.hh"
+
+using namespace facsim;
+
+namespace
+{
+
+const char *kSource = R"(
+# saxpy over gp-resident vectors: y[i] = a*x[i] + y[i], 512 doubles,
+# repeated 64 times. The vectors live in the small-data region, so the
+# global-pointer alignment support decides whether the gp-relative
+# pointer loads predict.
+
+        .sdata
+xs_ptr: .word 0
+ys_ptr: .word 0
+n_iter: .word 64
+
+        .data
+        .align 8
+xs:     .space 4096
+ys:     .space 4096
+a_val:  .double 3.0
+
+        .text
+        la    $s6, xs
+        sw    $s6, xs_ptr($gp)
+        la    $s7, ys
+        sw    $s7, ys_ptr($gp)
+        la    $t0, a_val
+        ldc1  $f2, 0($t0)           # a
+        lw    $s5, n_iter($gp)
+
+outer:  lw    $s0, xs_ptr($gp)
+        lw    $s1, ys_ptr($gp)
+        li    $t1, 512
+inner:  ldc1  $f4, ($s0)+8          # x[i]
+        ldc1  $f6, 0($s1)           # y[i]
+        mul.d $f4, $f4, $f2
+        add.d $f6, $f6, $f4
+        sdc1  $f6, ($s1)+8          # y[i] updated
+        addi  $t1, $t1, -1
+        bgtz  $t1, inner
+        addi  $s5, $s5, -1
+        bgtz  $s5, outer
+        halt
+)";
+
+uint64_t
+timeIt(const CodeGenPolicy &pol, const PipelineConfig &cfg)
+{
+    Program prog;
+    parseAsm(kSource, prog);
+    Memory mem;
+    LinkedImage img = Linker(pol.link).link(prog, mem);
+    Emulator emu(prog, mem, img, pol.stack.initialSp());
+    Pipeline pipe(cfg, emu);
+    return pipe.run().cycles;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    uint64_t base = timeIt(CodeGenPolicy::baseline(), baselineConfig());
+    uint64_t hw = timeIt(CodeGenPolicy::baseline(), facPipelineConfig());
+    uint64_t sw = timeIt(CodeGenPolicy::withSupport(),
+                         facPipelineConfig());
+
+    std::printf("saxpy (from assembly source):\n");
+    std::printf("  baseline:        %8llu cycles\n",
+                static_cast<unsigned long long>(base));
+    std::printf("  FAC, hardware:   %8llu cycles  (speedup %.3f)\n",
+                static_cast<unsigned long long>(hw), speedup(base, hw));
+    std::printf("  FAC + software:  %8llu cycles  (speedup %.3f)\n",
+                static_cast<unsigned long long>(sw), speedup(base, sw));
+    return 0;
+}

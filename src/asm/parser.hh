@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Textual assembler: parses MIPS-flavoured assembly source into a
+ * Program (the same representation AsmBuilder emits), so workloads and
+ * test programs can be written as .s text instead of C++.
+ *
+ * Supported syntax:
+ *
+ *     # comment                     ; also "//" comments
+ *             .text                 ; section directives
+ *             .data                 ; general data segment
+ *             .sdata                ; gp-addressed small data
+ *     label:                        ; code label or data symbol
+ *             .word  1, 2, 0xff     ; 32-bit values
+ *             .byte  1, 2           ; 8-bit values
+ *             .half  1, 2           ; 16-bit values
+ *             .double 1.5, 2.0      ; 64-bit IEEE values
+ *             .space 64             ; zero-filled bytes
+ *             .align 8              ; set the next symbol's alignment
+ *
+ *             li    $t0, 0x1234     ; pseudo-ops: li, la, move, nop, b
+ *             lw    $t1, 8($s0)     ; register+constant addressing
+ *             lw    $t1, var($gp)   ; gp-relative symbol reference
+ *             lw    $t1, ($s0+$t2)  ; register+register addressing
+ *             lw    $t1, ($s0)+4    ; post-increment (negative = dec)
+ *             la    $t1, var        ; absolute symbol address
+ *             beq   $t0, $zero, done
+ *             add.d $f2, $f4, $f6   ; FP registers are $f0..$f31
+ *             halt
+ *
+ * Errors (unknown mnemonics, malformed operands, range violations) are
+ * reported via fatal() with the source line number.
+ */
+
+#ifndef FACSIM_ASM_PARSER_HH
+#define FACSIM_ASM_PARSER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace facsim
+{
+
+/**
+ * Assemble @p source into @p prog (which must be empty). The program
+ * still needs to be linked before execution.
+ */
+void parseAsm(const std::string &source, Program &prog);
+
+} // namespace facsim
+
+#endif // FACSIM_ASM_PARSER_HH

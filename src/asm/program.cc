@@ -1,0 +1,62 @@
+#include "asm/program.hh"
+
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+uint32_t
+Program::append(const Inst &inst)
+{
+    code_.push_back(inst);
+    return static_cast<uint32_t>(code_.size() - 1);
+}
+
+LabelId
+Program::newLabel()
+{
+    labelIndex_.push_back(-1);
+    return static_cast<LabelId>(labelIndex_.size() - 1);
+}
+
+void
+Program::bind(LabelId label)
+{
+    FACSIM_ASSERT(label < labelIndex_.size(), "unknown label");
+    FACSIM_ASSERT(labelIndex_[label] < 0, "label bound twice");
+    labelIndex_[label] = static_cast<int64_t>(code_.size());
+}
+
+SymId
+Program::addSym(DataSym sym)
+{
+    syms_.push_back(std::move(sym));
+    return static_cast<SymId>(syms_.size() - 1);
+}
+
+void
+Program::addFixup(Fixup f)
+{
+    fixups_.push_back(f);
+}
+
+uint32_t
+Program::labelIndex(LabelId label) const
+{
+    FACSIM_ASSERT(label < labelIndex_.size(), "unknown label");
+    int64_t idx = labelIndex_[label];
+    FACSIM_ASSERT(idx >= 0, "label %u never bound", label);
+    return static_cast<uint32_t>(idx);
+}
+
+void
+Program::reencode()
+{
+    words_.clear();
+    words_.reserve(code_.size());
+    for (const Inst &in : code_)
+        words_.push_back(encode(in));
+}
+
+} // namespace facsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * In-memory representation of an assembled program: decoded instructions,
+ * the matching encoded text image, labels and unresolved fixups. Data
+ * symbols are declared here and assigned addresses later by the linker
+ * (link/linker.hh), which also patches the fixups.
+ */
+
+#ifndef FACSIM_ASM_PROGRAM_HH
+#define FACSIM_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace facsim
+{
+
+/** Identifier for a code label. */
+using LabelId = uint32_t;
+/** Identifier for a data symbol. */
+using SymId = uint32_t;
+
+/**
+ * A global data object awaiting an address from the linker.
+ *
+ * `smallData` objects are candidates for the gp-addressed global region
+ * ("global pointer addressing", paper Section 2.1); others live in the
+ * general data segment and are reached via la (lui/ori).
+ */
+struct DataSym
+{
+    std::string name;
+    uint32_t size = 0;
+    uint32_t align = 4;
+    bool smallData = false;
+    std::vector<uint8_t> init;  ///< initial bytes; zero-filled if shorter
+    uint32_t addr = 0;          ///< assigned by the linker
+};
+
+/** A patch the linker must apply once labels/symbols have addresses. */
+struct Fixup
+{
+    enum class Kind
+    {
+        Branch,  ///< imm <- label displacement in words from PC+4
+        Jump,    ///< imm <- absolute word address of label
+        AbsHi,   ///< imm <- high 16 bits of symbol address (+addend)
+        AbsLo,   ///< imm <- low 16 bits of symbol address (+addend)
+        GpRel,   ///< imm <- symbol address (+addend) - gp value
+    };
+
+    Kind kind;
+    uint32_t instIndex;  ///< which instruction to patch
+    uint32_t target;     ///< LabelId (Branch/Jump) or SymId (others)
+    int32_t addend = 0;
+};
+
+/**
+ * An assembled (and possibly linked) program. The decoded form `code` is
+ * what the CPUs execute; `words` is the equivalent encoded image kept for
+ * encode/decode cross-checking and for loading into simulated memory.
+ */
+class Program
+{
+  public:
+    /** Base virtual address of the text segment. */
+    static constexpr uint32_t textBase = 0x00400000;
+
+    /** Append an instruction; returns its index. */
+    uint32_t append(const Inst &inst);
+
+    /** Create a fresh unbound label. */
+    LabelId newLabel();
+
+    /** Bind @p label to the next appended instruction. */
+    void bind(LabelId label);
+
+    /** Declare a data symbol (address assigned at link time). */
+    SymId addSym(DataSym sym);
+
+    /** Record a fixup for the linker. */
+    void addFixup(Fixup f);
+
+    /** Instruction at @p index (mutable, for link-time patching). */
+    Inst &inst(uint32_t index) { return code_[index]; }
+    const Inst &inst(uint32_t index) const { return code_[index]; }
+
+    /** Number of instructions. */
+    uint32_t numInsts() const { return static_cast<uint32_t>(code_.size()); }
+
+    /** Address of the instruction at @p index. */
+    uint32_t instAddr(uint32_t index) const { return textBase + 4 * index; }
+
+    /** Word index bound to @p label (panics if unbound). */
+    uint32_t labelIndex(LabelId label) const;
+
+    /** All fixups (consumed by the linker). */
+    const std::vector<Fixup> &fixups() const { return fixups_; }
+
+    /** All data symbols (addresses filled in by the linker). */
+    std::vector<DataSym> &syms() { return syms_; }
+    const std::vector<DataSym> &syms() const { return syms_; }
+
+    /** Re-encode all instructions into the binary image `words()`. */
+    void reencode();
+
+    /** Encoded text image (valid after reencode()). */
+    const std::vector<uint32_t> &words() const { return words_; }
+
+    /** True once the linker has resolved all fixups. */
+    bool linked() const { return linked_; }
+    void markLinked() { linked_ = true; }
+
+  private:
+    std::vector<Inst> code_;
+    std::vector<uint32_t> words_;
+    std::vector<int64_t> labelIndex_;
+    std::vector<DataSym> syms_;
+    std::vector<Fixup> fixups_;
+    bool linked_ = false;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_ASM_PROGRAM_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch target buffer per the paper's baseline model (Table 5): 1024-entry
+ * direct-mapped, 2-bit saturating counters, taken-predicted branches redirect
+ * fetch to the stored target, 2-cycle misprediction penalty (imposed by the
+ * pipeline).
+ */
+
+#ifndef FACSIM_BRANCH_BTB_HH
+#define FACSIM_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace facsim
+{
+
+/** Result of a BTB lookup. */
+struct BtbPrediction
+{
+    bool hit = false;       ///< PC matched a BTB entry
+    bool taken = false;     ///< counter predicts taken
+    uint32_t target = 0;    ///< predicted target when taken
+};
+
+/** Direct-mapped BTB with 2-bit saturating counters. */
+class Btb
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit Btb(unsigned entries = 1024);
+
+    /** Look up the branch at @p pc. */
+    BtbPrediction predict(uint32_t pc) const;
+
+    /**
+     * Train with the resolved outcome.
+     *
+     * @param pc branch address.
+     * @param taken actual direction.
+     * @param target actual target (stored when taken).
+     */
+    void update(uint32_t pc, bool taken, uint32_t target);
+
+    /** Invalidate all entries and reset counters. */
+    void reset();
+
+    /** @{ @name Statistics (direction+target correctness) */
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+    /** Called by the pipeline when a prediction proves wrong. */
+    void noteMispredict() { ++mispredicts_; }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint32_t target = 0;
+        uint8_t counter = 1;  ///< weakly not-taken initial state
+        bool valid = false;
+    };
+
+    uint32_t indexOf(uint32_t pc) const { return (pc >> 2) & (size - 1); }
+
+    unsigned size;
+    std::vector<Entry> table;
+    mutable uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_BRANCH_BTB_HH

@@ -1,0 +1,127 @@
+#include "cache/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+unsigned
+CacheConfig::blockBits() const
+{
+    return log2i(blockBytes);
+}
+
+unsigned
+CacheConfig::setBits() const
+{
+    return log2i(static_cast<uint64_t>(sizeBytes) / assoc);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    FACSIM_ASSERT(isPow2(cfg.sizeBytes) && isPow2(cfg.blockBytes) &&
+                  isPow2(cfg.assoc),
+                  "cache geometry must be powers of two");
+    FACSIM_ASSERT(cfg.sizeBytes >= cfg.blockBytes * cfg.assoc,
+                  "cache too small for its associativity");
+    lines.resize(cfg.numSets() * cfg.assoc);
+}
+
+uint32_t
+Cache::setBase(uint32_t addr) const
+{
+    uint32_t set = (addr >> cfg.blockBits()) & (cfg.numSets() - 1);
+    return set * cfg.assoc;
+}
+
+CacheAccess
+Cache::touch(uint32_t addr, bool is_write)
+{
+    ++useClock;
+    uint32_t base = setBase(addr);
+    uint32_t tag = tagOf(addr);
+
+    // Hit check.
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            line.dirty = line.dirty || is_write;
+            return {true, false};
+        }
+    }
+
+    // Miss: pick the LRU way (or any invalid one) as the victim.
+    uint32_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = lines[base + w];
+        if (!line.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (line.lastUse < oldest) {
+            oldest = line.lastUse;
+            victim = w;
+        }
+    }
+
+    Line &line = lines[base + victim];
+    bool wb = line.valid && line.dirty;
+    if (wb)
+        ++writebacks_;
+    line.valid = true;
+    line.dirty = is_write;
+    line.tag = tag;
+    line.lastUse = useClock;
+    return {false, wb};
+}
+
+CacheAccess
+Cache::read(uint32_t addr)
+{
+    ++reads_;
+    CacheAccess r = touch(addr, false);
+    if (!r.hit)
+        ++readMisses_;
+    return r;
+}
+
+CacheAccess
+Cache::write(uint32_t addr)
+{
+    ++writes_;
+    CacheAccess r = touch(addr, true);
+    if (!r.hit)
+        ++writeMisses_;
+    return r;
+}
+
+bool
+Cache::probe(uint32_t addr) const
+{
+    uint32_t base = setBase(addr);
+    uint32_t tag = tagOf(addr);
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines)
+        line = Line{};
+    useClock = 0;
+    reads_ = writes_ = 0;
+    readMisses_ = writeMisses_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace facsim

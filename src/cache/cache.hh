@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterised cache model. The paper's configuration is 16 KB
+ * direct-mapped with 16- or 32-byte blocks, write-back, write-allocate and
+ * a 6-cycle miss latency; the model also supports set associativity (LRU)
+ * so the benches can run geometry ablations.
+ *
+ * The model tracks tag state (valid/dirty) and hit/miss statistics only;
+ * data always comes functionally from Memory. Timing (miss latency,
+ * ports, outstanding misses) is imposed by the pipeline model, which is
+ * the component that knows about cycles.
+ *
+ * The address split this cache implies — block offset bits [B-1:0], set
+ * index bits [S-1:B], tag [31:S] with 2^S = size/assoc — is exactly the
+ * split the fast-address-calculation predictor operates on (Figure 4).
+ */
+
+#ifndef FACSIM_CACHE_CACHE_HH
+#define FACSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace facsim
+{
+
+/** Geometry and policy parameters for one cache. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 16 * 1024;
+    uint32_t blockBytes = 32;
+    uint32_t assoc = 1;
+    unsigned missLatency = 6;  ///< cycles; consumed by the pipeline
+
+    /** Block-offset field width B. */
+    unsigned blockBits() const;
+    /** Total set-field width S (2^S bytes spanned by index+offset). */
+    unsigned setBits() const;
+    /** Number of sets. */
+    uint32_t numSets() const { return sizeBytes / blockBytes / assoc; }
+};
+
+/** Result of a cache access. */
+struct CacheAccess
+{
+    bool hit = false;
+    bool writeback = false;  ///< a dirty victim was evicted
+};
+
+/** Tag-state cache model with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Look up @p addr for a read; fills (allocates) on miss. */
+    CacheAccess read(uint32_t addr);
+
+    /** Look up @p addr for a write; write-allocate, marks dirty. */
+    CacheAccess write(uint32_t addr);
+
+    /** Tag probe with no state change (store-buffer tag check). */
+    bool probe(uint32_t addr) const;
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+    /** Geometry this cache was built with. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** @{ @name Statistics */
+    uint64_t reads() const { return reads_; }
+    uint64_t writes() const { return writes_; }
+    uint64_t readMisses() const { return readMisses_; }
+    uint64_t writeMisses() const { return writeMisses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint64_t accesses() const { return reads_ + writes_; }
+    uint64_t misses() const { return readMisses_ + writeMisses_; }
+    double missRatio() const
+    {
+        return accesses() ? static_cast<double>(misses()) / accesses() : 0.0;
+    }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;  ///< LRU timestamp
+    };
+
+    /** Index of the first line of the set containing @p addr. */
+    uint32_t setBase(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const { return addr >> cfg.setBits(); }
+    /** Common lookup/fill; returns the access outcome. */
+    CacheAccess touch(uint32_t addr, bool is_write);
+
+    CacheConfig cfg;
+    std::vector<Line> lines;
+    uint64_t useClock = 0;
+    uint64_t reads_ = 0, writes_ = 0;
+    uint64_t readMisses_ = 0, writeMisses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CACHE_CACHE_HH

@@ -1,0 +1,121 @@
+#include "core/fac_circuit.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+FacCircuit::FacCircuit(const FacConfig &config)
+    : cfg(config)
+{
+    FACSIM_ASSERT(cfg.blockBits >= 1 && cfg.blockBits < cfg.setBits &&
+                  cfg.setBits < 32,
+                  "circuit geometry out of range");
+}
+
+namespace
+{
+
+/** One-bit full adder: returns sum, updates carry. */
+inline bool
+fullAdder(bool a, bool b, bool &carry)
+{
+    bool sum = a ^ b ^ carry;
+    carry = (a && b) || (a && carry) || (b && carry);
+    return sum;
+}
+
+inline bool
+bitOf(uint32_t v, unsigned i)
+{
+    return (v >> i) & 1u;
+}
+
+} // anonymous namespace
+
+FacCircuitSignals
+FacCircuit::evaluate(uint32_t base, int32_t offset,
+                     bool offset_from_reg) const
+{
+    FacCircuitSignals s;
+    const unsigned B = cfg.blockBits;
+    const unsigned S = cfg.setBits;
+    const uint32_t uofs = static_cast<uint32_t>(offset);
+
+    // Sign logic: constant offsets have their sign known at decode; a
+    // negative one engages the set-index/tag inverter. Register offsets
+    // arrive too late, so their sign bit raises NegFail instead.
+    const bool ofs_negative = bitOf(uofs, 31);
+    const bool invert_upper = ofs_negative && !offset_from_reg;
+    s.negIndexReg = ofs_negative && offset_from_reg;
+
+    // --- block-offset ripple adder, bits [B-1:0] --------------------
+    bool carry = false;
+    for (unsigned i = 0; i < B; ++i) {
+        if (fullAdder(bitOf(base, i), bitOf(uofs, i), carry))
+            s.blockOfs |= 1u << i;
+    }
+    const bool carry_out_block = carry;
+
+    if (invert_upper) {
+        // The inverter turns the sign-extension ones into zeros, so the
+        // OR stages pass the base's upper bits through unchanged; the
+        // missing block-offset carry is the borrow detector.
+        bool upper_all_ones = true;
+        for (unsigned i = B; i < 32; ++i)
+            upper_all_ones = upper_all_ones && bitOf(uofs, i);
+        s.largeNegConst = !upper_all_ones || !carry_out_block;
+
+        for (unsigned i = B; i < S; ++i) {
+            if (bitOf(base, i))
+                s.predIndex |= 1u << (i - B);
+        }
+        for (unsigned i = S; i < 32; ++i) {
+            if (bitOf(base, i))
+                s.predTag |= 1u << (i - S);
+        }
+        s.aPredSucceeded = !s.largeNegConst;
+    } else {
+        s.overflow = carry_out_block;
+
+        // --- set index: replicated OR (prediction) and AND (verify) --
+        bool any_gen = false;
+        for (unsigned i = B; i < S; ++i) {
+            bool a = bitOf(base, i);
+            bool b = bitOf(uofs, i);
+            if (a || b)
+                s.predIndex |= 1u << (i - B);
+            any_gen = any_gen || (a && b);
+        }
+        s.genCarry = any_gen;
+
+        // --- tag: full adder (no carry-in) or OR-only ----------------
+        if (cfg.fullTagAdd) {
+            bool tcarry = false;
+            for (unsigned i = S; i < 32; ++i) {
+                if (fullAdder(bitOf(base, i), bitOf(uofs, i), tcarry))
+                    s.predTag |= 1u << (i - S);
+            }
+        } else {
+            bool any_tag_gen = false;
+            for (unsigned i = S; i < 32; ++i) {
+                bool a = bitOf(base, i);
+                bool b = bitOf(uofs, i);
+                if (a || b)
+                    s.predTag |= 1u << (i - S);
+                any_tag_gen = any_tag_gen || (a && b);
+            }
+            s.genCarryTag = any_tag_gen;
+        }
+
+        s.aPredSucceeded = !s.overflow && !s.genCarry &&
+            !s.genCarryTag && !s.negIndexReg;
+    }
+
+    s.predictedAddr = (s.predTag << S) |
+        (s.predIndex << B) | s.blockOfs;
+    return s;
+}
+
+} // namespace facsim

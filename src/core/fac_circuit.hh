@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Gate-level model of the Figure 4 fast-address-generation circuit.
+ *
+ * Where FastAddrCalc computes with word arithmetic, this model follows
+ * the hardware structure signal by signal: a ripple full adder for the
+ * block offset, a replicated OR stage for the set index, the replicated
+ * AND stage feeding the GenCarry detector, the sign-extension inverter
+ * for negative constant offsets, the tag adder (or its OR-only
+ * substitute) and the final verification gate producing APredSucceeded.
+ *
+ * Its purpose is cross-validation: the property suite proves this
+ * structural model and the behavioural FastAddrCalc agree on every
+ * signal for every input, which is the kind of RTL-vs-model check a
+ * real implementation of the paper would need.
+ */
+
+#ifndef FACSIM_CORE_FAC_CIRCUIT_HH
+#define FACSIM_CORE_FAC_CIRCUIT_HH
+
+#include <cstdint>
+
+#include "core/fast_addr_calc.hh"
+
+namespace facsim
+{
+
+/** Every named wire of the Figure 4 schematic. */
+struct FacCircuitSignals
+{
+    // Datapath.
+    uint32_t blockOfs = 0;     ///< BlockOFS<B-1:0>: block-offset adder out
+    uint32_t predIndex = 0;    ///< PredIndex<S-1:B>: carry-free OR
+    uint32_t predTag = 0;      ///< PredTag<31:S>
+    uint32_t predictedAddr = 0;
+
+    // Verification signals.
+    bool overflow = false;       ///< carry out of the block-offset adder
+    bool genCarry = false;       ///< OR-reduce of AND stage in the index
+    bool genCarryTag = false;    ///< (OR-tag variant only)
+    bool largeNegConst = false;  ///< negative constant leaves the block
+    bool negIndexReg = false;    ///< IndexReg<31> with register offsets
+    bool aPredSucceeded = false; ///< final verification output
+};
+
+/** Structural (per-bit) evaluation of the prediction circuit. */
+class FacCircuit
+{
+  public:
+    explicit FacCircuit(const FacConfig &config);
+
+    /**
+     * Evaluate the combinational network for one access.
+     *
+     * @param base base register value.
+     * @param offset constant or index-register operand (sign-extended).
+     * @param offset_from_reg register+register addressing.
+     */
+    FacCircuitSignals evaluate(uint32_t base, int32_t offset,
+                               bool offset_from_reg) const;
+
+    const FacConfig &config() const { return cfg; }
+
+  private:
+    FacConfig cfg;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CORE_FAC_CIRCUIT_HH

@@ -1,0 +1,303 @@
+#include "cpu/emulator.hh"
+
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+Emulator::Emulator(const Program &prog, Memory &mem, const LinkedImage &img,
+                   uint32_t initial_sp)
+    : prog_(prog), mem_(mem), pc_(img.entryPc)
+{
+    FACSIM_ASSERT(prog.linked(), "emulator needs a linked program");
+    regs[reg::gp] = img.gpValue;
+    regs[reg::sp] = initial_sp;
+    regs[reg::ra] = 0;
+}
+
+uint32_t
+Emulator::fetchIndex(uint32_t pc) const
+{
+    FACSIM_ASSERT(pc >= Program::textBase && (pc & 3) == 0,
+                  "bad PC 0x%08x", pc);
+    uint32_t idx = (pc - Program::textBase) / 4;
+    FACSIM_ASSERT(idx < prog_.numInsts(), "PC 0x%08x past end of text", pc);
+    return idx;
+}
+
+void
+Emulator::setIntReg(unsigned r, uint32_t v)
+{
+    FACSIM_ASSERT(r < numIntRegs, "register index out of range");
+    if (r != reg::zero)
+        regs[r] = v;
+}
+
+bool
+Emulator::step(ExecRecord *rec)
+{
+    if (halted_)
+        return false;
+
+    const uint32_t pc = pc_;
+    const Inst &in = prog_.inst(fetchIndex(pc));
+    uint32_t next_pc = pc + 4;
+
+    ExecRecord local;
+    ExecRecord &r = rec ? *rec : local;
+    r = ExecRecord{};
+    r.pc = pc;
+    r.inst = in;
+
+    auto wr = [&](uint8_t d, uint32_t v) {
+        if (d != reg::zero)
+            regs[d] = v;
+    };
+    auto s = [&](uint8_t x) { return static_cast<int32_t>(regs[x]); };
+
+    auto branchTo = [&](bool cond) {
+        if (cond) {
+            next_pc = pc + 4 + (static_cast<uint32_t>(in.imm) << 2);
+            r.taken = true;
+        }
+    };
+
+    switch (in.op) {
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        halted_ = true;
+        break;
+
+      case Op::ADD: wr(in.rd, regs[in.rs] + regs[in.rt]); break;
+      case Op::SUB: wr(in.rd, regs[in.rs] - regs[in.rt]); break;
+      case Op::AND: wr(in.rd, regs[in.rs] & regs[in.rt]); break;
+      case Op::OR: wr(in.rd, regs[in.rs] | regs[in.rt]); break;
+      case Op::XOR: wr(in.rd, regs[in.rs] ^ regs[in.rt]); break;
+      case Op::NOR: wr(in.rd, ~(regs[in.rs] | regs[in.rt])); break;
+      case Op::SLT: wr(in.rd, s(in.rs) < s(in.rt) ? 1 : 0); break;
+      case Op::SLTU: wr(in.rd, regs[in.rs] < regs[in.rt] ? 1 : 0); break;
+      case Op::MUL:
+        wr(in.rd, static_cast<uint32_t>(
+               static_cast<uint64_t>(regs[in.rs]) * regs[in.rt]));
+        break;
+      case Op::DIV:
+        // Division by zero yields 0 by definition in this simulator (the
+        // MIPS result is UNPREDICTABLE); workloads never rely on it.
+        wr(in.rd, regs[in.rt] == 0 ? 0
+               : (s(in.rs) == INT32_MIN && s(in.rt) == -1)
+               ? static_cast<uint32_t>(INT32_MIN)
+               : static_cast<uint32_t>(s(in.rs) / s(in.rt)));
+        break;
+      case Op::REM:
+        wr(in.rd, regs[in.rt] == 0 ? 0
+               : (s(in.rs) == INT32_MIN && s(in.rt) == -1)
+               ? 0
+               : static_cast<uint32_t>(s(in.rs) % s(in.rt)));
+        break;
+      case Op::SLL: wr(in.rd, regs[in.rs] << (in.imm & 31)); break;
+      case Op::SRL: wr(in.rd, regs[in.rs] >> (in.imm & 31)); break;
+      case Op::SRA:
+        wr(in.rd, static_cast<uint32_t>(s(in.rs) >> (in.imm & 31)));
+        break;
+      case Op::SLLV: wr(in.rd, regs[in.rs] << (regs[in.rt] & 31)); break;
+      case Op::SRLV: wr(in.rd, regs[in.rs] >> (regs[in.rt] & 31)); break;
+      case Op::SRAV:
+        wr(in.rd, static_cast<uint32_t>(s(in.rs) >> (regs[in.rt] & 31)));
+        break;
+
+      case Op::ADDI:
+        wr(in.rt, regs[in.rs] + static_cast<uint32_t>(in.imm));
+        break;
+      case Op::ANDI:
+        wr(in.rt, regs[in.rs] & static_cast<uint32_t>(in.imm));
+        break;
+      case Op::ORI:
+        wr(in.rt, regs[in.rs] | static_cast<uint32_t>(in.imm));
+        break;
+      case Op::XORI:
+        wr(in.rt, regs[in.rs] ^ static_cast<uint32_t>(in.imm));
+        break;
+      case Op::SLTI:
+        wr(in.rt, s(in.rs) < in.imm ? 1 : 0);
+        break;
+      case Op::SLTIU:
+        wr(in.rt, regs[in.rs] < static_cast<uint32_t>(in.imm) ? 1 : 0);
+        break;
+      case Op::LUI:
+        wr(in.rt, static_cast<uint32_t>(in.imm) << 16);
+        break;
+
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU: case Op::LW:
+      case Op::SB: case Op::SH: case Op::SW:
+      case Op::LWC1: case Op::LDC1: case Op::SWC1: case Op::SDC1: {
+        r.baseVal = regs[in.rs];
+        switch (in.amode) {
+          case AMode::RegConst:
+            r.offsetVal = in.imm;
+            break;
+          case AMode::RegReg:
+            r.offsetVal = static_cast<int32_t>(regs[in.rd]);
+            r.offsetFromReg = true;
+            break;
+          case AMode::PostInc:
+            r.offsetVal = 0;
+            break;
+        }
+        uint32_t ea = r.baseVal + static_cast<uint32_t>(r.offsetVal);
+        r.effAddr = ea;
+        unsigned size = memAccessSize(in.op);
+        FACSIM_ASSERT((ea & (size - 1)) == 0,
+                      "unaligned %s access at 0x%08x (pc 0x%08x)",
+                      opName(in.op), ea, pc);
+        switch (in.op) {
+          case Op::LB: wr(in.rt, static_cast<uint32_t>(
+                             static_cast<int8_t>(mem_.read8(ea)))); break;
+          case Op::LBU: wr(in.rt, mem_.read8(ea)); break;
+          case Op::LH: wr(in.rt, static_cast<uint32_t>(
+                             static_cast<int16_t>(mem_.read16(ea)))); break;
+          case Op::LHU: wr(in.rt, mem_.read16(ea)); break;
+          case Op::LW: wr(in.rt, mem_.read32(ea)); break;
+          case Op::SB: mem_.write8(ea, static_cast<uint8_t>(regs[in.rt]));
+            break;
+          case Op::SH: mem_.write16(ea, static_cast<uint16_t>(regs[in.rt]));
+            break;
+          case Op::SW: mem_.write32(ea, regs[in.rt]); break;
+          case Op::LWC1: {
+            uint32_t bits32 = mem_.read32(ea);
+            float f;
+            static_assert(sizeof(float) == 4);
+            __builtin_memcpy(&f, &bits32, 4);
+            fregs[in.rt] = static_cast<double>(f);
+            break;
+          }
+          case Op::SWC1: {
+            float f = static_cast<float>(fregs[in.rt]);
+            uint32_t bits32;
+            __builtin_memcpy(&bits32, &f, 4);
+            mem_.write32(ea, bits32);
+            break;
+          }
+          case Op::LDC1: {
+            uint64_t bits64 = mem_.read64(ea);
+            double d;
+            __builtin_memcpy(&d, &bits64, 8);
+            fregs[in.rt] = d;
+            break;
+          }
+          case Op::SDC1: {
+            uint64_t bits64;
+            double d = fregs[in.rt];
+            __builtin_memcpy(&bits64, &d, 8);
+            mem_.write64(ea, bits64);
+            break;
+          }
+          default:
+            panic("unreachable");
+        }
+        if (in.amode == AMode::PostInc)
+            wr(in.rs, regs[in.rs] + static_cast<uint32_t>(in.imm));
+        break;
+      }
+
+      case Op::BEQ: branchTo(regs[in.rs] == regs[in.rt]); break;
+      case Op::BNE: branchTo(regs[in.rs] != regs[in.rt]); break;
+      case Op::BLEZ: branchTo(s(in.rs) <= 0); break;
+      case Op::BGTZ: branchTo(s(in.rs) > 0); break;
+      case Op::BLTZ: branchTo(s(in.rs) < 0); break;
+      case Op::BGEZ: branchTo(s(in.rs) >= 0); break;
+      case Op::BC1T: branchTo(fpcc); break;
+      case Op::BC1F: branchTo(!fpcc); break;
+
+      case Op::J:
+        next_pc = static_cast<uint32_t>(in.imm) << 2;
+        r.taken = true;
+        break;
+      case Op::JAL:
+        wr(reg::ra, pc + 4);
+        next_pc = static_cast<uint32_t>(in.imm) << 2;
+        r.taken = true;
+        break;
+      case Op::JR:
+        next_pc = regs[in.rs];
+        r.taken = true;
+        break;
+      case Op::JALR:
+        wr(in.rd, pc + 4);
+        next_pc = regs[in.rs];
+        r.taken = true;
+        break;
+
+      case Op::ADD_D: fregs[in.rd] = fregs[in.rs] + fregs[in.rt]; break;
+      case Op::SUB_D: fregs[in.rd] = fregs[in.rs] - fregs[in.rt]; break;
+      case Op::MUL_D: fregs[in.rd] = fregs[in.rs] * fregs[in.rt]; break;
+      case Op::DIV_D: fregs[in.rd] = fregs[in.rs] / fregs[in.rt]; break;
+      case Op::SQRT_D: fregs[in.rd] = std::sqrt(fregs[in.rs]); break;
+      case Op::ABS_D: fregs[in.rd] = std::fabs(fregs[in.rs]); break;
+      case Op::NEG_D: fregs[in.rd] = -fregs[in.rs]; break;
+      case Op::MOV_D: fregs[in.rd] = fregs[in.rs]; break;
+      case Op::CVT_D_W: {
+        // Source is an integer bit pattern previously moved in via mtc1.
+        uint64_t bits64;
+        __builtin_memcpy(&bits64, &fregs[in.rs], 8);
+        fregs[in.rd] = static_cast<double>(
+            static_cast<int32_t>(static_cast<uint32_t>(bits64)));
+        break;
+      }
+      case Op::CVT_W_D: {
+        // Saturate out-of-range conversions (the MIPS result would be
+        // implementation-defined; saturation keeps the simulator's C++
+        // well defined).
+        double v = fregs[in.rs];
+        int32_t w;
+        if (!(v >= -2147483648.0))
+            w = INT32_MIN;
+        else if (v >= 2147483647.0)
+            w = INT32_MAX;
+        else
+            w = static_cast<int32_t>(v);
+        uint64_t bits64 = static_cast<uint32_t>(w);
+        __builtin_memcpy(&fregs[in.rd], &bits64, 8);
+        break;
+      }
+      case Op::C_EQ_D: fpcc = fregs[in.rs] == fregs[in.rt]; break;
+      case Op::C_LT_D: fpcc = fregs[in.rs] < fregs[in.rt]; break;
+      case Op::C_LE_D: fpcc = fregs[in.rs] <= fregs[in.rt]; break;
+      case Op::MTC1: {
+        uint64_t bits64 = regs[in.rt];
+        __builtin_memcpy(&fregs[in.rd], &bits64, 8);
+        break;
+      }
+      case Op::MFC1: {
+        uint64_t bits64;
+        __builtin_memcpy(&bits64, &fregs[in.rs], 8);
+        wr(in.rd, static_cast<uint32_t>(bits64));
+        break;
+      }
+
+      default:
+        panic("emulator: unimplemented op %s at pc 0x%08x",
+              opName(in.op), pc);
+    }
+
+    pc_ = next_pc;
+    r.nextPc = next_pc;
+    ++icount;
+    return true;
+}
+
+uint64_t
+Emulator::run(uint64_t max_insts)
+{
+    uint64_t n = 0;
+    while (!halted_ && (max_insts == 0 || n < max_insts)) {
+        step(nullptr);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace facsim

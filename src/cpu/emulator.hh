@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional emulator for the extended MIPS-like ISA. It is the golden
+ * model for the timing pipeline (which consumes its dynamic instruction
+ * stream) and the engine behind the reference-behaviour profiler used for
+ * Tables 1/3/4 and Figure 3.
+ */
+
+#ifndef FACSIM_CPU_EMULATOR_HH
+#define FACSIM_CPU_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "asm/program.hh"
+#include "isa/inst.hh"
+#include "link/linker.hh"
+#include "mem/memory.hh"
+
+namespace facsim
+{
+
+/**
+ * Everything the timing model needs to know about one executed
+ * instruction: the decoded op, its effective address and the operand
+ * values that feed the fast-address-calculation predictor, and the
+ * resolved control-flow outcome.
+ */
+struct ExecRecord
+{
+    uint32_t pc = 0;
+    Inst inst;
+
+    // Memory operations.
+    uint32_t effAddr = 0;     ///< architectural effective address
+    uint32_t baseVal = 0;     ///< base register value at execute
+    int32_t offsetVal = 0;    ///< constant or index-register value
+    bool offsetFromReg = false;
+
+    // Control flow.
+    bool taken = false;       ///< control transfer changed the PC
+    uint32_t nextPc = 0;      ///< PC of the following instruction
+};
+
+/** Architectural-state executor. */
+class Emulator
+{
+  public:
+    /**
+     * @param prog linked program (panics if not linked).
+     * @param mem simulated memory with text+data already loaded.
+     * @param img link results (gp value, entry point).
+     * @param initial_sp startup stack pointer (from StackPolicy).
+     */
+    Emulator(const Program &prog, Memory &mem, const LinkedImage &img,
+             uint32_t initial_sp);
+
+    /**
+     * Execute one instruction.
+     *
+     * @param rec filled with the execution record (may be null).
+     * @retval false when the program has halted (no instruction ran).
+     */
+    bool step(ExecRecord *rec);
+
+    /** Run to completion (or @p max_insts), discarding records. */
+    uint64_t run(uint64_t max_insts = 0);
+
+    /** True once HALT has executed. */
+    bool halted() const { return halted_; }
+
+    /** Dynamic instruction count so far. */
+    uint64_t instCount() const { return icount; }
+
+    /** Current PC. */
+    uint32_t pc() const { return pc_; }
+
+    /** Integer register value. */
+    uint32_t intReg(unsigned r) const { return regs[r]; }
+    /** Set an integer register (test hook / startup). */
+    void setIntReg(unsigned r, uint32_t v);
+    /** FP register value. */
+    double fpReg(unsigned r) const { return fregs[r]; }
+    /** Set an FP register. */
+    void setFpReg(unsigned r, double v) { fregs[r] = v; }
+
+    /** The memory this CPU executes against. */
+    Memory &memory() { return mem_; }
+
+  private:
+    uint32_t fetchIndex(uint32_t pc) const;
+
+    const Program &prog_;
+    Memory &mem_;
+    std::array<uint32_t, numIntRegs> regs{};
+    std::array<double, numFpRegs> fregs{};
+    bool fpcc = false;
+    uint32_t pc_;
+    bool halted_ = false;
+    uint64_t icount = 0;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CPU_EMULATOR_HH

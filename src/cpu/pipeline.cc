@@ -1,0 +1,603 @@
+#include "cpu/pipeline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+Pipeline::Pipeline(const PipelineConfig &config, Emulator &emulator)
+    : cfg(config), emu(emulator), icache(cfg.icache), dcache(cfg.dcache),
+      btb(cfg.btbEntries), sbuf(cfg.storeBufferEntries), fac(cfg.fac)
+{
+    if (cfg.agiOrganization) {
+        FACSIM_ASSERT(!cfg.facEnabled && !cfg.oneCycleLoads,
+                      "the AGI organisation is an alternative to fast "
+                      "address calculation, not a companion");
+    }
+    if (cfg.facEnabled) {
+        FACSIM_ASSERT(cfg.fac.blockBits == cfg.dcache.blockBits() &&
+                      cfg.fac.setBits == cfg.dcache.setBits(),
+                      "FAC field widths must match the data cache "
+                      "geometry (B=%u S=%u vs cache B=%u S=%u)",
+                      cfg.fac.blockBits, cfg.fac.setBits,
+                      cfg.dcache.blockBits(), cfg.dcache.setBits());
+    }
+    fus[fuIntAlu].assign(cfg.numIntAlus, 0);
+    fus[fuMem].assign(cfg.numMemUnits, 0);
+    fus[fuFpAdd].assign(cfg.numFpAdders, 0);
+    fus[fuIntMulDiv].assign(1, 0);
+    fus[fuFpMulDiv].assign(1, 0);
+}
+
+unsigned &
+Pipeline::readPortsAt(uint64_t t)
+{
+    return readPorts[t % portWindow];
+}
+
+uint64_t
+Pipeline::dcacheReadAt(uint64_t t, uint32_t addr)
+{
+    ++st.dcacheAccesses;
+    if (cfg.perfectDCache)
+        return t;
+    CacheAccess acc = dcache.read(addr);
+    if (acc.hit)
+        return t;
+    ++st.dcacheMisses;
+    return t + cfg.dcache.missLatency;
+}
+
+void
+Pipeline::setIntReady(int r, uint64_t t)
+{
+    if (r > 0)
+        intReady[static_cast<unsigned>(r)] = t;
+}
+
+void
+Pipeline::setFpReady(int r, uint64_t t)
+{
+    if (r >= 0)
+        fpReady[static_cast<unsigned>(r)] = t;
+}
+
+unsigned
+Pipeline::fuClassOf(const Inst &in) const
+{
+    if (isMem(in.op))
+        return fuMem;
+    switch (in.op) {
+      case Op::MUL: case Op::DIV: case Op::REM:
+        return fuIntMulDiv;
+      case Op::MUL_D: case Op::DIV_D: case Op::SQRT_D:
+        return fuFpMulDiv;
+      case Op::ADD_D: case Op::SUB_D: case Op::ABS_D: case Op::NEG_D:
+      case Op::MOV_D: case Op::CVT_D_W: case Op::CVT_W_D:
+      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
+        return fuFpAdd;
+      default:
+        return fuIntAlu;
+    }
+}
+
+bool
+Pipeline::fuAvailable(unsigned cls) const
+{
+    for (uint64_t t : fus[cls])
+        if (t <= cycle)
+            return true;
+    return false;
+}
+
+void
+Pipeline::takeFu(unsigned cls, unsigned busy)
+{
+    for (uint64_t &t : fus[cls]) {
+        if (t <= cycle) {
+            t = cycle + busy;
+            return;
+        }
+    }
+    panic("takeFu with no available unit in class %u", cls);
+}
+
+bool
+Pipeline::sourcesReady(const Inst &in) const
+{
+    auto iok = [&](uint8_t r) { return intReady[r] <= cycle; };
+    auto fok = [&](uint8_t r) { return fpReady[r] <= cycle; };
+    // AGI address-use hazard: the address-generation stage sits one
+    // stage above the ALU, so address operands must be ready a cycle
+    // earlier than compute operands.
+    uint64_t addr_slack = cfg.agiOrganization ? 1 : 0;
+    auto iok_addr = [&](uint8_t r) {
+        return intReady[r] + addr_slack <= cycle || intReady[r] == 0;
+    };
+
+    if (isMem(in.op)) {
+        if (!iok_addr(in.rs))
+            return false;
+        if (in.amode == AMode::RegReg && !iok_addr(in.rd))
+            return false;
+        if (isStore(in.op))
+            return isFpMem(in.op) ? fok(in.rt) : iok(in.rt);
+        return true;
+    }
+
+    switch (in.op) {
+      case Op::NOP: case Op::HALT: case Op::J: case Op::JAL:
+      case Op::LUI:
+        return true;
+      case Op::BC1T: case Op::BC1F:
+        return fpccReady <= cycle;
+      case Op::BEQ: case Op::BNE:
+        return iok(in.rs) && iok(in.rt);
+      case Op::BLEZ: case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+      case Op::JR: case Op::JALR:
+      case Op::SLL: case Op::SRL: case Op::SRA:
+      case Op::ADDI: case Op::ANDI: case Op::ORI: case Op::XORI:
+      case Op::SLTI: case Op::SLTIU:
+        return iok(in.rs);
+      case Op::MTC1:
+        return iok(in.rt);
+      case Op::MFC1:
+        return fok(in.rs);
+      case Op::ADD_D: case Op::SUB_D: case Op::MUL_D: case Op::DIV_D:
+      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
+        return fok(in.rs) && fok(in.rt);
+      case Op::SQRT_D: case Op::ABS_D: case Op::NEG_D: case Op::MOV_D:
+      case Op::CVT_D_W: case Op::CVT_W_D:
+        return fok(in.rs);
+      default:
+        // Three-source-register integer ALU operations.
+        return iok(in.rs) && iok(in.rt);
+    }
+}
+
+bool
+Pipeline::destsFree(const Inst &in) const
+{
+    int d = intDest(in);
+    if (d >= 0 && intReady[static_cast<unsigned>(d)] > cycle)
+        return false;
+    int fd = fpDest(in);
+    if (fd >= 0 && fpReady[static_cast<unsigned>(fd)] > cycle)
+        return false;
+    if (isMem(in.op) && in.amode == AMode::PostInc &&
+        intReady[in.rs] > cycle)
+        return false;
+    switch (in.op) {
+      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
+        return fpccReady <= cycle;
+      default:
+        return true;
+    }
+}
+
+void
+Pipeline::fetchGroup()
+{
+    uint64_t delay = 0;
+    uint32_t prev_block = 0xffffffffu;
+    const unsigned block_bits = cfg.icache.blockBits();
+
+    for (unsigned n = 0;
+         n < cfg.fetchWidth && fbuf.size() < cfg.fetchBufferSize; ++n) {
+        ExecRecord rec;
+        if (!emu.step(&rec)) {
+            traceDone = true;
+            break;
+        }
+
+        // Model instruction-cache traffic per block touched by the group.
+        if (!cfg.perfectICache) {
+            uint32_t block = rec.pc >> block_bits;
+            if (block != prev_block) {
+                prev_block = block;
+                ++st.icacheAccesses;
+                CacheAccess acc = icache.read(rec.pc);
+                if (!acc.hit) {
+                    ++st.icacheMisses;
+                    delay += cfg.icache.missLatency;
+                }
+            }
+        }
+
+        FetchedInst fi;
+        fi.rec = rec;
+
+        if (rec.inst.op == Op::HALT) {
+            fbuf.push_back(fi);
+            traceDone = true;
+            break;
+        }
+
+        if (isControl(rec.inst.op)) {
+            BtbPrediction pr = btb.predict(rec.pc);
+            ++st.btbLookups;
+            bool pred_taken = isBranch(rec.inst.op) ? (pr.hit && pr.taken)
+                                                    : pr.hit;
+            bool mispredict;
+            if (rec.taken)
+                mispredict = !pred_taken || pr.target != rec.nextPc;
+            else
+                mispredict = pred_taken;
+            fi.ctlMispredicted = mispredict;
+            fbuf.push_back(fi);
+            if (mispredict) {
+                // The machine fetches down the wrong path until the
+                // transfer resolves in EX; we model that as a fetch stall
+                // released by the resolving instruction.
+                awaitingRedirect = true;
+                break;
+            }
+            if (rec.taken)
+                break;  // correctly-predicted taken: group cannot continue
+        } else {
+            fbuf.push_back(fi);
+        }
+    }
+
+    // Stamp issue-readiness on everything fetched this cycle.
+    uint64_t ready = cycle + 1 + delay;
+    for (auto it = fbuf.rbegin(); it != fbuf.rend(); ++it) {
+        if (it->readyCycle != 0)
+            break;
+        it->readyCycle = ready;
+    }
+    fetchReadyCycle = cycle + 1 + delay;
+}
+
+bool
+Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
+                   bool &store_forced_retire)
+{
+    lastStall = StallReason::None;
+    if (fbuf.empty()) {
+        lastStall = StallReason::Fetch;
+        return false;
+    }
+    FetchedInst &fi = fbuf.front();
+    if (fi.readyCycle > cycle) {
+        lastStall = StallReason::Fetch;
+        return false;
+    }
+    const ExecRecord &rec = fi.rec;
+    const Inst &in = rec.inst;
+
+    if (in.op == Op::HALT) {
+        ++st.insts;
+        halted = true;
+        notifyIssue(rec, false, false);
+        fbuf.pop_front();
+        return false;
+    }
+    if (in.op == Op::NOP) {
+        ++st.insts;
+        notifyIssue(rec, false, false);
+        fbuf.pop_front();
+        return true;
+    }
+
+    if (!sourcesReady(in) || !destsFree(in)) {
+        lastStall = StallReason::Data;
+        return false;
+    }
+
+    unsigned cls = fuClassOf(in);
+    if (!fuAvailable(cls)) {
+        lastStall = StallReason::Structural;
+        return false;
+    }
+
+    // ---------------- loads ------------------------------------------------
+    if (isLoad(in.op)) {
+        if (loads_this_cycle >= cfg.maxLoadsPerCycle) {
+            lastStall = StallReason::Structural;
+            return false;
+        }
+        if (cfg.loadsStallOnStoreConflict &&
+            sbuf.conflicts(rec.effAddr, cfg.dcache.blockBytes)) {
+            // Conservative disambiguation: wait for the buffered store
+            // to drain (retirement proceeds because this cycle then has
+            // no load traffic).
+            lastStall = StallReason::StoreBuffer;
+            return false;
+        }
+
+        bool allow_spec = cfg.facEnabled;
+        if (rec.offsetFromReg && !cfg.fac.speculateRegReg)
+            allow_spec = false;
+        // Section 5.5 issue rule: memory ops issued the cycle after a
+        // misprediction access the cache in MEM — unless this is a load
+        // right after a misspeculated load.
+        if (cycle == lastMispredictCycle + 1 && !lastMispredictWasLoad)
+            allow_spec = false;
+
+        bool issued_spec = false;
+        uint64_t data_ready = 0;
+
+        if (allow_spec && readPortsAt(cycle) < cfg.maxLoadsPerCycle) {
+            FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
+                                       rec.offsetFromReg);
+            if (fr.attempted) {
+                ++st.loadsSpeculated;
+                ++readPortsAt(cycle);
+                if (fr.success) {
+                    FACSIM_ASSERT(fr.predictedAddr == rec.effAddr,
+                                  "FAC success with wrong address");
+                    data_ready = dcacheReadAt(cycle, rec.effAddr);
+                } else {
+                    // Wasted speculative access with the wrong address
+                    // (bandwidth only — the fill is squashed), then a
+                    // MEM-stage re-execution next cycle.
+                    ++st.loadSpecFailures;
+                    ++st.extraAccesses;
+                    ++st.dcacheAccesses;
+                    ++readPortsAt(cycle + 1);
+                    data_ready = dcacheReadAt(cycle + 1, rec.effAddr);
+                    lastMispredictCycle = cycle;
+                    lastMispredictWasLoad = true;
+                }
+                issued_spec = true;
+            }
+        }
+
+        if (!issued_spec) {
+            uint64_t at = cfg.oneCycleLoads ? cycle : cycle + 1;
+            if (readPortsAt(at) >= cfg.maxLoadsPerCycle) {
+                // Structural stall on a data-cache port.
+                lastStall = StallReason::Structural;
+                return false;
+            }
+            ++readPortsAt(at);
+            data_ready = dcacheReadAt(at, rec.effAddr);
+        }
+
+        // Under the AGI organisation the consumer's ALU stage sits level
+        // with the cache-access stage, so loaded data forwards to an
+        // instruction issued one cycle earlier than in the LUI pipeline
+        // (that is the hazard AGI removes).
+        uint64_t use_delay = cfg.agiOrganization ? 0 : 1;
+        int d = intDest(in);
+        if (d >= 0)
+            setIntReady(d, data_ready + use_delay);
+        int fd = fpDest(in);
+        if (fd >= 0)
+            setFpReady(fd, data_ready + use_delay);
+        if (in.amode == AMode::PostInc)
+            setIntReady(in.rs, cycle + 1);
+
+        takeFu(cls, 1);
+        ++st.loads;
+        ++st.insts;
+        ++loads_this_cycle;
+        notifyIssue(rec, issued_spec,
+                    issued_spec && lastMispredictCycle == cycle &&
+                    lastMispredictWasLoad);
+        fbuf.pop_front();
+        return true;
+    }
+
+    // ---------------- stores ----------------------------------------------
+    if (isStore(in.op)) {
+        if (stores_this_cycle >= cfg.maxStoresPerCycle) {
+            lastStall = StallReason::Structural;
+            return false;
+        }
+        if (sbuf.full()) {
+            // Paper: the pipeline stalls and the oldest entry retires.
+            ++st.storeBufferFullStalls;
+            store_forced_retire = true;
+            lastStall = StallReason::StoreBuffer;
+            return false;
+        }
+
+        uint64_t seq = seqCounter++;
+        bool allow_spec = cfg.facEnabled && cfg.speculateStores;
+        if (rec.offsetFromReg && !cfg.fac.speculateRegReg)
+            allow_spec = false;
+        if (cycle == lastMispredictCycle + 1)
+            allow_spec = false;  // the load-after-load exception is loads-only
+
+        bool handled = false;
+        if (allow_spec) {
+            FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
+                                       rec.offsetFromReg);
+            if (fr.attempted) {
+                ++st.storesSpeculated;
+                if (fr.success) {
+                    FACSIM_ASSERT(fr.predictedAddr == rec.effAddr,
+                                  "FAC success with wrong address");
+                    sbuf.push(rec.effAddr, seq, true);
+                } else {
+                    // Wasted tag probe; the buffered entry is patched by
+                    // the MEM-stage re-execution next cycle.
+                    ++st.storeSpecFailures;
+                    ++st.extraAccesses;
+                    ++st.dcacheAccesses;
+                    sbuf.push(0, seq, false);
+                    patches.push_back({cycle + 1, seq, rec.effAddr});
+                    lastMispredictCycle = cycle;
+                    lastMispredictWasLoad = false;
+                }
+                handled = true;
+            }
+        }
+        if (!handled) {
+            // Non-speculative: the address is produced in EX and enters
+            // the buffer in MEM, one cycle later.
+            sbuf.push(0, seq, false);
+            patches.push_back({cycle + 1, seq, rec.effAddr});
+        }
+
+        if (in.amode == AMode::PostInc)
+            setIntReady(in.rs, cycle + 1);
+
+        takeFu(cls, 1);
+        ++st.stores;
+        ++st.insts;
+        ++stores_this_cycle;
+        notifyIssue(rec, handled,
+                    handled && lastMispredictCycle == cycle &&
+                    !lastMispredictWasLoad);
+        fbuf.pop_front();
+        return true;
+    }
+
+    // ---------------- control ----------------------------------------------
+    if (isControl(in.op)) {
+        btb.update(rec.pc, rec.taken, rec.nextPc);
+        if (fi.ctlMispredicted) {
+            ++st.btbMispredicts;
+            awaitingRedirect = false;
+            // First correct-path issue lands branchPenalty cycles from
+            // now; AGI resolves branches one stage later.
+            uint64_t penalty = cfg.branchPenalty +
+                (cfg.agiOrganization ? 1 : 0);
+            uint64_t resume = cycle + penalty - 1;
+            fetchReadyCycle = std::max(fetchReadyCycle, resume);
+        }
+        if (in.op == Op::JAL)
+            setIntReady(reg::ra, cycle + 1);
+        if (in.op == Op::JALR)
+            setIntReady(in.rd, cycle + 1);
+        takeFu(cls, 1);
+        ++st.insts;
+        notifyIssue(rec, false, false);
+        fbuf.pop_front();
+        return true;
+    }
+
+    // ---------------- ALU / FP ----------------------------------------------
+    unsigned lat = cfg.intAluLat;
+    unsigned busy = 1;
+    switch (in.op) {
+      case Op::MUL: lat = cfg.intMulLat; break;
+      case Op::DIV: case Op::REM:
+        lat = cfg.intDivLat;
+        busy = cfg.intDivLat;
+        break;
+      case Op::MUL_D: lat = cfg.fpMulLat; break;
+      case Op::DIV_D:
+        lat = cfg.fpDivLat;
+        busy = cfg.fpDivLat;
+        break;
+      case Op::SQRT_D:
+        lat = cfg.fpSqrtLat;
+        busy = cfg.fpSqrtLat;
+        break;
+      case Op::ADD_D: case Op::SUB_D: case Op::ABS_D: case Op::NEG_D:
+      case Op::MOV_D: case Op::CVT_D_W: case Op::CVT_W_D:
+      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
+        lat = cfg.fpAddLat;
+        break;
+      default:
+        break;
+    }
+
+    int d = intDest(in);
+    if (d >= 0)
+        setIntReady(d, cycle + lat);
+    int fd = fpDest(in);
+    if (fd >= 0)
+        setFpReady(fd, cycle + lat);
+    switch (in.op) {
+      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
+        fpccReady = cycle + lat;
+        break;
+      default:
+        break;
+    }
+
+    takeFu(cls, busy);
+    ++st.insts;
+    notifyIssue(rec, false, false);
+    fbuf.pop_front();
+    return true;
+}
+
+PipeStats
+Pipeline::run(uint64_t max_insts)
+{
+    uint64_t last_progress_cycle = 0;
+    uint64_t last_insts = 0;
+
+    while (!halted) {
+        // Slot (cycle+2) cannot yet hold valid reservations (they are
+        // made at most one cycle ahead), so recycle it now.
+        readPorts[(cycle + 2) % portWindow] = 0;
+
+        // Apply MEM-stage store-address patches due this cycle.
+        for (auto it = patches.begin(); it != patches.end();) {
+            if (it->applyCycle <= cycle) {
+                sbuf.patchAddr(it->seq, it->addr);
+                it = patches.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (!traceDone && !awaitingRedirect && cycle >= fetchReadyCycle &&
+            fbuf.size() < cfg.fetchBufferSize) {
+            fetchGroup();
+        }
+
+        unsigned nloads = 0, nstores = 0;
+        bool forced_retire = false;
+        unsigned issued = 0;
+        for (unsigned slot = 0; slot < cfg.issueWidth; ++slot) {
+            if (!tryIssue(nloads, nstores, forced_retire))
+                break;
+            ++issued;
+        }
+        if (issued == 0 && !halted) {
+            switch (lastStall) {
+              case StallReason::Fetch: ++st.stallFetch; break;
+              case StallReason::Data: ++st.stallData; break;
+              case StallReason::Structural: ++st.stallStructural; break;
+              case StallReason::StoreBuffer:
+                ++st.stallStoreBuffer;
+                break;
+              case StallReason::None: break;
+            }
+        }
+
+        // Store-buffer retirement: the data cache is "unused" when no
+        // load accessed it this cycle; a pipeline stalled on a full
+        // buffer forces the oldest entry out regardless.
+        if ((readPortsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
+            uint32_t addr = sbuf.front().addr;
+            sbuf.pop();
+            ++st.dcacheAccesses;
+            if (!cfg.perfectDCache) {
+                CacheAccess acc = dcache.write(addr);
+                if (!acc.hit)
+                    ++st.dcacheMisses;
+            }
+        }
+
+        if (st.insts != last_insts) {
+            last_insts = st.insts;
+            last_progress_cycle = cycle;
+        } else if (cycle - last_progress_cycle > 100000) {
+            panic("pipeline deadlock: no instruction issued for 100k "
+                  "cycles (cycle %llu, %llu insts)",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(st.insts));
+        }
+
+        ++cycle;
+        if (max_insts && st.insts >= max_insts)
+            break;
+    }
+
+    // Account for the remaining WB drain of the final group.
+    st.cycles = cycle + 2;
+    return st;
+}
+
+} // namespace facsim

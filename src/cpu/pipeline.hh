@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Cycle-level timing model of the paper's baseline superscalar (Table 5)
+ * and its fast-address-calculation extension (Section 5.5).
+ *
+ * Microarchitecture modelled:
+ *  - 4-wide fetch of any contiguous group, BTB-directed, 16 KB I-cache;
+ *  - in-order issue of up to 4 ops/cycle, out-of-order completion via a
+ *    register scoreboard (WAW hazards stall issue);
+ *  - functional units with the Table 5 latencies, divides unpipelined;
+ *  - traditional 5-stage timing: ALU results ready after EX (1 cycle);
+ *    a non-speculative load computes its address in EX and accesses the
+ *    data cache in MEM — the 2-cycle load latency of Figure 1;
+ *  - dual-read-ported, write-back, non-blocking 16 KB data cache with a
+ *    6-cycle miss latency and a 16-entry non-merging store buffer that
+ *    retires to the cache on cycles with no load traffic;
+ *  - 2-cycle branch misprediction penalty.
+ *
+ * With fast address calculation enabled, loads and stores speculatively
+ * access the cache in EX using the predicted address (if a read port is
+ * free); a misprediction re-executes the access in MEM the next cycle, and
+ * memory operations issued in the cycle after a misprediction defer their
+ * access to MEM — except that a load may speculate immediately after a
+ * misspeculated load. Stores always execute speculatively into the store
+ * buffer, whose entry is patched when a store's address was mispredicted.
+ *
+ * The model is trace-driven from the functional Emulator: the timing core
+ * consumes the architecturally-correct dynamic instruction stream
+ * (register values at EX equal architectural values because issue is
+ * in-order), and wrong-path fetch is modelled as a fetch-redirect bubble
+ * without cache pollution.
+ */
+
+#ifndef FACSIM_CPU_PIPELINE_HH
+#define FACSIM_CPU_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "cache/cache.hh"
+#include "cache/store_buffer.hh"
+#include "core/fast_addr_calc.hh"
+#include "cpu/emulator.hh"
+
+namespace facsim
+{
+
+/** Pipeline configuration; defaults reproduce the paper's Table 5. */
+struct PipelineConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned fetchBufferSize = 16;
+
+    CacheConfig icache{16 * 1024, 32, 1, 6};
+    CacheConfig dcache{16 * 1024, 32, 1, 6};
+
+    unsigned btbEntries = 1024;
+    unsigned branchPenalty = 2;
+
+    unsigned storeBufferEntries = 16;
+    unsigned maxLoadsPerCycle = 2;   ///< data-cache read ports
+    unsigned maxStoresPerCycle = 1;
+
+    unsigned numIntAlus = 4;
+    unsigned numMemUnits = 2;
+    unsigned numFpAdders = 2;
+
+    // Result latencies in cycles ("total"); divides also occupy their
+    // unit for the full latency ("issue" interval).
+    unsigned intAluLat = 1;
+    unsigned intMulLat = 3;
+    unsigned intDivLat = 12;
+    unsigned fpAddLat = 2;
+    unsigned fpMulLat = 4;
+    unsigned fpDivLat = 12;
+    unsigned fpSqrtLat = 12;
+
+    // --- fast address calculation ---------------------------------------
+    bool facEnabled = false;
+    FacConfig fac;
+    /** Speculate stores into the store buffer (Section 3.1 discussion). */
+    bool speculateStores = true;
+    /**
+     * Conservative memory disambiguation: stall a load whose block
+     * overlaps a buffered store until that store retires (the default
+     * models free store-to-load forwarding instead, which is what the
+     * paper's in-order access stream implies).
+     */
+    bool loadsStallOnStoreConflict = false;
+
+    // --- idealisations for the Figure 2 potential study -----------------
+    bool oneCycleLoads = false;   ///< loads skip the address-calc cycle
+    bool perfectDCache = false;   ///< all data accesses hit
+    bool perfectICache = false;   ///< all fetches hit
+
+    /**
+     * AGI pipeline organisation (Jouppi's MultiTitan / the TFP, compared
+     * by Golden & Mudge — paper Section 6): a dedicated address-
+     * generation stage, with ALU execution pushed down to the cache-
+     * access stage. Removes the load-use hazard but introduces a 1-cycle
+     * address-use hazard (ALU result feeding a memory op's address) and
+     * lengthens the branch misprediction penalty by one cycle. Mutually
+     * exclusive with facEnabled and oneCycleLoads.
+     */
+    bool agiOrganization = false;
+};
+
+/** Counters produced by one pipeline run. */
+struct PipeStats
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    uint64_t icacheAccesses = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheAccesses = 0;
+    uint64_t dcacheMisses = 0;
+
+    uint64_t btbLookups = 0;
+    uint64_t btbMispredicts = 0;
+
+    uint64_t loadsSpeculated = 0;
+    uint64_t loadSpecFailures = 0;
+    uint64_t storesSpeculated = 0;
+    uint64_t storeSpecFailures = 0;
+    /** Mispredicted speculative accesses actually performed (Table 6). */
+    uint64_t extraAccesses = 0;
+
+    uint64_t storeBufferFullStalls = 0;
+
+    /**
+     * @{ @name Issue-stall attribution
+     * Cycles in which the *first* issue slot could not issue, by cause
+     * (in-order head blocking makes the head's reason the cycle's
+     * reason). Cycles with at least one issue are not counted here.
+     */
+    uint64_t stallFetch = 0;       ///< no fetched instruction was ready
+    uint64_t stallData = 0;        ///< source operands / WAW on dests
+    uint64_t stallStructural = 0;  ///< functional unit or cache port
+    uint64_t stallStoreBuffer = 0; ///< store buffer full
+    /** @} */
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(insts) / cycles : 0.0;
+    }
+    double icacheMissRatio() const
+    {
+        return icacheAccesses
+            ? static_cast<double>(icacheMisses) / icacheAccesses : 0.0;
+    }
+    double dcacheMissRatio() const
+    {
+        return dcacheAccesses
+            ? static_cast<double>(dcacheMisses) / dcacheAccesses : 0.0;
+    }
+    /** Table 6 metric: extra accesses as a fraction of references. */
+    double bandwidthOverhead() const
+    {
+        uint64_t refs = loads + stores;
+        return refs ? static_cast<double>(extraAccesses) / refs : 0.0;
+    }
+};
+
+/** Trace-driven superscalar timing simulator. */
+class Pipeline
+{
+  public:
+    /**
+     * @param config microarchitecture parameters.
+     * @param emu functional CPU supplying the dynamic stream (not owned;
+     *        must be freshly constructed/positioned at the program start).
+     */
+    Pipeline(const PipelineConfig &config, Emulator &emu);
+
+    /**
+     * Simulate until the program halts (or @p max_insts issue).
+     * @return the accumulated statistics (also via stats()).
+     */
+    PipeStats run(uint64_t max_insts = 0);
+
+    /** Statistics of the last/ongoing run. */
+    const PipeStats &stats() const { return st; }
+
+    /** Per-issue observer event. */
+    struct IssueEvent
+    {
+        uint64_t cycle;          ///< issue (EX-entry) cycle
+        ExecRecord rec;          ///< the instruction issued
+        bool speculated = false; ///< FAC speculative cache access
+        bool mispredicted = false;
+    };
+
+    /**
+     * Install an observer invoked at every instruction issue — the hook
+     * behind pipeline visualisation and the structural property tests.
+     */
+    void
+    onIssue(std::function<void(const IssueEvent &)> fn)
+    {
+        issueHook = std::move(fn);
+    }
+
+  private:
+    /** A fetched instruction waiting to issue. */
+    struct FetchedInst
+    {
+        ExecRecord rec;
+        uint64_t readyCycle = 0;   ///< earliest issue cycle
+        bool ctlMispredicted = false;
+    };
+
+    /** Deferred store-buffer address patch. */
+    struct StorePatch
+    {
+        uint64_t applyCycle;
+        uint64_t seq;
+        uint32_t addr;
+    };
+
+    /** Why the head of the fetch buffer failed to issue. */
+    enum class StallReason
+    {
+        None, Fetch, Data, Structural, StoreBuffer
+    };
+
+    // Fetch one group into the fetch buffer; advances the trace.
+    void fetchGroup();
+    // Try to issue the head of the fetch buffer; true on success.
+    bool tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
+                  bool &store_forced_retire);
+
+    StallReason lastStall = StallReason::None;
+    // Issue-side helpers.
+    bool sourcesReady(const Inst &inst) const;
+    bool destsFree(const Inst &inst) const;
+    unsigned fuClassOf(const Inst &inst) const;
+    bool fuAvailable(unsigned cls) const;
+    void takeFu(unsigned cls, unsigned busy);
+    void setIntReady(int r, uint64_t t);
+    void setFpReady(int r, uint64_t t);
+
+    // Data-cache access at a given cycle; returns the data-ready cycle.
+    uint64_t dcacheReadAt(uint64_t t, uint32_t addr);
+    // Port-usage ring helpers.
+    unsigned &readPortsAt(uint64_t t);
+    void advancePortWindow();
+
+    void
+    notifyIssue(const ExecRecord &rec, bool spec, bool mispred)
+    {
+        if (issueHook)
+            issueHook(IssueEvent{cycle, rec, spec, mispred});
+    }
+
+    std::function<void(const IssueEvent &)> issueHook;
+
+    PipelineConfig cfg;
+    Emulator &emu;
+    Cache icache;
+    Cache dcache;
+    Btb btb;
+    StoreBuffer sbuf;
+    FastAddrCalc fac;
+    PipeStats st;
+
+    uint64_t cycle = 0;
+    uint64_t fetchReadyCycle = 0;
+    bool awaitingRedirect = false;
+    bool traceDone = false;
+    bool halted = false;
+    uint64_t seqCounter = 0;
+
+    std::deque<FetchedInst> fbuf;
+    std::vector<StorePatch> patches;
+
+    std::array<uint64_t, numIntRegs> intReady{};
+    std::array<uint64_t, numFpRegs> fpReady{};
+    uint64_t fpccReady = 0;
+
+    // Functional units: next-free cycle per unit, grouped by class.
+    static constexpr unsigned fuIntAlu = 0;
+    static constexpr unsigned fuMem = 1;
+    static constexpr unsigned fuFpAdd = 2;
+    static constexpr unsigned fuIntMulDiv = 3;
+    static constexpr unsigned fuFpMulDiv = 4;
+    std::array<std::vector<uint64_t>, 5> fus;
+
+    // Read-port usage for a short window of cycles.
+    static constexpr unsigned portWindow = 8;
+    std::array<unsigned, portWindow> readPorts{};
+    uint64_t portBaseCycle = 0;
+
+    // Section 5.5 post-misprediction issue rule.
+    uint64_t lastMispredictCycle = UINT64_MAX - 8;
+    bool lastMispredictWasLoad = false;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CPU_PIPELINE_HH

@@ -1,0 +1,140 @@
+#include "cpu/profiler.hh"
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+RefClass
+classifyRef(const Inst &inst)
+{
+    if (inst.rs == reg::gp)
+        return RefClass::Global;
+    if (inst.rs == reg::sp || inst.rs == reg::fp)
+        return RefClass::Stack;
+    return RefClass::General;
+}
+
+void
+OffsetHistogram::add(int32_t offset)
+{
+    ++total;
+    if (offset < 0) {
+        ++buckets[negBucket];
+        return;
+    }
+    unsigned bits_needed = 0;
+    uint32_t v = static_cast<uint32_t>(offset);
+    while (v) {
+        ++bits_needed;
+        v >>= 1;
+    }
+    if (bits_needed > 16)
+        ++buckets[moreBucket];
+    else
+        ++buckets[bits_needed];
+}
+
+double
+OffsetHistogram::cumulative(unsigned bits) const
+{
+    if (!total)
+        return 0.0;
+    uint64_t acc = 0;
+    for (unsigned i = 0; i <= bits && i < numBuckets; ++i)
+        acc += buckets[i];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+Profiler::Profiler() = default;
+
+size_t
+Profiler::addFacConfig(const FacConfig &config)
+{
+    facs.push_back(FacProfile{.config = config});
+    // The profiler reports failure rates over *all* accesses (Tables 3/4),
+    // so the evaluating circuit always attempts R+R predictions; the
+    // pipeline is where speculateRegReg gates actual speculation.
+    FacConfig eval = config;
+    eval.speculateRegReg = true;
+    calcs.emplace_back(eval);
+    return facs.size() - 1;
+}
+
+size_t
+Profiler::addLtbConfig(unsigned entries, LtbPolicy policy)
+{
+    ltbProfiles.push_back(LtbProfile{.entries = entries,
+                                     .policy = policy});
+    ltbs.emplace_back(entries, policy);
+    return ltbProfiles.size() - 1;
+}
+
+void
+Profiler::enableTlb(unsigned entries, uint32_t page_bytes)
+{
+    tlb = std::make_unique<Tlb>(entries, page_bytes);
+}
+
+void
+Profiler::observe(const ExecRecord &rec)
+{
+    ++insts_;
+    const Inst &in = rec.inst;
+    if (!isMem(in.op))
+        return;
+
+    bool load = isLoad(in.op);
+    if (load) {
+        ++loads_;
+        RefClass c = classifyRef(in);
+        ++loadsByClass[static_cast<size_t>(c)];
+        offsetHists[static_cast<size_t>(c)].add(rec.offsetVal);
+    } else {
+        ++stores_;
+    }
+
+    if (tlb)
+        tlb->access(rec.effAddr);
+
+    for (size_t i = 0; i < facs.size(); ++i) {
+        FacProfile &fp = facs[i];
+        FacResult res = calcs[i].predict(rec.baseVal, rec.offsetVal,
+                                         rec.offsetFromReg);
+        bool failed = !res.success;
+        if (load) {
+            ++fp.loadAttempts;
+            if (failed)
+                ++fp.loadFailures;
+            if (!rec.offsetFromReg) {
+                ++fp.loadsNoRR;
+                if (failed)
+                    ++fp.loadFailuresNoRR;
+            }
+        } else {
+            ++fp.storeAttempts;
+            if (failed)
+                ++fp.storeFailures;
+            if (!rec.offsetFromReg) {
+                ++fp.storesNoRR;
+                if (failed)
+                    ++fp.storeFailuresNoRR;
+            }
+        }
+        for (unsigned b = 0; b < 5; ++b) {
+            if (res.failMask & (1u << b))
+                ++fp.causeCounts[b];
+        }
+    }
+
+    for (size_t i = 0; i < ltbs.size(); ++i) {
+        LtbProfile &lp = ltbProfiles[i];
+        ++lp.attempts;
+        LtbResult r = ltbs[i].predict(rec.pc);
+        if (r.hit && r.predictedAddr == rec.effAddr)
+            ++lp.correct;
+        ltbs[i].update(rec.pc, rec.effAddr);
+    }
+}
+
+} // namespace facsim

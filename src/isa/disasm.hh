@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual disassembly of decoded instructions, for traces and debugging.
+ */
+
+#ifndef FACSIM_ISA_DISASM_HH
+#define FACSIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace facsim
+{
+
+/**
+ * Render @p inst as assembly text. Branch/jump displacements are shown
+ * numerically; pass @p pc to also show the resolved absolute target.
+ */
+std::string disasm(const Inst &inst, uint32_t pc = 0);
+
+} // namespace facsim
+
+#endif // FACSIM_ISA_DISASM_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Instruction set definition for the extended MIPS-like target used in the
+ * paper's evaluation (Section 5.1): functionally MIPS-I plus
+ * register+register and post-increment/decrement addressing modes, and no
+ * architected delay slots.
+ *
+ * Instructions are represented in two forms: a packed 32-bit machine word
+ * (see encoding.hh) and this decoded struct, which the emulator and the
+ * timing pipeline operate on.
+ */
+
+#ifndef FACSIM_ISA_INST_HH
+#define FACSIM_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace facsim
+{
+
+/** Number of architected integer registers. */
+constexpr unsigned numIntRegs = 32;
+/** Number of architected floating-point registers. */
+constexpr unsigned numFpRegs = 32;
+
+/**
+ * Conventional MIPS register assignments. The global pointer, stack
+ * pointer and frame pointer conventions are load-bearing for this paper:
+ * the reference-behaviour profiler classifies accesses as global / stack /
+ * general by their base register (Section 2.1).
+ */
+namespace reg
+{
+constexpr uint8_t zero = 0;  ///< hardwired zero
+constexpr uint8_t at = 1;    ///< assembler temporary
+constexpr uint8_t v0 = 2, v1 = 3;
+constexpr uint8_t a0 = 4, a1 = 5, a2 = 6, a3 = 7;
+constexpr uint8_t t0 = 8, t1 = 9, t2 = 10, t3 = 11;
+constexpr uint8_t t4 = 12, t5 = 13, t6 = 14, t7 = 15;
+constexpr uint8_t s0 = 16, s1 = 17, s2 = 18, s3 = 19;
+constexpr uint8_t s4 = 20, s5 = 21, s6 = 22, s7 = 23;
+constexpr uint8_t t8 = 24, t9 = 25;
+constexpr uint8_t k0 = 26, k1 = 27;
+constexpr uint8_t gp = 28;   ///< global pointer
+constexpr uint8_t sp = 29;   ///< stack pointer
+constexpr uint8_t fp = 30;   ///< frame pointer
+constexpr uint8_t ra = 31;   ///< return address
+} // namespace reg
+
+/** Operation codes for the decoded instruction form. */
+enum class Op : uint8_t
+{
+    NOP,
+    HALT,
+
+    // Integer ALU, register form.
+    ADD, SUB, AND, OR, XOR, NOR,
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    SLT, SLTU,
+    MUL, DIV, REM,
+
+    // Integer ALU, immediate form.
+    ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI,
+
+    // Memory operations (amode selects the addressing mode).
+    LB, LBU, LH, LHU, LW,
+    SB, SH, SW,
+    LWC1, LDC1, SWC1, SDC1,
+
+    // Control.
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    J, JAL, JR, JALR,
+    BC1T, BC1F,
+
+    // Floating point (operands name FP registers; all arithmetic is
+    // double precision internally, .s ops exist only at the memory
+    // interface).
+    ADD_D, SUB_D, MUL_D, DIV_D, SQRT_D, ABS_D, NEG_D, MOV_D,
+    CVT_D_W, CVT_W_D,
+    C_EQ_D, C_LT_D, C_LE_D,
+    MTC1, MFC1,
+
+    NumOps
+};
+
+/**
+ * Addressing modes for memory operations. RegConst is classic MIPS
+ * base+displacement; RegReg and PostInc are the paper's ISA extensions.
+ * Post-decrement is PostInc with a negative stride.
+ */
+enum class AMode : uint8_t
+{
+    RegConst,  ///< effective address = base + sext(imm16)
+    RegReg,    ///< effective address = base + index register
+    PostInc,   ///< effective address = base; base += sext(imm16) afterwards
+};
+
+/**
+ * A decoded instruction. Field meanings depend on the operation:
+ *
+ *  - ALU reg:    rd = dest, rs/rt = sources, imm = shamt for SLL/SRL/SRA
+ *  - ALU imm:    rt = dest, rs = source, imm = immediate
+ *  - memory:     rs = base, rt = data (dest of load / source of store),
+ *                rd = index register (RegReg only), imm = offset or stride
+ *  - branches:   rs/rt = comparands, imm = word displacement from PC+4
+ *  - J/JAL:      imm = absolute word address of the target
+ *  - JR/JALR:    rs = target register, rd = link register (JALR)
+ *  - FP:         rd = fd, rs = fs, rt = ft (FP register namespace);
+ *                MTC1: rt = int source, rd = FP dest;
+ *                MFC1: rd = int dest, rs = FP source
+ */
+struct Inst
+{
+    Op op = Op::NOP;
+    AMode amode = AMode::RegConst;
+    uint8_t rd = 0;
+    uint8_t rs = 0;
+    uint8_t rt = 0;
+    int32_t imm = 0;
+
+    bool operator==(const Inst &o) const = default;
+};
+
+/** True for all load operations (integer and FP). */
+bool isLoad(Op op);
+/** True for all store operations (integer and FP). */
+bool isStore(Op op);
+/** True for loads and stores. */
+inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+/** True for conditional branches (not jumps). */
+bool isBranch(Op op);
+/** True for unconditional jumps (J/JAL/JR/JALR). */
+bool isJump(Op op);
+/** True for any control-transfer instruction. */
+inline bool isControl(Op op) { return isBranch(op) || isJump(op); }
+/** True for FP-pipeline operations (arith + compares + converts). */
+bool isFpOp(Op op);
+/** True if the memory op's data register names the FP register file. */
+bool isFpMem(Op op);
+/** Number of bytes accessed by a memory operation. */
+unsigned memAccessSize(Op op);
+
+/** Integer register written by @p inst, or -1 if none. */
+int intDest(const Inst &inst);
+/** FP register written by @p inst, or -1 if none. */
+int fpDest(const Inst &inst);
+
+/** Mnemonic for an operation code. */
+const char *opName(Op op);
+/** Conventional name ("sp", "t3", ...) of integer register @p r. */
+const char *regName(unsigned r);
+
+} // namespace facsim
+
+#endif // FACSIM_ISA_INST_HH

@@ -1,0 +1,171 @@
+#include "link/linker.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+LinkedImage
+Linker::link(Program &prog, Memory &mem) const
+{
+    FACSIM_ASSERT(!prog.linked(), "program linked twice");
+
+    LinkedImage img;
+    img.dataBase = dataBase;
+    img.entryPc = Program::textBase;
+
+    auto &syms = prog.syms();
+
+    auto alignOf = [&](const DataSym &s) -> uint32_t {
+        uint32_t a = s.align ? s.align : 4;
+        if (pol.alignStatics) {
+            uint32_t want = nextPow2(s.size ? s.size : 1);
+            if (want > pol.maxStaticAlign)
+                want = pol.maxStaticAlign;
+            if (want > a)
+                a = want;
+        }
+        // The future-work large alignment never applies inside the
+        // gp-addressed region: the padding it inserts can push symbols
+        // out of the signed-16-bit gp window, and the aligned-gp policy
+        // already makes every access in the region carry-free.
+        if (pol.alignArraysToSize && !s.smallData &&
+            s.size > pol.maxStaticAlign) {
+            uint32_t want = nextPow2(s.size);
+            if (want > pol.largeAlignCap)
+                want = pol.largeAlignCap;
+            if (want > a)
+                a = want;
+        }
+        return a;
+    };
+
+    // --- Pass 1: general (large) data objects. --------------------------
+    uint32_t cursor = dataBase;
+    for (DataSym &s : syms) {
+        if (s.smallData)
+            continue;
+        cursor = static_cast<uint32_t>(roundUp(cursor, alignOf(s)));
+        s.addr = cursor;
+        cursor += s.size;
+    }
+
+    // --- Pass 2: the gp-addressed small-data region. ---------------------
+    // First compute the region's size so the alignment policy can pick a
+    // boundary.
+    uint32_t sdata_size = 0;
+    {
+        uint32_t c = 0;
+        for (const DataSym &s : syms) {
+            if (!s.smallData)
+                continue;
+            c = static_cast<uint32_t>(roundUp(c, alignOf(s)));
+            c += s.size;
+        }
+        sdata_size = c;
+    }
+
+    uint32_t sdata_base;
+    if (pol.alignGlobalPointer) {
+        // Paper: relocate the global region to a power-of-two boundary
+        // larger than the largest offset applied (== region size, since
+        // offsets are forced positive and gp == region base).
+        uint32_t boundary = nextPow2(sdata_size ? sdata_size : 1);
+        if (boundary < 16)
+            boundary = 16;
+        sdata_base = static_cast<uint32_t>(roundUp(cursor, boundary));
+        img.gpValue = sdata_base;
+    } else {
+        // No support: the region lands wherever layout left off (its
+        // address depends on the preceding data-segment size and is not
+        // specially aligned, exactly as the paper describes for normal
+        // GLD output). The gp points a short way into the region so that
+        // most offsets are large positive partial addresses with a small
+        // negative fraction — the Figure 3 global-offset shape.
+        sdata_base = static_cast<uint32_t>(roundUp(cursor, 8));
+        uint32_t into = std::min<uint32_t>(sdata_size / 8, 0x7000);
+        img.gpValue = (sdata_base + into + 4) & ~3u;
+    }
+
+    {
+        uint32_t c = sdata_base;
+        for (DataSym &s : syms) {
+            if (!s.smallData)
+                continue;
+            c = static_cast<uint32_t>(roundUp(c, alignOf(s)));
+            s.addr = c;
+            c += s.size;
+        }
+        cursor = std::max(cursor, c);
+    }
+
+    img.dataEnd = cursor;
+    img.staticBytes = cursor - dataBase;
+    img.heapBase = static_cast<uint32_t>(roundUp(cursor, 4096));
+
+    // --- Pass 3: patch fixups. -------------------------------------------
+    for (const Fixup &f : prog.fixups()) {
+        Inst &in = prog.inst(f.instIndex);
+        switch (f.kind) {
+          case Fixup::Kind::Branch: {
+            int64_t disp = static_cast<int64_t>(prog.labelIndex(f.target)) -
+                (static_cast<int64_t>(f.instIndex) + 1);
+            FACSIM_ASSERT(disp >= -32768 && disp <= 32767,
+                          "branch displacement out of range");
+            in.imm = static_cast<int32_t>(disp);
+            break;
+          }
+          case Fixup::Kind::Jump: {
+            uint32_t word = Program::textBase / 4 +
+                prog.labelIndex(f.target);
+            in.imm = static_cast<int32_t>(word);
+            break;
+          }
+          case Fixup::Kind::AbsHi: {
+            uint32_t addr = syms.at(f.target).addr +
+                static_cast<uint32_t>(f.addend);
+            in.imm = static_cast<int32_t>(addr >> 16);
+            break;
+          }
+          case Fixup::Kind::AbsLo: {
+            uint32_t addr = syms.at(f.target).addr +
+                static_cast<uint32_t>(f.addend);
+            in.imm = static_cast<int32_t>(addr & 0xffffu);
+            break;
+          }
+          case Fixup::Kind::GpRel: {
+            int64_t off = static_cast<int64_t>(syms.at(f.target).addr) +
+                f.addend - img.gpValue;
+            FACSIM_ASSERT(off >= -32768 && off <= 32767,
+                          "gp-relative offset %lld out of range for '%s'",
+                          static_cast<long long>(off),
+                          syms.at(f.target).name.c_str());
+            if (pol.alignGlobalPointer)
+                FACSIM_ASSERT(off >= 0, "gp offsets must be positive "
+                              "under the alignment policy");
+            in.imm = static_cast<int32_t>(off);
+            break;
+          }
+        }
+    }
+
+    // --- Pass 4: produce the binary text image and load data. ------------
+    prog.reencode();
+    const auto &words = prog.words();
+    for (uint32_t i = 0; i < words.size(); ++i)
+        mem.write32(Program::textBase + 4 * i, words[i]);
+
+    for (const DataSym &s : syms) {
+        if (!s.init.empty())
+            mem.writeBlock(s.addr, s.init.data(),
+                           static_cast<uint32_t>(s.init.size()));
+    }
+
+    prog.markLinked();
+    return img;
+}
+
+} // namespace facsim

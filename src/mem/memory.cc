@@ -1,0 +1,108 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+namespace facsim
+{
+
+uint8_t *
+Memory::pagePtr(uint32_t addr)
+{
+    uint32_t pn = addr / pageBytes;
+    if (pn == lastPageNum && lastPage != nullptr)
+        return lastPage;
+    auto it = pages.find(pn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<uint8_t[]>(pageBytes);
+        std::memset(page.get(), 0, pageBytes);
+        it = pages.emplace(pn, std::move(page)).first;
+    }
+    lastPageNum = pn;
+    lastPage = it->second.get();
+    return lastPage;
+}
+
+uint8_t
+Memory::read8(uint32_t addr)
+{
+    return pagePtr(addr)[addr % pageBytes];
+}
+
+uint16_t
+Memory::read16(uint32_t addr)
+{
+    return static_cast<uint16_t>(read8(addr)) |
+        (static_cast<uint16_t>(read8(addr + 1)) << 8);
+}
+
+uint32_t
+Memory::read32(uint32_t addr)
+{
+    uint32_t off = addr % pageBytes;
+    if (off + 4 <= pageBytes) {
+        uint32_t v;
+        std::memcpy(&v, pagePtr(addr) + off, 4);
+        return v;
+    }
+    return static_cast<uint32_t>(read16(addr)) |
+        (static_cast<uint32_t>(read16(addr + 2)) << 16);
+}
+
+uint64_t
+Memory::read64(uint32_t addr)
+{
+    uint32_t off = addr % pageBytes;
+    if (off + 8 <= pageBytes) {
+        uint64_t v;
+        std::memcpy(&v, pagePtr(addr) + off, 8);
+        return v;
+    }
+    return static_cast<uint64_t>(read32(addr)) |
+        (static_cast<uint64_t>(read32(addr + 4)) << 32);
+}
+
+void
+Memory::write8(uint32_t addr, uint8_t v)
+{
+    pagePtr(addr)[addr % pageBytes] = v;
+}
+
+void
+Memory::write16(uint32_t addr, uint16_t v)
+{
+    write8(addr, static_cast<uint8_t>(v));
+    write8(addr + 1, static_cast<uint8_t>(v >> 8));
+}
+
+void
+Memory::write32(uint32_t addr, uint32_t v)
+{
+    uint32_t off = addr % pageBytes;
+    if (off + 4 <= pageBytes) {
+        std::memcpy(pagePtr(addr) + off, &v, 4);
+        return;
+    }
+    write16(addr, static_cast<uint16_t>(v));
+    write16(addr + 2, static_cast<uint16_t>(v >> 16));
+}
+
+void
+Memory::write64(uint32_t addr, uint64_t v)
+{
+    uint32_t off = addr % pageBytes;
+    if (off + 8 <= pageBytes) {
+        std::memcpy(pagePtr(addr) + off, &v, 8);
+        return;
+    }
+    write32(addr, static_cast<uint32_t>(v));
+    write32(addr + 4, static_cast<uint32_t>(v >> 32));
+}
+
+void
+Memory::writeBlock(uint32_t addr, const uint8_t *data, uint32_t len)
+{
+    for (uint32_t i = 0; i < len; ++i)
+        write8(addr + i, data[i]);
+}
+
+} // namespace facsim

@@ -1,0 +1,54 @@
+#include "mem/tlb.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+Tlb::Tlb(unsigned entries, uint32_t page_bytes, uint64_t seed)
+    : vpn(entries, 0), valid(entries, false),
+      pageShift(log2i(page_bytes)), rng(seed)
+{
+    FACSIM_ASSERT(isPow2(page_bytes), "page size must be a power of two");
+    FACSIM_ASSERT(entries > 0, "TLB needs at least one entry");
+}
+
+bool
+Tlb::access(uint32_t addr)
+{
+    ++accesses_;
+    uint32_t page = addr >> pageShift;
+    if (valid[mru] && vpn[mru] == page)
+        return true;
+    for (size_t i = 0; i < vpn.size(); ++i) {
+        if (valid[i] && vpn[i] == page) {
+            mru = i;
+            return true;
+        }
+    }
+    ++misses_;
+    // Fill an invalid slot if one exists, else evict at random.
+    for (size_t i = 0; i < vpn.size(); ++i) {
+        if (!valid[i]) {
+            valid[i] = true;
+            vpn[i] = page;
+            mru = i;
+            return false;
+        }
+    }
+    size_t victim = static_cast<size_t>(rng.range(vpn.size()));
+    vpn[victim] = page;
+    mru = victim;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    std::fill(valid.begin(), valid.end(), false);
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace facsim

@@ -1,0 +1,46 @@
+#include "runtime/heap.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+Heap::Heap(uint32_t base, HeapPolicy policy)
+    : base_(base), cur(base), pol(policy)
+{
+    FACSIM_ASSERT(isPow2(pol.minAlign), "heap alignment must be pow2");
+}
+
+uint32_t
+Heap::alloc(uint32_t size, uint32_t natural_align)
+{
+    uint32_t align = pol.minAlign;
+    if (natural_align > align)
+        align = nextPow2(natural_align);
+    if (pol.alignToSize && size > pol.minAlign) {
+        uint32_t want = nextPow2(size);
+        if (want > pol.largeAlignCap)
+            want = pol.largeAlignCap;
+        if (want > align)
+            align = want;
+    }
+    cur = static_cast<uint32_t>(roundUp(cur, align));
+    uint32_t addr = cur;
+    uint32_t sz = size ? size : 1;
+    if (pol.roundSizes)
+        sz = static_cast<uint32_t>(roundUp(sz, pol.minAlign));
+    cur += sz;
+    return addr;
+}
+
+uint32_t
+Heap::allocPacked(uint32_t size)
+{
+    cur = static_cast<uint32_t>(roundUp(cur, 4));
+    uint32_t addr = cur;
+    cur += size ? size : 1;
+    return addr;
+}
+
+} // namespace facsim

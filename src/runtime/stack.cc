@@ -1,0 +1,40 @@
+#include "runtime/stack.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+uint32_t
+StackPolicy::frameSize(uint32_t raw_size) const
+{
+    return static_cast<uint32_t>(roundUp(raw_size ? raw_size : spAlign,
+                                         spAlign));
+}
+
+uint32_t
+StackPolicy::frameAlign(uint32_t rounded_size) const
+{
+    if (!explicitAlignBigFrames || rounded_size <= spAlign)
+        return spAlign;
+    uint32_t a = nextPow2(rounded_size);
+    if (a > maxFrameAlign)
+        a = maxFrameAlign;
+    return a;
+}
+
+uint32_t
+StackPolicy::initialSp() const
+{
+    FACSIM_ASSERT(isPow2(spAlign), "sp alignment must be a power of two");
+    // The startup code aligns sp to the program-wide alignment. The
+    // unsupported 8-byte-aligned value mimics the paper's example stack
+    // addresses (sp = 0x7fff5b84-style, i.e. not 64-byte aligned).
+    if (spAlign <= 8)
+        return stackTopRegion - 0x2a78;  // 8-aligned, not 16-aligned
+    return static_cast<uint32_t>(roundDown(stackTopRegion - 0x2a78,
+                                           spAlign));
+}
+
+} // namespace facsim

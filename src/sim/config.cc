@@ -1,0 +1,122 @@
+#include "sim/config.hh"
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+PipelineConfig
+baselineConfig(uint32_t dcache_block_bytes)
+{
+    PipelineConfig c;
+    c.dcache.blockBytes = dcache_block_bytes;
+    return c;
+}
+
+FacConfig
+facConfigFor(const CacheConfig &dcache, bool speculate_rr,
+             bool full_tag_add)
+{
+    FacConfig f;
+    f.blockBits = dcache.blockBits();
+    f.setBits = dcache.setBits();
+    f.speculateRegReg = speculate_rr;
+    f.fullTagAdd = full_tag_add;
+    return f;
+}
+
+PipelineConfig
+facPipelineConfig(uint32_t dcache_block_bytes, bool speculate_rr,
+                  bool full_tag_add)
+{
+    PipelineConfig c = baselineConfig(dcache_block_bytes);
+    c.facEnabled = true;
+    c.fac = facConfigFor(c.dcache, speculate_rr, full_tag_add);
+    return c;
+}
+
+PipelineConfig
+agiConfig(uint32_t dcache_block_bytes)
+{
+    PipelineConfig c = baselineConfig(dcache_block_bytes);
+    c.agiOrganization = true;
+    return c;
+}
+
+PipelineConfig
+oneCycleLoadConfig(uint32_t dcache_block_bytes)
+{
+    PipelineConfig c = baselineConfig(dcache_block_bytes);
+    c.oneCycleLoads = true;
+    return c;
+}
+
+PipelineConfig
+perfectCacheConfig(uint32_t dcache_block_bytes)
+{
+    PipelineConfig c = baselineConfig(dcache_block_bytes);
+    c.perfectDCache = true;
+    return c;
+}
+
+PipelineConfig
+oneCyclePerfectConfig(uint32_t dcache_block_bytes)
+{
+    PipelineConfig c = baselineConfig(dcache_block_bytes);
+    c.oneCycleLoads = true;
+    c.perfectDCache = true;
+    return c;
+}
+
+std::string
+describeConfig(const PipelineConfig &c)
+{
+    std::string s;
+    s += strprintf("Fetch:        %u insts/cycle, any contiguous group\n",
+                   c.fetchWidth);
+    s += strprintf("I-cache:      %uk direct-mapped, %uB blocks, "
+                   "%u-cycle miss%s\n",
+                   c.icache.sizeBytes / 1024, c.icache.blockBytes,
+                   c.icache.missLatency,
+                   c.perfectICache ? " (PERFECT)" : "");
+    s += strprintf("Branch pred:  %u-entry direct-mapped BTB, 2-bit "
+                   "counters, %u-cycle penalty\n",
+                   c.btbEntries, c.branchPenalty);
+    s += strprintf("Issue:        in-order, %u ops/cycle, out-of-order "
+                   "completion, <=%u loads or %u store\n",
+                   c.issueWidth, c.maxLoadsPerCycle, c.maxStoresPerCycle);
+    s += strprintf("FUs:          %u int ALU, %u ld/st, %u FP add, 1 int "
+                   "MUL/DIV, 1 FP MUL/DIV\n",
+                   c.numIntAlus, c.numMemUnits, c.numFpAdders);
+    s += strprintf("Latency:      ALU %u/1, iMUL %u/1, iDIV %u/%u, "
+                   "fADD %u/1, fMUL %u/1, fDIV %u/%u\n",
+                   c.intAluLat, c.intMulLat, c.intDivLat, c.intDivLat,
+                   c.fpAddLat, c.fpMulLat, c.fpDivLat, c.fpDivLat);
+    s += strprintf("D-cache:      %uk direct-mapped, write-back, "
+                   "write-alloc, %uB blocks, %u-cycle miss, 2r/1w "
+                   "ports%s\n",
+                   c.dcache.sizeBytes / 1024, c.dcache.blockBytes,
+                   c.dcache.missLatency,
+                   c.perfectDCache ? " (PERFECT)" : "");
+    s += strprintf("Store buffer: %u entries, non-merging\n",
+                   c.storeBufferEntries);
+    s += strprintf("Loads:        %s\n",
+                   c.oneCycleLoads ? "1-cycle (idealised)"
+                                   : "2-cycle (EX addr calc + MEM access)");
+    if (c.agiOrganization)
+        s += "Pipeline:     AGI organisation (address-generation stage; "
+             "ALU in the cache stage)\n";
+    if (c.facEnabled) {
+        s += strprintf("FAC:          enabled, B=%u S=%u, %s tag, R+R "
+                       "speculation %s, stores %s\n",
+                       c.fac.blockBits, c.fac.setBits,
+                       c.fac.fullTagAdd ? "full-add" : "OR",
+                       c.fac.speculateRegReg ? "on" : "off",
+                       c.speculateStores ? "speculated" : "not speculated");
+    } else {
+        s += "FAC:          disabled\n";
+    }
+    return s;
+}
+
+} // namespace facsim

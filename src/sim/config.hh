@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Canonical simulator configurations: the Table 5 baseline machine and
+ * the fast-address-calculation variants evaluated in Section 5.
+ */
+
+#ifndef FACSIM_SIM_CONFIG_HH
+#define FACSIM_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cpu/pipeline.hh"
+
+namespace facsim
+{
+
+/** The Table 5 baseline 4-way superscalar (no fast address calculation). */
+PipelineConfig baselineConfig(uint32_t dcache_block_bytes = 32);
+
+/**
+ * Baseline plus fast address calculation.
+ *
+ * @param dcache_block_bytes 16 or 32 (the two block sizes of Figure 6).
+ * @param speculate_rr enable register+register mode speculation.
+ * @param full_tag_add full addition in the tag field (Section 3.1).
+ */
+PipelineConfig facPipelineConfig(uint32_t dcache_block_bytes = 32,
+                                 bool speculate_rr = true,
+                                 bool full_tag_add = true);
+
+/** Section 6 comparison: the AGI pipeline organisation. */
+PipelineConfig agiConfig(uint32_t dcache_block_bytes = 32);
+
+/** Figure 2 idealisation: loads complete in one cycle. */
+PipelineConfig oneCycleLoadConfig(uint32_t dcache_block_bytes = 32);
+/** Figure 2 idealisation: no data-cache miss penalty. */
+PipelineConfig perfectCacheConfig(uint32_t dcache_block_bytes = 32);
+/** Figure 2 idealisation: both of the above. */
+PipelineConfig oneCyclePerfectConfig(uint32_t dcache_block_bytes = 32);
+
+/** FacConfig matching a data-cache geometry. */
+FacConfig facConfigFor(const CacheConfig &dcache, bool speculate_rr = true,
+                       bool full_tag_add = true);
+
+/** Render the Table 5 parameter listing for a configuration. */
+std::string describeConfig(const PipelineConfig &config);
+
+} // namespace facsim
+
+#endif // FACSIM_SIM_CONFIG_HH

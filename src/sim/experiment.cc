@@ -1,0 +1,54 @@
+#include "sim/experiment.hh"
+
+namespace facsim
+{
+
+ProfileResult
+runProfile(const ProfileRequest &req)
+{
+    Machine machine(workload(req.workload), req.build);
+
+    Profiler prof;
+    for (const FacConfig &fc : req.facConfigs)
+        prof.addFacConfig(fc);
+    if (req.withTlb)
+        prof.enableTlb();
+
+    Emulator &emu = machine.emulator();
+    ExecRecord rec;
+    while (emu.step(&rec)) {
+        prof.observe(rec);
+        if (req.maxInsts && prof.insts() >= req.maxInsts)
+            break;
+    }
+
+    ProfileResult res;
+    res.insts = prof.insts();
+    res.loads = prof.loads();
+    res.stores = prof.stores();
+    res.fracGlobal = prof.loadFrac(RefClass::Global);
+    res.fracStack = prof.loadFrac(RefClass::Stack);
+    res.fracGeneral = prof.loadFrac(RefClass::General);
+    res.offsets[0] = prof.offsets(RefClass::Global);
+    res.offsets[1] = prof.offsets(RefClass::Stack);
+    res.offsets[2] = prof.offsets(RefClass::General);
+    for (size_t i = 0; i < prof.numFacConfigs(); ++i)
+        res.fac.push_back(prof.fac(i));
+    res.tlbMissRatio = prof.tlbMissRatio();
+    res.memUsageBytes = machine.memUsageBytes();
+    return res;
+}
+
+TimingResult
+runTiming(const TimingRequest &req)
+{
+    Machine machine(workload(req.workload), req.build);
+    Pipeline pipe(req.pipe, machine.emulator());
+
+    TimingResult res;
+    res.stats = pipe.run(req.maxInsts);
+    res.memUsageBytes = machine.memUsageBytes();
+    return res;
+}
+
+} // namespace facsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment runners: the two measurement modes every bench is built
+ * from. A *profile* run drives the functional CPU through the Profiler
+ * (reference behaviour, prediction failure rates, TLB — Tables 1/3/4 and
+ * Figure 3); a *timing* run drives the cycle-level Pipeline (IPC,
+ * speedups, bandwidth — Figures 2/6, Tables 3/4/6).
+ */
+
+#ifndef FACSIM_SIM_EXPERIMENT_HH
+#define FACSIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/pipeline.hh"
+#include "cpu/profiler.hh"
+#include "sim/machine.hh"
+
+namespace facsim
+{
+
+/** Inputs for a profile run. */
+struct ProfileRequest
+{
+    std::string workload;
+    BuildOptions build;
+    /** Predictor configurations to evaluate simultaneously. */
+    std::vector<FacConfig> facConfigs;
+    /** Model the 64-entry data TLB of Section 5.4. */
+    bool withTlb = false;
+    /** Stop after this many instructions (0 = run to completion). */
+    uint64_t maxInsts = 0;
+};
+
+/** Outputs of a profile run. */
+struct ProfileResult
+{
+    uint64_t insts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    /** Dynamic load fractions by addressing class. */
+    double fracGlobal = 0.0, fracStack = 0.0, fracGeneral = 0.0;
+    /** Offset histograms (Figure 3), indexed by RefClass. */
+    std::array<OffsetHistogram, 3> offsets;
+    /** One entry per requested FacConfig. */
+    std::vector<FacProfile> fac;
+    double tlbMissRatio = 0.0;
+    uint64_t memUsageBytes = 0;
+};
+
+/** Run a functional profile of one workload. */
+ProfileResult runProfile(const ProfileRequest &req);
+
+/** Inputs for a timing run. */
+struct TimingRequest
+{
+    std::string workload;
+    BuildOptions build;
+    PipelineConfig pipe;
+    uint64_t maxInsts = 0;
+};
+
+/** Outputs of a timing run. */
+struct TimingResult
+{
+    PipeStats stats;
+    uint64_t memUsageBytes = 0;
+};
+
+/** Run one workload through the timing pipeline. */
+TimingResult runTiming(const TimingRequest &req);
+
+} // namespace facsim
+
+#endif // FACSIM_SIM_EXPERIMENT_HH

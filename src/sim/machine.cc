@@ -1,0 +1,26 @@
+#include "sim/machine.hh"
+
+#include "link/linker.hh"
+
+namespace facsim
+{
+
+Machine::Machine(const WorkloadInfo &info, const BuildOptions &options)
+    : rng(options.seed)
+{
+    AsmBuilder as(prog);
+    WorkloadContext ctx(as, options.policy, rng, options.scale);
+    info.build(ctx);
+
+    Linker linker(options.policy.link);
+    img = linker.link(prog, mem);
+
+    heap_ = std::make_unique<Heap>(img.heapBase, options.policy.heap);
+    InitContext ictx{mem, *heap_, prog, img, rng};
+    ctx.runInits(ictx);
+
+    emu = std::make_unique<Emulator>(prog, mem, img,
+                                     options.policy.stack.initialSp());
+}
+
+} // namespace facsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Machine: wires one workload build into a runnable simulated system —
+ * program assembly, linking (with the policy's software support), heap
+ * initialisation and the functional CPU. One Machine corresponds to one
+ * program execution; construct a fresh one per simulation run.
+ */
+
+#ifndef FACSIM_SIM_MACHINE_HH
+#define FACSIM_SIM_MACHINE_HH
+
+#include <memory>
+
+#include "cpu/emulator.hh"
+#include "runtime/heap.hh"
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+/** How to build a Machine. */
+struct BuildOptions
+{
+    CodeGenPolicy policy = CodeGenPolicy::baseline();
+    /** Workload size multiplier (tests use small values). */
+    uint64_t scale = 1;
+    /** Seed for workload data generation (deterministic runs). */
+    uint64_t seed = 0x5eed;
+};
+
+/** A fully built, ready-to-run simulated system. */
+class Machine
+{
+  public:
+    Machine(const WorkloadInfo &info, const BuildOptions &options);
+
+    /** The functional CPU positioned at the entry point. */
+    Emulator &emulator() { return *emu; }
+
+    /** Simulated memory (text+data+heap initialised). */
+    Memory &memory() { return mem; }
+
+    /** The linked program. */
+    const Program &program() const { return prog; }
+
+    /** Link results. */
+    const LinkedImage &image() const { return img; }
+
+    /** Heap after initialisation. */
+    const Heap &heap() const { return *heap_; }
+
+    /**
+     * Memory-usage statistic (Tables 3/4): pages touched so far,
+     * covering text, static data, heap and stack.
+     */
+    uint64_t memUsageBytes() const { return mem.memUsageBytes(); }
+
+  private:
+    Memory mem;
+    Program prog;
+    Rng rng;
+    LinkedImage img;
+    std::unique_ptr<Heap> heap_;
+    std::unique_ptr<Emulator> emu;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_SIM_MACHINE_HH

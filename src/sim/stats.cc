@@ -1,0 +1,36 @@
+#include "sim/stats.hh"
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    FACSIM_ASSERT(values.size() == weights.size(),
+                  "weightedMean size mismatch");
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    return den != 0.0 ? num / den : 0.0;
+}
+
+double
+speedup(uint64_t base_cycles, uint64_t new_cycles)
+{
+    return new_cycles
+        ? static_cast<double>(base_cycles) / static_cast<double>(new_cycles)
+        : 0.0;
+}
+
+double
+pctChange(double before, double after)
+{
+    return before != 0.0 ? (after - before) / before * 100.0 : 0.0;
+}
+
+} // namespace facsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small statistics helpers shared by the bench harnesses: run-time
+ * weighted averages (the paper weights its Int-Avg / FP-Avg bars by
+ * program run time in cycles) and speedup arithmetic.
+ */
+
+#ifndef FACSIM_SIM_STATS_HH
+#define FACSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace facsim
+{
+
+/**
+ * Weighted arithmetic mean of @p values with @p weights (the paper's
+ * run-time weighting). Returns 0 when the weight sum is 0.
+ */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+/** Speedup of @p new_cycles relative to @p base_cycles (e.g. 1.19). */
+double speedup(uint64_t base_cycles, uint64_t new_cycles);
+
+/** Percent change from @p before to @p after (+/-). */
+double pctChange(double before, double after);
+
+} // namespace facsim
+
+#endif // FACSIM_SIM_STATS_HH

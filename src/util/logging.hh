@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom: panic() for internal simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef FACSIM_UTIL_LOGGING_HH
+#define FACSIM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace facsim
+{
+
+/**
+ * Abort the process because the simulator itself is broken. Use for
+ * conditions that should never happen regardless of user input.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error because the simulation cannot continue due to a user
+ * error (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about possibly-incorrect behaviour and keep running. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * panic() if @p cond is false. Kept as an always-on check (independent of
+ * NDEBUG) because simulator invariants guard experiment validity.
+ */
+#define FACSIM_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::facsim::warn("assertion '%s' failed", #cond);                 \
+            ::facsim::panic(__VA_ARGS__);                                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace facsim
+
+#endif // FACSIM_UTIL_LOGGING_HH

@@ -1,0 +1,133 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    sepAfter_.push_back(rows_.size());
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'M' && c != 'k' &&
+            c != 'x')
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncol = header_.size();
+    for (const auto &r : rows_)
+        ncol = std::max(ncol, r.size());
+
+    std::vector<size_t> width(ncol, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < ncol; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            size_t pad = width[i] - cell.size();
+            if (looksNumeric(cell)) {
+                os << std::string(pad, ' ') << cell;
+            } else {
+                os << cell << std::string(pad, ' ');
+            }
+            os << (i + 1 < ncol ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w;
+    total += 2 * (ncol > 0 ? ncol - 1 : 0);
+    std::string hline(total, '-');
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << hline << '\n';
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        for (size_t s : sepAfter_)
+            if (s == i)
+                os << hline << '\n';
+        emit(rows_[i]);
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            os << r[i] << (i + 1 < r.size() ? "," : "");
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtF(double v, int prec)
+{
+    return strprintf("%.*f", prec, v);
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    if (v >= 10'000'000)
+        return strprintf("%.1fM", static_cast<double>(v) / 1e6);
+    if (v >= 10'000)
+        return strprintf("%.1fk", static_cast<double>(v) / 1e3);
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+fmtPct(double ratio, int prec)
+{
+    return strprintf("%.*f", prec, ratio * 100.0);
+}
+
+} // namespace facsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table formatter used by the bench harnesses to print rows in the
+ * style of the paper's tables, plus a tiny CSV emitter for post-processing.
+ */
+
+#ifndef FACSIM_UTIL_TABLE_HH
+#define FACSIM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace facsim
+{
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ * Numeric-looking cells are right-aligned, text cells left-aligned.
+ */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, separators skipped) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> sepAfter_;
+};
+
+/** Format a double with @p prec digits after the decimal point. */
+std::string fmtF(double v, int prec = 2);
+
+/** Format an integer count, scaled to millions when large ("12.3M"). */
+std::string fmtCount(uint64_t v);
+
+/** Format a ratio as a percentage string with @p prec digits. */
+std::string fmtPct(double ratio, int prec = 2);
+
+} // namespace facsim
+
+#endif // FACSIM_UTIL_TABLE_HH

@@ -1,0 +1,58 @@
+#include "workloads/codegen_policy.hh"
+
+#include "util/bits.hh"
+
+namespace facsim
+{
+
+CodeGenPolicy
+CodeGenPolicy::baseline()
+{
+    CodeGenPolicy p;
+    p.softwareSupport = false;
+    p.link = LinkPolicy{.alignGlobalPointer = false, .alignStatics = false};
+    p.stack = StackPolicy{.spAlign = 8, .maxFrameAlign = 256,
+                          .explicitAlignBigFrames = false};
+    p.heap = HeapPolicy{.minAlign = 8};
+    p.roundStructs = false;
+    p.sortFrameScalars = false;
+    return p;
+}
+
+CodeGenPolicy
+CodeGenPolicy::withSupport()
+{
+    CodeGenPolicy p;
+    p.softwareSupport = true;
+    p.link = LinkPolicy{.alignGlobalPointer = true, .alignStatics = true,
+                        .maxStaticAlign = 32};
+    p.stack = StackPolicy{.spAlign = 64, .maxFrameAlign = 256,
+                          .explicitAlignBigFrames = true};
+    p.heap = HeapPolicy{.minAlign = 32};
+    p.roundStructs = true;
+    p.structPadCap = 16;
+    p.sortFrameScalars = true;
+    return p;
+}
+
+CodeGenPolicy
+CodeGenPolicy::withLargeAlignment()
+{
+    CodeGenPolicy p = withSupport();
+    p.link.alignArraysToSize = true;
+    p.heap.alignToSize = true;
+    return p;
+}
+
+uint32_t
+CodeGenPolicy::structSize(uint32_t raw) const
+{
+    if (!roundStructs || raw == 0)
+        return raw;
+    uint32_t rounded = nextPow2(raw);
+    if (rounded - raw > structPadCap)
+        return raw;
+    return rounded;
+}
+
+} // namespace facsim

@@ -1,0 +1,189 @@
+#include "workloads/kernel_lib.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+Frame::Frame(WorkloadContext &ctx, bool saves_ra)
+    : pol(ctx.pol), savesRa(saves_ra)
+{
+}
+
+unsigned
+Frame::addScalar(uint32_t bytes, uint32_t align)
+{
+    FACSIM_ASSERT(!sealed, "frame already sealed");
+    slots.push_back(Slot{bytes, align, true});
+    return static_cast<unsigned>(slots.size() - 1);
+}
+
+unsigned
+Frame::addArray(uint32_t bytes, uint32_t align)
+{
+    FACSIM_ASSERT(!sealed, "frame already sealed");
+    slots.push_back(Slot{bytes, align, false});
+    return static_cast<unsigned>(slots.size() - 1);
+}
+
+void
+Frame::seal()
+{
+    FACSIM_ASSERT(!sealed, "frame sealed twice");
+    sealed = true;
+
+    // Layout order: with the software support, scalars go closest to the
+    // stack pointer so their offsets stay below the sp alignment; without
+    // it, slots land in declaration order (arrays interleaved with
+    // scalars, pushing scalar offsets up — normal GCC behaviour).
+    std::vector<unsigned> order(slots.size());
+    for (unsigned i = 0; i < slots.size(); ++i)
+        order[i] = i;
+    if (pol.sortFrameScalars) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](unsigned a, unsigned b) {
+                             return slots[a].scalar && !slots[b].scalar;
+                         });
+    }
+
+    uint32_t cursor = 0;
+    for (unsigned idx : order) {
+        Slot &s = slots[idx];
+        cursor = static_cast<uint32_t>(roundUp(cursor, s.align));
+        s.offset = static_cast<int32_t>(cursor);
+        cursor += s.bytes;
+    }
+
+    // Save area at the top of the frame (register save overhead the
+    // paper notes as invisible to high-level programmers).
+    if (savesRa) {
+        cursor = static_cast<uint32_t>(roundUp(cursor, 4));
+        raOffset = static_cast<int32_t>(cursor);
+        cursor += 4;
+    }
+
+    cursor = static_cast<uint32_t>(roundUp(cursor, 4));
+    uint32_t rounded = pol.stack.frameSize(cursor);
+    bigAligned = pol.stack.explicitAlignBigFrames &&
+        rounded > pol.stack.spAlign;
+    if (bigAligned) {
+        // Room to save the caller's sp in an explicitly aligned frame.
+        oldSpOffset = static_cast<int32_t>(cursor);
+        cursor += 4;
+        frameBytes = pol.stack.frameSize(cursor);
+    } else {
+        frameBytes = rounded;
+    }
+    frameAlign_ = pol.stack.frameAlign(frameBytes);
+}
+
+int32_t
+Frame::off(unsigned slot) const
+{
+    FACSIM_ASSERT(sealed, "frame not sealed");
+    return slots.at(slot).offset;
+}
+
+uint32_t
+Frame::size() const
+{
+    FACSIM_ASSERT(sealed, "frame not sealed");
+    return frameBytes;
+}
+
+void
+Frame::prologue(AsmBuilder &as) const
+{
+    FACSIM_ASSERT(sealed, "frame not sealed");
+    if (bigAligned) {
+        // Paper Section 4: sp = (sp - frame) & -align; the caller's sp
+        // is saved in the frame and restored on return.
+        as.move(reg::k0, reg::sp);
+        as.addi(reg::sp, reg::sp, -static_cast<int32_t>(frameBytes));
+        as.li(reg::k1, -static_cast<int32_t>(frameAlign_));
+        as.and_(reg::sp, reg::sp, reg::k1);
+        as.sw(reg::k0, oldSpOffset, reg::sp);
+    } else {
+        as.addi(reg::sp, reg::sp, -static_cast<int32_t>(frameBytes));
+    }
+    if (savesRa)
+        as.sw(reg::ra, raOffset, reg::sp);
+}
+
+void
+Frame::epilogueAndRet(AsmBuilder &as) const
+{
+    FACSIM_ASSERT(sealed, "frame not sealed");
+    if (savesRa)
+        as.lw(reg::ra, raOffset, reg::sp);
+    if (bigAligned)
+        as.lw(reg::sp, oldSpOffset, reg::sp);
+    else
+        as.addi(reg::sp, reg::sp, static_cast<int32_t>(frameBytes));
+    as.jr(reg::ra);
+}
+
+void
+emitCountedLoop(AsmBuilder &as, uint8_t counter,
+                const std::function<void()> &body)
+{
+    LabelId top = as.newLabel();
+    as.bind(top);
+    body();
+    as.addi(counter, counter, -1);
+    as.bgtz(counter, top);
+}
+
+void
+fillRandomWords(Memory &mem, uint32_t addr, uint32_t count, Rng &rng,
+                uint32_t mask)
+{
+    for (uint32_t i = 0; i < count; ++i)
+        mem.write32(addr + 4 * i, static_cast<uint32_t>(rng.next()) & mask);
+}
+
+void
+fillRandomDoubles(Memory &mem, uint32_t addr, uint32_t count, Rng &rng)
+{
+    for (uint32_t i = 0; i < count; ++i) {
+        double d = rng.real();
+        uint64_t bits64;
+        __builtin_memcpy(&bits64, &d, 8);
+        mem.write64(addr + 8 * i, bits64);
+    }
+}
+
+CommonGlobals
+declareCommonGlobals(WorkloadContext &ctx, uint32_t pad_bytes)
+{
+    CommonGlobals g;
+    g.lowScalarA = ctx.as.global("low_scalar_a", 4, 4, true);
+    g.lowScalarB = ctx.as.global("low_scalar_b", 4, 4, true);
+    ctx.as.global("sdata_pad", pad_bytes, 8, true);
+    g.result = ctx.as.global("result", 4, 4, true);
+    return g;
+}
+
+void
+emitLoadConstD(AsmBuilder &as, uint8_t fd, uint8_t tmp, int32_t value)
+{
+    as.li(tmp, value);
+    as.mtc1(fd, tmp);
+    as.cvtDW(fd, fd);
+}
+
+void
+fillRandomText(Memory &mem, uint32_t addr, uint32_t count, Rng &rng)
+{
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyz     for the and to in of a ";
+    for (uint32_t i = 0; i < count; ++i) {
+        char c = alphabet[rng.range(sizeof(alphabet) - 1)];
+        mem.write8(addr + i, static_cast<uint8_t>(c));
+    }
+}
+
+} // namespace facsim

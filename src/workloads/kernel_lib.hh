@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Workload construction toolkit: the contexts kernels build against, and
+ * the Frame helper that reproduces the compiler's stack-frame behaviour
+ * (with and without the paper's software support).
+ *
+ * Each workload kernel plays the role of one benchmark binary from
+ * Table 2: it emits code through AsmBuilder (so every load/store the
+ * simulated program performs is explicit), declares its globals, and
+ * registers post-link initialisers that build its heap data structures.
+ */
+
+#ifndef FACSIM_WORKLOADS_KERNEL_LIB_HH
+#define FACSIM_WORKLOADS_KERNEL_LIB_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "link/linker.hh"
+#include "mem/memory.hh"
+#include "runtime/heap.hh"
+#include "util/rng.hh"
+#include "workloads/codegen_policy.hh"
+
+namespace facsim
+{
+
+/** Environment for post-link data initialisation. */
+struct InitContext
+{
+    Memory &mem;
+    Heap &heap;
+    const Program &prog;
+    const LinkedImage &img;
+    Rng &rng;
+
+    /** Linked address of a data symbol. */
+    uint32_t symAddr(SymId sym) const { return prog.syms().at(sym).addr; }
+};
+
+/** Environment a kernel builds in. */
+class WorkloadContext
+{
+  public:
+    WorkloadContext(AsmBuilder &as, const CodeGenPolicy &pol, Rng &rng,
+                    uint64_t scale)
+        : as(as), pol(pol), rng(rng), scale_(scale)
+    {
+    }
+
+    AsmBuilder &as;
+    const CodeGenPolicy &pol;
+    Rng &rng;
+
+    /** Workload size multiplier (1 = the standard bench input). */
+    uint64_t scale() const { return scale_; }
+    /** @p base iterations scaled, with a floor of 1. */
+    uint32_t scaled(uint32_t base) const
+    {
+        uint64_t v = base * scale_;
+        return static_cast<uint32_t>(v ? v : 1);
+    }
+
+    /** Register a post-link initialiser (runs in registration order). */
+    void atInit(std::function<void(InitContext &)> fn)
+    {
+        inits.push_back(std::move(fn));
+    }
+
+    /** Run all registered initialisers (Machine calls this). */
+    void runInits(InitContext &ictx)
+    {
+        for (auto &fn : inits)
+            fn(ictx);
+    }
+
+  private:
+    uint64_t scale_;
+    std::vector<std::function<void(InitContext &)>> inits;
+};
+
+/**
+ * A function stack frame under the active CodeGenPolicy.
+ *
+ * Usage: declare slots, then seal(), then emit prologue/epilogue around
+ * the body. Offsets are relative to the post-prologue stack pointer.
+ * With software support, scalars sort closest to sp and the frame size is
+ * rounded to the program-wide alignment; frames bigger than that
+ * alignment explicitly align sp in the prologue (saving the caller's sp
+ * in the frame), per Section 4.
+ */
+class Frame
+{
+  public:
+    /**
+     * @param ctx build context (supplies the policy).
+     * @param saves_ra reserve a save slot for ra (function makes calls).
+     */
+    Frame(WorkloadContext &ctx, bool saves_ra);
+
+    /** Declare a scalar slot; returns a slot id. */
+    unsigned addScalar(uint32_t bytes = 4, uint32_t align = 4);
+    /** Declare a double-precision scalar slot. */
+    unsigned addDouble() { return addScalar(8, 8); }
+    /** Declare an aggregate (array/struct) slot. */
+    unsigned addArray(uint32_t bytes, uint32_t align = 4);
+
+    /** Finalise the layout; no more slots after this. */
+    void seal();
+
+    /** sp-relative offset of a slot (frame must be sealed). */
+    int32_t off(unsigned slot) const;
+
+    /** Rounded frame size in bytes (sealed). */
+    uint32_t size() const;
+
+    /** Emit the function prologue (adjusts and possibly aligns sp). */
+    void prologue(AsmBuilder &as) const;
+    /** Emit the function epilogue ending in jr ra. */
+    void epilogueAndRet(AsmBuilder &as) const;
+
+  private:
+    struct Slot
+    {
+        uint32_t bytes;
+        uint32_t align;
+        bool scalar;
+        int32_t offset = -1;
+    };
+
+    const CodeGenPolicy &pol;
+    bool savesRa;
+    bool sealed = false;
+    std::vector<Slot> slots;
+    uint32_t frameBytes = 0;   ///< rounded size
+    uint32_t frameAlign_ = 0;
+    int32_t raOffset = -1;
+    int32_t oldSpOffset = -1;  ///< only for explicitly aligned frames
+    bool bigAligned = false;
+};
+
+/**
+ * Convenience: emit a counted loop.
+ *
+ * @param as builder.
+ * @param counter register pre-loaded with the trip count (decremented).
+ * @param body emits the loop body.
+ */
+void emitCountedLoop(AsmBuilder &as, uint8_t counter,
+                     const std::function<void()> &body);
+
+/** Fill a memory range with deterministic pseudo-random words. */
+void fillRandomWords(Memory &mem, uint32_t addr, uint32_t count, Rng &rng,
+                     uint32_t mask = 0xffffffffu);
+
+/** Fill a memory range with deterministic random doubles in [0,1). */
+void fillRandomDoubles(Memory &mem, uint32_t addr, uint32_t count,
+                       Rng &rng);
+
+/** Fill a memory range with printable pseudo-random text. */
+void fillRandomText(Memory &mem, uint32_t addr, uint32_t count, Rng &rng);
+
+/**
+ * The small-data globals every kernel declares. The layout mirrors real
+ * programs: a couple of rarely-touched scalars land below the unaligned
+ * baseline gp (negative offsets), a pad block models the rest of the
+ * program's named globals, and the kernel's own globals follow at large
+ * positive offsets — reproducing the Figure 3 global-offset shape.
+ */
+struct CommonGlobals
+{
+    SymId lowScalarA;  ///< below gp without support (negative offset)
+    SymId lowScalarB;  ///< below gp without support (negative offset)
+    SymId result;      ///< final checksum every kernel stores
+};
+
+/**
+ * Declare the common small-data globals (call before any other symbol).
+ *
+ * @param pad_bytes size of the surrogate "rest of the globals" block.
+ */
+CommonGlobals declareCommonGlobals(WorkloadContext &ctx,
+                                   uint32_t pad_bytes = 4096);
+
+/**
+ * Load an integral-valued double constant into FP register @p fd using
+ * li + mtc1 + cvt.d.w (@p tmp is clobbered).
+ */
+void emitLoadConstD(AsmBuilder &as, uint8_t fd, uint8_t tmp, int32_t value);
+
+} // namespace facsim
+
+#endif // FACSIM_WORKLOADS_KERNEL_LIB_HH

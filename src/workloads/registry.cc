@@ -1,0 +1,60 @@
+#include "workloads/registry.hh"
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"compress", "LZW-style compression of a 64 KB buffer", false,
+         buildCompress},
+        {"eqntott", "truth-table bit-vector comparison sort", false,
+         buildEqntott},
+        {"espresso", "cube-cover set operations (cps.in-like)", false,
+         buildEspresso},
+        {"gcc", "IR tree walk with obstack allocation (stmt.i-like)",
+         false, buildGcc},
+        {"sc", "spreadsheet grid recalculation (loada1-like)", false,
+         buildSc},
+        {"xlisp", "cons-cell interpreter, 8-queens style list churn",
+         false, buildXlisp},
+        {"elvis", "text editor batch substitutions", false, buildElvis},
+        {"grep", "regex DFA scan of a large text buffer", false,
+         buildGrep},
+        {"perl", "hash-table + string test-suite interpreter", false,
+         buildPerl},
+        {"yacr2", "VLSI channel router, 230-terminal channel", false,
+         buildYacr2},
+        {"alvinn", "neural-net forward/backward passes", true,
+         buildAlvinn},
+        {"doduc", "Monte-Carlo reactor kernel, scalar-heavy", true,
+         buildDoduc},
+        {"ear", "cochlea filter-bank convolution", true, buildEar},
+        {"mdljdp2", "molecular dynamics, double precision pairs", true,
+         buildMdljdp2},
+        {"mdljsp2", "molecular dynamics, single precision pairs", true,
+         buildMdljsp2},
+        {"ora", "ray tracing through optical surfaces", true, buildOra},
+        {"spice", "sparse-matrix circuit solve (greycode-like)", true,
+         buildSpice},
+        {"su2cor", "quark-gluon lattice sweeps", true, buildSu2cor},
+        {"tomcatv", "vectorised 2-D mesh generation, N=129", true,
+         buildTomcatv},
+    };
+    return table;
+}
+
+const WorkloadInfo &
+workload(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (name == w.name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace facsim

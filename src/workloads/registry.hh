@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Registry of the 19 workload kernels — the Table 2 benchmark suite.
+ * Each kernel is a synthetic miniature of one SPEC92 / Unix benchmark,
+ * built to exercise the same reference-behaviour class (addressing-mode
+ * mix, offset distribution, int vs FP balance) as the original.
+ */
+
+#ifndef FACSIM_WORKLOADS_REGISTRY_HH
+#define FACSIM_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/kernel_lib.hh"
+
+namespace facsim
+{
+
+/** One registered workload. */
+struct WorkloadInfo
+{
+    const char *name;
+    /** Table 2 style description of the modelled input. */
+    const char *input;
+    /** True for the floating-point group of Figures 2 and 6. */
+    bool floatingPoint;
+    /** Kernel generator. */
+    void (*build)(WorkloadContext &);
+};
+
+/** All 19 workloads, in the paper's table order (integer first). */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Find a workload by name (fatal on unknown names). */
+const WorkloadInfo &workload(const std::string &name);
+
+// Kernel generators (one translation unit each).
+void buildCompress(WorkloadContext &ctx);
+void buildEqntott(WorkloadContext &ctx);
+void buildEspresso(WorkloadContext &ctx);
+void buildGcc(WorkloadContext &ctx);
+void buildSc(WorkloadContext &ctx);
+void buildXlisp(WorkloadContext &ctx);
+void buildElvis(WorkloadContext &ctx);
+void buildGrep(WorkloadContext &ctx);
+void buildPerl(WorkloadContext &ctx);
+void buildYacr2(WorkloadContext &ctx);
+void buildAlvinn(WorkloadContext &ctx);
+void buildDoduc(WorkloadContext &ctx);
+void buildEar(WorkloadContext &ctx);
+void buildMdljdp2(WorkloadContext &ctx);
+void buildMdljsp2(WorkloadContext &ctx);
+void buildOra(WorkloadContext &ctx);
+void buildSpice(WorkloadContext &ctx);
+void buildSu2cor(WorkloadContext &ctx);
+void buildTomcatv(WorkloadContext &ctx);
+
+} // namespace facsim
+
+#endif // FACSIM_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * alvinn: back-propagation neural network training. Forward and weight-
+ * update passes stream the weight matrix and input vector with
+ * zero-offset post-increment double loads — the strength-reduced access
+ * pattern behind alvinn's near-perfect prediction rate in Table 3.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildAlvinn(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nin = 200;
+    const uint32_t nhid = 40;
+    const uint32_t epochs = ctx.scaled(6);
+
+    SymId in_ptr = as.global("input_ptr", 4, 4, true);
+    SymId w_ptr = as.global("weights_ptr", 4, 4, true);
+    SymId h_ptr = as.global("hidden_ptr", 4, 4, true);
+    SymId err_acc = as.global("err_acc", 8, 8, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, in_ptr);
+    as.lwGp(reg::s1, w_ptr);
+    as.lwGp(reg::s2, h_ptr);
+    as.li(reg::s5, static_cast<int32_t>(epochs));
+    emitLoadConstD(as, 1, reg::t0, 1);          // f1 = 1.0
+    emitLoadConstD(as, 2, reg::t0, 0);          // f2 = 0.0 (error acc)
+    // Small learning-rate: 1/64.
+    emitLoadConstD(as, 3, reg::t0, 64);
+    as.divD(3, 1, 3);                           // f3 = 1/64
+
+    LabelId epoch = as.newLabel();
+    LabelId fwd_h = as.newLabel();
+    LabelId fwd_i = as.newLabel();
+    LabelId bwd_h = as.newLabel();
+    LabelId bwd_i = as.newLabel();
+
+    as.bind(epoch);
+    // --- forward: hidden[h] = squash(sum_i w[h][i] * in[i]) ---
+    as.move(reg::t0, reg::s1);                  // weight cursor
+    as.move(reg::t1, reg::s2);                  // hidden cursor
+    as.li(reg::t2, static_cast<int32_t>(nhid));
+    as.bind(fwd_h);
+    as.move(reg::t3, reg::s0);                  // input cursor
+    as.li(reg::t4, static_cast<int32_t>(nin));
+    as.movD(4, 2);                              // acc = 0 (f2 stays 0)
+    as.bind(fwd_i);
+    as.ldc1Post(5, reg::t0, 8);                 // w
+    as.ldc1Post(6, reg::t3, 8);                 // in
+    as.mulD(5, 5, 6);
+    as.addD(4, 4, 5);
+    as.addi(reg::t4, reg::t4, -1);
+    as.bgtz(reg::t4, fwd_i);
+    // squash(x) = x / (1 + |x|)
+    as.absD(7, 4);
+    as.addD(7, 7, 1);
+    as.divD(4, 4, 7);
+    as.sdc1Post(4, reg::t1, 8);                 // hidden[h]
+    as.addi(reg::t2, reg::t2, -1);
+    as.bgtz(reg::t2, fwd_h);
+
+    // --- backward: w[h][i] += lr * hidden[h] * in[i] ---
+    as.move(reg::t0, reg::s1);
+    as.move(reg::t1, reg::s2);
+    as.li(reg::t2, static_cast<int32_t>(nhid));
+    as.bind(bwd_h);
+    as.ldc1Post(8, reg::t1, 8);                 // delta_h = hidden[h]
+    as.mulD(8, 8, 3);                           // * lr
+    as.move(reg::t3, reg::s0);
+    as.li(reg::t4, static_cast<int32_t>(nin));
+    as.bind(bwd_i);
+    as.ldc1(9, 0, reg::t0);                     // w
+    as.ldc1Post(10, reg::t3, 8);                // in
+    as.mulD(10, 10, 8);
+    as.addD(9, 9, 10);
+    as.sdc1Post(9, reg::t0, 8);                 // w updated
+    as.addi(reg::t4, reg::t4, -1);
+    as.bgtz(reg::t4, bwd_i);
+    as.addi(reg::t2, reg::t2, -1);
+    as.bgtz(reg::t2, bwd_h);
+
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, epoch);
+
+    // Publish a scalar result: the last hidden value, scaled to int.
+    as.ldc1(11, -8, reg::t1);
+    emitLoadConstD(as, 12, reg::t6, 10000);
+    as.mulD(11, 11, 12);
+    as.cvtWD(11, 11);
+    as.mfc1(reg::t7, 11);
+    as.sdc1Gp(4, err_acc);
+    as.swGp(reg::t7, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t in_buf = ic.heap.alloc(nin * 8, 8);
+        fillRandomDoubles(ic.mem, in_buf, nin, ic.rng);
+        uint32_t w_buf = ic.heap.alloc(nin * nhid * 8, 8);
+        fillRandomDoubles(ic.mem, w_buf, nin * nhid, ic.rng);
+        uint32_t h_buf = ic.heap.alloc(nhid * 8, 8);
+        ic.mem.write32(ic.symAddr(in_ptr), in_buf);
+        ic.mem.write32(ic.symAddr(w_ptr), w_buf);
+        ic.mem.write32(ic.symAddr(h_ptr), h_buf);
+    });
+}
+
+} // namespace facsim

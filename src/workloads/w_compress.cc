@@ -1,0 +1,119 @@
+/**
+ * @file
+ * compress: LZW-style compression of a pseudo-text buffer. Models the
+ * SPEC92 compress reference behaviour: a byte-stream scan (zero-offset
+ * post-increment loads), hash-table probes and inserts through
+ * register+register addressing (the paper notes compress is one of the
+ * few programs R+R speculation helps), and global counters kept in the
+ * gp-addressed small-data region.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildCompress(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t input_bytes = ctx.scaled(49152);
+    const uint32_t hbits = 11;
+    const uint32_t hsize = 1u << hbits;
+
+    SymId in_ptr = as.global("in_ptr", 4, 4, true);
+    SymId htab_ptr = as.global("htab_ptr", 4, 4, true);
+    SymId codetab_ptr = as.global("codetab_ptr", 4, 4, true);
+    SymId free_ent = as.global("free_ent", 4, 4, true);
+    SymId out_count = as.global("out_count", 4, 4, true);
+
+    // Register plan: s0 input cursor, s1 input end, s2 htab base,
+    // s3 codetab base, s4 prefix code, s5 next free code, s7 hash mask.
+    Frame fr(ctx, false);
+    unsigned last_emit = fr.addScalar();
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, in_ptr);
+    as.li(reg::t0, static_cast<int32_t>(input_bytes));
+    as.add(reg::s1, reg::s0, reg::t0);
+    as.lwGp(reg::s2, htab_ptr);
+    as.lwGp(reg::s3, codetab_ptr);
+    as.li(reg::s4, 0);
+    as.li(reg::s5, 257);
+    as.li(reg::s7, static_cast<int32_t>(hsize - 1));
+    as.sw(reg::zero, fr.off(last_emit), reg::sp);
+
+    LabelId loop = as.newLabel();
+    LabelId miss = as.newLabel();
+    LabelId no_reset = as.newLabel();
+    LabelId cont = as.newLabel();
+
+    as.bind(loop);
+    // c = *cursor++
+    as.lbuPost(reg::t0, reg::s0, 1);
+    // h = ((c << 6) ^ prefix) & mask;  key = (prefix << 8) | c
+    as.sll(reg::t1, reg::t0, 6);
+    as.xor_(reg::t1, reg::t1, reg::s4);
+    as.and_(reg::t1, reg::t1, reg::s7);
+    as.sll(reg::t2, reg::s4, 8);
+    as.or_(reg::t2, reg::t2, reg::t0);
+    as.sll(reg::t3, reg::t1, 2);
+    // probe: htab[h] == key ?
+    as.lwRR(reg::t4, reg::s2, reg::t3);
+    as.bne(reg::t4, reg::t2, miss);
+    // hit: prefix = codetab[h]
+    as.lwRR(reg::s4, reg::s3, reg::t3);
+    as.j(cont);
+
+    as.bind(miss);
+    // emit the previous prefix: bump the global output counter and
+    // remember the code in a frame slot (stack traffic).
+    as.lwGp(reg::t5, out_count);
+    as.addi(reg::t5, reg::t5, 1);
+    as.swGp(reg::t5, out_count);
+    as.sw(reg::s4, fr.off(last_emit), reg::sp);
+    // insert the new (key, code) pair
+    as.swRR(reg::t2, reg::s2, reg::t3);
+    as.swRR(reg::s5, reg::s3, reg::t3);
+    as.addi(reg::s5, reg::s5, 1);
+    as.move(reg::s4, reg::t0);
+    // table-full reset, as compress clears its dictionary
+    as.li(reg::t6, static_cast<int32_t>(4 * hsize + 256));
+    as.slt(reg::t7, reg::t6, reg::s5);
+    as.beq(reg::t7, reg::zero, no_reset);
+    as.li(reg::s5, 257);
+    as.bind(no_reset);
+
+    as.bind(cont);
+    as.bne(reg::s0, reg::s1, loop);
+
+    as.swGp(reg::s5, free_ent);
+    as.lwGp(reg::t0, out_count);
+    as.lwGp(reg::t1, g.lowScalarA);
+    as.add(reg::t0, reg::t0, reg::t1);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t in_buf = ic.heap.alloc(input_bytes, 1);
+        fillRandomText(ic.mem, in_buf, input_bytes, ic.rng);
+        // Keep the tables out of the sets the input stream sweeps (the
+        // input size is a multiple of the cache size, so back-to-back
+        // allocation would alias pathologically in a direct-mapped
+        // cache).
+        ic.heap.alloc(1040, 1);
+        uint32_t htab = ic.heap.alloc(hsize * 4, 4);
+        uint32_t codetab = ic.heap.alloc(hsize * 4, 4);
+        for (uint32_t i = 0; i < hsize; ++i)
+            ic.mem.write32(htab + 4 * i, 0xffffffffu);
+        ic.mem.write32(ic.symAddr(in_ptr), in_buf);
+        ic.mem.write32(ic.symAddr(htab_ptr), htab);
+        ic.mem.write32(ic.symAddr(codetab_ptr), codetab);
+        ic.mem.write32(ic.symAddr(g.lowScalarA), 7);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * doduc: Monte-Carlo reactor physics, the scalar-heavy FORTRAN code with
+ * large, variable-size stack frames — the benchmark class the paper's
+ * explicit big-frame stack alignment targets. Each step() call owns a
+ * frame full of double scalars plus a table slot array; with support the
+ * scalars sort next to sp and the frame is explicitly aligned (<= 256 B).
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildDoduc(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t steps = ctx.scaled(3000);
+
+    SymId seed_g = as.global("lcg_seed", 4, 4, true);
+    SymId acc_g = as.global("flux_acc", 8, 8, true);
+    SymId table_g = as.global("xsect_table", 64 * 8, 8, false);
+
+    LabelId step = as.newLabel();
+
+    // ---- main ----
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+    as.li(reg::s5, static_cast<int32_t>(steps));
+    LabelId loop = as.newLabel();
+    as.bind(loop);
+    as.jal(step);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, loop);
+    as.lwGp(reg::t0, seed_g);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    // ---- step(): one particle history ----
+    as.bind(step);
+    Frame sf(ctx, false);
+    // A FORTRAN-style frame: an interleaved mix of scalars and a local
+    // work array, so the baseline layout pushes scalar offsets high.
+    unsigned d_e = sf.addDouble();
+    unsigned work = sf.addArray(24 * 8, 8);
+    unsigned d_mu = sf.addDouble();
+    unsigned d_path = sf.addDouble();
+    unsigned d_sig = sf.addDouble();
+    unsigned d_w = sf.addDouble();
+    unsigned i_zone = sf.addScalar();
+    sf.seal();
+    sf.prologue(as);
+
+    // LCG random draw (kept in the gp region, as FORTRAN commons are).
+    as.lwGp(reg::t0, seed_g);
+    as.li(reg::t1, 1103515245);
+    as.mul(reg::t0, reg::t0, reg::t1);
+    as.addi(reg::t0, reg::t0, 12345);
+    as.swGp(reg::t0, seed_g);
+    as.srl(reg::t2, reg::t0, 20);               // 12-bit draw
+    as.andi(reg::t2, reg::t2, 0xfff);
+
+    // energy = draw / 4096 + 1 ; store/reload through the frame, which
+    // is how a register-starved FORTRAN compiler treats these scalars.
+    as.mtc1(4, reg::t2);
+    as.cvtDW(4, 4);
+    emitLoadConstD(as, 5, reg::t3, 4096);
+    as.divD(4, 4, 5);
+    emitLoadConstD(as, 6, reg::t3, 1);
+    as.addD(4, 4, 6);
+    as.sdc1(4, sf.off(d_e), reg::sp);
+
+    // mu = 2*energy/(1+energy); path = -mu/sig, iterate a short series.
+    as.ldc1(7, sf.off(d_e), reg::sp);
+    as.addD(8, 7, 7);
+    as.addD(9, 7, 6);
+    as.divD(10, 8, 9);
+    as.sdc1(10, sf.off(d_mu), reg::sp);
+
+    // zone = draw & 63; sig = table[zone] (indexed static table).
+    as.andi(reg::t4, reg::t2, 63);
+    as.sw(reg::t4, sf.off(i_zone), reg::sp);
+    as.sll(reg::t5, reg::t4, 3);
+    as.la(reg::t6, table_g);
+    as.ldc1RR(11, reg::t6, reg::t5);
+    as.sdc1(11, sf.off(d_sig), reg::sp);
+
+    // path = sqrt(mu*mu + sig); w = mu / path.
+    as.ldc1(12, sf.off(d_mu), reg::sp);
+    as.mulD(13, 12, 12);
+    as.ldc1(14, sf.off(d_sig), reg::sp);
+    as.addD(13, 13, 14);
+    as.sqrtD(13, 13);
+    as.sdc1(13, sf.off(d_path), reg::sp);
+    as.divD(15, 12, 13);
+    as.sdc1(15, sf.off(d_w), reg::sp);
+
+    // Short scattering series through the work array.
+    as.addi(reg::t7, reg::sp, sf.off(work));
+    as.li(reg::t8, 8);
+    LabelId series = as.newLabel();
+    as.bind(series);
+    as.ldc1(16, sf.off(d_w), reg::sp);
+    as.mulD(16, 16, 10);
+    as.sdc1(16, sf.off(d_w), reg::sp);
+    as.sdc1Post(16, reg::t7, 8);
+    as.addi(reg::t8, reg::t8, -1);
+    as.bgtz(reg::t8, series);
+
+    // flux_acc += w (global double in the gp region).
+    as.ldc1Gp(17, acc_g);
+    as.ldc1(18, sf.off(d_w), reg::sp);
+    as.addD(17, 17, 18);
+    as.sdc1Gp(17, acc_g);
+
+    sf.epilogueAndRet(as);
+
+    ctx.atInit([=](InitContext &ic) {
+        ic.mem.write32(ic.symAddr(seed_g), 20220105);
+        fillRandomDoubles(ic.mem, ic.symAddr(table_g), 64, ic.rng);
+    });
+}
+
+} // namespace facsim

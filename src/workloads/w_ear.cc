@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ear: cochlea model — a bank of second-order filters run over an input
+ * signal. Each filter owns a state/coefficient record; the per-sample
+ * loop walks the filter array with constant structure-field offsets and
+ * accumulates into an output buffer.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildEar(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nfilters = 32;
+    const uint32_t nsamples = ctx.scaled(1800);
+    // Filter record: b0 @0, b1 @8, b2 @16, s1 @24, s2 @32, gain @40.
+    const uint32_t filt_raw = 48;
+    const uint32_t filt_bytes = ctx.pol.structSize(filt_raw);
+
+    SymId sig_ptr = as.global("signal_ptr", 4, 4, true);
+    SymId filt_ptr = as.global("filters_ptr", 4, 4, true);
+    SymId out_ptr = as.global("output_ptr", 4, 4, true);
+
+    LabelId process = as.newLabel();
+
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, sig_ptr);
+    as.lwGp(reg::s1, filt_ptr);
+    as.lwGp(reg::s2, out_ptr);
+    as.li(reg::s5, static_cast<int32_t>(nsamples));
+
+    LabelId sample = as.newLabel();
+
+    as.bind(sample);
+    as.ldc1Post(4, reg::s0, 8);                 // x = *signal++
+    as.move(reg::a0, reg::s1);
+    as.jal(process);                            // f5 = filter bank(x)
+    as.sdc1Post(5, reg::s2, 8);                 // *out++ = acc
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, sample);
+
+    // Result: last output sample, scaled.
+    as.ldc1(12, -8, reg::s2);
+    emitLoadConstD(as, 13, reg::t3, 1000);
+    as.mulD(12, 12, 13);
+    as.cvtWD(12, 12);
+    as.mfc1(reg::t4, 12);
+    as.swGp(reg::t4, g.result);
+    as.halt();
+
+    // ---- process(a0 = filter array, f4 = x) -> f5 accumulated out ----
+    // A FORTRAN-ish routine with a double spill slot for the sample.
+    as.bind(process);
+    Frame pf(ctx, false);
+    unsigned x_slot = pf.addDouble();
+    pf.seal();
+    pf.prologue(as);
+    as.sdc1(4, pf.off(x_slot), reg::sp);        // spill the sample
+    emitLoadConstD(as, 5, reg::t0, 0);          // out accumulator
+    as.move(reg::t1, reg::a0);                  // filter cursor
+    as.li(reg::t2, static_cast<int32_t>(nfilters));
+    LabelId filt = as.newLabel();
+    as.bind(filt);
+    as.ldc1(4, pf.off(x_slot), reg::sp);        // reload x (stack load)
+    // y = b0*x + b1*s1 + b2*s2 ; s2 = s1 ; s1 = y ; out += gain*y
+    as.ldc1(6, 0, reg::t1);                     // b0
+    as.mulD(6, 6, 4);
+    as.ldc1(7, 8, reg::t1);                     // b1
+    as.ldc1(8, 24, reg::t1);                    // s1
+    as.mulD(7, 7, 8);
+    as.addD(6, 6, 7);
+    as.ldc1(9, 16, reg::t1);                    // b2
+    as.ldc1(10, 32, reg::t1);                   // s2
+    as.mulD(9, 9, 10);
+    as.addD(6, 6, 9);
+    as.sdc1(8, 32, reg::t1);                    // s2 = s1
+    as.sdc1(6, 24, reg::t1);                    // s1 = y
+    as.ldc1(11, 40, reg::t1);                   // gain
+    as.mulD(11, 11, 6);
+    as.addD(5, 5, 11);
+    as.addi(reg::t1, reg::t1, static_cast<int32_t>(filt_bytes));
+    as.addi(reg::t2, reg::t2, -1);
+    as.bgtz(reg::t2, filt);
+    pf.epilogueAndRet(as);
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t sig = ic.heap.alloc(nsamples * 8, 8);
+        fillRandomDoubles(ic.mem, sig, nsamples, ic.rng);
+        uint32_t filters = ic.heap.alloc(nfilters * filt_bytes, 8);
+        for (uint32_t f = 0; f < nfilters; ++f) {
+            uint32_t rec = filters + f * filt_bytes;
+            // Stable coefficients: |b1|,|b2| < 0.5, unity-ish gain.
+            for (uint32_t k = 0; k < 3; ++k) {
+                double c = (ic.rng.real() - 0.5) * 0.9;
+                uint64_t bits64;
+                __builtin_memcpy(&bits64, &c, 8);
+                ic.mem.write64(rec + 8 * k, bits64);
+            }
+            ic.mem.write64(rec + 24, 0);
+            ic.mem.write64(rec + 32, 0);
+            double gain = ic.rng.real();
+            uint64_t bits64;
+            __builtin_memcpy(&bits64, &gain, 8);
+            ic.mem.write64(rec + 40, bits64);
+        }
+        uint32_t out = ic.heap.alloc(nsamples * 8, 8);
+        ic.mem.write32(ic.symAddr(sig_ptr), sig);
+        ic.mem.write32(ic.symAddr(filt_ptr), filters);
+        ic.mem.write32(ic.symAddr(out_ptr), out);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * eqntott: truth-table comparison sort. The dominant loop is the cmppt-
+ * style vector compare invoked from an insertion sort over an array of
+ * bit-vector pointers — call-heavy code with argument spills (stack
+ * traffic), a global compare counter (gp traffic), and word-stream
+ * compares through post-increment loads.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildEqntott(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nvec = 128;
+    const uint32_t words = 16;
+    const uint32_t reps = ctx.scaled(4);
+
+    SymId vec_ptrs = as.global("vec_ptrs", 4, 4, true);
+    SymId cmp_count = as.global("cmp_count", 4, 4, true);
+
+    LabelId cmp = as.newLabel();
+
+    // ---- main ----
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, vec_ptrs);
+    as.li(reg::s5, static_cast<int32_t>(reps));
+
+    LabelId rep = as.newLabel();
+    LabelId outer = as.newLabel();
+    LabelId inner = as.newLabel();
+    LabelId insert_done = as.newLabel();
+    LabelId revloop = as.newLabel();
+    LabelId revdone = as.newLabel();
+
+    as.bind(rep);
+    as.li(reg::s1, 1);                       // i
+    as.bind(outer);
+    as.sll(reg::t0, reg::s1, 2);
+    as.add(reg::t1, reg::s0, reg::t0);       // &ptr[i]
+    as.lw(reg::s3, 0, reg::t1);              // key
+    as.addi(reg::s2, reg::s1, -1);           // j
+    as.addi(reg::t2, reg::t1, -4);           // p = &ptr[j]
+    as.bind(inner);
+    as.bltz(reg::s2, insert_done);
+    as.lw(reg::a0, 0, reg::t2);              // ptr[j]
+    as.move(reg::a1, reg::s3);
+    as.jal(cmp);
+    as.blez(reg::v0, insert_done);
+    as.lw(reg::t3, 0, reg::t2);
+    as.sw(reg::t3, 4, reg::t2);              // ptr[j+1] = ptr[j]
+    as.addi(reg::s2, reg::s2, -1);
+    as.addi(reg::t2, reg::t2, -4);
+    as.j(inner);
+    as.bind(insert_done);
+    as.sw(reg::s3, 4, reg::t2);              // ptr[j+1] = key
+    as.addi(reg::s1, reg::s1, 1);
+    as.li(reg::t4, static_cast<int32_t>(nvec));
+    as.bne(reg::s1, reg::t4, outer);
+
+    // Reverse the pointer array so the next pass resorts worst-case.
+    as.move(reg::t0, reg::s0);
+    as.li(reg::t1, static_cast<int32_t>((nvec - 1) * 4));
+    as.add(reg::t1, reg::s0, reg::t1);
+    as.bind(revloop);
+    as.sltu(reg::t2, reg::t0, reg::t1);
+    as.beq(reg::t2, reg::zero, revdone);
+    as.lw(reg::t3, 0, reg::t0);
+    as.lw(reg::t4, 0, reg::t1);
+    as.sw(reg::t4, 0, reg::t0);
+    as.sw(reg::t3, 0, reg::t1);
+    as.addi(reg::t0, reg::t0, 4);
+    as.addi(reg::t1, reg::t1, -4);
+    as.j(revloop);
+    as.bind(revdone);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, rep);
+
+    as.lwGp(reg::t0, cmp_count);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    // ---- cmp(a0, a1): lexicographic word compare, returns -1/0/1 ----
+    as.bind(cmp);
+    Frame cf(ctx, false);
+    unsigned spill_a = cf.addScalar();
+    unsigned spill_b = cf.addScalar();
+    cf.seal();
+    cf.prologue(as);
+    as.sw(reg::a0, cf.off(spill_a), reg::sp);
+    as.sw(reg::a1, cf.off(spill_b), reg::sp);
+    as.lwGp(reg::t5, cmp_count);
+    as.addi(reg::t5, reg::t5, 1);
+    as.swGp(reg::t5, cmp_count);
+    as.li(reg::t6, static_cast<int32_t>(words));
+    LabelId cmploop = as.newLabel();
+    LabelId diff = as.newLabel();
+    LabelId gt = as.newLabel();
+    LabelId cmpret = as.newLabel();
+    as.bind(cmploop);
+    as.lwPost(reg::t0, reg::a0, 4);
+    as.lwPost(reg::t1, reg::a1, 4);
+    as.bne(reg::t0, reg::t1, diff);
+    as.addi(reg::t6, reg::t6, -1);
+    as.bgtz(reg::t6, cmploop);
+    as.li(reg::v0, 0);
+    as.j(cmpret);
+    as.bind(diff);
+    as.sltu(reg::v0, reg::t0, reg::t1);
+    as.beq(reg::v0, reg::zero, gt);
+    as.li(reg::v0, -1);
+    as.j(cmpret);
+    as.bind(gt);
+    as.li(reg::v0, 1);
+    as.bind(cmpret);
+    as.lw(reg::a0, cf.off(spill_a), reg::sp);
+    as.lw(reg::a1, cf.off(spill_b), reg::sp);
+    cf.epilogueAndRet(as);
+
+    ctx.atInit([=](InitContext &ic) {
+        // Bit vectors share long common prefixes so compares scan deep.
+        std::vector<uint32_t> common(words);
+        for (uint32_t w = 0; w < words; ++w)
+            common[w] = static_cast<uint32_t>(ic.rng.next());
+        uint32_t ptrs = ic.heap.alloc(nvec * 4, 4);
+        for (uint32_t i = 0; i < nvec; ++i) {
+            uint32_t vec = ic.heap.alloc(words * 4, 4);
+            uint32_t split = static_cast<uint32_t>(ic.rng.range(words));
+            for (uint32_t w = 0; w < words; ++w) {
+                uint32_t v = w < split
+                    ? common[w] : static_cast<uint32_t>(ic.rng.next());
+                ic.mem.write32(vec + 4 * w, v);
+            }
+            ic.mem.write32(ptrs + 4 * i, vec);
+        }
+        ic.mem.write32(ic.symAddr(vec_ptrs), ptrs);
+    });
+}
+
+} // namespace facsim

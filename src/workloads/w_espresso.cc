@@ -1,0 +1,125 @@
+/**
+ * @file
+ * espresso: cube-cover set operations. Heap-allocated cube records (a
+ * small header plus a bit-vector body, with the structure size subject
+ * to the power-of-two rounding policy) are intersected pairwise by a
+ * called helper — argument spills and the return-address save give the
+ * kernel espresso's call-heavy stack traffic. The pointer array lives
+ * in a large static (la-addressed) and the inner loops are strength-
+ * reduced to zero-offset post-increment accesses — espresso's many
+ * zero offsets are called out in Section 2.2.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildEspresso(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t ncubes = 64;
+    const uint32_t words = 8;                  // bit-vector words per cube
+    const uint32_t hdr = 8;                    // {count, flags}
+    const uint32_t passes = ctx.scaled(100);
+
+    // The pointer table is a named static array (general data segment).
+    SymId cube_tab = as.global("cube_tab", ncubes * 4, 4, false);
+    SymId scratch_ptr = as.global("scratch_ptr", 4, 4, true);
+    SymId nonzero_ct = as.global("nonzero_ct", 4, 4, true);
+
+    LabelId intersect = as.newLabel();
+
+    // ---- main ----
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+
+    as.la(reg::s0, cube_tab);                  // pointer table
+    as.lwGp(reg::s1, scratch_ptr);             // result cube
+    as.li(reg::s5, static_cast<int32_t>(passes));
+
+    LabelId pass = as.newLabel();
+    LabelId pairs = as.newLabel();
+
+    as.bind(pass);
+    as.li(reg::s2, 0);                         // pair index i
+    as.bind(pairs);
+    // intersect(tab[i], tab[i+1], scratch)
+    as.sll(reg::t0, reg::s2, 2);
+    as.add(reg::t0, reg::s0, reg::t0);
+    as.lw(reg::a0, 0, reg::t0);
+    as.lw(reg::a1, 4, reg::t0);
+    as.move(reg::a2, reg::s1);
+    as.jal(intersect);
+    // accumulate the nonzero-word count into a gp global
+    as.lwGp(reg::t9, nonzero_ct);
+    as.add(reg::t9, reg::t9, reg::v0);
+    as.swGp(reg::t9, nonzero_ct);
+    as.addi(reg::s2, reg::s2, 1);
+    as.li(reg::t0, static_cast<int32_t>(ncubes - 1));
+    as.bne(reg::s2, reg::t0, pairs);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, pass);
+
+    as.lwGp(reg::t0, nonzero_ct);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    // ---- intersect(a0 = A, a1 = B, a2 = dest) -> v0 nonzero words ----
+    // A leaf with register pressure: the arguments are spilled to and
+    // reloaded from the frame, as compiled espresso's set routines do.
+    as.bind(intersect);
+    Frame cf(ctx, false);
+    unsigned sa = cf.addScalar();
+    unsigned sb = cf.addScalar();
+    unsigned sd = cf.addScalar();
+    cf.seal();
+    cf.prologue(as);
+    as.sw(reg::a0, cf.off(sa), reg::sp);
+    as.sw(reg::a1, cf.off(sb), reg::sp);
+    as.sw(reg::a2, cf.off(sd), reg::sp);
+    as.addi(reg::t1, reg::a0, static_cast<int32_t>(hdr));
+    as.addi(reg::t2, reg::a1, static_cast<int32_t>(hdr));
+    as.addi(reg::t3, reg::a2, static_cast<int32_t>(hdr));
+    as.li(reg::t4, static_cast<int32_t>(words));
+    as.li(reg::v0, 0);
+    LabelId wloop = as.newLabel();
+    LabelId notz = as.newLabel();
+    as.bind(wloop);
+    as.lwPost(reg::t5, reg::t1, 4);
+    as.lwPost(reg::t6, reg::t2, 4);
+    as.and_(reg::t7, reg::t5, reg::t6);
+    as.swPost(reg::t7, reg::t3, 4);
+    as.beq(reg::t7, reg::zero, notz);
+    as.addi(reg::v0, reg::v0, 1);
+    as.bind(notz);
+    as.addi(reg::t4, reg::t4, -1);
+    as.bgtz(reg::t4, wloop);
+    // store the count into the destination cube's header
+    as.lw(reg::t8, cf.off(sd), reg::sp);
+    as.sw(reg::v0, 0, reg::t8);
+    cf.epilogueAndRet(as);
+
+    const uint32_t raw_size = hdr + words * 4;
+    ctx.atInit([=](InitContext &ic) {
+        // Cube records come from the type-less allocator; their size is
+        // subject to the structure-rounding policy.
+        uint32_t sz = ctx.pol.structSize(raw_size);
+        uint32_t tab = ic.symAddr(cube_tab);
+        for (uint32_t i = 0; i < ncubes; ++i) {
+            uint32_t cube = ic.heap.alloc(sz, 4);
+            ic.mem.write32(cube + 0, 0);
+            ic.mem.write32(cube + 4, static_cast<uint32_t>(i));
+            fillRandomWords(ic.mem, cube + hdr, words, ic.rng);
+            ic.mem.write32(tab + 4 * i, cube);
+        }
+        uint32_t scratch = ic.heap.alloc(sz, 4);
+        ic.mem.write32(ic.symAddr(scratch_ptr), scratch);
+    });
+}
+
+} // namespace facsim

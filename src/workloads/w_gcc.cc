@@ -1,0 +1,132 @@
+/**
+ * @file
+ * gcc: recursive IR-tree constant folding over obstack-allocated nodes.
+ * The nodes come from a domain-specific packed allocator that defeats the
+ * malloc alignment optimization — the paper singles out GCC's own storage
+ * allocators as a leading cause of its residual mispredictions. The
+ * recursive walk produces deep call chains with ra saves and spills
+ * (stack traffic) and small-constant structure-field offsets (general
+ * traffic).
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildGcc(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t ntrees = 24;
+    const uint32_t nodes_per_tree = 401;   // odd → complete-ish binary tree
+    const uint32_t reps = ctx.scaled(3);
+    // Node layout: code @0, flags @4, val @8, left @12, right @16.
+    const uint32_t node_bytes = 20;
+
+    SymId roots = as.global("tree_roots", ntrees * 4, 4, false);
+    SymId fold_calls = as.global("fold_calls", 4, 4, true);
+
+    LabelId fold = as.newLabel();
+
+    // ---- main ----
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+    as.la(reg::s0, roots);
+    as.li(reg::s5, static_cast<int32_t>(reps));
+    as.li(reg::s6, 0);                        // checksum
+
+    LabelId rep = as.newLabel();
+    LabelId treeloop = as.newLabel();
+    as.bind(rep);
+    as.li(reg::s1, 0);
+    as.bind(treeloop);
+    as.sll(reg::t0, reg::s1, 2);
+    as.lwRR(reg::a0, reg::s0, reg::t0);       // root pointer
+    as.jal(fold);
+    as.add(reg::s6, reg::s6, reg::v0);
+    as.addi(reg::s1, reg::s1, 1);
+    as.li(reg::t1, static_cast<int32_t>(ntrees));
+    as.bne(reg::s1, reg::t1, treeloop);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, rep);
+
+    as.lwGp(reg::t0, fold_calls);
+    as.add(reg::t0, reg::t0, reg::s6);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    // ---- fold(a0 = node) -> v0 = folded value ----
+    as.bind(fold);
+    LabelId retzero = as.newLabel();
+    as.beq(reg::a0, reg::zero, retzero);
+    Frame ff(ctx, true);
+    unsigned node_slot = ff.addScalar();
+    unsigned part_slot = ff.addScalar();
+    ff.seal();
+    ff.prologue(as);
+    as.sw(reg::a0, ff.off(node_slot), reg::sp);
+    as.lwGp(reg::t5, fold_calls);
+    as.addi(reg::t5, reg::t5, 1);
+    as.swGp(reg::t5, fold_calls);
+    as.lw(reg::a0, 12, reg::a0);              // left child
+    as.jal(fold);
+    as.sw(reg::v0, ff.off(part_slot), reg::sp);
+    as.lw(reg::t0, ff.off(node_slot), reg::sp);
+    as.lw(reg::a0, 16, reg::t0);              // right child
+    as.jal(fold);
+    as.lw(reg::t0, ff.off(node_slot), reg::sp);
+    as.lw(reg::t1, ff.off(part_slot), reg::sp);
+    as.add(reg::v0, reg::v0, reg::t1);
+    as.lw(reg::t2, 8, reg::t0);               // val
+    as.add(reg::v0, reg::v0, reg::t2);
+    as.lw(reg::t3, 0, reg::t0);               // code
+    as.andi(reg::t3, reg::t3, 1);
+    LabelId nostore = as.newLabel();
+    as.beq(reg::t3, reg::zero, nostore);
+    as.sw(reg::v0, 8, reg::t0);               // fold in place
+    as.bind(nostore);
+    ff.epilogueAndRet(as);
+    as.bind(retzero);
+    as.li(reg::v0, 0);
+    as.jr(reg::ra);
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t tab = ic.symAddr(roots);
+        for (uint32_t t = 0; t < ntrees; ++t) {
+            // Obstack-style packed allocation (poorly aligned on purpose).
+            std::vector<uint32_t> node(nodes_per_tree);
+            for (uint32_t i = 0; i < nodes_per_tree; ++i)
+                node[i] = ic.heap.allocPacked(node_bytes);
+            // Random permutation shapes the tree: perm[i]'s children are
+            // perm[2i+1], perm[2i+2].
+            std::vector<uint32_t> perm(nodes_per_tree);
+            for (uint32_t i = 0; i < nodes_per_tree; ++i)
+                perm[i] = i;
+            for (uint32_t i = nodes_per_tree - 1; i > 0; --i) {
+                uint32_t j = static_cast<uint32_t>(ic.rng.range(i + 1));
+                std::swap(perm[i], perm[j]);
+            }
+            for (uint32_t i = 0; i < nodes_per_tree; ++i) {
+                uint32_t n = node[perm[i]];
+                uint32_t l = 2 * i + 1 < nodes_per_tree
+                    ? node[perm[2 * i + 1]] : 0;
+                uint32_t r = 2 * i + 2 < nodes_per_tree
+                    ? node[perm[2 * i + 2]] : 0;
+                ic.mem.write32(n + 0,
+                               static_cast<uint32_t>(ic.rng.range(4)));
+                ic.mem.write32(n + 4, 0);
+                ic.mem.write32(n + 8,
+                               static_cast<uint32_t>(ic.rng.range(100)));
+                ic.mem.write32(n + 12, l);
+                ic.mem.write32(n + 16, r);
+            }
+            ic.mem.write32(tab + 4 * t, node[perm[0]]);
+        }
+    });
+}
+
+} // namespace facsim

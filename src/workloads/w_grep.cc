@@ -1,0 +1,113 @@
+/**
+ * @file
+ * grep: table-driven DFA scan over a large text buffer (-E -f regex.in).
+ * The hot loop performs register+register loads into two *small* arrays
+ * (a 256-byte character-class map and a 128-byte transition table) — the
+ * access pattern behind the paper's observation that grep gains from
+ * speculating R+R accesses, whose small indices often survive the
+ * block-offset full add.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildGrep(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t text_bytes = 49152;
+    const uint32_t passes = ctx.scaled(2);
+    const uint32_t nstates = 16;
+    const uint32_t nclasses = 8;
+    const uint32_t accept_state = nstates - 1;
+
+    SymId text_ptr = as.global("text_ptr", 4, 4, true);
+    // The character-class map is aligned to its size, as lex-generated
+    // scanners commonly arrange; together with the small row index this
+    // makes grep's R+R accesses predict well (Section 5.5).
+    SymId class_tab = as.global("class_tab", 256, 256, true);
+    SymId dfa_tab = as.global("dfa_tab", nstates * nclasses, 8, true);
+    SymId match_ct = as.global("match_ct", 4, 4, true);
+    SymId hits_ptr = as.global("hits_ptr", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.li(reg::s5, static_cast<int32_t>(passes));
+    as.laGp(reg::s2, class_tab);               // small-array bases
+    as.laGp(reg::s3, dfa_tab);
+
+    LabelId pass = as.newLabel();
+    LabelId loop = as.newLabel();
+    LabelId noacc = as.newLabel();
+
+    as.bind(pass);
+    as.lwGp(reg::s0, text_ptr);
+    as.li(reg::t0, static_cast<int32_t>(text_bytes));
+    as.add(reg::s1, reg::s0, reg::t0);
+    as.lwGp(reg::s7, hits_ptr);                // match-position cursor
+    as.li(reg::s4, 0);                         // DFA state
+    as.li(reg::s6, 0);                         // match count this pass
+
+    as.bind(loop);
+    as.lbuPost(reg::t0, reg::s0, 1);
+    as.lbuRR(reg::t1, reg::s2, reg::t0);       // class = class_tab[c]
+    as.sll(reg::t2, reg::s4, 3);               // state * nclasses
+    as.add(reg::t2, reg::s3, reg::t2);         // &dfa[state][0]
+    // R+R access into a *small* row: the index is < 8 bytes, so the
+    // block-offset full adder absorbs it — the accesses behind grep's
+    // "stellar improvement" from R+R speculation (Section 5.5).
+    as.lbuRR(reg::s4, reg::t2, reg::t1);       // next state
+    as.li(reg::t3, static_cast<int32_t>(accept_state));
+    as.bne(reg::s4, reg::t3, noacc);
+    as.addi(reg::s6, reg::s6, 1);
+    as.swPost(reg::s0, reg::s7, 4);            // record match position
+    as.li(reg::s4, 0);
+    as.bind(noacc);
+    as.bne(reg::s0, reg::s1, loop);
+
+    as.lwGp(reg::t4, match_ct);
+    as.add(reg::t4, reg::t4, reg::s6);
+    as.swGp(reg::t4, match_ct);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, pass);
+
+    as.lwGp(reg::t0, match_ct);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t text = ic.heap.alloc(text_bytes, 1);
+        fillRandomText(ic.mem, text, text_bytes, ic.rng);
+        ic.mem.write32(ic.symAddr(text_ptr), text);
+        // Worst case every byte matches; one slot per input byte.
+        uint32_t hits = ic.heap.alloc(text_bytes * 4, 4);
+        ic.mem.write32(ic.symAddr(hits_ptr), hits);
+        // Character classes: map the alphabet onto nclasses buckets.
+        uint32_t cls = ic.symAddr(class_tab);
+        for (uint32_t c = 0; c < 256; ++c)
+            ic.mem.write8(cls + c, static_cast<uint8_t>(c % nclasses));
+        // Random DFA biased toward state 0, with enough edges into the
+        // accept state that matches occur at a few percent of bytes.
+        uint32_t dfa = ic.symAddr(dfa_tab);
+        for (uint32_t s = 0; s < nstates; ++s) {
+            for (uint32_t k = 0; k < nclasses; ++k) {
+                uint8_t nxt;
+                if (ic.rng.chance(0.5))
+                    nxt = 0;
+                else if (ic.rng.chance(0.1))
+                    nxt = static_cast<uint8_t>(accept_state);
+                else
+                    nxt = static_cast<uint8_t>(ic.rng.range(nstates));
+                ic.mem.write8(dfa + s * nclasses + k, nxt);
+            }
+        }
+    });
+}
+
+} // namespace facsim

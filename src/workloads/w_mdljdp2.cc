@@ -1,0 +1,122 @@
+/**
+ * @file
+ * mdljdp2: double-precision molecular dynamics. Pairwise forces are
+ * computed over a neighbour list; particle coordinates live in separate
+ * coordinate arrays indexed through register+register addressing with
+ * large index-register offsets — the access class with the highest
+ * misprediction rates in Tables 3/4.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildMdljdp2(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nparticles = 500;
+    const uint32_t npairs = 4000;
+    const uint32_t steps = ctx.scaled(6);
+
+    SymId x_ptr = as.global("x_ptr", 4, 4, true);
+    SymId y_ptr = as.global("y_ptr", 4, 4, true);
+    SymId f_ptr = as.global("f_ptr", 4, 4, true);
+    SymId pair_ptr = as.global("pair_ptr", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, x_ptr);
+    as.lwGp(reg::s1, y_ptr);
+    as.lwGp(reg::s2, f_ptr);
+    as.li(reg::s5, static_cast<int32_t>(steps));
+    emitLoadConstD(as, 1, reg::t0, 1);          // 1.0
+    emitLoadConstD(as, 2, reg::t0, 100);
+    as.divD(2, 1, 2);                           // softening 0.01
+
+    LabelId step = as.newLabel();
+    LabelId pair = as.newLabel();
+
+    as.bind(step);
+    as.lwGp(reg::s3, pair_ptr);
+    as.li(reg::s4, static_cast<int32_t>(npairs));
+    as.bind(pair);
+    as.lwPost(reg::t0, reg::s3, 4);             // i
+    as.lwPost(reg::t1, reg::s3, 4);             // j
+    as.sll(reg::t0, reg::t0, 3);                // byte offsets
+    as.sll(reg::t1, reg::t1, 3);
+    // Coordinate gathers keep register+register addressing (the array-
+    // index class whose large offsets defeat prediction)...
+    as.ldc1RR(4, reg::s0, reg::t0);             // x[i]
+    as.ldc1RR(5, reg::s0, reg::t1);             // x[j]
+    as.subD(4, 4, 5);                           // dx
+    // ...while the y gathers and force updates use compiler-synthesised
+    // addressing (addu + zero-offset access), as MIPS GCC emits when it
+    // judges reg+reg unprofitable.
+    as.add(reg::t2, reg::s1, reg::t0);
+    as.add(reg::t3, reg::s1, reg::t1);
+    as.ldc1(6, 0, reg::t2);                     // y[i]
+    as.ldc1(7, 0, reg::t3);                     // y[j]
+    as.subD(6, 6, 7);                           // dy
+    as.mulD(8, 4, 4);
+    as.mulD(9, 6, 6);
+    as.addD(8, 8, 9);                           // r2
+    as.addD(8, 8, 2);                           // + eps
+    as.divD(10, 1, 8);                          // 1/r2
+    as.mulD(11, 10, 4);                         // fx
+    as.mulD(12, 10, 6);                         // fy
+    // f[i] += fx ; f[j] -= fy, via synthesised addresses.
+    as.add(reg::t4, reg::s2, reg::t0);
+    as.add(reg::t5, reg::s2, reg::t1);
+    as.ldc1(13, 0, reg::t4);
+    as.addD(13, 13, 11);
+    as.sdc1(13, 0, reg::t4);
+    as.ldc1(14, 0, reg::t5);
+    as.subD(14, 14, 12);
+    as.sdc1(14, 0, reg::t5);
+    as.addi(reg::s4, reg::s4, -1);
+    as.bgtz(reg::s4, pair);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, step);
+
+    // Result: f[0] scaled to an integer checksum.
+    as.ldc1(15, 0, reg::s2);
+    emitLoadConstD(as, 16, reg::t2, 100);
+    as.mulD(15, 15, 16);
+    as.cvtWD(15, 15);
+    as.mfc1(reg::t3, 15);
+    as.swGp(reg::t3, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        // The coordinate arrays do not land on a lucky power-of-two
+        // boundary (the heap base is page aligned; real mdljdp2's
+        // arrays sit behind other COMMON blocks).
+        ic.heap.alloc(808, 8);
+        uint32_t x = ic.heap.alloc(nparticles * 8, 8);
+        uint32_t y = ic.heap.alloc(nparticles * 8, 8);
+        uint32_t f = ic.heap.alloc(nparticles * 8, 8);
+        fillRandomDoubles(ic.mem, x, nparticles, ic.rng);
+        fillRandomDoubles(ic.mem, y, nparticles, ic.rng);
+        uint32_t pairs = ic.heap.alloc(npairs * 8, 4);
+        for (uint32_t p = 0; p < npairs; ++p) {
+            uint32_t i = static_cast<uint32_t>(ic.rng.range(nparticles));
+            uint32_t j = static_cast<uint32_t>(ic.rng.range(nparticles));
+            if (i == j)
+                j = (j + 1) % nparticles;
+            ic.mem.write32(pairs + 8 * p, i);
+            ic.mem.write32(pairs + 8 * p + 4, j);
+        }
+        ic.mem.write32(ic.symAddr(x_ptr), x);
+        ic.mem.write32(ic.symAddr(y_ptr), y);
+        ic.mem.write32(ic.symAddr(f_ptr), f);
+        ic.mem.write32(ic.symAddr(pair_ptr), pairs);
+    });
+}
+
+} // namespace facsim

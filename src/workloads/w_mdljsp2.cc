@@ -1,0 +1,135 @@
+/**
+ * @file
+ * mdljsp2: single-precision molecular dynamics over an array-of-structs
+ * particle layout. The 24-byte raw particle record is rounded to 32
+ * bytes under the structure-size policy, which both aligns the records
+ * to cache blocks and lets the compiler use a shift instead of a
+ * multiply for indexing — the paper's structure-rounding trade-off.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildMdljsp2(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nparticles = 600;
+    const uint32_t npairs = 4000;
+    const uint32_t steps = ctx.scaled(7);
+    // Particle record: x @0, y @4, z @8, fx @12, fy @16, fz @20 (floats).
+    const uint32_t part_raw = 24;
+    const uint32_t part_bytes = ctx.pol.structSize(part_raw);
+
+    SymId part_ptr = as.global("particles_ptr", 4, 4, true);
+    SymId pair_ptr = as.global("pairs_ptr", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, part_ptr);
+    as.li(reg::s5, static_cast<int32_t>(steps));
+    emitLoadConstD(as, 1, reg::t0, 1);
+    emitLoadConstD(as, 2, reg::t0, 50);
+    as.divD(2, 1, 2);                           // softening
+
+    LabelId step = as.newLabel();
+    LabelId pair = as.newLabel();
+
+    as.bind(step);
+    as.lwGp(reg::s3, pair_ptr);
+    as.li(reg::s4, static_cast<int32_t>(npairs));
+    as.bind(pair);
+    as.lwPost(reg::t0, reg::s3, 4);             // i
+    as.lwPost(reg::t1, reg::s3, 4);             // j
+    // &particle[k] = base + k * part_bytes
+    if (part_bytes == 32) {
+        as.sll(reg::t0, reg::t0, 5);
+        as.sll(reg::t1, reg::t1, 5);
+    } else {
+        as.li(reg::t2, static_cast<int32_t>(part_bytes));
+        as.mul(reg::t0, reg::t0, reg::t2);
+        as.mul(reg::t1, reg::t1, reg::t2);
+    }
+    as.add(reg::t0, reg::s0, reg::t0);
+    as.add(reg::t1, reg::s0, reg::t1);
+    as.lwc1(4, 0, reg::t0);                     // x_i
+    as.lwc1(5, 0, reg::t1);                     // x_j
+    as.subD(4, 4, 5);
+    as.lwc1(6, 4, reg::t0);                     // y_i
+    as.lwc1(7, 4, reg::t1);                     // y_j
+    as.subD(6, 6, 7);
+    as.lwc1(8, 8, reg::t0);                     // z_i
+    as.lwc1(9, 8, reg::t1);                     // z_j
+    as.subD(8, 8, 9);
+    as.mulD(10, 4, 4);
+    as.mulD(11, 6, 6);
+    as.addD(10, 10, 11);
+    as.mulD(12, 8, 8);
+    as.addD(10, 10, 12);
+    as.addD(10, 10, 2);                         // r2 + eps
+    as.divD(13, 1, 10);                         // 1/r2
+    as.mulD(14, 13, 4);                         // fx pair
+    // fx_i += ; fx_j -=
+    as.lwc1(15, 12, reg::t0);
+    as.addD(15, 15, 14);
+    as.swc1(15, 12, reg::t0);
+    as.lwc1(16, 12, reg::t1);
+    as.subD(16, 16, 14);
+    as.swc1(16, 12, reg::t1);
+    // fy updates
+    as.mulD(17, 13, 6);
+    as.lwc1(18, 16, reg::t0);
+    as.addD(18, 18, 17);
+    as.swc1(18, 16, reg::t0);
+    as.lwc1(19, 16, reg::t1);
+    as.subD(19, 19, 17);
+    as.swc1(19, 16, reg::t1);
+    as.addi(reg::s4, reg::s4, -1);
+    as.bgtz(reg::s4, pair);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, step);
+
+    // Result checksum from particle 0's fx.
+    as.lwc1(20, 12, reg::s0);
+    emitLoadConstD(as, 21, reg::t3, 100);
+    as.mulD(20, 20, 21);
+    as.cvtWD(20, 20);
+    as.mfc1(reg::t4, 20);
+    as.swGp(reg::t4, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t parts = ic.heap.alloc(nparticles * part_bytes, 8);
+        for (uint32_t i = 0; i < nparticles; ++i) {
+            uint32_t rec = parts + i * part_bytes;
+            for (uint32_t k = 0; k < 3; ++k) {
+                float v = static_cast<float>(ic.rng.real());
+                uint32_t bits32;
+                __builtin_memcpy(&bits32, &v, 4);
+                ic.mem.write32(rec + 4 * k, bits32);
+            }
+            ic.mem.write32(rec + 12, 0);
+            ic.mem.write32(rec + 16, 0);
+            ic.mem.write32(rec + 20, 0);
+        }
+        uint32_t pairs = ic.heap.alloc(npairs * 8, 4);
+        for (uint32_t p = 0; p < npairs; ++p) {
+            uint32_t i = static_cast<uint32_t>(ic.rng.range(nparticles));
+            uint32_t j = static_cast<uint32_t>(ic.rng.range(nparticles));
+            if (i == j)
+                j = (j + 1) % nparticles;
+            ic.mem.write32(pairs + 8 * p, i);
+            ic.mem.write32(pairs + 8 * p + 4, j);
+        }
+        ic.mem.write32(ic.symAddr(part_ptr), parts);
+        ic.mem.write32(ic.symAddr(pair_ptr), pairs);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ora: optical ray tracing. Almost pure scalar floating point — sphere
+ * intersection tests with divides and square roots, very few memory
+ * references (just gp-resident accumulators), tiny cache footprint. The
+ * paper's ora shows the smallest memory-system sensitivity of the suite.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildOra(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t rays = ctx.scaled(16000);
+
+    SymId seed_g = as.global("ray_seed", 4, 4, true);
+    SymId hits_g = as.global("hit_count", 4, 4, true);
+    SymId path_g = as.global("path_len", 8, 8, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.li(reg::s5, static_cast<int32_t>(rays));
+    emitLoadConstD(as, 1, reg::t0, 1);           // 1.0
+    emitLoadConstD(as, 2, reg::t0, 4096);        // draw scale
+    emitLoadConstD(as, 3, reg::t0, 4);           // 4.0
+    as.lwGp(reg::s0, seed_g);
+    as.li(reg::s1, 0);                           // hits
+
+    LabelId ray = as.newLabel();
+    LabelId miss = as.newLabel();
+    LabelId next = as.newLabel();
+
+    as.bind(ray);
+    // Two LCG draws -> direction components in [0, 1).
+    as.li(reg::t1, 1103515245);
+    as.mul(reg::s0, reg::s0, reg::t1);
+    as.addi(reg::s0, reg::s0, 12345);
+    as.srl(reg::t2, reg::s0, 16);
+    as.andi(reg::t2, reg::t2, 0xfff);
+    as.mtc1(4, reg::t2);
+    as.cvtDW(4, 4);
+    as.divD(4, 4, 2);                            // b in [0,1)
+    as.mul(reg::s0, reg::s0, reg::t1);
+    as.addi(reg::s0, reg::s0, 24321);
+    as.srl(reg::t3, reg::s0, 16);
+    as.andi(reg::t3, reg::t3, 0xfff);
+    as.mtc1(5, reg::t3);
+    as.cvtDW(5, 5);
+    as.divD(5, 5, 2);                            // c in [0,1)
+
+    // Discriminant: disc = b*b*4 - 4*c + 1
+    as.mulD(6, 4, 4);
+    as.mulD(6, 6, 3);
+    as.mulD(7, 5, 3);
+    as.subD(6, 6, 7);
+    as.addD(6, 6, 1);
+    emitLoadConstD(as, 8, reg::t4, 0);
+    as.cLeD(6, 8);                               // disc <= 0 ?
+    as.bc1t(miss);
+    // t = (b + sqrt(disc)) / (2 + c): accumulate the path length.
+    as.sqrtD(9, 6);
+    as.addD(9, 9, 4);
+    as.addD(10, 5, 1);
+    as.addD(10, 10, 1);
+    as.divD(9, 9, 10);
+    as.ldc1Gp(11, path_g);
+    as.addD(11, 11, 9);
+    as.sdc1Gp(11, path_g);
+    as.addi(reg::s1, reg::s1, 1);
+    as.bind(miss);
+    as.bind(next);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, ray);
+
+    as.swGp(reg::s0, seed_g);
+    as.swGp(reg::s1, hits_g);
+    as.swGp(reg::s1, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        ic.mem.write32(ic.symAddr(seed_g), 987654321);
+    });
+}
+
+} // namespace facsim

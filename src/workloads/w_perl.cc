@@ -1,0 +1,156 @@
+/**
+ * @file
+ * perl: the interpreter's hash-table workout. String keys are hashed
+ * byte by byte, chains of heap-allocated entries are walked with strcmp
+ * calls (stack spills + byte streams), and hits bump the stored value.
+ * Entries and key strings come from malloc, so the allocation-alignment
+ * policy matters; the paper notes perl's memory growth under support.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildPerl(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nkeys = 256;
+    const uint32_t nbuckets = 128;
+    const uint32_t rounds = ctx.scaled(16);
+    const uint32_t entry_bytes = ctx.pol.structSize(12);  // next,key,val
+
+    SymId buckets = as.global("buckets", nbuckets * 4, 4, false);
+    SymId key_ptrs = as.global("key_ptrs", 4, 4, true);
+    SymId entry_pool = as.global("entry_pool", 4, 4, true);
+    SymId hit_ct = as.global("hit_ct", 4, 4, true);
+
+    LabelId streq = as.newLabel();
+
+    // ---- main ----
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+
+    as.la(reg::s0, buckets);
+    as.lwGp(reg::s1, key_ptrs);
+    as.lwGp(reg::s2, entry_pool);              // bump allocator cursor
+    as.li(reg::s5, static_cast<int32_t>(rounds));
+
+    LabelId round = as.newLabel();
+    LabelId keyloop = as.newLabel();
+    LabelId hashloop = as.newLabel();
+    LabelId hashdone = as.newLabel();
+    LabelId chain = as.newLabel();
+    LabelId chainnext = as.newLabel();
+    LabelId found = as.newLabel();
+    LabelId insert = as.newLabel();
+    LabelId keynext = as.newLabel();
+
+    as.bind(round);
+    as.li(reg::s3, 0);                         // key index
+    as.bind(keyloop);
+    as.sll(reg::t0, reg::s3, 2);
+    as.lwRR(reg::s4, reg::s1, reg::t0);        // key string pointer
+
+    // hash = sum of bytes * 31 (byte-stream loads)
+    as.li(reg::t1, 0);
+    as.move(reg::t2, reg::s4);
+    as.bind(hashloop);
+    as.lbuPost(reg::t3, reg::t2, 1);
+    as.beq(reg::t3, reg::zero, hashdone);
+    as.sll(reg::t4, reg::t1, 5);
+    as.sub(reg::t1, reg::t4, reg::t1);
+    as.add(reg::t1, reg::t1, reg::t3);
+    as.j(hashloop);
+    as.bind(hashdone);
+    as.andi(reg::t1, reg::t1, nbuckets - 1);
+    as.sll(reg::t1, reg::t1, 2);
+    as.add(reg::s6, reg::s0, reg::t1);         // &buckets[h]
+    as.lw(reg::s7, 0, reg::s6);                // chain head
+
+    as.bind(chain);
+    as.beq(reg::s7, reg::zero, insert);
+    as.lw(reg::a0, 4, reg::s7);                // entry->key
+    as.move(reg::a1, reg::s4);
+    as.jal(streq);
+    as.bne(reg::v0, reg::zero, chainnext);
+    as.j(found);
+    as.bind(chainnext);
+    as.lw(reg::s7, 0, reg::s7);                // entry->next
+    as.j(chain);
+
+    as.bind(found);
+    as.lw(reg::t5, 8, reg::s7);                // entry->val++
+    as.addi(reg::t5, reg::t5, 1);
+    as.sw(reg::t5, 8, reg::s7);
+    as.lwGp(reg::t6, hit_ct);
+    as.addi(reg::t6, reg::t6, 1);
+    as.swGp(reg::t6, hit_ct);
+    as.j(keynext);
+
+    as.bind(insert);
+    as.move(reg::t5, reg::s2);                 // new entry
+    as.addi(reg::s2, reg::s2, static_cast<int32_t>(entry_bytes));
+    as.lw(reg::t6, 0, reg::s6);                // old head
+    as.sw(reg::t6, 0, reg::t5);
+    as.sw(reg::s4, 4, reg::t5);
+    as.sw(reg::zero, 8, reg::t5);
+    as.sw(reg::t5, 0, reg::s6);
+
+    as.bind(keynext);
+    as.addi(reg::s3, reg::s3, 1);
+    as.li(reg::t7, static_cast<int32_t>(nkeys));
+    as.bne(reg::s3, reg::t7, keyloop);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, round);
+
+    as.lwGp(reg::t0, hit_ct);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    // ---- streq(a0, a1) -> v0 = 0 if equal, 1 otherwise ----
+    as.bind(streq);
+    Frame sf(ctx, false);
+    unsigned sa = sf.addScalar();
+    sf.seal();
+    sf.prologue(as);
+    as.sw(reg::a0, sf.off(sa), reg::sp);
+    LabelId sloop = as.newLabel();
+    LabelId sdiff = as.newLabel();
+    LabelId sdone = as.newLabel();
+    as.bind(sloop);
+    as.lbuPost(reg::t8, reg::a0, 1);
+    as.lbuPost(reg::t9, reg::a1, 1);
+    as.bne(reg::t8, reg::t9, sdiff);
+    as.bne(reg::t8, reg::zero, sloop);
+    as.li(reg::v0, 0);
+    as.j(sdone);
+    as.bind(sdiff);
+    as.li(reg::v0, 1);
+    as.bind(sdone);
+    as.lw(reg::a0, sf.off(sa), reg::sp);
+    sf.epilogueAndRet(as);
+
+    ctx.atInit([=](InitContext &ic) {
+        // Key strings (7 chars + NUL) from the allocator.
+        uint32_t ptrs = ic.heap.alloc(nkeys * 4, 4);
+        for (uint32_t i = 0; i < nkeys; ++i) {
+            uint32_t s = ic.heap.alloc(8, 1);
+            for (uint32_t b = 0; b < 7; ++b) {
+                ic.mem.write8(s + b, static_cast<uint8_t>(
+                    'a' + ic.rng.range(26)));
+            }
+            ic.mem.write8(s + 7, 0);
+            ic.mem.write32(ptrs + 4 * i, s);
+        }
+        ic.mem.write32(ic.symAddr(key_ptrs), ptrs);
+        uint32_t pool = ic.heap.alloc(nkeys * entry_bytes, 8);
+        ic.mem.write32(ic.symAddr(entry_pool), pool);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * sc: spreadsheet grid recalculation. A heap matrix of 16-byte cell
+ * records is re-evaluated pass after pass: formula cells pull the values
+ * of their two dependencies (indexed pointer arithmetic with small
+ * constant field offsets), and a column-sum sweep strides the grid with
+ * post-increment accesses. Grid size exceeds the 16 KB data cache.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildSc(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t rows = 48;
+    const uint32_t cols = 48;
+    const uint32_t ncells = rows * cols;       // 2304 cells, 36 KB
+    const uint32_t passes = ctx.scaled(9);
+    // Cell layout: type @0, val @4, depA @8, depB @12.
+
+    SymId grid_ptr = as.global("grid_ptr", 4, 4, true);
+    SymId recalc_ct = as.global("recalc_ct", 4, 4, true);
+
+    LabelId eval_cell = as.newLabel();
+
+    Frame fr(ctx, true);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, grid_ptr);
+    as.li(reg::s5, static_cast<int32_t>(passes));
+
+    LabelId pass = as.newLabel();
+    LabelId cellloop = as.newLabel();
+    LabelId plain = as.newLabel();
+    LabelId colloop = as.newLabel();
+    LabelId rowloop = as.newLabel();
+
+    as.bind(pass);
+    // --- formula evaluation sweep: formula cells call eval_cell() ---
+    as.li(reg::s1, 0);                          // cell index
+    as.move(reg::s7, reg::s0);                  // cell cursor
+    as.bind(cellloop);
+    as.lw(reg::t0, 0, reg::s7);                 // type
+    as.beq(reg::t0, reg::zero, plain);
+    as.move(reg::a0, reg::s7);
+    as.jal(eval_cell);
+    as.bind(plain);
+    as.addi(reg::s7, reg::s7, 16);
+    as.addi(reg::s1, reg::s1, 1);
+    as.li(reg::t6, static_cast<int32_t>(ncells));
+    as.bne(reg::s1, reg::t6, cellloop);
+
+    // --- column-sum sweep: stride = one row of cells ---
+    as.li(reg::s2, 0);                          // column
+    as.li(reg::s6, 0);                          // grand total
+    as.bind(colloop);
+    as.sll(reg::t0, reg::s2, 4);
+    as.add(reg::t0, reg::s0, reg::t0);          // &grid[0][col]
+    as.addi(reg::t0, reg::t0, 4);               // -> val field
+    as.li(reg::t1, static_cast<int32_t>(rows));
+    as.bind(rowloop);
+    as.lwPost(reg::t2, reg::t0,
+              static_cast<int32_t>(cols * 16));
+    as.add(reg::s6, reg::s6, reg::t2);
+    as.addi(reg::t1, reg::t1, -1);
+    as.bgtz(reg::t1, rowloop);
+    as.addi(reg::s2, reg::s2, 1);
+    as.li(reg::t3, static_cast<int32_t>(cols));
+    as.bne(reg::s2, reg::t3, colloop);
+
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, pass);
+
+    as.swGp(reg::s6, g.result);
+    as.halt();
+
+    // ---- eval_cell(a0 = &cell): val = dep(A).val + dep(B).val ----
+    // The cell pointer is spilled and reloaded around the dependency
+    // loads, the register-starved pattern sc's interpreter shows.
+    as.bind(eval_cell);
+    Frame ef(ctx, false);
+    unsigned cell_slot = ef.addScalar();
+    unsigned acc_slot = ef.addScalar();
+    ef.seal();
+    ef.prologue(as);
+    as.sw(reg::a0, ef.off(cell_slot), reg::sp);
+    as.lw(reg::t1, 8, reg::a0);                 // depA index
+    as.sll(reg::t1, reg::t1, 4);
+    as.add(reg::t1, reg::s0, reg::t1);
+    as.lw(reg::t3, 4, reg::t1);                 // depA value
+    as.sw(reg::t3, ef.off(acc_slot), reg::sp);
+    as.lw(reg::t0, ef.off(cell_slot), reg::sp);
+    as.lw(reg::t2, 12, reg::t0);                // depB index
+    as.sll(reg::t2, reg::t2, 4);
+    as.add(reg::t2, reg::s0, reg::t2);
+    as.lw(reg::t4, 4, reg::t2);                 // depB value
+    as.lw(reg::t3, ef.off(acc_slot), reg::sp);
+    as.add(reg::t3, reg::t3, reg::t4);
+    as.sw(reg::t3, 4, reg::t0);                 // cell value
+    as.lwGp(reg::t5, recalc_ct);
+    as.addi(reg::t5, reg::t5, 1);
+    as.swGp(reg::t5, recalc_ct);
+    ef.epilogueAndRet(as);
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t grid = ic.heap.alloc(ncells * 16, 8);
+        for (uint32_t i = 0; i < ncells; ++i) {
+            uint32_t cell = grid + 16 * i;
+            bool formula = ic.rng.chance(0.4);
+            ic.mem.write32(cell + 0, formula ? 1 : 0);
+            ic.mem.write32(cell + 4,
+                           static_cast<uint32_t>(ic.rng.range(1000)));
+            ic.mem.write32(cell + 8,
+                           static_cast<uint32_t>(ic.rng.range(ncells)));
+            ic.mem.write32(cell + 12,
+                           static_cast<uint32_t>(ic.rng.range(ncells)));
+        }
+        ic.mem.write32(ic.symAddr(grid_ptr), grid);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * spice: sparse-matrix circuit solution. Compressed-sparse-row sweeps
+ * gather the unknown vector through register+register addressing whose
+ * index-register offsets (column * 8) are far larger than any feasible
+ * alignment — the paper names spice as the benchmark where strength
+ * reduction fails and array index misprediction dominates, with the
+ * highest speculative bandwidth overhead in Table 6.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildSpice(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nrows = 300;
+    const uint32_t nnz_per_row = 10;
+    const uint32_t nnz = nrows * nnz_per_row;
+    const uint32_t sweeps = ctx.scaled(36);
+
+    SymId rowptr_g = as.global("rowptr", (nrows + 1) * 4, 4, false);
+    SymId colidx_g = as.global("colidx_ptr", 4, 4, true);
+    SymId vals_g = as.global("vals_ptr", 4, 4, true);
+    SymId xvec_g = as.global("xvec_ptr", 4, 4, true);
+    SymId yvec_g = as.global("yvec_ptr", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.la(reg::s0, rowptr_g);
+    as.lwGp(reg::s1, colidx_g);
+    as.lwGp(reg::s2, vals_g);
+    as.lwGp(reg::s3, xvec_g);
+    as.lwGp(reg::s4, yvec_g);
+    as.li(reg::s5, static_cast<int32_t>(sweeps));
+
+    LabelId sweep = as.newLabel();
+    LabelId row = as.newLabel();
+    LabelId nzloop = as.newLabel();
+    LabelId rowdone = as.newLabel();
+
+    as.bind(sweep);
+    as.li(reg::s6, 0);                           // row index
+    as.move(reg::t0, reg::s1);                   // colidx cursor
+    as.move(reg::t1, reg::s2);                   // vals cursor
+    as.move(reg::t2, reg::s4);                   // y cursor
+    as.bind(row);
+    // nnz count for this row from rowptr[r+1]-rowptr[r]
+    as.sll(reg::t3, reg::s6, 2);
+    as.add(reg::t3, reg::s0, reg::t3);
+    as.lw(reg::t4, 0, reg::t3);
+    as.lw(reg::t5, 4, reg::t3);
+    as.sub(reg::t4, reg::t5, reg::t4);
+    emitLoadConstD(as, 4, reg::t6, 0);           // row accumulator
+    as.blez(reg::t4, rowdone);
+    as.bind(nzloop);
+    as.lwPost(reg::t6, reg::t0, 4);              // column index
+    as.sll(reg::t6, reg::t6, 3);
+    as.ldc1RR(5, reg::s3, reg::t6);              // x[col] — big R+R offset
+    as.ldc1Post(6, reg::t1, 8);                  // matrix value
+    as.mulD(5, 5, 6);
+    as.addD(4, 4, 5);
+    as.addi(reg::t4, reg::t4, -1);
+    as.bgtz(reg::t4, nzloop);
+    as.bind(rowdone);
+    as.sdc1Post(4, reg::t2, 8);                  // y[r]
+    as.addi(reg::s6, reg::s6, 1);
+    as.li(reg::t7, static_cast<int32_t>(nrows));
+    as.bne(reg::s6, reg::t7, row);
+    // Gauss-Seidel-ish feedback: swap x and y for the next sweep.
+    as.move(reg::t8, reg::s3);
+    as.move(reg::s3, reg::s4);
+    as.move(reg::s4, reg::t8);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, sweep);
+
+    // Result checksum from y[0].
+    as.ldc1(7, 0, reg::s4);
+    emitLoadConstD(as, 8, reg::t9, 1000);
+    as.mulD(7, 7, 8);
+    as.cvtWD(7, 7);
+    as.mfc1(reg::t9, 7);
+    as.swGp(reg::t9, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t rp = ic.symAddr(rowptr_g);
+        for (uint32_t r = 0; r <= nrows; ++r)
+            ic.mem.write32(rp + 4 * r, r * nnz_per_row);
+        uint32_t ci = ic.heap.alloc(nnz * 4, 4);
+        for (uint32_t k = 0; k < nnz; ++k)
+            ic.mem.write32(ci + 4 * k,
+                           static_cast<uint32_t>(ic.rng.range(nrows)));
+        uint32_t vals = ic.heap.alloc(nnz * 8, 8);
+        // Scale values down so repeated sweeps stay bounded.
+        for (uint32_t k = 0; k < nnz; ++k) {
+            double v = (ic.rng.real() - 0.5) * 0.18;
+            uint64_t bits64;
+            __builtin_memcpy(&bits64, &v, 8);
+            ic.mem.write64(vals + 8 * k, bits64);
+        }
+        uint32_t x = ic.heap.alloc(nrows * 8, 8);
+        fillRandomDoubles(ic.mem, x, nrows, ic.rng);
+        uint32_t y = ic.heap.alloc(nrows * 8, 8);
+        ic.mem.write32(ic.symAddr(colidx_g), ci);
+        ic.mem.write32(ic.symAddr(vals_g), vals);
+        ic.mem.write32(ic.symAddr(xvec_g), x);
+        ic.mem.write32(ic.symAddr(yvec_g), y);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * su2cor: quark-gluon lattice sweeps. Each lattice site holds a 2x2
+ * complex SU(2) matrix (64 bytes); a sweep multiplies every site's link
+ * by its neighbour's in a higher dimension, whose displacement becomes a
+ * large constant byte offset — the "index constants in the higher
+ * dimension of a multidimensional array can become large" case of
+ * Section 2.2.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildSu2cor(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t dim = 32;                    // sites per dimension
+    const uint32_t nsites = dim * dim;          // 1024 sites
+    const uint32_t site_bytes = 64;             // 8 doubles (2x2 complex)
+    const uint32_t ydisp = dim * site_bytes;    // 2 KB constant offset
+    const uint32_t sweeps = ctx.scaled(7);
+
+    SymId u_ptr = as.global("links_ptr", 4, 4, true);
+    SymId tr_acc = as.global("trace_acc", 8, 8, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, u_ptr);
+    as.li(reg::s5, static_cast<int32_t>(sweeps));
+
+    LabelId sweep = as.newLabel();
+    LabelId site = as.newLabel();
+
+    as.bind(sweep);
+    as.move(reg::t0, reg::s0);                   // site cursor
+    as.li(reg::t1, static_cast<int32_t>(nsites - dim));
+    emitLoadConstD(as, 20, reg::t2, 0);          // sweep trace acc
+    as.bind(site);
+    // A = site matrix (a,b,c,d complex: re/im interleaved);
+    // B = neighbour one row up, at the large constant displacement.
+    as.ldc1(4, 0, reg::t0);                      // a.re
+    as.ldc1(5, 8, reg::t0);                      // a.im
+    as.ldc1(6, 16, reg::t0);                     // b.re
+    as.ldc1(7, 24, reg::t0);                     // b.im
+    as.ldc1(8, static_cast<int32_t>(ydisp) + 0, reg::t0);   // B a.re
+    as.ldc1(9, static_cast<int32_t>(ydisp) + 8, reg::t0);   // B a.im
+    as.ldc1(10, static_cast<int32_t>(ydisp) + 32, reg::t0); // B c.re
+    as.ldc1(11, static_cast<int32_t>(ydisp) + 40, reg::t0); // B c.im
+    // (A*B)[0][0] = a*Ba + b*Bc (complex multiply-adds)
+    as.mulD(12, 4, 8);
+    as.mulD(13, 5, 9);
+    as.subD(12, 12, 13);                         // re(a*Ba)
+    as.mulD(14, 6, 10);
+    as.mulD(15, 7, 11);
+    as.subD(14, 14, 15);                         // re(b*Bc)
+    as.addD(12, 12, 14);
+    as.mulD(16, 4, 9);
+    as.mulD(17, 5, 8);
+    as.addD(16, 16, 17);                         // im(a*Ba)
+    as.mulD(18, 6, 11);
+    as.mulD(19, 7, 10);
+    as.addD(18, 18, 19);
+    as.addD(16, 16, 18);
+    // Write the product's first element back; accumulate the trace.
+    as.sdc1(12, 48, reg::t0);                    // d.re <- result re
+    as.sdc1(16, 56, reg::t0);                    // d.im <- result im
+    as.addD(20, 20, 12);
+    as.addi(reg::t0, reg::t0, static_cast<int32_t>(site_bytes));
+    as.addi(reg::t1, reg::t1, -1);
+    as.bgtz(reg::t1, site);
+    // Normalise the sweep trace into the accumulator: acc += tr / nsites.
+    emitLoadConstD(as, 21, reg::t3, static_cast<int32_t>(nsites));
+    as.divD(20, 20, 21);
+    as.ldc1Gp(22, tr_acc);
+    as.addD(22, 22, 20);
+    as.sdc1Gp(22, tr_acc);
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, sweep);
+
+    as.ldc1Gp(23, tr_acc);
+    emitLoadConstD(as, 24, reg::t4, 1000);
+    as.mulD(23, 23, 24);
+    as.cvtWD(23, 23);
+    as.mfc1(reg::t5, 23);
+    as.swGp(reg::t5, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t links = ic.heap.alloc(nsites * site_bytes, 8);
+        fillRandomDoubles(ic.mem, links, nsites * site_bytes / 8, ic.rng);
+        ic.mem.write32(ic.symAddr(u_ptr), links);
+    });
+}
+
+} // namespace facsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * tomcatv: vectorised 2-D mesh generation. Interior-point sweeps over
+ * N x N coordinate arrays reference the four neighbours: the same-row
+ * neighbours are small +/-8 byte constants, the cross-row neighbours are
+ * computed row displacements applied through register+register
+ * addressing — the paper explains tomcatv's large offsets as failed
+ * strength reduction forcing index-register array accesses.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildTomcatv(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t n = 96;                       // mesh dimension
+    const uint32_t row_bytes = n * 8;
+    const uint32_t iters = ctx.scaled(3);
+
+    SymId x_ptr = as.global("xmesh_ptr", 4, 4, true);
+    SymId rx_ptr = as.global("rxmesh_ptr", 4, 4, true);
+    SymId err_g = as.global("residual", 8, 8, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, x_ptr);
+    as.lwGp(reg::s1, rx_ptr);
+    as.li(reg::s5, static_cast<int32_t>(iters));
+    emitLoadConstD(as, 1, reg::t0, 4);
+
+    LabelId iter = as.newLabel();
+    LabelId iloop = as.newLabel();
+    LabelId jloop = as.newLabel();
+    LabelId addback = as.newLabel();
+
+    as.bind(iter);
+    // --- residual sweep: rx[i][j] = (neighbour avg) - x[i][j] ---
+    as.li(reg::s2, 1);                           // i
+    as.bind(iloop);
+    // Row displacement computed at run time (strength reduction fails
+    // across the outer loop in the original FORTRAN).
+    as.li(reg::t1, static_cast<int32_t>(row_bytes));
+    as.mul(reg::s3, reg::s2, reg::t1);           // i * row_bytes
+    as.addi(reg::s4, reg::s3, 8);                // + first interior col
+    as.li(reg::s6, static_cast<int32_t>(n - 2)); // columns
+    as.bind(jloop);
+    // x[i][j +/- 1]: small constant offsets off the computed element.
+    as.add(reg::t2, reg::s0, reg::s4);           // &x[i][j]
+    as.ldc1(4, -8, reg::t2);
+    as.ldc1(5, 8, reg::t2);
+    as.addD(4, 4, 5);
+    // x[i +/- 1][j]: row-displaced accesses via reg+reg indexing.
+    as.addi(reg::t3, reg::s4, static_cast<int32_t>(row_bytes));
+    as.ldc1RR(6, reg::s0, reg::t3);
+    as.addi(reg::t4, reg::s4, -static_cast<int32_t>(row_bytes));
+    as.ldc1RR(7, reg::s0, reg::t4);
+    as.addD(6, 6, 7);
+    as.addD(4, 4, 6);
+    as.divD(4, 4, 1);                            // neighbour average
+    as.ldc1(8, 0, reg::t2);                      // x[i][j]
+    as.subD(4, 4, 8);
+    as.sdc1RR(4, reg::s1, reg::s4);              // rx[i][j]
+    as.addi(reg::s4, reg::s4, 8);
+    as.addi(reg::s6, reg::s6, -1);
+    as.bgtz(reg::s6, jloop);
+    as.addi(reg::s2, reg::s2, 1);
+    as.li(reg::t5, static_cast<int32_t>(n - 1));
+    as.bne(reg::s2, reg::t5, iloop);
+
+    // --- add-back sweep: x += 0.5 * rx over the interior ---
+    emitLoadConstD(as, 9, reg::t6, 2);
+    as.li(reg::s2, 1);
+    LabelId ai = as.newLabel();
+    LabelId aj = as.newLabel();
+    as.bind(ai);
+    as.li(reg::t1, static_cast<int32_t>(row_bytes));
+    as.mul(reg::s3, reg::s2, reg::t1);
+    as.addi(reg::s4, reg::s3, 8);
+    as.li(reg::s6, static_cast<int32_t>(n - 2));
+    as.bind(aj);
+    as.ldc1RR(10, reg::s1, reg::s4);             // rx
+    as.divD(10, 10, 9);
+    as.ldc1RR(11, reg::s0, reg::s4);             // x
+    as.addD(11, 11, 10);
+    as.sdc1RR(11, reg::s0, reg::s4);
+    as.addi(reg::s4, reg::s4, 8);
+    as.addi(reg::s6, reg::s6, -1);
+    as.bgtz(reg::s6, aj);
+    as.addi(reg::s2, reg::s2, 1);
+    as.li(reg::t5, static_cast<int32_t>(n - 1));
+    as.bne(reg::s2, reg::t5, ai);
+    as.bind(addback);
+
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, iter);
+
+    // Residual checksum from the mesh centre.
+    as.li(reg::t7, static_cast<int32_t>((n / 2) * row_bytes + (n / 2) * 8));
+    as.ldc1RR(12, reg::s0, reg::t7);
+    emitLoadConstD(as, 13, reg::t8, 100000);
+    as.mulD(12, 12, 13);
+    as.cvtWD(12, 12);
+    as.mfc1(reg::t9, 12);
+    as.swGp(reg::t9, g.result);
+    as.sdc1Gp(12, err_g);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t x = ic.heap.alloc(n * n * 8, 8);
+        fillRandomDoubles(ic.mem, x, n * n, ic.rng);
+        uint32_t rx = ic.heap.alloc(n * n * 8, 8);
+        ic.mem.write32(ic.symAddr(x_ptr), x);
+        ic.mem.write32(ic.symAddr(rx_ptr), rx);
+    });
+}
+
+} // namespace facsim

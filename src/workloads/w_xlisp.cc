@@ -1,0 +1,107 @@
+/**
+ * @file
+ * xlisp: cons-cell churn in the style of the 8-queens Lisp interpreter
+ * run. Each round bump-allocates a fresh list from the cell pool (the
+ * cell size goes through the structure-rounding policy: 12 bytes raw, 16
+ * with support), then traverses, destructively reverses, and marks it —
+ * pure pointer chasing with 0/4/8 field offsets.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildXlisp(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t list_len = 600;
+    const uint32_t rounds = ctx.scaled(80);
+    const uint32_t cell_bytes = ctx.pol.structSize(12);
+
+    SymId pool_ptr = as.global("pool_ptr", 4, 4, true);
+    SymId head_ptr = as.global("head_ptr", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.lwGp(reg::s0, pool_ptr);
+    as.li(reg::s5, static_cast<int32_t>(rounds));
+    as.li(reg::s6, 0);                          // checksum
+
+    LabelId round = as.newLabel();
+    LabelId build = as.newLabel();
+    LabelId trav = as.newLabel();
+    LabelId travdone = as.newLabel();
+    LabelId rev = as.newLabel();
+    LabelId revdone = as.newLabel();
+    LabelId mark = as.newLabel();
+    LabelId markdone = as.newLabel();
+
+    as.bind(round);
+    as.move(reg::s1, reg::s0);                  // bump pointer
+    as.li(reg::s2, 0);                          // head = nil
+    as.li(reg::t0, static_cast<int32_t>(list_len));
+    as.bind(build);
+    as.move(reg::t1, reg::s1);                  // cons()
+    as.addi(reg::s1, reg::s1, static_cast<int32_t>(cell_bytes));
+    as.sw(reg::t0, 0, reg::t1);                 // car
+    as.sw(reg::s2, 4, reg::t1);                 // cdr
+    as.sw(reg::zero, 8, reg::t1);               // tag
+    as.move(reg::s2, reg::t1);
+    as.addi(reg::t0, reg::t0, -1);
+    as.bgtz(reg::t0, build);
+    as.swGp(reg::s2, head_ptr);
+
+    // Traverse: sum the cars.
+    as.li(reg::t2, 0);
+    as.move(reg::t3, reg::s2);
+    as.bind(trav);
+    as.beq(reg::t3, reg::zero, travdone);
+    as.lw(reg::t4, 0, reg::t3);
+    as.add(reg::t2, reg::t2, reg::t4);
+    as.lw(reg::t3, 4, reg::t3);
+    as.j(trav);
+    as.bind(travdone);
+    as.add(reg::s6, reg::s6, reg::t2);
+
+    // Destructive reverse.
+    as.li(reg::t5, 0);                          // prev
+    as.move(reg::t3, reg::s2);
+    as.bind(rev);
+    as.beq(reg::t3, reg::zero, revdone);
+    as.lw(reg::t6, 4, reg::t3);
+    as.sw(reg::t5, 4, reg::t3);
+    as.move(reg::t5, reg::t3);
+    as.move(reg::t3, reg::t6);
+    as.j(rev);
+    as.bind(revdone);
+    as.move(reg::s2, reg::t5);
+
+    // GC-style mark pass.
+    as.li(reg::t7, 1);
+    as.move(reg::t3, reg::s2);
+    as.bind(mark);
+    as.beq(reg::t3, reg::zero, markdone);
+    as.sw(reg::t7, 8, reg::t3);
+    as.lw(reg::t3, 4, reg::t3);
+    as.j(mark);
+    as.bind(markdone);
+
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, round);
+
+    as.swGp(reg::s6, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t pool = ic.heap.alloc(list_len * cell_bytes, 8);
+        ic.mem.write32(ic.symAddr(pool_ptr), pool);
+    });
+}
+
+} // namespace facsim

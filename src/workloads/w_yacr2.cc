@@ -1,0 +1,118 @@
+/**
+ * @file
+ * yacr2: VLSI channel routing. Builds the vertical constraint graph for a
+ * 230-terminal channel — an O(N^2) pairwise sweep over the top/bottom
+ * terminal arrays with computed indexing into a byte matrix larger than
+ * the data cache, plus a column-density scan.
+ */
+
+#include "workloads/registry.hh"
+
+namespace facsim
+{
+
+void
+buildYacr2(WorkloadContext &ctx)
+{
+    AsmBuilder &as = ctx.as;
+    CommonGlobals g = declareCommonGlobals(ctx);
+
+    const uint32_t nterm = 230;
+    const uint32_t nnets = 64;
+    const uint32_t passes = ctx.scaled(8);
+
+    SymId top_tab = as.global("top_terms", nterm * 4, 4, false);
+    SymId bot_tab = as.global("bot_terms", nterm * 4, 4, false);
+    SymId vcg_ptr = as.global("vcg_ptr", 4, 4, true);
+    SymId edge_ct = as.global("edge_ct", 4, 4, true);
+    SymId max_density = as.global("max_density", 4, 4, true);
+
+    Frame fr(ctx, false);
+    fr.seal();
+    fr.prologue(as);
+
+    as.la(reg::s0, top_tab);
+    as.la(reg::s1, bot_tab);
+    as.lwGp(reg::s2, vcg_ptr);
+    as.li(reg::s5, static_cast<int32_t>(passes));
+
+    LabelId pass = as.newLabel();
+    LabelId iloop = as.newLabel();
+    LabelId jloop = as.newLabel();
+    LabelId noedge = as.newLabel();
+    LabelId jdone = as.newLabel();
+    LabelId dloop = as.newLabel();
+    LabelId nomax = as.newLabel();
+
+    as.bind(pass);
+    // --- vertical constraint sweep: vcg[i*N+j] = (top[i] == bot[j]) ---
+    as.li(reg::s3, 0);                          // i
+    as.li(reg::s6, 0);                          // edges this pass
+    as.bind(iloop);
+    as.sll(reg::t0, reg::s3, 2);
+    as.lwRR(reg::t1, reg::s0, reg::t0);         // top[i]
+    as.li(reg::t2, static_cast<int32_t>(nterm));
+    as.mul(reg::t3, reg::s3, reg::t2);
+    as.add(reg::t3, reg::s2, reg::t3);          // &vcg[i*N]
+    as.move(reg::t4, reg::s1);                  // bottom cursor
+    as.li(reg::t5, static_cast<int32_t>(nterm));
+    as.bind(jloop);
+    as.lwPost(reg::t6, reg::t4, 4);             // bot[j]
+    as.li(reg::t7, 0);
+    as.bne(reg::t6, reg::t1, noedge);
+    as.li(reg::t7, 1);
+    as.addi(reg::s6, reg::s6, 1);
+    as.bind(noedge);
+    as.sbPost(reg::t7, reg::t3, 1);             // vcg byte
+    as.addi(reg::t5, reg::t5, -1);
+    as.bgtz(reg::t5, jloop);
+    as.bind(jdone);
+    as.addi(reg::s3, reg::s3, 1);
+    as.li(reg::t8, static_cast<int32_t>(nterm));
+    as.bne(reg::s3, reg::t8, iloop);
+
+    as.lwGp(reg::t9, edge_ct);
+    as.add(reg::t9, reg::t9, reg::s6);
+    as.swGp(reg::t9, edge_ct);
+
+    // --- channel density scan over columns ---
+    as.move(reg::t0, reg::s0);
+    as.move(reg::t1, reg::s1);
+    as.li(reg::t2, static_cast<int32_t>(nterm));
+    as.li(reg::t3, 0);                          // running density proxy
+    as.bind(dloop);
+    as.lwPost(reg::t4, reg::t0, 4);
+    as.lwPost(reg::t5, reg::t1, 4);
+    as.add(reg::t6, reg::t4, reg::t5);
+    as.slt(reg::t7, reg::t3, reg::t6);
+    as.beq(reg::t7, reg::zero, nomax);
+    as.move(reg::t3, reg::t6);
+    as.bind(nomax);
+    as.addi(reg::t2, reg::t2, -1);
+    as.bgtz(reg::t2, dloop);
+    as.swGp(reg::t3, max_density);
+
+    as.addi(reg::s5, reg::s5, -1);
+    as.bgtz(reg::s5, pass);
+
+    as.lwGp(reg::t0, edge_ct);
+    as.lwGp(reg::t1, max_density);
+    as.add(reg::t0, reg::t0, reg::t1);
+    as.swGp(reg::t0, g.result);
+    as.halt();
+
+    ctx.atInit([=](InitContext &ic) {
+        uint32_t top = ic.symAddr(top_tab);
+        uint32_t bot = ic.symAddr(bot_tab);
+        for (uint32_t i = 0; i < nterm; ++i) {
+            ic.mem.write32(top + 4 * i,
+                           static_cast<uint32_t>(ic.rng.range(nnets)));
+            ic.mem.write32(bot + 4 * i,
+                           static_cast<uint32_t>(ic.rng.range(nnets)));
+        }
+        uint32_t vcg = ic.heap.alloc(nterm * nterm, 8);
+        ic.mem.write32(ic.symAddr(vcg_ptr), vcg);
+    });
+}
+
+} // namespace facsim

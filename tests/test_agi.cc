@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the AGI pipeline organisation (Section 6 comparison):
+ * removed load-use hazard, introduced address-use hazard, +1 branch
+ * penalty — and the Golden & Mudge shape that neither AGI nor LUI
+ * tolerates load latency the way fast address calculation does.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "asm/builder.hh"
+#include "cpu/pipeline.hh"
+#include "link/linker.hh"
+#include "sim/config.hh"
+
+namespace facsim
+{
+namespace
+{
+
+PipeStats
+runProgram(const std::function<void(AsmBuilder &)> &gen,
+           PipelineConfig cfg)
+{
+    // These are straight-line microprograms; disable I-cache modelling
+    // so cold-fetch stalls don't drown the datapath effect under test.
+    cfg.perfectICache = true;
+    Program p;
+    AsmBuilder as(p);
+    gen(as);
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    Pipeline pipe(cfg, emu);
+    return pipe.run();
+}
+
+// load -> dependent ALU chains: the hazard AGI removes.
+void
+loadUseChain(AsmBuilder &as, int n)
+{
+    SymId cell = as.global("cell", 64, 64, false);
+    as.la(reg::s0, cell);
+    as.li(reg::t2, 0);
+    for (int i = 0; i < n; ++i) {
+        as.lw(reg::t1, 0, reg::s0);          // load
+        as.add(reg::t2, reg::t2, reg::t1);   // use (serial accumulate)
+        as.add(reg::t2, reg::t2, reg::t1);   // second use keeps it serial
+    }
+    as.halt();
+}
+
+// ALU -> dependent load address chains: the hazard AGI introduces.
+void
+addressUseChain(AsmBuilder &as, int n)
+{
+    SymId cell = as.global("cell", 64, 64, false);
+    as.la(reg::s0, cell);
+    as.sw(reg::s0, 0, reg::s0);
+    for (int i = 0; i < n; ++i) {
+        as.add(reg::t0, reg::s0, reg::zero);  // ALU computes the base...
+        as.lw(reg::s0, 0, reg::t0);           // ...the load consumes it
+    }
+    as.halt();
+}
+
+TEST(Agi, RemovesLoadUseHazard)
+{
+    const int n = 200;
+    PipeStats lui = runProgram(
+        [&](AsmBuilder &as) { loadUseChain(as, n); }, baselineConfig());
+    PipeStats agi = runProgram(
+        [&](AsmBuilder &as) { loadUseChain(as, n); }, agiConfig());
+    EXPECT_LT(agi.cycles + n / 2, lui.cycles);
+}
+
+TEST(Agi, IntroducesAddressUseHazard)
+{
+    const int n = 200;
+    PipeStats lui = runProgram(
+        [&](AsmBuilder &as) { addressUseChain(as, n); },
+        baselineConfig());
+    PipeStats agi = runProgram(
+        [&](AsmBuilder &as) { addressUseChain(as, n); }, agiConfig());
+    // The add->load chain costs one extra cycle per link under AGI.
+    EXPECT_GT(agi.cycles + n / 2, lui.cycles);
+}
+
+TEST(Agi, PointerChasingUnchanged)
+{
+    // Pure load->load chains hit neither hazard differently: both
+    // organisations take 2 cycles per link.
+    auto gen = [](AsmBuilder &as) {
+        SymId cell = as.global("cell", 64, 64, false);
+        as.la(reg::s0, cell);
+        as.sw(reg::s0, 0, reg::s0);
+        for (int i = 0; i < 200; ++i)
+            as.lw(reg::s0, 0, reg::s0);
+        as.halt();
+    };
+    PipeStats lui = runProgram(gen, baselineConfig());
+    PipeStats agi = runProgram(gen, agiConfig());
+    EXPECT_NEAR(static_cast<double>(agi.cycles),
+                static_cast<double>(lui.cycles), 12.0);
+}
+
+TEST(Agi, BranchPenaltyOneCycleLonger)
+{
+    // A data-dependent alternating branch mispredicts constantly; every
+    // mispredict costs one more cycle under AGI.
+    auto gen = [](AsmBuilder &as) {
+        as.li(reg::t9, 400);
+        LabelId top = as.newLabel();
+        LabelId skip = as.newLabel();
+        as.bind(top);
+        as.andi(reg::t0, reg::t9, 1);
+        as.beq(reg::t0, reg::zero, skip);
+        as.nop();
+        as.bind(skip);
+        as.addi(reg::t9, reg::t9, -1);
+        as.bgtz(reg::t9, top);
+        as.halt();
+    };
+    PipeStats lui = runProgram(gen, baselineConfig());
+    PipeStats agi = runProgram(gen, agiConfig());
+    EXPECT_GT(agi.cycles, lui.cycles + lui.btbMispredicts / 2);
+}
+
+TEST(Agi, FacBeatsBothOrganisationsOnMixedCode)
+{
+    // Golden & Mudge's conclusion, plus the paper's: both AGI and LUI
+    // leave untolerated latency that FAC removes. Mixed chain with both
+    // hazards present.
+    auto gen = [](AsmBuilder &as) {
+        SymId cell = as.global("cell", 64, 64, false);
+        as.la(reg::s0, cell);
+        as.sw(reg::s0, 0, reg::s0);
+        as.li(reg::t2, 0);
+        for (int i = 0; i < 150; ++i) {
+            as.add(reg::t0, reg::s0, reg::t2);   // addr-use edge
+            as.lw(reg::t1, 0, reg::t0);          // load
+            as.sub(reg::t2, reg::t1, reg::t1);   // load-use edge (=0)
+        }
+        as.halt();
+    };
+    PipeStats lui = runProgram(gen, baselineConfig());
+    PipeStats agi = runProgram(gen, agiConfig());
+    PipeStats fac = runProgram(gen, facPipelineConfig());
+    EXPECT_LT(fac.cycles, lui.cycles);
+    EXPECT_LT(fac.cycles, agi.cycles);
+}
+
+TEST(AgiDeathTest, ExclusiveWithFac)
+{
+    PipelineConfig cfg = facPipelineConfig();
+    cfg.agiOrganization = true;
+    Program p;
+    AsmBuilder as(p);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    EXPECT_DEATH(Pipeline(cfg, emu), "alternative");
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers, which underpin the
+ * fast-address-calculation field arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Bits, MaskLow)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(1), 1u);
+    EXPECT_EQ(maskLow(5), 0x1fu);
+    EXPECT_EQ(maskLow(16), 0xffffu);
+    EXPECT_EQ(maskLow(31), 0x7fffffffu);
+    EXPECT_EQ(maskLow(32), 0xffffffffu);
+}
+
+TEST(Bits, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeefu, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeefu, 7, 4), 0xeu);
+    EXPECT_EQ(bits(0xffffffffu, 31, 0), 0xffffffffu);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0x80000000u, 31), 1u);
+    EXPECT_EQ(bit(0x80000000u, 30), 0u);
+    EXPECT_EQ(bit(1u, 0), 1u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(sext(0xffffu, 16), -1);
+    EXPECT_EQ(sext(0x8000u, 16), -32768);
+    EXPECT_EQ(sext(0x7fffu, 16), 32767);
+    EXPECT_EQ(sext(0u, 16), 0);
+    EXPECT_EQ(sext(0x1f, 5), -1);
+    EXPECT_EQ(sext(0x0f, 5), 15);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+    EXPECT_EQ(roundDown(9, 8), 8u);
+    EXPECT_EQ(roundDown(16, 8), 16u);
+}
+
+TEST(Bits, NextPow2)
+{
+    EXPECT_EQ(nextPow2(0), 1u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(12), 16u);
+    EXPECT_EQ(nextPow2(4096), 4096u);
+    EXPECT_EQ(nextPow2(4097), 8192u);
+}
+
+TEST(Bits, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(16384), 14u);
+}
+
+} // anonymous namespace
+} // namespace facsim

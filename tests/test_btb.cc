@@ -1,0 +1,77 @@
+/** @file Unit tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Btb, MissesWhenEmpty)
+{
+    Btb b(16);
+    BtbPrediction p = b.predict(0x00400000);
+    EXPECT_FALSE(p.hit);
+}
+
+TEST(Btb, LearnsTakenBranch)
+{
+    Btb b(16);
+    b.update(0x00400000, true, 0x00400100);
+    BtbPrediction p = b.predict(0x00400000);
+    EXPECT_TRUE(p.hit);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x00400100u);
+}
+
+TEST(Btb, TwoBitHysteresis)
+{
+    Btb b(16);
+    uint32_t pc = 0x00400040;
+    b.update(pc, true, 0x1000);   // allocate, counter = 2
+    b.update(pc, true, 0x1000);   // counter = 3
+    b.update(pc, false, 0x1000);  // counter = 2 — still predicts taken
+    EXPECT_TRUE(b.predict(pc).taken);
+    b.update(pc, false, 0x1000);  // counter = 1
+    EXPECT_FALSE(b.predict(pc).taken);
+}
+
+TEST(Btb, NotTakenAllocationBiasesNotTaken)
+{
+    Btb b(16);
+    uint32_t pc = 0x00400080;
+    b.update(pc, false, 0);
+    BtbPrediction p = b.predict(pc);
+    EXPECT_TRUE(p.hit);
+    EXPECT_FALSE(p.taken);
+}
+
+TEST(Btb, DirectMappedAliasing)
+{
+    Btb b(16);
+    uint32_t pc_a = 0x00400000;
+    uint32_t pc_b = pc_a + 16 * 4;  // same index, different tag
+    b.update(pc_a, true, 0x1111);
+    b.update(pc_b, true, 0x2222);   // evicts A's entry
+    EXPECT_FALSE(b.predict(pc_a).hit);
+    EXPECT_TRUE(b.predict(pc_b).hit);
+}
+
+TEST(Btb, TargetUpdatedOnTaken)
+{
+    Btb b(16);
+    uint32_t pc = 0x004000c0;
+    b.update(pc, true, 0x1000);
+    b.update(pc, true, 0x2000);     // indirect branch changed target
+    EXPECT_EQ(b.predict(pc).target, 0x2000u);
+}
+
+TEST(BtbDeathTest, RejectsNonPow2)
+{
+    EXPECT_DEATH(Btb(12), "power of two");
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,114 @@
+/** @file Unit tests for the cache tag-state model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(CacheConfig, FieldWidths)
+{
+    CacheConfig c{16 * 1024, 32, 1, 6};
+    EXPECT_EQ(c.blockBits(), 5u);
+    EXPECT_EQ(c.setBits(), 14u);
+    EXPECT_EQ(c.numSets(), 512u);
+
+    CacheConfig c16{16 * 1024, 16, 1, 6};
+    EXPECT_EQ(c16.blockBits(), 4u);
+    EXPECT_EQ(c16.setBits(), 14u);
+
+    CacheConfig a2{16 * 1024, 32, 2, 6};
+    EXPECT_EQ(a2.setBits(), 13u);
+    EXPECT_EQ(a2.numSets(), 256u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    EXPECT_FALSE(c.read(0x100).hit);
+    EXPECT_TRUE(c.read(0x100).hit);
+    EXPECT_TRUE(c.read(0x11c).hit);   // same 32-byte block
+    EXPECT_FALSE(c.read(0x120).hit);  // next block
+    EXPECT_EQ(c.readMisses(), 2u);
+    EXPECT_EQ(c.reads(), 4u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    c.read(0x0);
+    c.read(0x400);            // same set (1 KB apart), evicts
+    EXPECT_FALSE(c.read(0x0).hit);
+}
+
+TEST(Cache, TwoWayAvoidsSimpleConflict)
+{
+    Cache c(CacheConfig{1024, 32, 2, 6});
+    c.read(0x0);
+    c.read(0x200);            // maps to same set, second way
+    EXPECT_TRUE(c.read(0x0).hit);
+    EXPECT_TRUE(c.read(0x200).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(CacheConfig{1024, 32, 2, 6});
+    c.read(0x0);     // way A
+    c.read(0x200);   // way B
+    c.read(0x0);     // A is now MRU
+    c.read(0x400);   // evicts LRU = 0x200
+    EXPECT_TRUE(c.read(0x0).hit);
+    EXPECT_FALSE(c.read(0x200).hit);
+}
+
+TEST(Cache, WritebackOfDirtyVictim)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    c.write(0x0);                     // dirty
+    CacheAccess a = c.read(0x400);    // evicts dirty line
+    EXPECT_TRUE(a.writeback);
+    EXPECT_EQ(c.writebacks(), 1u);
+    // Clean victim: no writeback.
+    CacheAccess b = c.read(0x800);
+    EXPECT_FALSE(b.writeback);
+}
+
+TEST(Cache, WriteAllocates)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    EXPECT_FALSE(c.write(0x40).hit);
+    EXPECT_TRUE(c.read(0x40).hit);
+    EXPECT_EQ(c.writeMisses(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.read(0x40).hit);  // still cold: probe didn't allocate
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_EQ(c.reads(), 1u);        // probes aren't counted as accesses
+}
+
+TEST(Cache, MissRatioAndReset)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    c.read(0x0);
+    c.read(0x0);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.read(0x0).hit);
+}
+
+TEST(CacheDeathTest, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Cache(CacheConfig{1000, 32, 1, 6}), "powers of two");
+    EXPECT_DEATH(Cache(CacheConfig{32, 32, 4, 6}), "too small");
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,64 @@
+/** @file Disassembler smoke tests (format stability for traces). */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Disasm, AluForms)
+{
+    EXPECT_EQ(disasm(Inst{.op = Op::ADD, .rd = 2, .rs = 3, .rt = 4}),
+              "add v0,v1,a0");
+    EXPECT_EQ(disasm(Inst{.op = Op::ADDI, .rs = 29, .rt = 29,
+                          .imm = -64}),
+              "addi sp,sp,-64");
+    EXPECT_EQ(disasm(Inst{.op = Op::SLL, .rd = 8, .rs = 9, .imm = 3}),
+              "sll t0,t1,3");
+}
+
+TEST(Disasm, MemForms)
+{
+    EXPECT_EQ(disasm(Inst{.op = Op::LW, .rs = 28, .rt = 8, .imm = 2436}),
+              "lw t0,2436(gp)");
+    EXPECT_EQ(disasm(Inst{.op = Op::LW, .amode = AMode::RegReg, .rd = 9,
+                          .rs = 16, .rt = 8}),
+              "lw t0,(s0+t1)");
+    EXPECT_EQ(disasm(Inst{.op = Op::SB, .amode = AMode::PostInc, .rs = 16,
+                          .rt = 8, .imm = 1}),
+              "sb t0,(s0)+1");
+    EXPECT_EQ(disasm(Inst{.op = Op::LDC1, .rs = 29, .rt = 4, .imm = 16}),
+              "ldc1 f4,16(sp)");
+}
+
+TEST(Disasm, ControlShowsResolvedTarget)
+{
+    std::string s = disasm(Inst{.op = Op::BNE, .rs = 8, .rt = 9,
+                                .imm = -2},
+                           0x00400010);
+    EXPECT_NE(s.find("0x0040000c"), std::string::npos);
+    EXPECT_EQ(disasm(Inst{.op = Op::JR, .rs = 31}), "jr ra");
+}
+
+TEST(Disasm, FpForms)
+{
+    EXPECT_EQ(disasm(Inst{.op = Op::MUL_D, .rd = 2, .rs = 4, .rt = 6}),
+              "mul.d f2,f4,f6");
+    EXPECT_EQ(disasm(Inst{.op = Op::MTC1, .rd = 5, .rt = 8}),
+              "mtc1 t0,f5");
+}
+
+TEST(Disasm, EveryOpHasAName)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); ++i) {
+        std::string n = opName(static_cast<Op>(i));
+        EXPECT_FALSE(n.empty());
+        EXPECT_NE(n, "???");
+    }
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Functional emulator tests: arithmetic semantics, memory operations in
+ * all three addressing modes, control flow, FP, and ExecRecord contents
+ * (which feed the FAC predictor and the profiler).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "cpu/emulator.hh"
+#include "link/linker.hh"
+
+namespace facsim
+{
+namespace
+{
+
+struct Harness
+{
+    Program p;
+    AsmBuilder as{p};
+    Memory mem;
+    LinkedImage img;
+    std::unique_ptr<Emulator> emu;
+
+    void
+    finish()
+    {
+        img = Linker(LinkPolicy{}).link(p, mem);
+        emu = std::make_unique<Emulator>(p, mem, img, 0x7fff5b88);
+    }
+
+    Emulator &
+    run(uint64_t max = 100000)
+    {
+        emu->run(max);
+        return *emu;
+    }
+};
+
+TEST(Emulator, ArithmeticBasics)
+{
+    Harness h;
+    h.as.li(reg::t0, 7);
+    h.as.li(reg::t1, -3);
+    h.as.add(reg::t2, reg::t0, reg::t1);   // 4
+    h.as.sub(reg::t3, reg::t0, reg::t1);   // 10
+    h.as.mul(reg::t4, reg::t0, reg::t1);   // -21
+    h.as.div(reg::t5, reg::t0, reg::t1);   // -2 (trunc toward zero)
+    h.as.rem(reg::t6, reg::t0, reg::t1);   // 1
+    h.as.slt(reg::t7, reg::t1, reg::t0);   // 1
+    h.as.sltu(reg::t8, reg::t1, reg::t0);  // 0 (unsigned -3 is huge)
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t2), 4u);
+    EXPECT_EQ(e.intReg(reg::t3), 10u);
+    EXPECT_EQ(static_cast<int32_t>(e.intReg(reg::t4)), -21);
+    EXPECT_EQ(static_cast<int32_t>(e.intReg(reg::t5)), -2);
+    EXPECT_EQ(e.intReg(reg::t6), 1u);
+    EXPECT_EQ(e.intReg(reg::t7), 1u);
+    EXPECT_EQ(e.intReg(reg::t8), 0u);
+}
+
+TEST(Emulator, DivByZeroDefinedAsZero)
+{
+    Harness h;
+    h.as.li(reg::t0, 5);
+    h.as.li(reg::t1, 0);
+    h.as.div(reg::t2, reg::t0, reg::t1);
+    h.as.rem(reg::t3, reg::t0, reg::t1);
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t2), 0u);
+    EXPECT_EQ(e.intReg(reg::t3), 0u);
+}
+
+TEST(Emulator, ShiftsAndLogic)
+{
+    Harness h;
+    h.as.li(reg::t0, -8);
+    h.as.sra(reg::t1, reg::t0, 2);         // -2
+    h.as.srl(reg::t2, reg::t0, 28);        // 0xf
+    h.as.sll(reg::t3, reg::t0, 1);         // -16
+    h.as.li(reg::t4, 3);
+    h.as.sllv(reg::t5, reg::t4, reg::t4);  // 24
+    h.as.nor(reg::t6, reg::zero, reg::zero);  // 0xffffffff
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(static_cast<int32_t>(e.intReg(reg::t1)), -2);
+    EXPECT_EQ(e.intReg(reg::t2), 0xfu);
+    EXPECT_EQ(static_cast<int32_t>(e.intReg(reg::t3)), -16);
+    EXPECT_EQ(e.intReg(reg::t5), 24u);
+    EXPECT_EQ(e.intReg(reg::t6), 0xffffffffu);
+}
+
+TEST(Emulator, ZeroRegisterIsImmutable)
+{
+    Harness h;
+    h.as.li(reg::t0, 9);
+    h.as.add(reg::zero, reg::t0, reg::t0);
+    h.as.halt();
+    h.finish();
+    EXPECT_EQ(h.run().intReg(reg::zero), 0u);
+}
+
+TEST(Emulator, LoadStoreWidthsAndSigns)
+{
+    Harness h;
+    SymId buf = h.as.global("buf", 16, 8, false);
+    h.as.la(reg::s0, buf);
+    h.as.li(reg::t0, -1);
+    h.as.sb(reg::t0, 0, reg::s0);
+    h.as.lb(reg::t1, 0, reg::s0);          // -1 sign-extended
+    h.as.lbu(reg::t2, 0, reg::s0);         // 255
+    h.as.li(reg::t3, 0x8000);
+    h.as.sh_(reg::t3, 4, reg::s0);
+    h.as.lh(reg::t4, 4, reg::s0);          // sign-extended
+    h.as.lhu(reg::t5, 4, reg::s0);         // 0x8000
+    h.as.li(reg::t6, 0x12345678);
+    h.as.sw(reg::t6, 8, reg::s0);
+    h.as.lw(reg::t7, 8, reg::s0);
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t1), 0xffffffffu);
+    EXPECT_EQ(e.intReg(reg::t2), 255u);
+    EXPECT_EQ(e.intReg(reg::t4), 0xffff8000u);
+    EXPECT_EQ(e.intReg(reg::t5), 0x8000u);
+    EXPECT_EQ(e.intReg(reg::t7), 0x12345678u);
+}
+
+TEST(Emulator, RegRegAndPostIncAddressing)
+{
+    Harness h;
+    SymId buf = h.as.global("buf", 32, 8, false);
+    h.as.la(reg::s0, buf);
+    h.as.li(reg::t0, 77);
+    h.as.li(reg::t1, 12);                  // index
+    h.as.swRR(reg::t0, reg::s0, reg::t1);  // buf[12..15] = 77
+    h.as.lw(reg::t2, 12, reg::s0);
+    // Post-increment walk.
+    h.as.move(reg::s1, reg::s0);
+    h.as.li(reg::t3, 11);
+    h.as.swPost(reg::t3, reg::s1, 4);
+    h.as.li(reg::t3, 22);
+    h.as.swPost(reg::t3, reg::s1, 4);
+    h.as.lw(reg::t4, 0, reg::s0);
+    h.as.lw(reg::t5, 4, reg::s0);
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t2), 77u);
+    EXPECT_EQ(e.intReg(reg::t4), 11u);
+    EXPECT_EQ(e.intReg(reg::t5), 22u);
+    // Base register advanced twice.
+    EXPECT_EQ(e.intReg(reg::s1), e.intReg(reg::s0) + 8);
+}
+
+TEST(Emulator, PostDecrementWalksBackwards)
+{
+    Harness h;
+    SymId buf = h.as.global("buf", 16, 8, false);
+    h.as.la(reg::s0, buf, 8);
+    h.as.li(reg::t0, 5);
+    h.as.swPost(reg::t0, reg::s0, -4);
+    h.as.swPost(reg::t0, reg::s0, -4);
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    uint32_t base = h.p.syms()[0].addr;
+    EXPECT_EQ(h.mem.read32(base + 8), 5u);
+    EXPECT_EQ(h.mem.read32(base + 4), 5u);
+    EXPECT_EQ(e.intReg(reg::s0), base);
+}
+
+TEST(Emulator, ControlFlowLoop)
+{
+    Harness h;
+    h.as.li(reg::t0, 10);
+    h.as.li(reg::t1, 0);
+    LabelId top = h.as.newLabel();
+    h.as.bind(top);
+    h.as.add(reg::t1, reg::t1, reg::t0);
+    h.as.addi(reg::t0, reg::t0, -1);
+    h.as.bgtz(reg::t0, top);
+    h.as.halt();
+    h.finish();
+    EXPECT_EQ(h.run().intReg(reg::t1), 55u);  // 10+9+...+1
+}
+
+TEST(Emulator, JalAndJrLinkProperly)
+{
+    Harness h;
+    LabelId fn = h.as.newLabel();
+    h.as.jal(fn);
+    h.as.li(reg::t1, 1);
+    h.as.halt();
+    h.as.bind(fn);
+    h.as.li(reg::t0, 42);
+    h.as.jr(reg::ra);
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t0), 42u);
+    EXPECT_EQ(e.intReg(reg::t1), 1u);  // returned and continued
+}
+
+TEST(Emulator, FpArithmeticAndCompare)
+{
+    Harness h;
+    h.as.li(reg::t0, 3);
+    h.as.mtc1(1, reg::t0);
+    h.as.cvtDW(1, 1);                       // f1 = 3.0
+    h.as.li(reg::t0, 4);
+    h.as.mtc1(2, reg::t0);
+    h.as.cvtDW(2, 2);                       // f2 = 4.0
+    h.as.mulD(3, 1, 2);                     // 12
+    h.as.addD(3, 3, 1);                     // 15
+    h.as.divD(3, 3, 2);                     // 3.75
+    h.as.sqrtD(4, 2);                       // 2
+    h.as.cLtD(1, 2);                        // 3 < 4 -> true
+    LabelId taken = h.as.newLabel();
+    h.as.bc1t(taken);
+    h.as.li(reg::t5, 111);
+    h.as.halt();
+    h.as.bind(taken);
+    h.as.li(reg::t5, 222);
+    h.as.cvtWD(5, 3);                       // trunc(3.75) = 3
+    h.as.mfc1(reg::t6, 5);
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_EQ(e.intReg(reg::t5), 222u);
+    EXPECT_DOUBLE_EQ(e.fpReg(4), 2.0);
+    EXPECT_EQ(e.intReg(reg::t6), 3u);
+}
+
+TEST(Emulator, SingleVsDoubleMemory)
+{
+    Harness h;
+    SymId buf = h.as.global("buf", 16, 8, false);
+    h.as.la(reg::s0, buf);
+    h.as.li(reg::t0, 5);
+    h.as.mtc1(1, reg::t0);
+    h.as.cvtDW(1, 1);                       // 5.0
+    h.as.sdc1(1, 0, reg::s0);
+    h.as.ldc1(2, 0, reg::s0);
+    h.as.swc1(2, 8, reg::s0);               // narrowed to float
+    h.as.lwc1(3, 8, reg::s0);               // widened back
+    h.as.halt();
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_DOUBLE_EQ(e.fpReg(2), 5.0);
+    EXPECT_DOUBLE_EQ(e.fpReg(3), 5.0);
+}
+
+TEST(Emulator, ExecRecordForMemOps)
+{
+    Harness h;
+    SymId v = h.as.global("v", 4, 4, true);
+    h.as.lwGp(reg::t0, v);
+    h.as.li(reg::t1, 8);
+    h.as.la(reg::s0, v);
+    h.as.lwRR(reg::t2, reg::s0, reg::zero);
+    h.as.halt();
+    h.finish();
+
+    ExecRecord rec;
+    h.emu->step(&rec);  // lwGp
+    EXPECT_EQ(rec.inst.op, Op::LW);
+    EXPECT_EQ(rec.baseVal, h.img.gpValue);
+    EXPECT_FALSE(rec.offsetFromReg);
+    EXPECT_EQ(rec.effAddr, h.p.syms()[0].addr);
+
+    h.emu->step(&rec);            // li
+    h.emu->step(&rec);            // la (lui)
+    h.emu->step(&rec);            // la (ori)
+    h.emu->step(&rec);            // lwRR
+    EXPECT_TRUE(rec.offsetFromReg);
+    EXPECT_EQ(rec.offsetVal, 0);
+    EXPECT_EQ(rec.effAddr, h.p.syms()[0].addr);
+}
+
+TEST(Emulator, ExecRecordForBranches)
+{
+    Harness h;
+    LabelId skip = h.as.newLabel();
+    h.as.li(reg::t0, 1);
+    h.as.bgtz(reg::t0, skip);
+    h.as.nop();
+    h.as.bind(skip);
+    h.as.halt();
+    h.finish();
+    ExecRecord rec;
+    h.emu->step(&rec);  // li
+    h.emu->step(&rec);  // bgtz
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(rec.nextPc, Program::textBase + 3 * 4);
+}
+
+TEST(EmulatorDeathTest, UnalignedAccessPanics)
+{
+    Harness h;
+    h.as.li(reg::s0, 0x10000001);
+    h.as.lw(reg::t0, 0, reg::s0);
+    h.as.halt();
+    h.finish();
+    EXPECT_DEATH(h.run(), "unaligned");
+}
+
+TEST(Emulator, HaltStopsExecution)
+{
+    Harness h;
+    h.as.li(reg::t0, 1);
+    h.as.halt();
+    h.as.li(reg::t0, 2);  // must never run
+    h.finish();
+    Emulator &e = h.run();
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(e.intReg(reg::t0), 1u);
+    EXPECT_EQ(e.instCount(), 2u);
+    ExecRecord rec;
+    EXPECT_FALSE(e.step(&rec));
+}
+
+} // anonymous namespace
+} // namespace facsim

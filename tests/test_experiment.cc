@@ -1,0 +1,161 @@
+/**
+ * @file
+ * End-to-end experiment tests: the shapes the paper's evaluation rests
+ * on must hold on the full machine — FAC speeds programs up, software
+ * support improves prediction, bandwidth overhead shrinks with support,
+ * and the sim/config presets behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/stats.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TimingResult
+timed(const char *name, const CodeGenPolicy &pol, const PipelineConfig &pc,
+      uint64_t max_insts = 800'000)
+{
+    TimingRequest req;
+    req.workload = name;
+    req.build.policy = pol;
+    req.pipe = pc;
+    req.maxInsts = max_insts;
+    return runTiming(req);
+}
+
+TEST(Experiment, FacSpeedsUpIntegerKernel)
+{
+    TimingResult base = timed("xlisp", CodeGenPolicy::baseline(),
+                              baselineConfig());
+    TimingResult fac = timed("xlisp", CodeGenPolicy::baseline(),
+                             facPipelineConfig());
+    EXPECT_NEAR(static_cast<double>(base.stats.insts),
+                static_cast<double>(fac.stats.insts), 8.0);
+    double s = speedup(base.stats.cycles, fac.stats.cycles);
+    EXPECT_GT(s, 1.02) << "FAC should speed up pointer-chasing code";
+}
+
+TEST(Experiment, SoftwareSupportImprovesFacSpeedup)
+{
+    TimingResult base = timed("doduc", CodeGenPolicy::baseline(),
+                              baselineConfig());
+    TimingResult hw = timed("doduc", CodeGenPolicy::baseline(),
+                            facPipelineConfig());
+    TimingResult both = timed("doduc", CodeGenPolicy::withSupport(),
+                              facPipelineConfig());
+    double hw_speedup = speedup(base.stats.cycles, hw.stats.cycles);
+    double sw_speedup = speedup(base.stats.cycles, both.stats.cycles);
+    EXPECT_GE(sw_speedup, hw_speedup - 0.01);
+    EXPECT_GT(sw_speedup, 1.0);
+}
+
+TEST(Experiment, SupportCutsBandwidthOverhead)
+{
+    TimingResult hw = timed("sc", CodeGenPolicy::baseline(),
+                            facPipelineConfig());
+    TimingResult sw = timed("sc", CodeGenPolicy::withSupport(),
+                            facPipelineConfig());
+    EXPECT_LT(sw.stats.bandwidthOverhead(),
+              hw.stats.bandwidthOverhead());
+}
+
+TEST(Experiment, IdealisationOrdering)
+{
+    // cycles(1-cycle+perfect) <= cycles(1-cycle) <= cycles(baseline),
+    // and the same for the perfect-cache leg.
+    TimingResult base = timed("compress", CodeGenPolicy::baseline(),
+                              baselineConfig());
+    TimingResult one = timed("compress", CodeGenPolicy::baseline(),
+                             oneCycleLoadConfig());
+    TimingResult perfect = timed("compress", CodeGenPolicy::baseline(),
+                                 perfectCacheConfig());
+    TimingResult both = timed("compress", CodeGenPolicy::baseline(),
+                              oneCyclePerfectConfig());
+    EXPECT_LT(one.stats.cycles, base.stats.cycles);
+    EXPECT_LT(perfect.stats.cycles, base.stats.cycles);
+    EXPECT_LE(both.stats.cycles, one.stats.cycles);
+    EXPECT_LE(both.stats.cycles, perfect.stats.cycles);
+}
+
+TEST(Experiment, FacBoundedByOneCycleIdeal)
+{
+    // FAC can at best turn every load into a 1-cycle load.
+    TimingResult one = timed("grep", CodeGenPolicy::baseline(),
+                             oneCycleLoadConfig());
+    TimingResult fac = timed("grep", CodeGenPolicy::baseline(),
+                             facPipelineConfig());
+    EXPECT_GE(fac.stats.cycles + 8, one.stats.cycles);
+}
+
+TEST(Experiment, ProfileAndTimingAgreeOnCounts)
+{
+    ProfileRequest preq;
+    preq.workload = "espresso";
+    preq.build.policy = CodeGenPolicy::baseline();
+    ProfileResult prof = runProfile(preq);
+
+    TimingRequest treq;
+    treq.workload = "espresso";
+    treq.build.policy = CodeGenPolicy::baseline();
+    treq.pipe = baselineConfig();
+    TimingResult tim = runTiming(treq);
+
+    EXPECT_EQ(prof.insts, tim.stats.insts);
+    EXPECT_EQ(prof.loads, tim.stats.loads);
+    EXPECT_EQ(prof.stores, tim.stats.stores);
+}
+
+TEST(Experiment, MemUsageGrowsWithSupport)
+{
+    // Alignment padding costs memory (Table 4's "Mem Usage %Change").
+    ProfileRequest base;
+    base.workload = "perl";
+    base.build.policy = CodeGenPolicy::baseline();
+    ProfileRequest sup = base;
+    sup.build.policy = CodeGenPolicy::withSupport();
+    ProfileResult rb = runProfile(base);
+    ProfileResult rs = runProfile(sup);
+    EXPECT_GE(rs.memUsageBytes, rb.memUsageBytes);
+}
+
+TEST(Experiment, TlbMissRatioStaysTiny)
+{
+    ProfileRequest req;
+    req.workload = "compress";
+    req.build.policy = CodeGenPolicy::withSupport();
+    req.withTlb = true;
+    req.maxInsts = 500'000;
+    ProfileResult r = runProfile(req);
+    EXPECT_LT(r.tlbMissRatio, 0.01);
+}
+
+TEST(Experiment, ConfigPresetsMatchTable5)
+{
+    PipelineConfig c = baselineConfig();
+    EXPECT_EQ(c.fetchWidth, 4u);
+    EXPECT_EQ(c.issueWidth, 4u);
+    EXPECT_EQ(c.dcache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(c.dcache.blockBytes, 32u);
+    EXPECT_EQ(c.dcache.missLatency, 6u);
+    EXPECT_EQ(c.storeBufferEntries, 16u);
+    EXPECT_EQ(c.btbEntries, 1024u);
+    EXPECT_FALSE(c.facEnabled);
+
+    PipelineConfig f = facPipelineConfig(16);
+    EXPECT_TRUE(f.facEnabled);
+    EXPECT_EQ(f.fac.blockBits, 4u);
+    EXPECT_EQ(f.fac.setBits, 14u);
+
+    std::string desc = describeConfig(c);
+    EXPECT_NE(desc.find("16k direct-mapped"), std::string::npos);
+    EXPECT_NE(desc.find("FAC:          disabled"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the fast-address-calculation predictor, including the
+ * four worked examples of the paper's Figure 5 (16 KB direct-mapped
+ * cache, 16-byte blocks: B=4, S=14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fast_addr_calc.hh"
+
+namespace facsim
+{
+namespace
+{
+
+FacConfig
+fig5Config()
+{
+    return FacConfig{.blockBits = 4, .setBits = 14, .fullTagAdd = true,
+                     .speculateRegReg = true};
+}
+
+TEST(Fac, Figure5aPointerDereference)
+{
+    FastAddrCalc f(fig5Config());
+    // load r3, 0(r8): r8 = 0xac, offset 0.
+    FacResult r = f.predict(0xac, 0, false);
+    EXPECT_TRUE(r.attempted);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.predictedAddr, 0xacu);
+}
+
+TEST(Fac, Figure5bAlignedGlobalPointer)
+{
+    FastAddrCalc f(fig5Config());
+    // load r3, 2436(gp): gp = 0x10000000 (aligned), offset 0x984.
+    FacResult r = f.predict(0x10000000, 0x984, false);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.predictedAddr, 0x10000984u);
+}
+
+TEST(Fac, Figure5cBlockOffsetAdditionSucceeds)
+{
+    FastAddrCalc f(fig5Config());
+    // load r3, 102(sp): sp = 0x7fff5b84, offset 0x66; full addition is
+    // needed in the block offset but no carry leaves it.
+    FacResult r = f.predict(0x7fff5b84, 0x66, false);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.predictedAddr, 0x7fff5beau);
+}
+
+TEST(Fac, Figure5dPropagatedCarryFails)
+{
+    FastAddrCalc f(fig5Config());
+    // load r3, 364(sp): sp = 0x7fff5b84, offset 0x16c; a carry leaves
+    // the block offset and another is generated in the set index.
+    FacResult r = f.predict(0x7fff5b84, 0x16c, false);
+    EXPECT_TRUE(r.attempted);
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.predictedAddr, 0x7fff5b84u + 0x16c);
+    EXPECT_TRUE(r.failMask & facFailOverflow);
+}
+
+TEST(Fac, ZeroOffsetAlwaysSucceeds)
+{
+    FastAddrCalc f(fig5Config());
+    for (uint32_t base : {0u, 0x7fffffffu, 0x12345678u, 0xffffffffu}) {
+        FacResult r = f.predict(base, 0, false);
+        EXPECT_TRUE(r.success);
+        EXPECT_EQ(r.predictedAddr, base);
+    }
+}
+
+TEST(Fac, GenCarryInSetIndexDetected)
+{
+    FastAddrCalc f(fig5Config());
+    // Base and offset share set-index bits: bit 4 set in both.
+    FacResult r = f.predict(0x10, 0x10, false);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.failMask & facFailGenCarry);
+}
+
+TEST(Fac, SmallNegativeConstWithinBlockSucceeds)
+{
+    FastAddrCalc f(fig5Config());
+    // base block offset 0xc, offset -4 stays inside the block.
+    FacResult r = f.predict(0x200c, -4, false);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.predictedAddr, 0x2008u);
+}
+
+TEST(Fac, NegativeConstLeavingBlockFails)
+{
+    FastAddrCalc f(fig5Config());
+    FacResult r = f.predict(0x2004, -8, false);  // crosses block down
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.failMask & facFailLargeNegConst);
+
+    FacResult big = f.predict(0x2004, -1000, false);
+    EXPECT_FALSE(big.success);
+    EXPECT_TRUE(big.failMask & facFailLargeNegConst);
+}
+
+TEST(Fac, NegativeIndexRegisterAlwaysFails)
+{
+    FastAddrCalc f(fig5Config());
+    FacResult r = f.predict(0x2010, -16, true);
+    EXPECT_TRUE(r.attempted);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.failMask & facFailNegIndexReg);
+}
+
+TEST(Fac, PositiveIndexRegisterUsesNormalPath)
+{
+    FastAddrCalc f(fig5Config());
+    FacResult r = f.predict(0x10000000, 0x40, true);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.predictedAddr, 0x10000040u);
+}
+
+TEST(Fac, RegRegSpeculationCanBeDisabled)
+{
+    FacConfig cfg = fig5Config();
+    cfg.speculateRegReg = false;
+    FastAddrCalc f(cfg);
+    FacResult r = f.predict(0x10000000, 0x40, true);
+    EXPECT_FALSE(r.attempted);
+    // Constant offsets still speculate.
+    EXPECT_TRUE(f.predict(0x10000000, 0x40, false).attempted);
+}
+
+TEST(Fac, OrTagVariantDetectsTagCarry)
+{
+    FacConfig cfg = fig5Config();
+    cfg.fullTagAdd = false;
+    FastAddrCalc f(cfg);
+    // Offset with tag bits overlapping the base's tag bits.
+    FacResult r = f.predict(0x00404000, 0x00404000, false);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.failMask & facFailGenCarryTag);
+    // The full-tag-add circuit predicts this one correctly.
+    FastAddrCalc g(fig5Config());
+    EXPECT_TRUE(g.predict(0x00404000, 0x00404000, false).success);
+}
+
+TEST(Fac, FailMaskNames)
+{
+    EXPECT_EQ(FastAddrCalc::failMaskName(facFailNone), "None");
+    EXPECT_EQ(FastAddrCalc::failMaskName(facFailOverflow), "Overflow");
+    EXPECT_EQ(FastAddrCalc::failMaskName(
+                  facFailOverflow | facFailGenCarry),
+              "Overflow|GenCarry");
+}
+
+TEST(FacDeathTest, RejectsDegenerateGeometry)
+{
+    EXPECT_DEATH(FastAddrCalc(FacConfig{.blockBits = 14, .setBits = 14}),
+                 "block-offset");
+    EXPECT_DEATH(FastAddrCalc(FacConfig{.blockBits = 5, .setBits = 32}),
+                 "tag");
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fetch-stage tests: BTB-directed fetch grouping, taken-branch group
+ * breaks, fetch bandwidth, and redirect timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "asm/builder.hh"
+#include "cpu/pipeline.hh"
+#include "link/linker.hh"
+#include "sim/config.hh"
+
+namespace facsim
+{
+namespace
+{
+
+PipeStats
+runProgram(const std::function<void(AsmBuilder &)> &gen,
+           PipelineConfig cfg)
+{
+    cfg.perfectICache = true;
+    Program p;
+    AsmBuilder as(p);
+    gen(as);
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    Pipeline pipe(cfg, emu);
+    return pipe.run();
+}
+
+TEST(Fetch, StraightLineSustainsFourPerCycle)
+{
+    // Independent ALU ops: the only limit is fetch/issue width.
+    auto gen = [](AsmBuilder &as) {
+        for (int i = 0; i < 400; ++i)
+            as.add(static_cast<uint8_t>(reg::t0 + i % 8), reg::s0,
+                   reg::s1);
+        as.halt();
+    };
+    PipeStats st = runProgram(gen, baselineConfig());
+    EXPECT_GT(st.ipc(), 3.5);
+}
+
+TEST(Fetch, PredictedTakenLoopHasNoBubble)
+{
+    // A hot loop with a 2-instruction body: after the BTB warms, the
+    // taken back-edge costs no fetch bubble, but it does end the fetch
+    // group (2 insts/cycle ceiling for a 2-inst loop body).
+    auto gen = [](AsmBuilder &as) {
+        as.li(reg::t9, 1000);
+        LabelId top = as.newLabel();
+        as.bind(top);
+        as.addi(reg::t9, reg::t9, -1);
+        as.bgtz(reg::t9, top);
+        as.halt();
+    };
+    PipeStats st = runProgram(gen, baselineConfig());
+    // ~1 cycle per iteration (2 insts, dependent addi chain).
+    EXPECT_LT(st.cycles, 1150u);
+    // Only the cold iteration mispredicts (plus the final fall-through).
+    EXPECT_LE(st.btbMispredicts, 4u);
+}
+
+TEST(Fetch, IndirectJumpsLearnTheirTarget)
+{
+    // A jr through a constant register: first encounter mispredicts,
+    // the BTB then locks on.
+    auto gen = [](AsmBuilder &as) {
+        SymId fnptr = as.global("fnptr", 4, 4, true);
+        LabelId fn = as.newLabel();
+        LabelId setup = as.newLabel();
+        as.j(setup);
+        as.bind(fn);
+        as.addi(reg::t8, reg::t8, 1);
+        as.jr(reg::ra);
+        as.bind(setup);
+        as.li(reg::t9, 300);
+        LabelId top = as.newLabel();
+        as.bind(top);
+        as.jal(fn);
+        as.addi(reg::t9, reg::t9, -1);
+        as.bgtz(reg::t9, top);
+        as.halt();
+        (void)fnptr;
+    };
+    PipeStats st = runProgram(gen, baselineConfig());
+    // 300 calls, 300 returns: all from one call site, so after warmup
+    // both the jal and the jr predict.
+    EXPECT_LT(st.btbMispredicts, 12u);
+}
+
+TEST(Fetch, AlternatingCallSitesDefeatReturnPrediction)
+{
+    // The same function called from two sites: a plain BTB (no return
+    // stack, per Table 5) mispredicts the jr target on every switch.
+    auto gen = [](AsmBuilder &as) {
+        LabelId fn = as.newLabel();
+        LabelId setup = as.newLabel();
+        as.j(setup);
+        as.bind(fn);
+        as.addi(reg::t8, reg::t8, 1);
+        as.jr(reg::ra);
+        as.bind(setup);
+        as.li(reg::t9, 200);
+        LabelId top = as.newLabel();
+        as.bind(top);
+        as.jal(fn);          // site A
+        as.nop();
+        as.jal(fn);          // site B (different return address)
+        as.addi(reg::t9, reg::t9, -1);
+        as.bgtz(reg::t9, top);
+        as.halt();
+    };
+    PipeStats st = runProgram(gen, baselineConfig());
+    // Every jr return alternates targets: ~2 mispredicts per iteration.
+    EXPECT_GT(st.btbMispredicts, 300u);
+}
+
+TEST(Fetch, FetchBufferBoundsRunahead)
+{
+    // A long divide stalls issue; fetch must not run unboundedly ahead.
+    auto gen = [](AsmBuilder &as) {
+        as.li(reg::t0, 1000);
+        as.li(reg::t1, 7);
+        as.div(reg::t2, reg::t0, reg::t1);
+        as.div(reg::t3, reg::t2, reg::t1);   // dependent divide
+        for (int i = 0; i < 100; ++i)
+            as.add(static_cast<uint8_t>(reg::t4 + i % 4), reg::t0,
+                   reg::t1);
+        as.halt();
+    };
+    PipeStats st = runProgram(gen, baselineConfig());
+    // Two dependent 12-cycle divides dominate; everything else overlaps.
+    EXPECT_GE(st.cycles, 24u);
+    EXPECT_LT(st.cycles, 70u);
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Frame-layout tests: slot placement under both policies and the emitted
+ * prologue/epilogue code, executed end-to-end on the emulator to verify
+ * sp discipline (including the explicit big-frame alignment path).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/emulator.hh"
+#include "link/linker.hh"
+#include "workloads/kernel_lib.hh"
+
+namespace facsim
+{
+namespace
+{
+
+WorkloadContext
+makeCtx(AsmBuilder &as, const CodeGenPolicy &pol, Rng &rng)
+{
+    return WorkloadContext(as, pol, rng, 1);
+}
+
+TEST(Frame, BaselineDeclarationOrder)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(1);
+    CodeGenPolicy pol = CodeGenPolicy::baseline();
+    WorkloadContext ctx = makeCtx(as, pol, rng);
+    Frame f(ctx, false);
+    unsigned s1 = f.addScalar();
+    unsigned arr = f.addArray(100);
+    unsigned s2 = f.addScalar();
+    f.seal();
+    // Declaration order: the second scalar lands beyond the array.
+    EXPECT_EQ(f.off(s1), 0);
+    EXPECT_EQ(f.off(arr), 4);
+    EXPECT_EQ(f.off(s2), 104);
+    EXPECT_EQ(f.size() % 8, 0u);
+}
+
+TEST(Frame, SupportSortsScalarsFirst)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(1);
+    CodeGenPolicy pol = CodeGenPolicy::withSupport();
+    WorkloadContext ctx = makeCtx(as, pol, rng);
+    Frame f(ctx, false);
+    unsigned s1 = f.addScalar();
+    unsigned arr = f.addArray(100);
+    unsigned s2 = f.addScalar();
+    f.seal();
+    // Scalars sort to the lowest offsets (Section 4).
+    EXPECT_EQ(f.off(s1), 0);
+    EXPECT_EQ(f.off(s2), 4);
+    EXPECT_EQ(f.off(arr), 8);
+    EXPECT_EQ(f.size() % 64, 0u);
+}
+
+// Run a generated function end-to-end and confirm sp comes back intact
+// and the frame slots behave as storage.
+void
+runFrameProgram(const CodeGenPolicy &pol, bool big_frame)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(1);
+    WorkloadContext ctx = makeCtx(as, pol, rng);
+
+    SymId out = as.global("out", 4, 4, true);
+    LabelId fn = as.newLabel();
+
+    as.jal(fn);
+    as.swGp(reg::v0, out);
+    as.halt();
+
+    as.bind(fn);
+    Frame f(ctx, false);
+    unsigned slot = f.addScalar();
+    if (big_frame)
+        f.addArray(300, 8);
+    f.seal();
+    f.prologue(as);
+    as.li(reg::t0, 1234);
+    as.sw(reg::t0, f.off(slot), reg::sp);
+    as.lw(reg::v0, f.off(slot), reg::sp);
+    f.epilogueAndRet(as);
+
+    Memory mem;
+    LinkedImage img = Linker(pol.link).link(p, mem);
+    Emulator emu(p, mem, img, pol.stack.initialSp());
+    uint32_t sp0 = emu.intReg(reg::sp);
+    emu.run(10000);
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.intReg(reg::sp), sp0) << "sp not restored";
+    EXPECT_EQ(mem.read32(p.syms()[0].addr), 1234u);
+}
+
+TEST(Frame, SmallFrameRoundTripBaseline)
+{
+    runFrameProgram(CodeGenPolicy::baseline(), false);
+}
+
+TEST(Frame, SmallFrameRoundTripSupport)
+{
+    runFrameProgram(CodeGenPolicy::withSupport(), false);
+}
+
+TEST(Frame, BigFrameRoundTripBaseline)
+{
+    runFrameProgram(CodeGenPolicy::baseline(), true);
+}
+
+TEST(Frame, BigFrameExplicitAlignmentRoundTrip)
+{
+    runFrameProgram(CodeGenPolicy::withSupport(), true);
+}
+
+TEST(Frame, BigFrameAlignsSpDuringExecution)
+{
+    CodeGenPolicy pol = CodeGenPolicy::withSupport();
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(1);
+    WorkloadContext ctx = makeCtx(as, pol, rng);
+
+    SymId spval = as.global("spval", 4, 4, true);
+    LabelId fn = as.newLabel();
+    as.jal(fn);
+    as.halt();
+    as.bind(fn);
+    Frame f(ctx, false);
+    f.addArray(300, 8);
+    f.seal();
+    f.prologue(as);
+    as.swGp(reg::sp, spval);   // capture the aligned sp
+    f.epilogueAndRet(as);
+
+    Memory mem;
+    LinkedImage img = Linker(pol.link).link(p, mem);
+    Emulator emu(p, mem, img, pol.stack.initialSp());
+    emu.run(10000);
+    uint32_t inner_sp = mem.read32(p.syms()[0].addr);
+    // Frame > 64 bytes: the prologue explicitly aligned sp to the
+    // (capped) power-of-two frame alignment.
+    EXPECT_EQ(inner_sp % 256, 0u);
+}
+
+TEST(FrameDeathTest, Misuse)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(1);
+    CodeGenPolicy pol = CodeGenPolicy::baseline();
+    WorkloadContext ctx = makeCtx(as, pol, rng);
+    Frame f(ctx, false);
+    unsigned s = f.addScalar();
+    EXPECT_DEATH(f.off(s), "not sealed");
+    f.seal();
+    EXPECT_DEATH(f.addScalar(), "sealed");
+    EXPECT_DEATH(f.seal(), "sealed twice");
+}
+
+} // anonymous namespace
+} // namespace facsim

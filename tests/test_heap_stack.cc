@@ -1,0 +1,85 @@
+/** @file Tests for the heap allocator and stack policy (Section 4). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/heap.hh"
+#include "runtime/stack.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Heap, BaselineAlignment)
+{
+    Heap h(0x20000000, HeapPolicy{.minAlign = 8});
+    uint32_t a = h.alloc(5);
+    uint32_t b = h.alloc(5);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(Heap, SupportAlignment32)
+{
+    Heap h(0x20000000, HeapPolicy{.minAlign = 32});
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(h.alloc(12) % 32, 0u);
+}
+
+TEST(Heap, NaturalAlignmentHonored)
+{
+    Heap h(0x20000000, HeapPolicy{.minAlign = 8});
+    h.alloc(1);
+    uint32_t d = h.alloc(8, 8);
+    EXPECT_EQ(d % 8, 0u);
+}
+
+TEST(Heap, PackedAllocatorDefeatsAlignment)
+{
+    Heap h(0x20000000, HeapPolicy{.minAlign = 32});
+    h.allocPacked(20);
+    uint32_t second = h.allocPacked(20);
+    // Obstack-style packing ignores the 32-byte policy.
+    EXPECT_NE(second % 32, 0u);
+    EXPECT_EQ(second % 4, 0u);
+}
+
+TEST(Heap, UsageTracking)
+{
+    Heap h(0x20000000, HeapPolicy{.minAlign = 8});
+    EXPECT_EQ(h.usedBytes(), 0u);
+    h.alloc(100);
+    EXPECT_GE(h.usedBytes(), 100u);
+    EXPECT_EQ(h.base(), 0x20000000u);
+    EXPECT_GT(h.top(), h.base());
+}
+
+TEST(StackPolicy, BaselineFrameRounding)
+{
+    StackPolicy p{.spAlign = 8};
+    EXPECT_EQ(p.frameSize(1), 8u);
+    EXPECT_EQ(p.frameSize(8), 8u);
+    EXPECT_EQ(p.frameSize(20), 24u);
+    EXPECT_EQ(p.frameAlign(24), 8u);
+    EXPECT_EQ(p.initialSp() % 8, 0u);
+    EXPECT_NE(p.initialSp() % 64, 0u);  // deliberately unaligned
+}
+
+TEST(StackPolicy, SupportFrameRounding)
+{
+    StackPolicy p{.spAlign = 64, .maxFrameAlign = 256,
+                  .explicitAlignBigFrames = true};
+    EXPECT_EQ(p.frameSize(20), 64u);
+    EXPECT_EQ(p.frameSize(65), 128u);
+    // Small frames keep the program-wide alignment.
+    EXPECT_EQ(p.frameAlign(64), 64u);
+    // Big frames escalate to the next power of two, capped at 256.
+    EXPECT_EQ(p.frameAlign(128), 128u);
+    EXPECT_EQ(p.frameAlign(192), 256u);
+    EXPECT_EQ(p.frameAlign(512), 256u);
+    EXPECT_EQ(p.initialSp() % 64, 0u);
+}
+
+} // anonymous namespace
+} // namespace facsim

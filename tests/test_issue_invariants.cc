@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Structural invariants of the issue stream, observed through the
+ * Pipeline::onIssue hook over real workloads:
+ *
+ *  - instructions issue in program order, exactly once each, and the
+ *    issued stream equals the functional stream;
+ *  - per-cycle issue never exceeds the machine widths (4 total, 2
+ *    loads, 1 store);
+ *  - speculation flags only appear on memory operations, and only when
+ *    fast address calculation is enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/config.hh"
+#include "sim/machine.hh"
+#include "cpu/pipeline.hh"
+
+namespace facsim
+{
+namespace
+{
+
+struct IssueLog
+{
+    std::vector<Pipeline::IssueEvent> events;
+};
+
+IssueLog
+runWithHook(const char *workload_name, const PipelineConfig &cfg,
+            uint64_t max_insts)
+{
+    Machine m(workload(workload_name), BuildOptions{});
+    Pipeline pipe(cfg, m.emulator());
+    IssueLog log;
+    pipe.onIssue([&](const Pipeline::IssueEvent &ev) {
+        log.events.push_back(ev);
+    });
+    pipe.run(max_insts);
+    return log;
+}
+
+class IssueInvariantTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IssueInvariantTest, ProgramOrderAndWidthLimits)
+{
+    PipelineConfig cfg = facPipelineConfig();
+    IssueLog log = runWithHook(GetParam(), cfg, 120000);
+    ASSERT_FALSE(log.events.empty());
+
+    uint64_t prev_cycle = 0;
+    uint32_t expected_pc = Program::textBase;
+    std::map<uint64_t, unsigned> per_cycle, loads_per_cycle,
+        stores_per_cycle;
+
+    for (const auto &ev : log.events) {
+        // Monotone non-decreasing issue cycles (in-order issue).
+        EXPECT_GE(ev.cycle, prev_cycle);
+        prev_cycle = ev.cycle;
+        // The issued stream is the architectural path.
+        EXPECT_EQ(ev.rec.pc, expected_pc);
+        expected_pc = ev.rec.nextPc;
+
+        ++per_cycle[ev.cycle];
+        if (isLoad(ev.rec.inst.op))
+            ++loads_per_cycle[ev.cycle];
+        if (isStore(ev.rec.inst.op))
+            ++stores_per_cycle[ev.cycle];
+
+        if (ev.speculated) {
+            EXPECT_TRUE(isMem(ev.rec.inst.op));
+        }
+    }
+
+    for (const auto &[cycle, n] : per_cycle)
+        EXPECT_LE(n, cfg.issueWidth) << "cycle " << cycle;
+    for (const auto &[cycle, n] : loads_per_cycle)
+        EXPECT_LE(n, cfg.maxLoadsPerCycle) << "cycle " << cycle;
+    for (const auto &[cycle, n] : stores_per_cycle)
+        EXPECT_LE(n, cfg.maxStoresPerCycle) << "cycle " << cycle;
+}
+
+TEST_P(IssueInvariantTest, NoSpeculationFlagsWithoutFac)
+{
+    IssueLog log = runWithHook(GetParam(), baselineConfig(), 60000);
+    for (const auto &ev : log.events) {
+        EXPECT_FALSE(ev.speculated);
+        EXPECT_FALSE(ev.mispredicted);
+    }
+}
+
+TEST_P(IssueInvariantTest, SpeculationCountsMatchStats)
+{
+    PipelineConfig cfg = facPipelineConfig();
+    Machine m(workload(GetParam()), BuildOptions{});
+    Pipeline pipe(cfg, m.emulator());
+    uint64_t spec = 0;
+    pipe.onIssue([&](const Pipeline::IssueEvent &ev) {
+        spec += ev.speculated ? 1 : 0;
+    });
+    PipeStats st = pipe.run(120000);
+    EXPECT_EQ(spec, st.loadsSpeculated + st.storesSpeculated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, IssueInvariantTest,
+                         ::testing::Values("compress", "doduc", "spice",
+                                           "xlisp"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &info) {
+                             return std::string(info.param);
+                         });
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the Section 5.4 future-work extension: large-alignment
+ * placement of statics and heap objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "core/fast_addr_calc.hh"
+#include "link/linker.hh"
+#include "runtime/heap.hh"
+#include "workloads/codegen_policy.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(LargeAlign, LinkerAlignsBigStaticsToSize)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId small = as.global("sm", 24, 4, false);
+    SymId big = as.global("bg", 3000, 4, false);
+    SymId huge = as.global("hg", 100000, 4, false);
+    as.halt();
+    Memory mem;
+    LinkPolicy pol{.alignStatics = true, .alignArraysToSize = true,
+                   .largeAlignCap = 16 * 1024};
+    Linker(pol).link(p, mem);
+    // Small objects keep the capped (32-byte) policy.
+    EXPECT_EQ(p.syms()[small].addr % 32, 0u);
+    // Big ones get their full power-of-two size...
+    EXPECT_EQ(p.syms()[big].addr % 4096, 0u);
+    // ...capped at largeAlignCap.
+    EXPECT_EQ(p.syms()[huge].addr % (16 * 1024), 0u);
+}
+
+TEST(LargeAlign, HeapAlignsToSize)
+{
+    HeapPolicy pol{.minAlign = 32, .alignToSize = true,
+                   .largeAlignCap = 16 * 1024};
+    Heap h(0x20000000 + 8, pol);
+    h.alloc(100);  // misalign the cursor a bit
+    uint32_t arr = h.alloc(3000);
+    EXPECT_EQ(arr % 4096, 0u);
+    uint32_t huge = h.alloc(100000);
+    EXPECT_EQ(huge % (16 * 1024), 0u);
+    // Small allocations stay on the normal policy.
+    uint32_t cell = h.alloc(16);
+    EXPECT_EQ(cell % 32, 0u);
+}
+
+TEST(LargeAlign, PolicyPresetEnablesBoth)
+{
+    CodeGenPolicy p = CodeGenPolicy::withLargeAlignment();
+    EXPECT_TRUE(p.softwareSupport);
+    EXPECT_TRUE(p.link.alignArraysToSize);
+    EXPECT_TRUE(p.heap.alignToSize);
+    // Plain support leaves them off.
+    EXPECT_FALSE(CodeGenPolicy::withSupport().link.alignArraysToSize);
+    EXPECT_FALSE(CodeGenPolicy::withSupport().heap.alignToSize);
+}
+
+TEST(LargeAlign, SizeAlignedBasePredictsItsWholeExtent)
+{
+    // The point of the exercise: any index into a size-aligned array
+    // predicts correctly (until the index reaches the set-field span).
+    FastAddrCalc fac(FacConfig{.blockBits = 5, .setBits = 14});
+    uint32_t base = 0x20000000;  // 16 KB-aligned
+    for (uint32_t idx = 0; idx < 16 * 1024; idx += 52) {
+        FacResult r = fac.predict(base, static_cast<int32_t>(idx), true);
+        EXPECT_TRUE(r.success) << idx;
+    }
+    // An unaligned base fails for many of the same indices.
+    unsigned failures = 0;
+    for (uint32_t idx = 0; idx < 16 * 1024; idx += 52)
+        failures += fac.predict(base + 808, static_cast<int32_t>(idx),
+                                true).success ? 0 : 1;
+    EXPECT_GT(failures, 100u);
+}
+
+} // anonymous namespace
+} // namespace facsim

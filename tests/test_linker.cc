@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Linker tests: layout, fixup patching, and the global-pointer alignment
+ * software support (Section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "link/linker.hh"
+#include "util/bits.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Linker, BranchAndJumpPatching)
+{
+    Program p;
+    AsmBuilder as(p);
+    LabelId top = as.newLabel();
+    as.bind(top);
+    as.nop();                      // 0
+    as.bne(reg::t0, reg::zero, top);  // 1: disp = 0 - 2 = -2
+    as.j(top);                     // 2: abs word = textBase/4
+    as.halt();
+
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    EXPECT_EQ(p.inst(1).imm, -2);
+    EXPECT_EQ(static_cast<uint32_t>(p.inst(2).imm),
+              Program::textBase / 4);
+    EXPECT_EQ(img.entryPc, Program::textBase);
+
+    // The encoded image landed in memory.
+    EXPECT_EQ(mem.read32(Program::textBase), 0u);  // nop
+}
+
+TEST(Linker, DataLayoutRespectsAlignment)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId a = as.global("a", 3, 1, false);
+    SymId b = as.global("b", 8, 8, false);
+    as.halt();
+    Memory mem;
+    Linker(LinkPolicy{}).link(p, mem);
+    EXPECT_EQ(p.syms()[a].addr, Linker::dataBase);
+    EXPECT_EQ(p.syms()[b].addr % 8, 0u);
+    EXPECT_GE(p.syms()[b].addr, p.syms()[a].addr + 3);
+}
+
+TEST(Linker, InitialisedDataIsLoaded)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId s = as.globalInit("tbl", {0xde, 0xad, 0xbe, 0xef}, 4, false);
+    as.halt();
+    Memory mem;
+    Linker(LinkPolicy{}).link(p, mem);
+    uint32_t addr = p.syms()[s].addr;
+    EXPECT_EQ(mem.read8(addr), 0xde);
+    EXPECT_EQ(mem.read8(addr + 3), 0xef);
+}
+
+TEST(Linker, GpRelFixupResolves)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId v = as.global("v", 4, 4, true);
+    as.lwGp(reg::t0, v);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    EXPECT_EQ(img.gpValue + static_cast<uint32_t>(p.inst(0).imm),
+              p.syms()[v].addr);
+}
+
+TEST(Linker, BaselineGpIsUnaligned)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.global("pad", 4096, 8, true);
+    SymId v = as.global("v", 4, 4, true);
+    as.lwGp(reg::t0, v);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    // Without support the gp is not aligned to the small-data span.
+    EXPECT_NE(img.gpValue % 4096, 0u);
+    // And the bulk of the region sits at positive offsets.
+    EXPECT_GT(p.syms()[v].addr, img.gpValue);
+}
+
+TEST(Linker, AlignedGpPolicyGuarantees)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId first = as.global("first", 4, 4, true);
+    as.global("pad", 3000, 8, true);
+    SymId last = as.global("last", 4, 4, true);
+    as.lwGp(reg::t0, first);
+    as.lwGp(reg::t1, last);
+    as.halt();
+    Memory mem;
+    LinkPolicy pol{.alignGlobalPointer = true};
+    LinkedImage img = Linker(pol).link(p, mem);
+    // gp aligned to a power of two covering the whole region, offsets
+    // all positive — the Section 4 guarantee that makes carry-free
+    // addition always succeed for global accesses.
+    uint32_t region = p.syms()[last].addr + 4 - img.gpValue;
+    uint32_t boundary = nextPow2(region);
+    EXPECT_EQ(img.gpValue % boundary, 0u);
+    EXPECT_GE(p.inst(0).imm, 0);
+    EXPECT_GE(p.inst(1).imm, 0);
+}
+
+TEST(Linker, StaticAlignmentPolicy)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId small = as.global("sm", 6, 2, false);
+    SymId big = as.global("bg", 100, 4, false);
+    as.halt();
+    Memory mem;
+    LinkPolicy pol{.alignStatics = true, .maxStaticAlign = 32};
+    Linker(pol).link(p, mem);
+    EXPECT_EQ(p.syms()[small].addr % 8, 0u);   // nextPow2(6) = 8
+    EXPECT_EQ(p.syms()[big].addr % 32, 0u);    // capped at 32
+}
+
+TEST(Linker, HeapStartsPageAlignedAfterData)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.global("x", 100, 4, false);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    EXPECT_EQ(img.heapBase % 4096, 0u);
+    EXPECT_GE(img.heapBase, img.dataEnd);
+    EXPECT_GE(img.staticBytes, 100u);
+}
+
+TEST(LinkerDeathTest, DoubleLinkPanics)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.halt();
+    Memory mem;
+    Linker l(LinkPolicy{});
+    l.link(p, mem);
+    EXPECT_DEATH(l.link(p, mem), "linked twice");
+}
+
+} // anonymous namespace
+} // namespace facsim

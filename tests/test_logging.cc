@@ -1,0 +1,37 @@
+/** @file Unit tests for string formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("plain"), "plain");
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%05.1f", 3.25), "003.2");
+}
+
+TEST(Logging, StrprintfLong)
+{
+    std::string big(500, 'a');
+    EXPECT_EQ(strprintf("%s!", big.c_str()), big + "!");
+}
+
+TEST(LoggingDeathTest, AssertFires)
+{
+    EXPECT_DEATH(FACSIM_ASSERT(1 == 2, "unreachable %d", 7), "assertion");
+}
+
+TEST(Logging, AssertPassesQuietly)
+{
+    FACSIM_ASSERT(true, "never printed");
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,86 @@
+/** @file Unit tests for the sparse paged memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Memory, ReadsZeroInitially)
+{
+    Memory m;
+    EXPECT_EQ(m.read32(0x10000000), 0u);
+    EXPECT_EQ(m.read8(0x7fff0000), 0u);
+}
+
+TEST(Memory, ByteRoundTrip)
+{
+    Memory m;
+    m.write8(0x1000, 0xab);
+    EXPECT_EQ(m.read8(0x1000), 0xab);
+}
+
+TEST(Memory, LittleEndianComposition)
+{
+    Memory m;
+    m.write32(0x2000, 0x11223344);
+    EXPECT_EQ(m.read8(0x2000), 0x44u);
+    EXPECT_EQ(m.read8(0x2003), 0x11u);
+    EXPECT_EQ(m.read16(0x2000), 0x3344u);
+    EXPECT_EQ(m.read16(0x2002), 0x1122u);
+}
+
+TEST(Memory, Wide64RoundTrip)
+{
+    Memory m;
+    m.write64(0x3000, 0x0123456789abcdefull);
+    EXPECT_EQ(m.read64(0x3000), 0x0123456789abcdefull);
+    EXPECT_EQ(m.read32(0x3000), 0x89abcdefu);
+    EXPECT_EQ(m.read32(0x3004), 0x01234567u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    uint32_t addr = Memory::pageBytes - 2;
+    m.write32(addr, 0xdeadbeef);
+    EXPECT_EQ(m.read32(addr), 0xdeadbeefu);
+    m.write64(Memory::pageBytes * 3 - 4, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(Memory::pageBytes * 3 - 4),
+              0x1122334455667788ull);
+}
+
+TEST(Memory, UsageTracksTouchedPages)
+{
+    Memory m;
+    EXPECT_EQ(m.pagesTouched(), 0u);
+    m.write8(0, 1);
+    m.write8(1, 1);
+    EXPECT_EQ(m.pagesTouched(), 1u);
+    m.read8(Memory::pageBytes * 10);  // reads also touch
+    EXPECT_EQ(m.pagesTouched(), 2u);
+    EXPECT_EQ(m.memUsageBytes(), 2 * Memory::pageBytes);
+}
+
+TEST(Memory, WriteBlock)
+{
+    Memory m;
+    uint8_t data[5] = {1, 2, 3, 4, 5};
+    m.writeBlock(0x5000, data, 5);
+    for (uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(m.read8(0x5000 + i), data[i]);
+}
+
+TEST(Memory, ClearResets)
+{
+    Memory m;
+    m.write32(0x100, 7);
+    m.clear();
+    EXPECT_EQ(m.pagesTouched(), 0u);
+}
+
+} // anonymous namespace
+} // namespace facsim

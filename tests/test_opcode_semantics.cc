@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Table-driven edge-case tests of instruction semantics: wrap-around
+ * arithmetic, signed/unsigned comparison boundaries, logical-immediate
+ * zero extension, shift corner cases and FP conversion saturation —
+ * the places where a C++-hosted emulator most easily diverges from the
+ * ISA definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "cpu/emulator.hh"
+#include "link/linker.hh"
+
+namespace facsim
+{
+namespace
+{
+
+/** Run a tiny two-source program and return the destination value. */
+uint32_t
+evalR(Op op, uint32_t a, uint32_t b)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.li(reg::t0, static_cast<int32_t>(a));
+    as.li(reg::t1, static_cast<int32_t>(b));
+    p.append(Inst{.op = op, .rd = reg::t2, .rs = reg::t0, .rt = reg::t1});
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    emu.run(100);
+    return emu.intReg(reg::t2);
+}
+
+uint32_t
+evalI(Op op, uint32_t a, int32_t imm)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.li(reg::t0, static_cast<int32_t>(a));
+    p.append(Inst{.op = op, .rs = reg::t0, .rt = reg::t2, .imm = imm});
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    emu.run(100);
+    return emu.intReg(reg::t2);
+}
+
+TEST(OpcodeSemantics, AddSubWrapAround)
+{
+    EXPECT_EQ(evalR(Op::ADD, 0xffffffffu, 1), 0u);
+    EXPECT_EQ(evalR(Op::ADD, 0x7fffffffu, 1), 0x80000000u);
+    EXPECT_EQ(evalR(Op::SUB, 0, 1), 0xffffffffu);
+    EXPECT_EQ(evalR(Op::SUB, 0x80000000u, 1), 0x7fffffffu);
+}
+
+TEST(OpcodeSemantics, SignedVsUnsignedCompare)
+{
+    // -1 < 1 signed, but 0xffffffff > 1 unsigned.
+    EXPECT_EQ(evalR(Op::SLT, 0xffffffffu, 1), 1u);
+    EXPECT_EQ(evalR(Op::SLTU, 0xffffffffu, 1), 0u);
+    // INT_MIN boundary.
+    EXPECT_EQ(evalR(Op::SLT, 0x80000000u, 0x7fffffffu), 1u);
+    EXPECT_EQ(evalR(Op::SLTU, 0x80000000u, 0x7fffffffu), 0u);
+    EXPECT_EQ(evalR(Op::SLT, 5, 5), 0u);
+}
+
+TEST(OpcodeSemantics, SltiBoundaries)
+{
+    EXPECT_EQ(evalI(Op::SLTI, 0xffffffffu, 0), 1u);   // -1 < 0
+    EXPECT_EQ(evalI(Op::SLTI, 0, -1), 0u);
+    // SLTIU compares against the sign-extended immediate, unsigned:
+    // imm -1 becomes 0xffffffff, the largest unsigned value.
+    EXPECT_EQ(evalI(Op::SLTIU, 5, -1), 1u);
+    EXPECT_EQ(evalI(Op::SLTIU, 0xffffffffu, -1), 0u);
+}
+
+TEST(OpcodeSemantics, LogicalImmediatesZeroExtend)
+{
+    // andi/ori/xori use a zero-extended 16-bit immediate.
+    EXPECT_EQ(evalI(Op::ANDI, 0xffffffffu, 0xffff), 0x0000ffffu);
+    EXPECT_EQ(evalI(Op::ORI, 0xffff0000u, 0x8000), 0xffff8000u);
+    EXPECT_EQ(evalI(Op::XORI, 0x0000ffffu, 0xffff), 0u);
+}
+
+TEST(OpcodeSemantics, MulKeepsLow32Bits)
+{
+    EXPECT_EQ(evalR(Op::MUL, 0x10000u, 0x10000u), 0u);
+    EXPECT_EQ(evalR(Op::MUL, 0xffffffffu, 0xffffffffu), 1u);
+    EXPECT_EQ(evalR(Op::MUL, 1000, 1000), 1000000u);
+}
+
+TEST(OpcodeSemantics, DivisionTruncatesTowardZero)
+{
+    EXPECT_EQ(static_cast<int32_t>(evalR(Op::DIV, 7, 2)), 3);
+    EXPECT_EQ(static_cast<int32_t>(
+                  evalR(Op::DIV, static_cast<uint32_t>(-7), 2)), -3);
+    EXPECT_EQ(static_cast<int32_t>(
+                  evalR(Op::REM, static_cast<uint32_t>(-7), 2)), -1);
+    // INT_MIN / -1 is defined to wrap in this simulator.
+    EXPECT_EQ(evalR(Op::DIV, 0x80000000u, 0xffffffffu), 0x80000000u);
+    EXPECT_EQ(evalR(Op::REM, 0x80000000u, 0xffffffffu), 0u);
+}
+
+TEST(OpcodeSemantics, VariableShiftsUseLowFiveBits)
+{
+    EXPECT_EQ(evalR(Op::SLLV, 1, 33), 2u);     // 33 & 31 == 1
+    EXPECT_EQ(evalR(Op::SRLV, 0x80000000u, 32), 0x80000000u);
+    EXPECT_EQ(evalR(Op::SRAV, 0x80000000u, 31), 0xffffffffu);
+}
+
+TEST(OpcodeSemantics, NorGivesComplement)
+{
+    EXPECT_EQ(evalR(Op::NOR, 0, 0), 0xffffffffu);
+    EXPECT_EQ(evalR(Op::NOR, 0xf0f0f0f0u, 0x0f0f0f0fu), 0u);
+}
+
+TEST(OpcodeSemantics, LuiPlacesHighHalf)
+{
+    Program p;
+    AsmBuilder as(p);
+    as.lui(reg::t0, 0x8000);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    emu.run(10);
+    EXPECT_EQ(emu.intReg(reg::t0), 0x80000000u);
+}
+
+TEST(OpcodeSemantics, FpConversionSaturates)
+{
+    // cvt.w.d of a huge double must not invoke UB; it saturates.
+    Program p;
+    AsmBuilder as(p);
+    as.li(reg::t0, 100000);
+    as.mtc1(2, reg::t0);
+    as.cvtDW(2, 2);
+    as.mulD(2, 2, 2);      // 1e10 > INT32_MAX
+    as.cvtWD(4, 2);
+    as.mfc1(reg::t1, 4);
+    as.negD(6, 2);         // -1e10 < INT32_MIN
+    as.cvtWD(6, 6);
+    as.mfc1(reg::t2, 6);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    emu.run(100);
+    EXPECT_EQ(static_cast<int32_t>(emu.intReg(reg::t1)), INT32_MAX);
+    EXPECT_EQ(static_cast<int32_t>(emu.intReg(reg::t2)), INT32_MIN);
+}
+
+TEST(OpcodeSemantics, BranchBoundaryConditions)
+{
+    // blez/bgez at exactly zero.
+    auto taken = [](Op op, uint32_t v) {
+        Program p;
+        AsmBuilder as(p);
+        as.li(reg::t0, static_cast<int32_t>(v));
+        LabelId yes = as.newLabel();
+        uint32_t idx = p.append(Inst{.op = op, .rs = reg::t0});
+        p.addFixup({Fixup::Kind::Branch, idx, yes, 0});
+        as.li(reg::t1, 0);
+        as.halt();
+        as.bind(yes);
+        as.li(reg::t1, 1);
+        as.halt();
+        Memory mem;
+        LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+        Emulator emu(p, mem, img, 0x7fff5b88);
+        emu.run(100);
+        return emu.intReg(reg::t1) == 1;
+    };
+    EXPECT_TRUE(taken(Op::BLEZ, 0));
+    EXPECT_FALSE(taken(Op::BGTZ, 0));
+    EXPECT_FALSE(taken(Op::BLTZ, 0));
+    EXPECT_TRUE(taken(Op::BGEZ, 0));
+    EXPECT_TRUE(taken(Op::BLTZ, 0x80000000u));
+    EXPECT_FALSE(taken(Op::BGEZ, 0x80000000u));
+}
+
+} // anonymous namespace
+} // namespace facsim

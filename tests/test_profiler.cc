@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Profiler tests: reference classification (Table 1), offset histograms
+ * (Figure 3) and simultaneous predictor-configuration evaluation
+ * (Tables 3/4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/profiler.hh"
+
+namespace facsim
+{
+namespace
+{
+
+ExecRecord
+memRec(Op op, uint8_t base_reg, uint32_t base_val, int32_t offset,
+       bool from_reg = false)
+{
+    ExecRecord r;
+    r.inst.op = op;
+    r.inst.rs = base_reg;
+    r.inst.amode = from_reg ? AMode::RegReg : AMode::RegConst;
+    r.baseVal = base_val;
+    r.offsetVal = offset;
+    r.offsetFromReg = from_reg;
+    r.effAddr = base_val + static_cast<uint32_t>(offset);
+    return r;
+}
+
+TEST(Profiler, ClassifiesByBaseRegister)
+{
+    EXPECT_EQ(classifyRef(Inst{.op = Op::LW, .rs = reg::gp}),
+              RefClass::Global);
+    EXPECT_EQ(classifyRef(Inst{.op = Op::LW, .rs = reg::sp}),
+              RefClass::Stack);
+    EXPECT_EQ(classifyRef(Inst{.op = Op::LW, .rs = reg::fp}),
+              RefClass::Stack);
+    EXPECT_EQ(classifyRef(Inst{.op = Op::LW, .rs = reg::t0}),
+              RefClass::General);
+}
+
+TEST(Profiler, CountsLoadsAndStores)
+{
+    Profiler p;
+    p.observe(memRec(Op::LW, reg::gp, 0x10000000, 4));
+    p.observe(memRec(Op::SW, reg::sp, 0x7fff0000, 8));
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000, 0));
+    ExecRecord alu;
+    alu.inst.op = Op::ADD;
+    p.observe(alu);
+    EXPECT_EQ(p.insts(), 4u);
+    EXPECT_EQ(p.loads(), 2u);
+    EXPECT_EQ(p.stores(), 1u);
+    EXPECT_EQ(p.loadsOf(RefClass::Global), 1u);
+    EXPECT_EQ(p.loadsOf(RefClass::General), 1u);
+    EXPECT_DOUBLE_EQ(p.loadFrac(RefClass::Global), 0.5);
+}
+
+TEST(OffsetHistogram, Buckets)
+{
+    OffsetHistogram h;
+    h.add(0);       // bucket 0
+    h.add(1);       // 1 bit
+    h.add(2);       // 2 bits
+    h.add(3);       // 2 bits
+    h.add(255);     // 8 bits
+    h.add(65535);   // 16 bits
+    h.add(65536);   // More
+    h.add(-4);      // Neg
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[2], 2u);
+    EXPECT_EQ(h.buckets[8], 1u);
+    EXPECT_EQ(h.buckets[16], 1u);
+    EXPECT_EQ(h.buckets[OffsetHistogram::moreBucket], 1u);
+    EXPECT_EQ(h.buckets[OffsetHistogram::negBucket], 1u);
+    EXPECT_EQ(h.total, 8u);
+    EXPECT_DOUBLE_EQ(h.cumulative(0), 1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.cumulative(2), 4.0 / 8.0);
+    EXPECT_DOUBLE_EQ(h.cumulative(OffsetHistogram::negBucket), 1.0);
+}
+
+TEST(Profiler, OffsetHistogramOnlyTracksLoads)
+{
+    Profiler p;
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000, 12));
+    p.observe(memRec(Op::SW, reg::t0, 0x20000000, 900));
+    EXPECT_EQ(p.offsets(RefClass::General).total, 1u);
+}
+
+TEST(Profiler, FacFailureRatesPerConfig)
+{
+    Profiler p;
+    // Config A: 32-byte blocks; config B: 16-byte blocks.
+    size_t a = p.addFacConfig(FacConfig{.blockBits = 5, .setBits = 14});
+    size_t b = p.addFacConfig(FacConfig{.blockBits = 4, .setBits = 14});
+    // In-block position 0xc plus offset 0xc stays inside a 32-byte
+    // block (sum 0x18) but carries out of a 16-byte one — the extra
+    // bit of full addition Section 5.3 credits larger blocks with.
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000 + 0xc, 0xc));
+    EXPECT_DOUBLE_EQ(p.fac(a).loadFailRate(), 0.0);
+    EXPECT_DOUBLE_EQ(p.fac(b).loadFailRate(), 1.0);
+    EXPECT_EQ(p.fac(a).loadAttempts, 1u);
+}
+
+TEST(Profiler, NoRRExcludesRegRegAccesses)
+{
+    Profiler p;
+    size_t i = p.addFacConfig(FacConfig{.blockBits = 5, .setBits = 14});
+    // A failing R+R access (negative index register).
+    p.observe(memRec(Op::LW, reg::t0, 0x20000040, -16, true));
+    // A succeeding constant access.
+    p.observe(memRec(Op::LW, reg::t0, 0x20000040, 4));
+    EXPECT_DOUBLE_EQ(p.fac(i).loadFailRate(), 0.5);
+    EXPECT_DOUBLE_EQ(p.fac(i).loadFailRateNoRR(), 0.0);
+    EXPECT_EQ(p.fac(i).loadsNoRR, 1u);
+}
+
+TEST(Profiler, StoreFailuresTrackedSeparately)
+{
+    Profiler p;
+    size_t i = p.addFacConfig(FacConfig{.blockBits = 5, .setBits = 14});
+    p.observe(memRec(Op::SW, reg::t0, 0x2000001c, 0x10));  // overflow
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000, 0));
+    EXPECT_DOUBLE_EQ(p.fac(i).storeFailRate(), 1.0);
+    EXPECT_DOUBLE_EQ(p.fac(i).loadFailRate(), 0.0);
+}
+
+TEST(Profiler, TlbMissRatio)
+{
+    Profiler p;
+    p.enableTlb(64, 4096);
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000, 0));
+    p.observe(memRec(Op::LW, reg::t0, 0x20000000, 4));
+    EXPECT_DOUBLE_EQ(p.tlbMissRatio(), 0.5);
+}
+
+} // anonymous namespace
+} // namespace facsim

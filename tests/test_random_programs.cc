@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Property tests over randomly generated programs: the timing model
+ * must satisfy global invariants for *any* program, not just the
+ * workloads —
+ *
+ *   1. the pipeline executes exactly the functional instruction stream;
+ *   2. fast address calculation never makes a program meaningfully
+ *      slower than the baseline (the paper's §5.5 design goal);
+ *   3. the Figure 2 idealisations only ever help;
+ *   4. simulation is deterministic;
+ *   5. IPC never exceeds the issue width.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "cpu/pipeline.hh"
+#include "link/linker.hh"
+#include "sim/config.hh"
+#include "util/rng.hh"
+
+namespace facsim
+{
+namespace
+{
+
+/** Emit a random but well-formed straight-line-with-skips program. */
+void
+genProgram(AsmBuilder &as, Rng &rng, int body_len)
+{
+    SymId buf = as.global("buf", 64 * 1024, 64, false);
+    as.la(reg::s0, buf);
+    as.move(reg::s2, reg::s0);  // roving post-increment cursor
+
+    // A few registers initialised with safe values.
+    const uint8_t temps[] = {reg::t0, reg::t1, reg::t2, reg::t3,
+                             reg::t4, reg::t5};
+    for (uint8_t r : temps)
+        as.li(r, static_cast<int32_t>(rng.range(1 << 16)));
+    as.li(reg::s1, 0);  // FP seed int
+    as.mtc1(2, reg::s1);
+    as.cvtDW(2, 2);
+    as.mtc1(4, reg::t0);
+    as.cvtDW(4, 4);
+
+    int pending_skip = -1;
+    LabelId skip_label = 0;
+
+    for (int i = 0; i < body_len; ++i) {
+        if (pending_skip == 0) {
+            as.bind(skip_label);
+            pending_skip = -1;
+        } else if (pending_skip > 0) {
+            --pending_skip;
+        }
+
+        auto t = [&] { return temps[rng.range(6)]; };
+        switch (rng.range(14)) {
+          case 0:
+            as.add(t(), t(), t());
+            break;
+          case 1:
+            as.sub(t(), t(), t());
+            break;
+          case 2:
+            as.andi(t(), t(), static_cast<int32_t>(rng.range(0xffff)));
+            break;
+          case 3:
+            as.sll(t(), t(), static_cast<int32_t>(rng.range(31)));
+            break;
+          case 4:
+            as.mul(t(), t(), t());
+            break;
+          case 5: {
+            // Word load at an aligned in-bounds offset.
+            int32_t off = static_cast<int32_t>(rng.range(8192)) & ~3;
+            as.lw(t(), off, reg::s0);
+            break;
+          }
+          case 6: {
+            int32_t off = static_cast<int32_t>(rng.range(8192));
+            as.lbu(t(), off, reg::s0);
+            break;
+          }
+          case 7: {
+            int32_t off = static_cast<int32_t>(rng.range(8192)) & ~3;
+            as.sw(t(), off, reg::s0);
+            break;
+          }
+          case 8: {
+            // Register+register access with an aligned index.
+            uint8_t idx = t();
+            as.andi(idx, idx, 0x1ffc);
+            as.lwRR(t(), reg::s0, idx);
+            break;
+          }
+          case 9: {
+            int32_t off = static_cast<int32_t>(rng.range(4096)) & ~7;
+            if (rng.chance(0.5))
+                as.ldc1(6, off, reg::s0);
+            else
+                as.sdc1(2, off, reg::s0);
+            break;
+          }
+          case 10:
+            as.addD(2, 2, 4);
+            break;
+          case 11:
+            // Post-increment walk step (bounded: <= body_len * 8 bytes
+            // into the 64 KB buffer).
+            if (rng.chance(0.5))
+                as.lwPost(t(), reg::s2, 8);
+            else
+                as.swPost(t(), reg::s2, 8);
+            break;
+          case 12:
+            as.move(reg::s2, reg::s0);  // reset the roving cursor
+            break;
+          default:
+            // A forward skip over the next few instructions, on a
+            // data-dependent condition (unpredictable to the BTB).
+            if (pending_skip < 0 && i + 6 < body_len) {
+                skip_label = as.newLabel();
+                if (rng.chance(0.5))
+                    as.beq(t(), t(), skip_label);
+                else
+                    as.bne(t(), t(), skip_label);
+                pending_skip = static_cast<int>(rng.range(4)) + 1;
+            } else {
+                as.nop();
+            }
+            break;
+        }
+    }
+    if (pending_skip >= 0)
+        as.bind(skip_label);
+    as.halt();
+}
+
+struct RunResult
+{
+    uint64_t cycles;
+    uint64_t insts;
+};
+
+RunResult
+runOne(uint64_t seed, int body_len, const PipelineConfig &cfg)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(seed);
+    genProgram(as, rng, body_len);
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    Pipeline pipe(cfg, emu);
+    PipeStats st = pipe.run();
+    return {st.cycles, st.insts};
+}
+
+uint64_t
+functionalInsts(uint64_t seed, int body_len)
+{
+    Program p;
+    AsmBuilder as(p);
+    Rng rng(seed);
+    genProgram(as, rng, body_len);
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+    return emu.run();
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomProgramTest, PipelineExecutesTheFunctionalStream)
+{
+    uint64_t seed = GetParam();
+    RunResult base = runOne(seed, 300, baselineConfig());
+    EXPECT_EQ(base.insts, functionalInsts(seed, 300));
+}
+
+TEST_P(RandomProgramTest, FacNeverMeaningfullySlower)
+{
+    uint64_t seed = GetParam();
+    RunResult base = runOne(seed, 300, baselineConfig());
+    RunResult fac = runOne(seed, 300, facPipelineConfig());
+    EXPECT_EQ(base.insts, fac.insts);
+    // Slack: the §5.5 issue rule can cost isolated cycles.
+    EXPECT_LE(fac.cycles, base.cycles + 4 + base.insts / 50)
+        << "seed " << seed;
+}
+
+TEST_P(RandomProgramTest, IdealisationsOnlyHelp)
+{
+    uint64_t seed = GetParam();
+    uint64_t base = runOne(seed, 300, baselineConfig()).cycles;
+    uint64_t one = runOne(seed, 300, oneCycleLoadConfig()).cycles;
+    uint64_t perfect = runOne(seed, 300, perfectCacheConfig()).cycles;
+    uint64_t both = runOne(seed, 300, oneCyclePerfectConfig()).cycles;
+    EXPECT_LE(one, base);
+    EXPECT_LE(perfect, base);
+    EXPECT_LE(both, one);
+    EXPECT_LE(both, perfect);
+}
+
+TEST_P(RandomProgramTest, DeterministicCycles)
+{
+    uint64_t seed = GetParam();
+    RunResult a = runOne(seed, 200, facPipelineConfig());
+    RunResult b = runOne(seed, 200, facPipelineConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+}
+
+TEST_P(RandomProgramTest, IpcBoundedByIssueWidth)
+{
+    uint64_t seed = GetParam();
+    RunResult r = runOne(seed, 400, oneCyclePerfectConfig());
+    EXPECT_LE(static_cast<double>(r.insts) / r.cycles, 4.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // anonymous namespace
+} // namespace facsim

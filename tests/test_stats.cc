@@ -1,0 +1,50 @@
+/** @file Unit tests for the statistics helpers behind the benches. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Stats, WeightedMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    // Heavier weight dominates.
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    // Zero total weight degrades to 0.
+    EXPECT_DOUBLE_EQ(weightedMean({5.0}, {0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(weightedMean({}, {}), 0.0);
+}
+
+TEST(Stats, WeightedMeanMatchesPaperStyleRunTimeWeighting)
+{
+    // Two programs: 1M and 3M cycles with speedups 1.2 and 1.1 — the
+    // longer program pulls the average toward itself.
+    double avg = weightedMean({1.2, 1.1}, {1e6, 3e6});
+    EXPECT_NEAR(avg, 1.125, 1e-12);
+}
+
+TEST(StatsDeathTest, WeightedMeanSizeMismatch)
+{
+    EXPECT_DEATH(weightedMean({1.0}, {1.0, 2.0}), "mismatch");
+}
+
+TEST(Stats, Speedup)
+{
+    EXPECT_DOUBLE_EQ(speedup(200, 100), 2.0);
+    EXPECT_DOUBLE_EQ(speedup(100, 100), 1.0);
+    EXPECT_DOUBLE_EQ(speedup(100, 0), 0.0);
+}
+
+TEST(Stats, PctChange)
+{
+    EXPECT_DOUBLE_EQ(pctChange(100.0, 110.0), 10.0);
+    EXPECT_DOUBLE_EQ(pctChange(100.0, 90.0), -10.0);
+    EXPECT_DOUBLE_EQ(pctChange(0.0, 5.0), 0.0);
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,82 @@
+/** @file Unit tests for the non-merging store buffer. */
+
+#include <gtest/gtest.h>
+
+#include "cache/store_buffer.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(StoreBuffer, FifoOrder)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, 1);
+    sb.push(0x200, 2);
+    EXPECT_EQ(sb.front().addr, 0x100u);
+    sb.pop();
+    EXPECT_EQ(sb.front().addr, 0x200u);
+}
+
+TEST(StoreBuffer, CapacityAndFull)
+{
+    StoreBuffer sb(2);
+    EXPECT_FALSE(sb.full());
+    sb.push(0, 1);
+    sb.push(4, 2);
+    EXPECT_TRUE(sb.full());
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(StoreBufferDeathTest, OverflowPanics)
+{
+    StoreBuffer sb(1);
+    sb.push(0, 1);
+    EXPECT_DEATH(sb.push(4, 2), "overflow");
+}
+
+TEST(StoreBuffer, MispredictedEntryBlocksRetirement)
+{
+    StoreBuffer sb(4);
+    sb.push(0, 7, /*addr_valid=*/false);
+    EXPECT_FALSE(sb.canRetire());
+    sb.patchAddr(7, 0xbeef0);
+    EXPECT_TRUE(sb.canRetire());
+    EXPECT_EQ(sb.front().addr, 0xbeef0u);
+}
+
+TEST(StoreBuffer, PatchTargetsTheRightEntry)
+{
+    StoreBuffer sb(4);
+    sb.push(0x10, 1);
+    sb.push(0, 2, false);
+    sb.push(0x30, 3);
+    sb.patchAddr(2, 0x20);
+    sb.pop();
+    EXPECT_EQ(sb.front().addr, 0x20u);
+    EXPECT_TRUE(sb.front().addrValid);
+}
+
+TEST(StoreBufferDeathTest, PatchUnknownSeqPanics)
+{
+    StoreBuffer sb(4);
+    sb.push(0x10, 1);
+    EXPECT_DEATH(sb.patchAddr(99, 0), "unknown store");
+}
+
+TEST(StoreBuffer, ConflictsByBlock)
+{
+    StoreBuffer sb(4);
+    sb.push(0x107, 1);
+    EXPECT_TRUE(sb.conflicts(0x100, 32));   // same 32-byte block
+    EXPECT_TRUE(sb.conflicts(0x11f, 32));
+    EXPECT_FALSE(sb.conflicts(0x120, 32));
+    // An address-pending entry can't conflict yet.
+    sb.clear();
+    sb.push(0x100, 2, false);
+    EXPECT_FALSE(sb.conflicts(0x100, 32));
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,61 @@
+/** @file Unit tests for the ASCII table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.header({"Name", "Val"});
+    t.row({"a", "1"});
+    t.row({"long-name", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Numeric cells right-align: "1" must be padded to width 5.
+    EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, SeparatorAndRowCount)
+{
+    Table t;
+    t.row({"x"});
+    t.separator();
+    t.row({"y"});
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("-"), std::string::npos);
+}
+
+TEST(TableFmt, Formatters)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPct(0.125, 1), "12.5");
+    EXPECT_EQ(fmtCount(123), "123");
+    EXPECT_EQ(fmtCount(12'500), "12.5k");
+    EXPECT_EQ(fmtCount(12'300'000), "12.3M");
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,74 @@
+/** @file Unit tests for the 64-entry fully associative TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace facsim
+{
+namespace
+{
+
+TEST(Tlb, FirstAccessMisses)
+{
+    Tlb t;
+    EXPECT_FALSE(t.access(0x10000000));
+    EXPECT_EQ(t.misses(), 1u);
+    EXPECT_EQ(t.accesses(), 1u);
+}
+
+TEST(Tlb, SamePageHits)
+{
+    Tlb t;
+    t.access(0x10000000);
+    EXPECT_TRUE(t.access(0x10000004));
+    EXPECT_TRUE(t.access(0x10000ffc));
+    EXPECT_FALSE(t.access(0x10001000));  // next page
+}
+
+TEST(Tlb, HoldsItsCapacityOfPages)
+{
+    Tlb t(64, 4096);
+    for (uint32_t p = 0; p < 64; ++p)
+        t.access(p * 4096);
+    uint64_t misses_after_fill = t.misses();
+    EXPECT_EQ(misses_after_fill, 64u);
+    // All 64 pages resident: re-touching them all hits.
+    for (uint32_t p = 0; p < 64; ++p)
+        EXPECT_TRUE(t.access(p * 4096));
+}
+
+TEST(Tlb, EvictsWhenOverCapacity)
+{
+    Tlb t(4, 4096);
+    for (uint32_t p = 0; p < 5; ++p)
+        t.access(p * 4096);
+    EXPECT_EQ(t.misses(), 5u);
+    // Exactly one of the original four was evicted (random victim).
+    unsigned hits = 0;
+    for (uint32_t p = 0; p < 4; ++p)
+        hits += t.access(p * 4096) ? 1 : 0;
+    EXPECT_EQ(hits, 3u);
+}
+
+TEST(Tlb, MissRatio)
+{
+    Tlb t;
+    t.access(0);
+    t.access(4);
+    t.access(8);
+    t.access(12);
+    EXPECT_DOUBLE_EQ(t.missRatio(), 0.25);
+}
+
+TEST(Tlb, ResetClears)
+{
+    Tlb t;
+    t.access(0);
+    t.reset();
+    EXPECT_EQ(t.accesses(), 0u);
+    EXPECT_FALSE(t.access(0));
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Host-reference validation, part 2: the remaining kernels. Together
+ * with test_workload_golden.cc every one of the 19 workloads has its
+ * final result recomputed on the host from the initialised memory image
+ * (bit-exact for the floating-point kernels, which perform the same
+ * IEEE double operations in the same order).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace facsim
+{
+namespace
+{
+
+uint32_t
+symAddr(const Machine &m, const std::string &name)
+{
+    for (const DataSym &s : m.program().syms()) {
+        if (s.name == name)
+            return s.addr;
+    }
+    ADD_FAILURE() << "no symbol " << name;
+    return 0;
+}
+
+uint32_t
+readGlobal(Machine &m, const std::string &name)
+{
+    return m.memory().read32(symAddr(m, name));
+}
+
+double
+readDouble(Machine &m, uint32_t addr)
+{
+    uint64_t bits64 = m.memory().read64(addr);
+    double d;
+    std::memcpy(&d, &bits64, 8);
+    return d;
+}
+
+float
+readFloat(Machine &m, uint32_t addr)
+{
+    uint32_t bits32 = m.memory().read32(addr);
+    float f;
+    std::memcpy(&f, &bits32, 4);
+    return f;
+}
+
+BuildOptions
+opts()
+{
+    BuildOptions b;
+    b.policy = CodeGenPolicy::baseline();
+    return b;
+}
+
+void
+runToHalt(Machine &m)
+{
+    m.emulator().run(80'000'000);
+    ASSERT_TRUE(m.emulator().halted());
+}
+
+TEST(WorkloadGolden2, DoducSeedSequence)
+{
+    Machine m(workload("doduc"), opts());
+    uint32_t seed = 20220105;
+    for (int s = 0; s < 3000; ++s)
+        seed = seed * 1103515245u + 12345u;
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "result"), seed);
+}
+
+TEST(WorkloadGolden2, OraHitCount)
+{
+    Machine m(workload("ora"), opts());
+    uint32_t seed = 987654321;
+    uint32_t hits = 0;
+    for (int r = 0; r < 16000; ++r) {
+        seed = seed * 1103515245u + 12345u;
+        double b = static_cast<double>(
+            static_cast<int32_t>((seed >> 16) & 0xfff)) / 4096.0;
+        seed = seed * 1103515245u + 24321u;
+        double c = static_cast<double>(
+            static_cast<int32_t>((seed >> 16) & 0xfff)) / 4096.0;
+        double disc = b * b * 4.0 - c * 4.0 + 1.0;
+        if (!(disc <= 0.0))
+            ++hits;
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "result"), hits);
+}
+
+TEST(WorkloadGolden2, ElvisScanAndReplace)
+{
+    Machine m(workload("elvis"), opts());
+    Memory &mem = m.memory();
+    const uint32_t n = 49152, passes = 3;
+    uint32_t src = readGlobal(m, "src_ptr");
+
+    uint32_t matches = 0, lines = 0;
+    for (uint32_t p = 0; p < passes; ++p) {
+        uint32_t i = 0;
+        while (i < n) {
+            uint8_t c = mem.read8(src + i++);
+            if (c == 'f' && mem.read8(src + i) == 'o' &&
+                mem.read8(src + i + 1) == 'r') {
+                i += 2;
+                ++matches;
+            } else if (c == '\n') {
+                ++lines;
+            }
+        }
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "match_ct"), matches);
+    EXPECT_EQ(readGlobal(m, "result"), matches + lines);
+    // The replacement text landed in the destination buffer.
+    if (matches) {
+        uint32_t dst = readGlobal(m, "dst_ptr");
+        bool found = false;
+        for (uint32_t i = 0; i + 7 < n && !found; ++i) {
+            found = mem.read8(dst + i) == 'f' &&
+                mem.read8(dst + i + 1) == 'o' &&
+                mem.read8(dst + i + 2) == 'r' &&
+                mem.read8(dst + i + 3) == 'e' &&
+                mem.read8(dst + i + 4) == 'v';
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(WorkloadGolden2, Yacr2EdgesAndDensity)
+{
+    Machine m(workload("yacr2"), opts());
+    Memory &mem = m.memory();
+    const uint32_t nterm = 230, passes = 8;
+    uint32_t top = symAddr(m, "top_terms");
+    uint32_t bot = symAddr(m, "bot_terms");
+
+    uint32_t edges_per_pass = 0;
+    int32_t max_density = 0;
+    for (uint32_t i = 0; i < nterm; ++i) {
+        uint32_t ti = mem.read32(top + 4 * i);
+        int32_t d = static_cast<int32_t>(ti + mem.read32(bot + 4 * i));
+        max_density = std::max(max_density, d);
+        for (uint32_t j = 0; j < nterm; ++j) {
+            if (mem.read32(bot + 4 * j) == ti)
+                ++edges_per_pass;
+        }
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "edge_ct"), edges_per_pass * passes);
+    EXPECT_EQ(readGlobal(m, "max_density"),
+              static_cast<uint32_t>(max_density));
+}
+
+TEST(WorkloadGolden2, EspressoNonzeroCount)
+{
+    Machine m(workload("espresso"), opts());
+    Memory &mem = m.memory();
+    const uint32_t ncubes = 64, words = 8, hdr = 8, passes = 100;
+    uint32_t tab = symAddr(m, "cube_tab");
+
+    uint32_t per_pass = 0;
+    for (uint32_t i = 0; i + 1 < ncubes; ++i) {
+        uint32_t a = mem.read32(tab + 4 * i);
+        uint32_t b = mem.read32(tab + 4 * (i + 1));
+        for (uint32_t w = 0; w < words; ++w) {
+            if (mem.read32(a + hdr + 4 * w) &
+                mem.read32(b + hdr + 4 * w))
+                ++per_pass;
+        }
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "result"), per_pass * passes);
+}
+
+TEST(WorkloadGolden2, ScGridRecalculation)
+{
+    Machine m(workload("sc"), opts());
+    Memory &mem = m.memory();
+    const uint32_t rows = 48, cols = 48, ncells = rows * cols;
+    const uint32_t passes = 9;
+    uint32_t grid = readGlobal(m, "grid_ptr");
+
+    std::vector<uint32_t> type(ncells), val(ncells), da(ncells),
+        db(ncells);
+    for (uint32_t i = 0; i < ncells; ++i) {
+        type[i] = mem.read32(grid + 16 * i + 0);
+        val[i] = mem.read32(grid + 16 * i + 4);
+        da[i] = mem.read32(grid + 16 * i + 8);
+        db[i] = mem.read32(grid + 16 * i + 12);
+    }
+
+    uint32_t total = 0;
+    for (uint32_t p = 0; p < passes; ++p) {
+        for (uint32_t i = 0; i < ncells; ++i) {
+            if (type[i])
+                val[i] = val[da[i]] + val[db[i]];
+        }
+        total = 0;
+        for (uint32_t c = 0; c < cols; ++c)
+            for (uint32_t r = 0; r < rows; ++r)
+                total += val[r * cols + c];
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "result"), total);
+}
+
+TEST(WorkloadGolden2, PerlHitCount)
+{
+    Machine m(workload("perl"), opts());
+    Memory &mem = m.memory();
+    const uint32_t nkeys = 256, rounds = 16;
+    uint32_t ptrs = readGlobal(m, "key_ptrs");
+
+    std::vector<std::string> keys(nkeys);
+    for (uint32_t i = 0; i < nkeys; ++i) {
+        uint32_t s = mem.read32(ptrs + 4 * i);
+        std::string k;
+        for (uint8_t c; (c = mem.read8(s + k.size())) != 0;)
+            k += static_cast<char>(c);
+        keys[i] = k;
+    }
+
+    std::set<std::string> table;
+    uint32_t hits = 0;
+    for (uint32_t r = 0; r < rounds; ++r) {
+        for (const std::string &k : keys) {
+            if (table.count(k))
+                ++hits;
+            else
+                table.insert(k);
+        }
+    }
+    runToHalt(m);
+    EXPECT_EQ(readGlobal(m, "result"), hits);
+}
+
+TEST(WorkloadGolden2, AlvinnHiddenUnits)
+{
+    Machine m(workload("alvinn"), opts());
+    const uint32_t nin = 200, nhid = 40, epochs = 6;
+    uint32_t in_p = readGlobal(m, "input_ptr");
+    uint32_t w_p = readGlobal(m, "weights_ptr");
+
+    std::vector<double> in(nin), w(nin * nhid), hid(nhid, 0.0);
+    for (uint32_t i = 0; i < nin; ++i)
+        in[i] = readDouble(m, in_p + 8 * i);
+    for (uint32_t i = 0; i < nin * nhid; ++i)
+        w[i] = readDouble(m, w_p + 8 * i);
+
+    const double lr = 1.0 / 64.0;
+    for (uint32_t e = 0; e < epochs; ++e) {
+        for (uint32_t h = 0; h < nhid; ++h) {
+            double acc = 0.0;
+            for (uint32_t i = 0; i < nin; ++i)
+                acc = acc + w[h * nin + i] * in[i];
+            hid[h] = acc / (std::abs(acc) + 1.0);
+        }
+        for (uint32_t h = 0; h < nhid; ++h) {
+            double delta = hid[h] * lr;
+            for (uint32_t i = 0; i < nin; ++i)
+                w[h * nin + i] = w[h * nin + i] + in[i] * delta;
+        }
+    }
+    int32_t expect = static_cast<int32_t>(hid[nhid - 1] * 10000.0);
+
+    runToHalt(m);
+    EXPECT_EQ(static_cast<int32_t>(readGlobal(m, "result")), expect);
+}
+
+TEST(WorkloadGolden2, EarFilterBank)
+{
+    Machine m(workload("ear"), opts());
+    const uint32_t nfilters = 32, nsamples = 1800;
+    CodeGenPolicy pol = CodeGenPolicy::baseline();
+    const uint32_t fb = pol.structSize(48);
+    uint32_t sig = readGlobal(m, "signal_ptr");
+    uint32_t fil = readGlobal(m, "filters_ptr");
+
+    struct Filt
+    {
+        double b0, b1, b2, s1, s2, gain;
+    };
+    std::vector<Filt> f(nfilters);
+    for (uint32_t k = 0; k < nfilters; ++k) {
+        uint32_t rec = fil + k * fb;
+        f[k] = {readDouble(m, rec), readDouble(m, rec + 8),
+                readDouble(m, rec + 16), readDouble(m, rec + 24),
+                readDouble(m, rec + 32), readDouble(m, rec + 40)};
+    }
+    double last_out = 0.0;
+    for (uint32_t s = 0; s < nsamples; ++s) {
+        double x = readDouble(m, sig + 8 * s);
+        double acc = 0.0;
+        for (uint32_t k = 0; k < nfilters; ++k) {
+            double y = f[k].b0 * x + f[k].b1 * f[k].s1 +
+                f[k].b2 * f[k].s2;
+            f[k].s2 = f[k].s1;
+            f[k].s1 = y;
+            acc = acc + f[k].gain * y;
+        }
+        last_out = acc;
+    }
+    int32_t expect = static_cast<int32_t>(last_out * 1000.0);
+
+    runToHalt(m);
+    EXPECT_EQ(static_cast<int32_t>(readGlobal(m, "result")), expect);
+}
+
+TEST(WorkloadGolden2, Mdljsp2SingleAndHalf)
+{
+    Machine m(workload("mdljsp2"), opts());
+    Memory &mem = m.memory();
+    const uint32_t np = 600, npairs = 4000, steps = 7;
+    CodeGenPolicy pol = CodeGenPolicy::baseline();
+    const uint32_t pb = pol.structSize(24);
+    uint32_t parts = readGlobal(m, "particles_ptr");
+    uint32_t pp = readGlobal(m, "pairs_ptr");
+
+    std::vector<float> x(np), y(np), z(np), fx(np, 0), fy(np, 0);
+    for (uint32_t i = 0; i < np; ++i) {
+        x[i] = readFloat(m, parts + i * pb);
+        y[i] = readFloat(m, parts + i * pb + 4);
+        z[i] = readFloat(m, parts + i * pb + 8);
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> pairs(npairs);
+    for (uint32_t p = 0; p < npairs; ++p)
+        pairs[p] = {mem.read32(pp + 8 * p), mem.read32(pp + 8 * p + 4)};
+
+    const double eps = 1.0 / 50.0;
+    for (uint32_t s = 0; s < steps; ++s) {
+        for (auto [i, j] : pairs) {
+            // The kernel widens floats to double, computes in double,
+            // and narrows on each store — replicated exactly.
+            double dx = static_cast<double>(x[i]) - x[j];
+            double dy = static_cast<double>(y[i]) - y[j];
+            double dz = static_cast<double>(z[i]) - z[j];
+            double r2 = dx * dx + dy * dy;
+            r2 = r2 + dz * dz;
+            r2 = r2 + eps;
+            double inv = 1.0 / r2;
+            double pfx = inv * dx;
+            fx[i] = static_cast<float>(fx[i] + pfx);
+            fx[j] = static_cast<float>(fx[j] - pfx);
+            double pfy = inv * dy;
+            fy[i] = static_cast<float>(fy[i] + pfy);
+            fy[j] = static_cast<float>(fy[j] - pfy);
+        }
+    }
+    int32_t expect = static_cast<int32_t>(
+        static_cast<double>(fx[0]) * 100.0);
+
+    runToHalt(m);
+    EXPECT_EQ(static_cast<int32_t>(readGlobal(m, "result")), expect);
+}
+
+TEST(WorkloadGolden2, Su2corLatticeTrace)
+{
+    Machine m(workload("su2cor"), opts());
+    const uint32_t dim = 32, nsites = dim * dim, sb = 64, sweeps = 7;
+    uint32_t links = readGlobal(m, "links_ptr");
+
+    auto d = [&](uint32_t site, uint32_t off) {
+        return readDouble(m, links + site * sb + off);
+    };
+
+    double acc = 0.0;
+    for (uint32_t s = 0; s < sweeps; ++s) {
+        double tr = 0.0;
+        for (uint32_t site = 0; site < nsites - dim; ++site) {
+            double are = d(site, 0), aim = d(site, 8);
+            double bre = d(site, 16), bim = d(site, 24);
+            double Bare = d(site + dim, 0), Baim = d(site + dim, 8);
+            double Bcre = d(site + dim, 32), Bcim = d(site + dim, 40);
+            double re = (are * Bare - aim * Baim) +
+                (bre * Bcre - bim * Bcim);
+            tr += re;
+        }
+        acc += tr / static_cast<double>(nsites);
+    }
+    int32_t expect = static_cast<int32_t>(acc * 1000.0);
+
+    runToHalt(m);
+    EXPECT_EQ(static_cast<int32_t>(readGlobal(m, "result")), expect);
+}
+
+TEST(WorkloadGolden2, TomcatvMeshRelaxation)
+{
+    Machine m(workload("tomcatv"), opts());
+    const uint32_t n = 96, iters = 3;
+    uint32_t xp = readGlobal(m, "xmesh_ptr");
+
+    std::vector<double> x(n * n), rx(n * n, 0.0);
+    for (uint32_t i = 0; i < n * n; ++i)
+        x[i] = readDouble(m, xp + 8 * i);
+
+    for (uint32_t it = 0; it < iters; ++it) {
+        for (uint32_t i = 1; i + 1 < n; ++i) {
+            for (uint32_t j = 1; j + 1 < n; ++j) {
+                uint32_t k = i * n + j;
+                double horiz = x[k - 1] + x[k + 1];
+                double vert = x[k + n] + x[k - n];
+                rx[k] = (horiz + vert) / 4.0 - x[k];
+            }
+        }
+        for (uint32_t i = 1; i + 1 < n; ++i)
+            for (uint32_t j = 1; j + 1 < n; ++j) {
+                uint32_t k = i * n + j;
+                x[k] = x[k] + rx[k] / 2.0;
+            }
+    }
+    uint32_t centre = (n / 2) * n + n / 2;
+    int32_t expect = static_cast<int32_t>(x[centre] * 100000.0);
+
+    runToHalt(m);
+    EXPECT_EQ(static_cast<int32_t>(readGlobal(m, "result")), expect);
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Workload integration tests: every one of the 19 kernels builds, links,
+ * runs to completion on the emulator under both code-generation
+ * policies, produces a deterministic checksum, and exhibits the
+ * reference-behaviour class it was designed for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/profiler.hh"
+#include "isa/encoding.hh"
+#include "sim/experiment.hh"
+#include "sim/machine.hh"
+
+namespace facsim
+{
+namespace
+{
+
+BuildOptions
+tiny(const CodeGenPolicy &pol)
+{
+    BuildOptions b;
+    b.policy = pol;
+    b.scale = 1;  // kernels are already modest; tests bound instructions
+    return b;
+}
+
+uint32_t
+resultOf(Machine &m)
+{
+    // Every kernel declares its checksum global as "result".
+    for (const DataSym &s : m.program().syms()) {
+        if (s.name == "result")
+            return m.memory().read32(s.addr);
+    }
+    ADD_FAILURE() << "workload has no 'result' global";
+    return 0;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadTest, RunsToCompletionBaseline)
+{
+    Machine m(workload(GetParam()), tiny(CodeGenPolicy::baseline()));
+    uint64_t n = m.emulator().run(50'000'000);
+    EXPECT_TRUE(m.emulator().halted())
+        << GetParam() << " did not halt after " << n << " insts";
+    EXPECT_GT(n, 1000u) << "suspiciously small dynamic footprint";
+}
+
+TEST_P(WorkloadTest, RunsToCompletionWithSupport)
+{
+    Machine m(workload(GetParam()), tiny(CodeGenPolicy::withSupport()));
+    m.emulator().run(50'000'000);
+    EXPECT_TRUE(m.emulator().halted());
+}
+
+TEST_P(WorkloadTest, DeterministicChecksum)
+{
+    Machine a(workload(GetParam()), tiny(CodeGenPolicy::baseline()));
+    Machine b(workload(GetParam()), tiny(CodeGenPolicy::baseline()));
+    a.emulator().run(50'000'000);
+    b.emulator().run(50'000'000);
+    EXPECT_EQ(resultOf(a), resultOf(b));
+}
+
+TEST_P(WorkloadTest, EncodedImageDecodesBackToTheProgram)
+{
+    // Every instruction a kernel emits must survive the encode/decode
+    // round trip through the linked binary image — this covers the
+    // encoder for every operation the real workloads use.
+    Machine m(workload(GetParam()), tiny(CodeGenPolicy::withSupport()));
+    const Program &p = m.program();
+    for (uint32_t i = 0; i < p.numInsts(); ++i) {
+        Inst in;
+        uint32_t word = m.memory().read32(Program::textBase + 4 * i);
+        ASSERT_TRUE(decode(word, in)) << "inst " << i;
+        EXPECT_EQ(in, p.inst(i)) << "inst " << i << " of " << GetParam();
+    }
+}
+
+TEST_P(WorkloadTest, PerformsMemoryReferences)
+{
+    ProfileRequest req;
+    req.workload = GetParam();
+    req.build = tiny(CodeGenPolicy::baseline());
+    ProfileResult r = runProfile(req);
+    EXPECT_GT(r.insts, 1000u);
+    EXPECT_GT(r.loads, 100u);
+    EXPECT_GT(r.stores, 10u);
+    // Load fractions partition.
+    EXPECT_NEAR(r.fracGlobal + r.fracStack + r.fracGeneral, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    ::testing::Values("compress", "eqntott", "espresso", "gcc", "sc",
+                      "xlisp", "elvis", "grep", "perl", "yacr2", "alvinn",
+                      "doduc", "ear", "mdljdp2", "mdljsp2", "ora", "spice",
+                      "su2cor", "tomcatv"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(WorkloadScaling, ScaleMultipliesWork)
+{
+    BuildOptions small = tiny(CodeGenPolicy::baseline());
+    BuildOptions big = small;
+    big.scale = 3;
+    Machine a(workload("espresso"), small);
+    Machine b(workload("espresso"), big);
+    uint64_t na = a.emulator().run(200'000'000);
+    uint64_t nb = b.emulator().run(200'000'000);
+    EXPECT_TRUE(a.emulator().halted());
+    EXPECT_TRUE(b.emulator().halted());
+    EXPECT_GT(nb, 2 * na);
+    EXPECT_LT(nb, 4 * na);
+}
+
+TEST(WorkloadScaling, SeedChangesDataNotStructure)
+{
+    BuildOptions s1 = tiny(CodeGenPolicy::baseline());
+    BuildOptions s2 = s1;
+    s2.seed = 0xfeedface;
+    Machine a(workload("compress"), s1);
+    Machine b(workload("compress"), s2);
+    // Same program text, different data.
+    EXPECT_EQ(a.program().numInsts(), b.program().numInsts());
+    a.emulator().run(50'000'000);
+    b.emulator().run(50'000'000);
+    EXPECT_NE(resultOf(a), resultOf(b));
+}
+
+TEST(WorkloadRegistry, Has19EntriesIntFirst)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 19u);
+    unsigned n_fp = 0;
+    for (const WorkloadInfo &w : all)
+        n_fp += w.floatingPoint ? 1 : 0;
+    EXPECT_EQ(n_fp, 9u);  // the paper's 9 FP codes
+    EXPECT_STREQ(all.front().name, "compress");
+    EXPECT_STREQ(all.back().name, "tomcatv");
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workload("nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadBehaviour, FpKernelsUseFpLoads)
+{
+    for (const char *name : {"alvinn", "tomcatv", "spice"}) {
+        Machine m(workload(name), tiny(CodeGenPolicy::baseline()));
+        Emulator &emu = m.emulator();
+        ExecRecord rec;
+        uint64_t fp_mem = 0, steps = 0;
+        while (emu.step(&rec) && steps++ < 2'000'000) {
+            if (isMem(rec.inst.op) && isFpMem(rec.inst.op))
+                ++fp_mem;
+        }
+        EXPECT_GT(fp_mem, 1000u) << name;
+    }
+}
+
+TEST(WorkloadBehaviour, GrepUsesRegRegAddressing)
+{
+    Machine m(workload("grep"), tiny(CodeGenPolicy::baseline()));
+    Emulator &emu = m.emulator();
+    ExecRecord rec;
+    uint64_t rr = 0, steps = 0;
+    while (emu.step(&rec) && steps++ < 2'000'000) {
+        if (isMem(rec.inst.op) && rec.offsetFromReg)
+            ++rr;
+    }
+    EXPECT_GT(rr, 1000u);
+}
+
+TEST(WorkloadBehaviour, DoducIsStackHeavy)
+{
+    ProfileRequest req;
+    req.workload = "doduc";
+    req.build = tiny(CodeGenPolicy::baseline());
+    req.maxInsts = 1'000'000;
+    ProfileResult r = runProfile(req);
+    EXPECT_GT(r.fracStack, 0.3);
+}
+
+TEST(WorkloadBehaviour, XlispIsGeneralPointerHeavy)
+{
+    ProfileRequest req;
+    req.workload = "xlisp";
+    req.build = tiny(CodeGenPolicy::baseline());
+    req.maxInsts = 1'000'000;
+    ProfileResult r = runProfile(req);
+    EXPECT_GT(r.fracGeneral, 0.8);
+}
+
+TEST(WorkloadBehaviour, SupportCutsMispredictions)
+{
+    // The headline Table 3 -> Table 4 effect, checked end-to-end on a
+    // few kernels with very different behaviour classes.
+    for (const char *name : {"compress", "doduc", "sc", "perl"}) {
+        FacConfig fc{.blockBits = 5, .setBits = 14};
+        ProfileRequest base;
+        base.workload = name;
+        base.build = tiny(CodeGenPolicy::baseline());
+        base.facConfigs = {fc};
+        base.maxInsts = 1'500'000;
+        ProfileRequest sup = base;
+        sup.build = tiny(CodeGenPolicy::withSupport());
+        ProfileResult rb = runProfile(base);
+        ProfileResult rs = runProfile(sup);
+        EXPECT_LT(rs.fac[0].loadFailRate(), rb.fac[0].loadFailRate())
+            << name;
+    }
+}
+
+} // anonymous namespace
+} // namespace facsim

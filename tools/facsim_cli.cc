@@ -1,0 +1,408 @@
+/**
+ * @file
+ * facsim command-line driver: run assembly programs or built-in
+ * workloads on the simulator without writing C++.
+ *
+ * Usage:
+ *   facsim_cli run <file.s> [options]         execute and print state
+ *   facsim_cli time <file.s|@workload> [opts] cycle-level simulation
+ *   facsim_cli profile <file.s|@workload>     reference behaviour + FAC
+ *   facsim_cli disasm <file.s>                assemble and disassemble
+ *   facsim_cli dinero <file.s|@workload>      dinero-format address trace
+ *   facsim_cli list                           list built-in workloads
+ *
+ * Options:
+ *   --support          enable the Section 4 software support
+ *   --fac              enable fast address calculation (time)
+ *   --agi              AGI pipeline organisation (time)
+ *   --compare          also run the plain baseline and print the speedup
+ *   --block=16|32      data-cache block size (default 32)
+ *   --no-rr            disable register+register speculation
+ *   --max-insts=N      stop after N instructions
+ *   --scale=N          workload scale (built-in workloads)
+ *   --trace=N          print the first N executed instructions
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/parser.hh"
+#include "cpu/pipeline.hh"
+#include "cpu/profiler.hh"
+#include "isa/disasm.hh"
+#include "link/linker.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+
+using namespace facsim;
+
+namespace
+{
+
+struct CliOptions
+{
+    bool support = false;
+    bool fac = false;
+    bool agi = false;
+    bool compare = false;
+    bool specRr = true;
+    uint32_t block = 32;
+    uint64_t maxInsts = 0;
+    uint64_t scale = 1;
+    uint64_t trace = 0;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions o;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *p) -> const char * {
+            size_t n = std::strlen(p);
+            return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (a == "--support")
+            o.support = true;
+        else if (a == "--fac")
+            o.fac = true;
+        else if (a == "--agi")
+            o.agi = true;
+        else if (a == "--compare")
+            o.compare = true;
+        else if (a == "--no-rr")
+            o.specRr = false;
+        else if (const char *v = val("--block="))
+            o.block = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = val("--max-insts="))
+            o.maxInsts = std::strtoull(v, nullptr, 0);
+        else if (const char *v = val("--scale="))
+            o.scale = std::strtoull(v, nullptr, 0);
+        else if (const char *v = val("--trace="))
+            o.trace = std::strtoull(v, nullptr, 0);
+        else
+            fatal("unknown option '%s'", a.c_str());
+    }
+    return o;
+}
+
+CodeGenPolicy
+policyOf(const CliOptions &o)
+{
+    return o.support ? CodeGenPolicy::withSupport()
+                     : CodeGenPolicy::baseline();
+}
+
+PipelineConfig
+pipeOf(const CliOptions &o)
+{
+    if (o.agi)
+        return agiConfig(o.block);
+    if (o.fac)
+        return facPipelineConfig(o.block, o.specRr);
+    return baselineConfig(o.block);
+}
+
+/** A loaded program ready to execute (from a .s file). */
+struct Loaded
+{
+    Program prog;
+    Memory mem;
+    LinkedImage img;
+    std::unique_ptr<Emulator> emu;
+};
+
+std::unique_ptr<Loaded>
+loadAsm(const std::string &path, const CliOptions &o)
+{
+    auto l = std::make_unique<Loaded>();
+    parseAsm(readFile(path), l->prog);
+    CodeGenPolicy pol = policyOf(o);
+    l->img = Linker(pol.link).link(l->prog, l->mem);
+    l->emu = std::make_unique<Emulator>(l->prog, l->mem, l->img,
+                                        pol.stack.initialSp());
+    return l;
+}
+
+void
+printPipeStats(const PipeStats &st)
+{
+    std::printf("cycles:            %llu\n",
+                static_cast<unsigned long long>(st.cycles));
+    std::printf("instructions:      %llu  (IPC %.3f)\n",
+                static_cast<unsigned long long>(st.insts), st.ipc());
+    std::printf("loads / stores:    %llu / %llu\n",
+                static_cast<unsigned long long>(st.loads),
+                static_cast<unsigned long long>(st.stores));
+    std::printf("I$ miss ratio:     %.2f%%\n",
+                100.0 * st.icacheMissRatio());
+    std::printf("D$ miss ratio:     %.2f%%\n",
+                100.0 * st.dcacheMissRatio());
+    std::printf("BTB mispredicts:   %llu\n",
+                static_cast<unsigned long long>(st.btbMispredicts));
+    uint64_t stalls = st.stallFetch + st.stallData + st.stallStructural +
+        st.stallStoreBuffer;
+    if (stalls && st.cycles) {
+        std::printf("zero-issue cycles: %.1f%% (fetch %.1f%%, data "
+                    "%.1f%%, structural %.1f%%, store buffer %.1f%%)\n",
+                    100.0 * stalls / st.cycles,
+                    100.0 * st.stallFetch / st.cycles,
+                    100.0 * st.stallData / st.cycles,
+                    100.0 * st.stallStructural / st.cycles,
+                    100.0 * st.stallStoreBuffer / st.cycles);
+    }
+    if (st.loadsSpeculated + st.storesSpeculated) {
+        std::printf("FAC speculated:    %llu loads, %llu stores\n",
+                    static_cast<unsigned long long>(st.loadsSpeculated),
+                    static_cast<unsigned long long>(st.storesSpeculated));
+        std::printf("FAC mispredicted:  %llu loads, %llu stores "
+                    "(bandwidth overhead %.2f%%)\n",
+                    static_cast<unsigned long long>(st.loadSpecFailures),
+                    static_cast<unsigned long long>(st.storeSpecFailures),
+                    100.0 * st.bandwidthOverhead());
+    }
+}
+
+int
+cmdRun(const std::string &target, const CliOptions &o)
+{
+    std::unique_ptr<Loaded> l;
+    std::unique_ptr<Machine> m;
+    Emulator *emu;
+    const Program *prog;
+    Memory *mem;
+    if (!target.empty() && target[0] == '@') {
+        BuildOptions b;
+        b.policy = policyOf(o);
+        b.scale = o.scale;
+        m = std::make_unique<Machine>(workload(target.substr(1)), b);
+        emu = &m->emulator();
+        prog = &m->program();
+        mem = &m->memory();
+    } else {
+        l = loadAsm(target, o);
+        emu = l->emu.get();
+        prog = &l->prog;
+        mem = &l->mem;
+    }
+
+    uint64_t n = 0;
+    ExecRecord rec;
+    while (emu->step(&rec)) {
+        if (n < o.trace) {
+            std::printf("%08x  %s\n", rec.pc,
+                        disasm(rec.inst, rec.pc).c_str());
+        }
+        ++n;
+        if (o.maxInsts && n >= o.maxInsts)
+            break;
+    }
+    std::printf("executed %llu instructions; %s\n",
+                static_cast<unsigned long long>(n),
+                emu->halted() ? "halted" : "instruction limit");
+    for (unsigned r = 0; r < numIntRegs; ++r) {
+        if (emu->intReg(r))
+            std::printf("  $%-4s = 0x%08x (%d)\n", regName(r),
+                        emu->intReg(r),
+                        static_cast<int32_t>(emu->intReg(r)));
+    }
+    // Workload convention: a "result" checksum global.
+    for (const DataSym &s : prog->syms()) {
+        if (s.name == "result")
+            std::printf("  result = %u\n", mem->read32(s.addr));
+    }
+    return 0;
+}
+
+int
+cmdTime(const std::string &target, const CliOptions &o)
+{
+    auto timeWith = [&](const PipelineConfig &cfg) {
+        if (!target.empty() && target[0] == '@') {
+            TimingRequest req;
+            req.workload = target.substr(1);
+            req.build.policy = policyOf(o);
+            req.build.scale = o.scale;
+            req.pipe = cfg;
+            req.maxInsts = o.maxInsts;
+            return runTiming(req).stats;
+        }
+        auto l = loadAsm(target, o);
+        Pipeline pipe(cfg, *l->emu);
+        return pipe.run(o.maxInsts);
+    };
+
+    PipeStats st = timeWith(pipeOf(o));
+    printPipeStats(st);
+    if (o.compare) {
+        PipeStats base = timeWith(baselineConfig(o.block));
+        std::printf("baseline cycles:   %llu\n",
+                    static_cast<unsigned long long>(base.cycles));
+        std::printf("speedup:           %.3f\n",
+                    base.cycles && st.cycles
+                        ? static_cast<double>(base.cycles) / st.cycles
+                        : 0.0);
+    }
+    return 0;
+}
+
+void
+printProfile(Profiler &prof)
+{
+    std::printf("instructions:      %llu\n",
+                static_cast<unsigned long long>(prof.insts()));
+    std::printf("loads / stores:    %llu / %llu\n",
+                static_cast<unsigned long long>(prof.loads()),
+                static_cast<unsigned long long>(prof.stores()));
+    std::printf("load classes:      %.1f%% global / %.1f%% stack / "
+                "%.1f%% general\n",
+                100.0 * prof.loadFrac(RefClass::Global),
+                100.0 * prof.loadFrac(RefClass::Stack),
+                100.0 * prof.loadFrac(RefClass::General));
+    const FacProfile &f = prof.fac(0);
+    std::printf("FAC failure rate:  %.1f%% loads, %.1f%% stores "
+                "(no-R+R: %.1f%% / %.1f%%)\n",
+                100.0 * f.loadFailRate(), 100.0 * f.storeFailRate(),
+                100.0 * f.loadFailRateNoRR(),
+                100.0 * f.storeFailRateNoRR());
+    static const char *cause_names[5] = {
+        "Overflow", "GenCarry", "LargeNegConst", "NegIndexReg",
+        "GenCarryTag",
+    };
+    uint64_t refs = f.loadAttempts + f.storeAttempts;
+    for (unsigned c = 0; c < 5; ++c) {
+        if (f.causeCounts[c]) {
+            std::printf("  cause %-14s %llu (%.1f%% of refs)\n",
+                        cause_names[c],
+                        static_cast<unsigned long long>(
+                            f.causeCounts[c]),
+                        refs ? 100.0 * f.causeCounts[c] / refs : 0.0);
+        }
+    }
+}
+
+int
+cmdProfile(const std::string &target, const CliOptions &o)
+{
+    FacConfig fc = facConfigFor(CacheConfig{16 * 1024, o.block, 1, 6});
+    Profiler prof;
+    prof.addFacConfig(fc);
+
+    if (!target.empty() && target[0] == '@') {
+        BuildOptions b;
+        b.policy = policyOf(o);
+        b.scale = o.scale;
+        Machine m(workload(target.substr(1)), b);
+        ExecRecord rec;
+        while (m.emulator().step(&rec)) {
+            prof.observe(rec);
+            if (o.maxInsts && prof.insts() >= o.maxInsts)
+                break;
+        }
+    } else {
+        auto l = loadAsm(target, o);
+        ExecRecord rec;
+        while (l->emu->step(&rec)) {
+            prof.observe(rec);
+            if (o.maxInsts && prof.insts() >= o.maxInsts)
+                break;
+        }
+    }
+    printProfile(prof);
+    return 0;
+}
+
+/**
+ * Emit a classic dinero III "label address" trace (0 = data read,
+ * 1 = data write, 2 = instruction fetch) so the reference streams can
+ * be replayed through external cache simulators.
+ */
+int
+cmdDinero(const std::string &target, const CliOptions &o)
+{
+    auto emitTrace = [&](Emulator &emu) {
+        ExecRecord rec;
+        uint64_t n = 0;
+        while (emu.step(&rec)) {
+            std::printf("2 %x\n", rec.pc);
+            if (isMem(rec.inst.op))
+                std::printf("%d %x\n", isStore(rec.inst.op) ? 1 : 0,
+                            rec.effAddr);
+            if (o.maxInsts && ++n >= o.maxInsts)
+                break;
+        }
+    };
+    if (!target.empty() && target[0] == '@') {
+        BuildOptions b;
+        b.policy = policyOf(o);
+        b.scale = o.scale;
+        Machine m(workload(target.substr(1)), b);
+        emitTrace(m.emulator());
+    } else {
+        auto l = loadAsm(target, o);
+        emitTrace(*l->emu);
+    }
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &target, const CliOptions &o)
+{
+    auto l = loadAsm(target, o);
+    for (uint32_t i = 0; i < l->prog.numInsts(); ++i) {
+        uint32_t pc = l->prog.instAddr(i);
+        std::printf("%08x:  %08x  %s\n", pc, l->prog.words()[i],
+                    disasm(l->prog.inst(i), pc).c_str());
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s run|time|profile|disasm|list "
+                             "<file.s|@workload> [options]\n", argv[0]);
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "list") {
+        for (const WorkloadInfo &w : allWorkloads())
+            std::printf("%-10s %-3s %s\n", w.name,
+                        w.floatingPoint ? "FP" : "Int", w.input);
+        return 0;
+    }
+    if (argc < 3)
+        fatal("'%s' needs a target", cmd.c_str());
+    std::string target = argv[2];
+    CliOptions o = parseOptions(argc, argv, 3);
+
+    if (cmd == "run")
+        return cmdRun(target, o);
+    if (cmd == "time")
+        return cmdTime(target, o);
+    if (cmd == "profile")
+        return cmdProfile(target, o);
+    if (cmd == "disasm")
+        return cmdDisasm(target, o);
+    if (cmd == "dinero")
+        return cmdDinero(target, o);
+    fatal("unknown command '%s'", cmd.c_str());
+}
