@@ -23,8 +23,13 @@ main(int argc, char **argv)
     t.header({"Benchmark", "assoc", "S", "D$miss%", "fail%", "spd"});
 
     const uint32_t assocs[] = {1, 2, 4};
+    constexpr size_t num_assocs = std::size(assocs);
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    // Per (workload, assoc): one profile, then base and FAC timings.
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> preqs;
+    std::vector<TimingRequest> treqs;
+    for (const WorkloadInfo *w : workloads) {
         for (uint32_t assoc : assocs) {
             CacheConfig dcache{16 * 1024, 32, assoc, 6};
             FacConfig fc = facConfigFor(dcache);
@@ -34,30 +39,39 @@ main(int argc, char **argv)
             preq.build = buildOptions(opt, CodeGenPolicy::withSupport());
             preq.facConfigs = {fc};
             preq.maxInsts = opt.maxInsts;
-            ProfileResult prof = runProfile(preq);
+            preqs.push_back(preq);
 
-            auto timeWith = [&](bool fac_on) {
+            for (bool fac_on : {false, true}) {
                 TimingRequest req;
                 req.workload = w->name;
-                req.build = buildOptions(opt,
-                                         CodeGenPolicy::withSupport());
+                req.build = preq.build;
                 req.pipe = fac_on ? facPipelineConfig() : baselineConfig();
                 req.pipe.dcache = dcache;
                 if (fac_on)
                     req.pipe.fac = fc;
                 req.maxInsts = opt.maxInsts;
-                return runTiming(req).stats;
-            };
-            PipeStats base = timeWith(false);
-            PipeStats fac = timeWith(true);
+                treqs.push_back(req);
+            }
+        }
+    }
+    std::vector<ProfileResult> profs = runAll(opt, preqs, "assoc");
+    std::vector<TimingResult> tims = runAll(opt, treqs, "assoc");
 
-            t.row({w->name, strprintf("%u-way", assoc),
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (size_t ai = 0; ai < num_assocs; ++ai) {
+            const size_t pi = wi * num_assocs + ai;
+            const ProfileResult &prof = profs[pi];
+            const PipeStats &base = tims[pi * 2].stats;
+            const PipeStats &fac = tims[pi * 2 + 1].stats;
+            FacConfig fc =
+                facConfigFor(CacheConfig{16 * 1024, 32, assocs[ai], 6});
+
+            t.row({workloads[wi]->name, strprintf("%u-way", assocs[ai]),
                    strprintf("%u", fc.setBits),
                    fmtPct(base.dcacheMissRatio(), 2),
                    fmtPct(prof.fac[0].loadFailRate(), 1),
                    fmtF(speedup(base.cycles, fac.cycles), 3)});
         }
-        std::fprintf(stderr, "assoc: %-10s done\n", w->name);
     }
 
     emit(opt, "Ablation: associativity vs the prediction field split "

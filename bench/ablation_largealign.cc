@@ -23,46 +23,54 @@ main(int argc, char **argv)
     t.header({"Benchmark", "SW fail%", "SW+LA fail%", "SW spd",
               "SW+LA spd", "Mem%"});
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        FacConfig fc{.blockBits = 5, .setBits = 14};
+    const CodeGenPolicy sw = CodeGenPolicy::withSupport();
+    const CodeGenPolicy la = CodeGenPolicy::withLargeAlignment();
+    const FacConfig fc{.blockBits = 5, .setBits = 14};
 
-        auto profileWith = [&](const CodeGenPolicy &pol) {
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> preqs;
+    std::vector<TimingRequest> treqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (const CodeGenPolicy &pol : {sw, la}) {
             ProfileRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, pol);
             req.facConfigs = {fc};
             req.maxInsts = opt.maxInsts;
-            return runProfile(req);
+            preqs.push_back(req);
+        }
+        // Timing order: baseline machine, then FAC on SW and SW+LA.
+        const std::pair<CodeGenPolicy, PipelineConfig> timings[3] = {
+            {CodeGenPolicy::baseline(), baselineConfig()},
+            {sw, facPipelineConfig()},
+            {la, facPipelineConfig()},
         };
-        auto timeWith = [&](const CodeGenPolicy &pol,
-                            const PipelineConfig &pipe) {
+        for (const auto &[pol, pipe] : timings) {
             TimingRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, pol);
             req.pipe = pipe;
             req.maxInsts = opt.maxInsts;
-            return runTiming(req);
-        };
+            treqs.push_back(req);
+        }
+    }
+    std::vector<ProfileResult> profs = runAll(opt, preqs, "largealign");
+    std::vector<TimingResult> tims = runAll(opt, treqs, "largealign");
 
-        CodeGenPolicy sw = CodeGenPolicy::withSupport();
-        CodeGenPolicy la = CodeGenPolicy::withLargeAlignment();
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const ProfileResult &psw = profs[wi * 2];
+        const ProfileResult &pla = profs[wi * 2 + 1];
+        uint64_t base = tims[wi * 3].stats.cycles;
+        uint64_t csw = tims[wi * 3 + 1].stats.cycles;
+        uint64_t cla = tims[wi * 3 + 2].stats.cycles;
 
-        ProfileResult psw = profileWith(sw);
-        ProfileResult pla = profileWith(la);
-
-        uint64_t base = timeWith(CodeGenPolicy::baseline(),
-                                 baselineConfig()).stats.cycles;
-        uint64_t csw = timeWith(sw, facPipelineConfig()).stats.cycles;
-        uint64_t cla = timeWith(la, facPipelineConfig()).stats.cycles;
-
-        t.row({w->name,
+        t.row({workloads[wi]->name,
                fmtPct(psw.fac[0].loadFailRate(), 1),
                fmtPct(pla.fac[0].loadFailRate(), 1),
                fmtF(speedup(base, csw), 3),
                fmtF(speedup(base, cla), 3),
                fmtF(pctChange(psw.memUsageBytes, pla.memUsageBytes),
                     1)});
-        std::fprintf(stderr, "largealign: %-10s done\n", w->name);
     }
 
     emit(opt, "Future work (Section 5.4): software support with large-"

@@ -32,31 +32,43 @@ main(int argc, char **argv)
     std::vector<double> weights;
     std::vector<bool> is_fp;
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        std::vector<std::string> row{w->name};
-        for (size_t li = 0; li < std::size(latencies); ++li) {
-            auto cycles = [&](bool fac_on) {
+    // Per (workload, latency): base then FAC timings.
+    constexpr size_t num_lats = std::size(latencies);
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (unsigned lat : latencies) {
+            for (bool fac_on : {false, true}) {
                 TimingRequest req;
                 req.workload = w->name;
                 req.build = buildOptions(opt,
                                          CodeGenPolicy::withSupport());
                 req.pipe = fac_on ? facPipelineConfig() : baselineConfig();
-                req.pipe.dcache.missLatency = latencies[li];
-                req.pipe.icache.missLatency = latencies[li];
+                req.pipe.dcache.missLatency = lat;
+                req.pipe.icache.missLatency = lat;
                 req.maxInsts = opt.maxInsts;
-                return runTiming(req).stats.cycles;
-            };
-            uint64_t base = cycles(false);
-            double s = speedup(base, cycles(true));
+                reqs.push_back(req);
+            }
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "misslat");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]->name};
+        for (size_t li = 0; li < num_lats; ++li) {
+            uint64_t base =
+                results[(wi * num_lats + li) * 2].stats.cycles;
+            uint64_t fac =
+                results[(wi * num_lats + li) * 2 + 1].stats.cycles;
+            double s = speedup(base, fac);
             spd[li].push_back(s);
             if (li == 0) {
                 weights.push_back(static_cast<double>(base));
-                is_fp.push_back(w->floatingPoint);
+                is_fp.push_back(workloads[wi]->floatingPoint);
             }
             row.push_back(fmtF(s, 3));
         }
         t.row(row);
-        std::fprintf(stderr, "misslat: %-10s done\n", w->name);
     }
 
     if (opt.workloadFilter.empty()) {

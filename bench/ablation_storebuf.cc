@@ -24,22 +24,35 @@ main(int argc, char **argv)
               "FAC cyc", "noStSpec cyc", "delta%"});
 
     const unsigned depths[] = {4, 8, 16};
+    // Per (workload, depth): baseline, FAC, FAC-without-store-spec.
+    const std::pair<bool, bool> variants[3] = {
+        {false, true}, {true, true}, {true, false}};
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
         for (unsigned depth : depths) {
-            auto run = [&](bool fac_on, bool spec_stores) {
+            for (const auto &[fac_on, spec_stores] : variants) {
                 TimingRequest req;
                 req.workload = w->name;
                 req.build = buildOptions(opt, CodeGenPolicy::baseline());
-                req.pipe = fac_on ? facPipelineConfig() : baselineConfig();
+                req.pipe = fac_on ? facPipelineConfig()
+                                  : baselineConfig();
                 req.pipe.storeBufferEntries = depth;
                 req.pipe.speculateStores = spec_stores;
                 req.maxInsts = opt.maxInsts;
-                return runTiming(req).stats;
-            };
-            PipeStats base = run(false, true);
-            PipeStats fac = run(true, true);
-            PipeStats nospec = run(true, false);
+                reqs.push_back(req);
+            }
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "storebuf");
+
+    size_t i = 0;
+    for (const WorkloadInfo *w : workloads) {
+        for (unsigned depth : depths) {
+            const PipeStats &base = results[i++].stats;
+            const PipeStats &fac = results[i++].stats;
+            const PipeStats &nospec = results[i++].stats;
             double delta = pctChange(
                 static_cast<double>(nospec.cycles),
                 static_cast<double>(fac.cycles));
@@ -49,7 +62,6 @@ main(int argc, char **argv)
                    fmtCount(fac.cycles), fmtCount(nospec.cycles),
                    fmtF(delta, 2)});
         }
-        std::fprintf(stderr, "storebuf: %-10s done\n", w->name);
     }
 
     emit(opt, "Ablation (Section 3.1): store-buffer depth vs stalls, "

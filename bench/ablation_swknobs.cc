@@ -62,19 +62,28 @@ main(int argc, char **argv)
         {"all", CodeGenPolicy::withSupport()},
     };
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        std::vector<std::string> row{w->name};
+    constexpr size_t num_policies = std::size(policies);
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
         for (const auto &[label, pol] : policies) {
             ProfileRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, pol);
             req.facConfigs = {FacConfig{.blockBits = 5, .setBits = 14}};
             req.maxInsts = opt.maxInsts;
-            ProfileResult r = runProfile(req);
-            row.push_back(fmtPct(r.fac[0].loadFailRate(), 1));
+            reqs.push_back(req);
         }
+    }
+    std::vector<ProfileResult> results = runAll(opt, reqs, "swknobs");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]->name};
+        for (size_t pi = 0; pi < num_policies; ++pi)
+            row.push_back(fmtPct(
+                results[wi * num_policies + pi].fac[0].loadFailRate(),
+                1));
         t.row(row);
-        std::fprintf(stderr, "swknobs: %-10s done\n", w->name);
     }
 
     emit(opt, "Ablation (Section 4): load prediction failure rate with "

@@ -21,7 +21,11 @@ main(int argc, char **argv)
     t.header({"Benchmark", "fail(full)%", "fail(OR)%", "spd(full)",
               "spd(OR)"});
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    // Per workload: baseline timing, then FAC with/without full tag add.
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> preqs;
+    std::vector<TimingRequest> treqs;
+    for (const WorkloadInfo *w : workloads) {
         ProfileRequest preq;
         preq.workload = w->name;
         preq.build = buildOptions(opt, CodeGenPolicy::baseline());
@@ -30,29 +34,36 @@ main(int argc, char **argv)
             FacConfig{.blockBits = 5, .setBits = 14, .fullTagAdd = false},
         };
         preq.maxInsts = opt.maxInsts;
-        ProfileResult prof = runProfile(preq);
+        preqs.push_back(preq);
 
         TimingRequest breq;
         breq.workload = w->name;
         breq.build = preq.build;
         breq.pipe = baselineConfig();
         breq.maxInsts = opt.maxInsts;
-        uint64_t base_cycles = runTiming(breq).stats.cycles;
-
-        auto spd = [&](bool full_tag) {
+        treqs.push_back(breq);
+        for (bool full_tag : {true, false}) {
             TimingRequest req;
             req.workload = w->name;
             req.build = preq.build;
             req.pipe = facPipelineConfig(32, true, full_tag);
             req.maxInsts = opt.maxInsts;
-            return speedup(base_cycles, runTiming(req).stats.cycles);
-        };
+            treqs.push_back(req);
+        }
+    }
+    std::vector<ProfileResult> profs = runAll(opt, preqs, "ablation");
+    std::vector<TimingResult> tims = runAll(opt, treqs, "ablation");
 
-        t.row({w->name,
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const ProfileResult &prof = profs[wi];
+        uint64_t base_cycles = tims[wi * 3].stats.cycles;
+        t.row({workloads[wi]->name,
                fmtPct(prof.fac[0].loadFailRate(), 2),
                fmtPct(prof.fac[1].loadFailRate(), 2),
-               fmtF(spd(true), 3), fmtF(spd(false), 3)});
-        std::fprintf(stderr, "ablation: %-10s done\n", w->name);
+               fmtF(speedup(base_cycles, tims[wi * 3 + 1].stats.cycles),
+                    3),
+               fmtF(speedup(base_cycles, tims[wi * 3 + 2].stats.cycles),
+                    3)});
     }
 
     emit(opt, "Ablation (Section 3.1): full tag addition vs OR-only tag "

@@ -54,31 +54,42 @@ main(int argc, char **argv)
     std::vector<double> weights;
     std::vector<bool> is_fp;
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        std::vector<std::string> row{w->name};
-        for (size_t wi = 0; wi < std::size(widths); ++wi) {
-            auto stats = [&](bool fac_on) {
+    // Per (workload, width): base then FAC timings.
+    constexpr size_t num_widths = std::size(widths);
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (unsigned width : widths) {
+            for (bool fac_on : {false, true}) {
                 TimingRequest req;
                 req.workload = w->name;
                 req.build = buildOptions(opt,
                                          CodeGenPolicy::withSupport());
-                req.pipe = scaledConfig(widths[wi], fac_on);
+                req.pipe = scaledConfig(width, fac_on);
                 req.maxInsts = opt.maxInsts;
-                return runTiming(req).stats;
-            };
-            PipeStats base = stats(false);
-            PipeStats fac = stats(true);
+                reqs.push_back(req);
+            }
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "width");
+
+    for (size_t wli = 0; wli < workloads.size(); ++wli) {
+        std::vector<std::string> row{workloads[wli]->name};
+        for (size_t wi = 0; wi < num_widths; ++wi) {
+            const PipeStats &base =
+                results[(wli * num_widths + wi) * 2].stats;
+            const PipeStats &fac =
+                results[(wli * num_widths + wi) * 2 + 1].stats;
             double s = speedup(base.cycles, fac.cycles);
             spd[wi].push_back(s);
             if (wi == 0) {
                 weights.push_back(static_cast<double>(base.cycles));
-                is_fp.push_back(w->floatingPoint);
+                is_fp.push_back(workloads[wli]->floatingPoint);
             }
             row.push_back(fmtF(base.ipc()));
             row.push_back(fmtF(s, 3));
         }
         t.row(row);
-        std::fprintf(stderr, "width: %-10s done\n", w->name);
     }
 
     if (opt.workloadFilter.empty()) {

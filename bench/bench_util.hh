@@ -10,6 +10,12 @@
  *   --scale=N          workload size multiplier (default 1)
  *   --max-insts=N      cap simulated instructions per run (0 = full run)
  *   --seed=N           workload data seed
+ *   --jobs=N           host threads for the experiment sweep
+ *                      (default 0 = all hardware threads; results are
+ *                      bitwise-identical for any N)
+ *   --json=FILE        append one JSON object per emitted table to FILE
+ *                      (rows plus host-time metadata), for
+ *                      machine-readable perf trajectory tracking
  */
 
 #ifndef FACSIM_BENCH_BENCH_UTIL_HH
@@ -18,12 +24,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sim/config.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "sim/stats.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -39,8 +47,14 @@ struct Options
     uint64_t scale = 1;
     uint64_t maxInsts = 0;
     uint64_t seed = 0x5eed;
+    /** Host threads for runAll (0 = all hardware threads). */
+    unsigned jobs = 0;
+    /** When non-empty, emit() appends JSON results to this file. */
+    std::string jsonPath;
     /** Flags the bench recognised beyond the common set. */
     std::vector<std::string> extra;
+    /** Host-time accounting merged across every runAll() batch. */
+    RunnerReport report;
 };
 
 inline Options
@@ -63,6 +77,10 @@ parseArgs(int argc, char **argv)
             o.maxInsts = std::strtoull(v, nullptr, 0);
         } else if (const char *v = val("--seed=")) {
             o.seed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = val("--jobs=")) {
+            o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        } else if (const char *v = val("--json=")) {
+            o.jsonPath = v;
         } else {
             o.extra.push_back(a);
         }
@@ -113,10 +131,113 @@ groupAverage(const std::vector<double> &values,
     return weightedMean(v, w);
 }
 
+/**
+ * Fan a batch of timing requests across o.jobs host threads (see
+ * sim/runner.hh for the determinism guarantee). Results come back in
+ * request order; host-time accounting accumulates into o.report and a
+ * one-line summary goes to stderr.
+ */
+inline std::vector<TimingResult>
+runAll(Options &o, const std::vector<TimingRequest> &reqs,
+       const char *tag = "bench")
+{
+    Runner runner(o.jobs);
+    RunnerReport rep;
+    std::vector<TimingResult> out = runner.runTimings(reqs, &rep);
+    std::fprintf(stderr,
+                 "%s: %zu timing runs on %u threads in %.2fs "
+                 "(%.2fM sim-insts/s)\n",
+                 tag, reqs.size(), rep.jobs, rep.wallSeconds,
+                 rep.simInstsPerHostSecond() / 1e6);
+    o.report.merge(rep);
+    return out;
+}
+
+/** Profile-run counterpart of runAll(Options&, TimingRequest...). */
+inline std::vector<ProfileResult>
+runAll(Options &o, const std::vector<ProfileRequest> &reqs,
+       const char *tag = "bench")
+{
+    Runner runner(o.jobs);
+    RunnerReport rep;
+    std::vector<ProfileResult> out = runner.runProfiles(reqs, &rep);
+    std::fprintf(stderr,
+                 "%s: %zu profile runs on %u threads in %.2fs "
+                 "(%.2fM sim-insts/s)\n",
+                 tag, reqs.size(), rep.jobs, rep.wallSeconds,
+                 rep.simInstsPerHostSecond() / 1e6);
+    o.report.merge(rep);
+    return out;
+}
+
+/** Escape a string for embedding in a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Append one JSON object for @p t to @p o.jsonPath: caption, header,
+ * rows (arrays of strings) and host-time metadata from o.report (jobs,
+ * wall seconds, simulated instructions per host second). One object per
+ * line (JSON-lines), truncating the file on the first emit of the
+ * process so reruns do not accumulate.
+ */
+inline void
+emitJson(const Options &o, const std::string &caption, const Table &t)
+{
+    static bool truncated = false;
+    std::ofstream out(o.jsonPath, truncated ? std::ios::app
+                                            : std::ios::trunc);
+    truncated = true;
+    if (!out)
+        fatal("cannot write '%s'", o.jsonPath.c_str());
+
+    out << "{\"caption\":\"" << jsonEscape(caption) << "\",";
+    out << "\"header\":[";
+    const auto &hdr = t.headerCells();
+    for (size_t i = 0; i < hdr.size(); ++i)
+        out << (i ? "," : "") << '"' << jsonEscape(hdr[i]) << '"';
+    out << "],\"rows\":[";
+    const auto &rows = t.dataRows();
+    for (size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? "," : "") << '[';
+        for (size_t c = 0; c < rows[r].size(); ++c)
+            out << (c ? "," : "") << '"' << jsonEscape(rows[r][c]) << '"';
+        out << ']';
+    }
+    out << "],\"meta\":{";
+    out << strprintf("\"jobs\":%u,\"runs\":%zu,\"wallSeconds\":%.6f,"
+                     "\"simInsts\":%llu,\"simInstsPerHostSecond\":%.0f",
+                     o.report.jobs, o.report.numJobs,
+                     o.report.wallSeconds,
+                     static_cast<unsigned long long>(o.report.simInsts),
+                     o.report.simInstsPerHostSecond());
+    out << "}}\n";
+}
+
 /** Print the table in the requested format, with a caption. */
 inline void
 emit(const Options &o, const std::string &caption, const Table &t)
 {
+    if (!o.jsonPath.empty())
+        emitJson(o, caption, t);
     if (o.csv) {
         t.printCsv(std::cout);
     } else {

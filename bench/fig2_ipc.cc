@@ -32,21 +32,29 @@ main(int argc, char **argv)
         baselineConfig(), oneCycleLoadConfig(), perfectCacheConfig(),
         oneCyclePerfectConfig()};
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        Row r{w, {}, 0};
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
         for (int c = 0; c < 4; ++c) {
             TimingRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, CodeGenPolicy::baseline());
             req.pipe = configs[c];
             req.maxInsts = opt.maxInsts;
-            TimingResult res = runTiming(req);
+            reqs.push_back(req);
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "fig2");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        Row r{workloads[wi], {}, 0};
+        for (int c = 0; c < 4; ++c) {
+            const TimingResult &res = results[wi * 4 + c];
             r.ipc[c] = res.stats.ipc();
             if (c == 0)
                 r.baseCycles = res.stats.cycles;
         }
         rows.push_back(r);
-        std::fprintf(stderr, "fig2: %-10s done\n", w->name);
     }
 
     Table t;

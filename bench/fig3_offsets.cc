@@ -14,16 +14,14 @@ using namespace facsim::bench;
 namespace
 {
 
-const char *
+std::string
 bucketLabel(unsigned i)
 {
-    static char buf[8];
     if (i == OffsetHistogram::moreBucket)
         return "More";
     if (i == OffsetHistogram::negBucket)
         return "Neg";
-    std::snprintf(buf, sizeof(buf), "%u", i);
-    return buf;
+    return strprintf("%u", i);
 }
 
 } // anonymous namespace
@@ -43,12 +41,19 @@ main(int argc, char **argv)
 
     static const char *class_names[3] = {"Global", "Stack", "General"};
 
+    std::vector<ProfileRequest> reqs;
     for (const WorkloadInfo *w : workloads) {
         ProfileRequest req;
         req.workload = w->name;
         req.build = buildOptions(opt, CodeGenPolicy::baseline());
         req.maxInsts = opt.maxInsts;
-        ProfileResult r = runProfile(req);
+        reqs.push_back(req);
+    }
+    std::vector<ProfileResult> results = runAll(opt, reqs, "fig3");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const WorkloadInfo *w = workloads[wi];
+        const ProfileResult &r = results[wi];
 
         Table t;
         t.header({"Offset bits", "Global cum%", "Stack cum%",

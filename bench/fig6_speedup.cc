@@ -60,22 +60,21 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows;
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        Row r{w, 0, {}};
-        // Baseline: no FAC, no software support, one run per block size
-        // so the speedups isolate fast address calculation from the
-        // block-size effect on miss ratio.
-        uint64_t base_cycles[2];
+    // Per workload: two baselines (16B and 32B blocks, so the speedups
+    // isolate fast address calculation from the block-size effect on
+    // miss ratio), then one run per configuration.
+    const size_t stride = 2 + cfgs.size();
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
         for (int bi = 0; bi < 2; ++bi) {
             TimingRequest breq;
             breq.workload = w->name;
             breq.build = buildOptions(opt, CodeGenPolicy::baseline());
             breq.pipe = baselineConfig(bi == 0 ? 16 : 32);
             breq.maxInsts = opt.maxInsts;
-            base_cycles[bi] = runTiming(breq).stats.cycles;
+            reqs.push_back(breq);
         }
-        r.baseCycles = base_cycles[1];  // 32B baseline weights the avgs
-
         for (const Cfg &c : cfgs) {
             TimingRequest req;
             req.workload = w->name;
@@ -84,12 +83,23 @@ main(int argc, char **argv)
                                      : CodeGenPolicy::baseline());
             req.pipe = facPipelineConfig(c.block, c.specRR);
             req.maxInsts = opt.maxInsts;
-            TimingResult res = runTiming(req);
-            uint64_t base = base_cycles[c.block == 16 ? 0 : 1];
-            r.speedups.push_back(speedup(base, res.stats.cycles));
+            reqs.push_back(req);
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "fig6");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        Row r{workloads[wi], 0, {}};
+        const TimingResult *res = &results[wi * stride];
+        uint64_t base_cycles[2] = {res[0].stats.cycles,
+                                   res[1].stats.cycles};
+        r.baseCycles = base_cycles[1];  // 32B baseline weights the avgs
+        for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+            uint64_t base = base_cycles[cfgs[ci].block == 16 ? 0 : 1];
+            r.speedups.push_back(
+                speedup(base, res[2 + ci].stats.cycles));
         }
         rows.push_back(r);
-        std::fprintf(stderr, "fig6: %-10s done\n", w->name);
     }
 
     Table t;

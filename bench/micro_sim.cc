@@ -50,6 +50,27 @@ BM_CacheRead(benchmark::State &state)
 }
 BENCHMARK(BM_CacheRead);
 
+// Per-step emulation with a live ExecRecord — the profiling loops'
+// inner path (Emulator::stepImpl<true>), as opposed to BM_EmulatorRate's
+// record-free Emulator::run.
+void
+BM_EmulatorStep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(workload("grep"), BuildOptions{});
+        state.ResumeTiming();
+        Emulator &emu = m.emulator();
+        ExecRecord rec;
+        uint64_t n = 0;
+        while (n < 200'000 && emu.step(&rec))
+            ++n;
+        state.counters["insts"] = static_cast<double>(n);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_EmulatorStep)->Unit(benchmark::kMillisecond);
+
 void
 BM_EmulatorRate(benchmark::State &state)
 {
@@ -77,6 +98,22 @@ BM_PipelineRate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 200'000);
 }
 BENCHMARK(BM_PipelineRate)->Unit(benchmark::kMillisecond);
+
+// Timing model on the baseline (non-FAC) machine — the other half of
+// every speedup experiment's work.
+void
+BM_PipelineRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(workload("grep"), BuildOptions{});
+        Pipeline pipe(baselineConfig(32), m.emulator());
+        state.ResumeTiming();
+        pipe.run(200'000);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
 
 void
 BM_MachineBuild(benchmark::State &state)

@@ -26,30 +26,36 @@ main(int argc, char **argv)
     std::vector<double> agi_spd, fac_spd, weights;
     std::vector<bool> is_fp;
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        auto cycles = [&](const PipelineConfig &pc) {
+    // Per workload: LUI baseline, AGI, then FAC.
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (const PipelineConfig &pc :
+             {baselineConfig(), agiConfig(), facPipelineConfig()}) {
             TimingRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, CodeGenPolicy::baseline());
             req.pipe = pc;
             req.maxInsts = opt.maxInsts;
-            return runTiming(req).stats.cycles;
-        };
+            reqs.push_back(req);
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "pipelines");
 
-        uint64_t lui = cycles(baselineConfig());
-        uint64_t agi = cycles(agiConfig());
-        uint64_t fac = cycles(facPipelineConfig());
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        uint64_t lui = results[wi * 3].stats.cycles;
+        uint64_t agi = results[wi * 3 + 1].stats.cycles;
+        uint64_t fac = results[wi * 3 + 2].stats.cycles;
 
         double sa = speedup(lui, agi);
         double sf = speedup(lui, fac);
         agi_spd.push_back(sa);
         fac_spd.push_back(sf);
         weights.push_back(static_cast<double>(lui));
-        is_fp.push_back(w->floatingPoint);
+        is_fp.push_back(workloads[wi]->floatingPoint);
 
-        t.row({w->name, fmtCount(lui), fmtF(sa, 3), fmtF(sf, 3),
-               sa < 1.0 ? "yes" : "no"});
-        std::fprintf(stderr, "pipelines: %-10s done\n", w->name);
+        t.row({workloads[wi]->name, fmtCount(lui), fmtF(sa, 3),
+               fmtF(sf, 3), sa < 1.0 ? "yes" : "no"});
     }
 
     if (opt.workloadFilter.empty()) {

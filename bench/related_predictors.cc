@@ -28,42 +28,41 @@ main(int argc, char **argv)
     t.header({"Benchmark", "FAC/HW%", "FAC/SW%", "LTB-last%",
               "LTB-stride%", "LTB-last4k%"});
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        auto profileWith = [&](const CodeGenPolicy &pol) {
-            Machine m(workload(w->name), buildOptions(opt, pol));
-            Profiler prof;
-            prof.addFacConfig(FacConfig{.blockBits = 5, .setBits = 14});
-            prof.addLtbConfig(1024, LtbPolicy::LastAddress);
-            prof.addLtbConfig(1024, LtbPolicy::Stride);
-            prof.addLtbConfig(4096, LtbPolicy::LastAddress);
-            ExecRecord rec;
-            Emulator &emu = m.emulator();
-            while (emu.step(&rec)) {
-                prof.observe(rec);
-                if (opt.maxInsts && prof.insts() >= opt.maxInsts)
-                    break;
-            }
-            return prof;
-        };
+    // Per workload: hardware-only build, then with software support.
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (const CodeGenPolicy &pol : {CodeGenPolicy::baseline(),
+                                         CodeGenPolicy::withSupport()}) {
+            ProfileRequest req;
+            req.workload = w->name;
+            req.build = buildOptions(opt, pol);
+            req.facConfigs = {FacConfig{.blockBits = 5, .setBits = 14}};
+            req.ltbConfigs = {{1024, LtbPolicy::LastAddress},
+                              {1024, LtbPolicy::Stride},
+                              {4096, LtbPolicy::LastAddress}};
+            req.maxInsts = opt.maxInsts;
+            reqs.push_back(req);
+        }
+    }
+    std::vector<ProfileResult> results = runAll(opt, reqs, "predictors");
 
-        Profiler hw = profileWith(CodeGenPolicy::baseline());
-        Profiler sw = profileWith(CodeGenPolicy::withSupport());
+    auto facRate = [](const ProfileResult &p) {
+        const FacProfile &f = p.fac[0];
+        uint64_t attempts = f.loadAttempts + f.storeAttempts;
+        uint64_t failures = f.loadFailures + f.storeFailures;
+        return attempts ? static_cast<double>(failures) / attempts : 0.0;
+    };
 
-        auto facRate = [](const Profiler &p) {
-            const FacProfile &f = p.fac(0);
-            uint64_t attempts = f.loadAttempts + f.storeAttempts;
-            uint64_t failures = f.loadFailures + f.storeFailures;
-            return attempts ? static_cast<double>(failures) / attempts
-                            : 0.0;
-        };
-
-        t.row({w->name,
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const ProfileResult &hw = results[wi * 2];
+        const ProfileResult &sw = results[wi * 2 + 1];
+        t.row({workloads[wi]->name,
                fmtPct(facRate(hw), 1),
                fmtPct(facRate(sw), 1),
-               fmtPct(hw.ltb(0).failRate(), 1),
-               fmtPct(hw.ltb(1).failRate(), 1),
-               fmtPct(hw.ltb(2).failRate(), 1)});
-        std::fprintf(stderr, "predictors: %-10s done\n", w->name);
+               fmtPct(hw.ltb[0].failRate(), 1),
+               fmtPct(hw.ltb[1].failRate(), 1),
+               fmtPct(hw.ltb[2].failRate(), 1)});
     }
 
     emit(opt, "Related work (Section 6): effective-address prediction "

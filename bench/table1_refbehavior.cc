@@ -30,19 +30,24 @@ main(int argc, char **argv)
     Table t;
     t.header({"Benchmark", "Insts", "Refs", "%Loads", "%Stores",
               "%Global", "%Stack", "%General"});
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
         ProfileRequest req;
         req.workload = w->name;
         req.build = buildOptions(opt, CodeGenPolicy::baseline());
         req.maxInsts = opt.maxInsts;
-        ProfileResult r = runProfile(req);
+        reqs.push_back(req);
+    }
+    std::vector<ProfileResult> results = runAll(opt, reqs, "table1");
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const ProfileResult &r = results[wi];
         uint64_t refs = r.loads + r.stores;
-        t.row({w->name, fmtCount(r.insts), fmtCount(refs),
+        t.row({workloads[wi]->name, fmtCount(r.insts), fmtCount(refs),
                fmtPct(static_cast<double>(r.loads) / r.insts, 1),
                fmtPct(static_cast<double>(r.stores) / r.insts, 1),
                fmtPct(r.fracGlobal, 1), fmtPct(r.fracStack, 1),
                fmtPct(r.fracGeneral, 1)});
-        std::fprintf(stderr, "table1: %-10s done\n", w->name);
     }
 
     emit(opt, "Table 1: Program reference behavior (loads broken down "

@@ -21,7 +21,10 @@ main(int argc, char **argv)
               "I$miss%", "D$miss%", "Mem",
               "L16%", "S16%", "L32%", "S32%"});
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> preqs;
+    std::vector<TimingRequest> treqs;
+    for (const WorkloadInfo *w : workloads) {
         // Functional profile with both predictor geometries at once.
         ProfileRequest preq;
         preq.workload = w->name;
@@ -31,7 +34,7 @@ main(int argc, char **argv)
             FacConfig{.blockBits = 5, .setBits = 14},
         };
         preq.maxInsts = opt.maxInsts;
-        ProfileResult prof = runProfile(preq);
+        preqs.push_back(preq);
 
         // One timing run on the baseline machine for the cycle count and
         // cache miss ratios.
@@ -40,9 +43,16 @@ main(int argc, char **argv)
         treq.build = preq.build;
         treq.pipe = baselineConfig();
         treq.maxInsts = opt.maxInsts;
-        TimingResult tim = runTiming(treq);
+        treqs.push_back(treq);
+    }
+    std::vector<ProfileResult> profs = runAll(opt, preqs, "table3");
+    std::vector<TimingResult> tims = runAll(opt, treqs, "table3");
 
-        t.row({w->name, fmtCount(prof.insts), fmtCount(tim.stats.cycles),
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const ProfileResult &prof = profs[wi];
+        const TimingResult &tim = tims[wi];
+        t.row({workloads[wi]->name, fmtCount(prof.insts),
+               fmtCount(tim.stats.cycles),
                fmtCount(prof.loads), fmtCount(prof.stores),
                fmtPct(tim.stats.icacheMissRatio(), 2),
                fmtPct(tim.stats.dcacheMissRatio(), 2),
@@ -51,7 +61,6 @@ main(int argc, char **argv)
                fmtPct(prof.fac[0].storeFailRate(), 1),
                fmtPct(prof.fac[1].loadFailRate(), 1),
                fmtPct(prof.fac[1].storeFailRate(), 1)});
-        std::fprintf(stderr, "table3: %-10s done\n", w->name);
     }
 
     emit(opt, "Table 3: Program statistics without software support\n"

@@ -31,31 +31,38 @@ main(int argc, char **argv)
         hdr.push_back("dTLBmiss");
     t.header(hdr);
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<ProfileRequest> preqs;
+    std::vector<TimingRequest> treqs;
+    for (const WorkloadInfo *w : workloads) {
         FacConfig fc{.blockBits = 5, .setBits = 14};
+        for (const CodeGenPolicy &pol : {CodeGenPolicy::baseline(),
+                                         CodeGenPolicy::withSupport()}) {
+            ProfileRequest preq;
+            preq.workload = w->name;
+            preq.build = buildOptions(opt, pol);
+            preq.facConfigs = {fc};
+            preq.withTlb = with_tlb;
+            preq.maxInsts = opt.maxInsts;
+            preqs.push_back(preq);
 
-        auto profileWith = [&](const CodeGenPolicy &pol) {
-            ProfileRequest req;
-            req.workload = w->name;
-            req.build = buildOptions(opt, pol);
-            req.facConfigs = {fc};
-            req.withTlb = with_tlb;
-            req.maxInsts = opt.maxInsts;
-            return runProfile(req);
-        };
-        auto timeWith = [&](const CodeGenPolicy &pol) {
-            TimingRequest req;
-            req.workload = w->name;
-            req.build = buildOptions(opt, pol);
-            req.pipe = baselineConfig();
-            req.maxInsts = opt.maxInsts;
-            return runTiming(req);
-        };
+            TimingRequest treq;
+            treq.workload = w->name;
+            treq.build = buildOptions(opt, pol);
+            treq.pipe = baselineConfig();
+            treq.maxInsts = opt.maxInsts;
+            treqs.push_back(treq);
+        }
+    }
+    std::vector<ProfileResult> profs = runAll(opt, preqs, "table4");
+    std::vector<TimingResult> tims = runAll(opt, treqs, "table4");
 
-        ProfileResult pb = profileWith(CodeGenPolicy::baseline());
-        ProfileResult ps = profileWith(CodeGenPolicy::withSupport());
-        TimingResult tb = timeWith(CodeGenPolicy::baseline());
-        TimingResult ts = timeWith(CodeGenPolicy::withSupport());
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const WorkloadInfo *w = workloads[wi];
+        const ProfileResult &pb = profs[wi * 2];
+        const ProfileResult &ps = profs[wi * 2 + 1];
+        const TimingResult &tb = tims[wi * 2];
+        const TimingResult &ts = tims[wi * 2 + 1];
 
         std::vector<std::string> row{
             w->name,
@@ -76,7 +83,6 @@ main(int argc, char **argv)
             row.push_back(fmtF((ps.tlbMissRatio - pb.tlbMissRatio) *
                                100.0, 3));
         t.row(row);
-        std::fprintf(stderr, "table4: %-10s done\n", w->name);
     }
 
     emit(opt, "Table 4: Program statistics with software support "

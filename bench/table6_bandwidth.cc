@@ -23,8 +23,14 @@ main(int argc, char **argv)
     Table t;
     t.header({"Benchmark", "RR/HW%", "RR/SW%", "noRR/HW%", "noRR/SW%"});
 
-    for (const WorkloadInfo *w : selectedWorkloads(opt)) {
-        auto overhead = [&](bool spec_rr, bool software) {
+    // Corner order within each workload: {R+R, noR+R} x {HW, SW}.
+    const std::pair<bool, bool> corners[4] = {
+        {true, false}, {true, true}, {false, false}, {false, true}};
+
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+    std::vector<TimingRequest> reqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (const auto &[spec_rr, software] : corners) {
             TimingRequest req;
             req.workload = w->name;
             req.build = buildOptions(opt, software
@@ -32,14 +38,18 @@ main(int argc, char **argv)
                                      : CodeGenPolicy::baseline());
             req.pipe = facPipelineConfig(32, spec_rr);
             req.maxInsts = opt.maxInsts;
-            return runTiming(req).stats.bandwidthOverhead();
+            reqs.push_back(req);
+        }
+    }
+    std::vector<TimingResult> results = runAll(opt, reqs, "table6");
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        auto overhead = [&](size_t corner) {
+            return results[wi * 4 + corner].stats.bandwidthOverhead();
         };
-        t.row({w->name,
-               fmtPct(overhead(true, false), 2),
-               fmtPct(overhead(true, true), 2),
-               fmtPct(overhead(false, false), 2),
-               fmtPct(overhead(false, true), 2)});
-        std::fprintf(stderr, "table6: %-10s done\n", w->name);
+        t.row({workloads[wi]->name,
+               fmtPct(overhead(0), 2), fmtPct(overhead(1), 2),
+               fmtPct(overhead(2), 2), fmtPct(overhead(3), 2)});
     }
 
     emit(opt, "Table 6: Memory bandwidth overhead — failed speculative "

@@ -13,19 +13,19 @@ Emulator::Emulator(const Program &prog, Memory &mem, const LinkedImage &img,
     : prog_(prog), mem_(mem), pc_(img.entryPc)
 {
     FACSIM_ASSERT(prog.linked(), "emulator needs a linked program");
+    numInsts_ = prog.numInsts();
+    code_ = numInsts_ ? &prog.inst(0) : nullptr;
     regs[reg::gp] = img.gpValue;
     regs[reg::sp] = initial_sp;
     regs[reg::ra] = 0;
 }
 
-uint32_t
-Emulator::fetchIndex(uint32_t pc) const
+void
+Emulator::fetchFault(uint32_t pc) const
 {
-    FACSIM_ASSERT(pc >= Program::textBase && (pc & 3) == 0,
-                  "bad PC 0x%08x", pc);
-    uint32_t idx = (pc - Program::textBase) / 4;
-    FACSIM_ASSERT(idx < prog_.numInsts(), "PC 0x%08x past end of text", pc);
-    return idx;
+    if (pc < Program::textBase || (pc & 3) != 0)
+        panic("bad PC 0x%08x", pc);
+    panic("PC 0x%08x past end of text", pc);
 }
 
 void
@@ -39,18 +39,32 @@ Emulator::setIntReg(unsigned r, uint32_t v)
 bool
 Emulator::step(ExecRecord *rec)
 {
+    return rec ? stepImpl<true>(rec) : stepImpl<false>(nullptr);
+}
+
+template <bool WithRec>
+bool
+Emulator::stepImpl(ExecRecord *rec)
+{
     if (halted_)
         return false;
 
     const uint32_t pc = pc_;
-    const Inst &in = prog_.inst(fetchIndex(pc));
+    // Fetch from the predecoded dense array: one shift and one bounds
+    // check. The wraparound of (pc - textBase) for pc < textBase lands
+    // in the idx >= numInsts_ check.
+    const uint32_t idx = (pc - Program::textBase) >> 2;
+    if (idx >= numInsts_ || (pc & 3) != 0) [[unlikely]]
+        fetchFault(pc);
+    const Inst &in = code_[idx];
     uint32_t next_pc = pc + 4;
 
-    ExecRecord local;
-    ExecRecord &r = rec ? *rec : local;
-    r = ExecRecord{};
-    r.pc = pc;
-    r.inst = in;
+    ExecRecord *const r = rec;
+    if constexpr (WithRec) {
+        *r = ExecRecord{};
+        r->pc = pc;
+        r->inst = in;
+    }
 
     auto wr = [&](uint8_t d, uint32_t v) {
         if (d != reg::zero)
@@ -61,7 +75,8 @@ Emulator::step(ExecRecord *rec)
     auto branchTo = [&](bool cond) {
         if (cond) {
             next_pc = pc + 4 + (static_cast<uint32_t>(in.imm) << 2);
-            r.taken = true;
+            if constexpr (WithRec)
+                r->taken = true;
         }
     };
 
@@ -134,21 +149,27 @@ Emulator::step(ExecRecord *rec)
       case Op::LB: case Op::LBU: case Op::LH: case Op::LHU: case Op::LW:
       case Op::SB: case Op::SH: case Op::SW:
       case Op::LWC1: case Op::LDC1: case Op::SWC1: case Op::SDC1: {
-        r.baseVal = regs[in.rs];
+        const uint32_t base_val = regs[in.rs];
+        int32_t offset_val = 0;
+        [[maybe_unused]] bool offset_from_reg = false;
         switch (in.amode) {
           case AMode::RegConst:
-            r.offsetVal = in.imm;
+            offset_val = in.imm;
             break;
           case AMode::RegReg:
-            r.offsetVal = static_cast<int32_t>(regs[in.rd]);
-            r.offsetFromReg = true;
+            offset_val = static_cast<int32_t>(regs[in.rd]);
+            offset_from_reg = true;
             break;
           case AMode::PostInc:
-            r.offsetVal = 0;
             break;
         }
-        uint32_t ea = r.baseVal + static_cast<uint32_t>(r.offsetVal);
-        r.effAddr = ea;
+        uint32_t ea = base_val + static_cast<uint32_t>(offset_val);
+        if constexpr (WithRec) {
+            r->baseVal = base_val;
+            r->offsetVal = offset_val;
+            r->offsetFromReg = offset_from_reg;
+            r->effAddr = ea;
+        }
         unsigned size = memAccessSize(in.op);
         FACSIM_ASSERT((ea & (size - 1)) == 0,
                       "unaligned %s access at 0x%08x (pc 0x%08x)",
@@ -214,21 +235,25 @@ Emulator::step(ExecRecord *rec)
 
       case Op::J:
         next_pc = static_cast<uint32_t>(in.imm) << 2;
-        r.taken = true;
+        if constexpr (WithRec)
+            r->taken = true;
         break;
       case Op::JAL:
         wr(reg::ra, pc + 4);
         next_pc = static_cast<uint32_t>(in.imm) << 2;
-        r.taken = true;
+        if constexpr (WithRec)
+            r->taken = true;
         break;
       case Op::JR:
         next_pc = regs[in.rs];
-        r.taken = true;
+        if constexpr (WithRec)
+            r->taken = true;
         break;
       case Op::JALR:
         wr(in.rd, pc + 4);
         next_pc = regs[in.rs];
-        r.taken = true;
+        if constexpr (WithRec)
+            r->taken = true;
         break;
 
       case Op::ADD_D: fregs[in.rd] = fregs[in.rs] + fregs[in.rt]; break;
@@ -284,7 +309,8 @@ Emulator::step(ExecRecord *rec)
     }
 
     pc_ = next_pc;
-    r.nextPc = next_pc;
+    if constexpr (WithRec)
+        r->nextPc = next_pc;
     ++icount;
     return true;
 }
@@ -294,7 +320,7 @@ Emulator::run(uint64_t max_insts)
 {
     uint64_t n = 0;
     while (!halted_ && (max_insts == 0 || n < max_insts)) {
-        step(nullptr);
+        stepImpl<false>(nullptr);
         ++n;
     }
     return n;

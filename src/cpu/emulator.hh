@@ -88,9 +88,23 @@ class Emulator
     Memory &memory() { return mem_; }
 
   private:
-    uint32_t fetchIndex(uint32_t pc) const;
+    /** Core of step(); WithRec elides all ExecRecord bookkeeping. */
+    template <bool WithRec>
+    bool stepImpl(ExecRecord *rec);
+
+    [[noreturn]] void fetchFault(uint32_t pc) const;
 
     const Program &prog_;
+    /**
+     * Predecoded dense execution array: the program's decoded Inst
+     * vector, cached as a raw base pointer so the fetch path is one
+     * shift + bounds check instead of re-resolving fetchIndex(pc)
+     * through Program per instruction. Valid for the Emulator's
+     * lifetime (the Program is linked and immutable once execution
+     * starts).
+     */
+    const Inst *code_ = nullptr;
+    uint32_t numInsts_ = 0;
     Memory &mem_;
     std::array<uint32_t, numIntRegs> regs{};
     std::array<double, numFpRegs> fregs{};

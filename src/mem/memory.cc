@@ -9,7 +9,7 @@ uint8_t *
 Memory::pagePtr(uint32_t addr)
 {
     uint32_t pn = addr / pageBytes;
-    if (pn == lastPageNum && lastPage != nullptr)
+    if (pn == lastPageNum)
         return lastPage;
     auto it = pages.find(pn);
     if (it == pages.end()) {
@@ -23,20 +23,20 @@ Memory::pagePtr(uint32_t addr)
 }
 
 uint8_t
-Memory::read8(uint32_t addr)
+Memory::read8Slow(uint32_t addr)
 {
     return pagePtr(addr)[addr % pageBytes];
 }
 
 uint16_t
-Memory::read16(uint32_t addr)
+Memory::read16Slow(uint32_t addr)
 {
     return static_cast<uint16_t>(read8(addr)) |
         (static_cast<uint16_t>(read8(addr + 1)) << 8);
 }
 
 uint32_t
-Memory::read32(uint32_t addr)
+Memory::read32Slow(uint32_t addr)
 {
     uint32_t off = addr % pageBytes;
     if (off + 4 <= pageBytes) {
@@ -49,7 +49,7 @@ Memory::read32(uint32_t addr)
 }
 
 uint64_t
-Memory::read64(uint32_t addr)
+Memory::read64Slow(uint32_t addr)
 {
     uint32_t off = addr % pageBytes;
     if (off + 8 <= pageBytes) {
@@ -62,20 +62,20 @@ Memory::read64(uint32_t addr)
 }
 
 void
-Memory::write8(uint32_t addr, uint8_t v)
+Memory::write8Slow(uint32_t addr, uint8_t v)
 {
     pagePtr(addr)[addr % pageBytes] = v;
 }
 
 void
-Memory::write16(uint32_t addr, uint16_t v)
+Memory::write16Slow(uint32_t addr, uint16_t v)
 {
     write8(addr, static_cast<uint8_t>(v));
     write8(addr + 1, static_cast<uint8_t>(v >> 8));
 }
 
 void
-Memory::write32(uint32_t addr, uint32_t v)
+Memory::write32Slow(uint32_t addr, uint32_t v)
 {
     uint32_t off = addr % pageBytes;
     if (off + 4 <= pageBytes) {
@@ -87,7 +87,7 @@ Memory::write32(uint32_t addr, uint32_t v)
 }
 
 void
-Memory::write64(uint32_t addr, uint64_t v)
+Memory::write64Slow(uint32_t addr, uint64_t v)
 {
     uint32_t off = addr % pageBytes;
     if (off + 8 <= pageBytes) {

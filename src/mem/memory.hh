@@ -4,12 +4,23 @@
  * on first touch; the number of touched pages is the "memory usage" metric
  * of Tables 3 and 4 (the paper uses it as an indirect indicator of virtual
  * memory pressure from the alignment optimizations).
+ *
+ * The accessors are split into an inline last-page fast path and an
+ * out-of-line slow path: workloads hammer the same page in long streaks,
+ * so the common case is one compare against the cached page number and a
+ * memcpy into the cached page — no hash lookup and no cross-TU call.
+ *
+ * Thread-safety: each Memory instance is confined to one simulation;
+ * concurrent access to *distinct* instances is safe (no shared state),
+ * concurrent access to one instance is not (reads allocate pages and
+ * update the one-entry page cache).
  */
 
 #ifndef FACSIM_MEM_MEMORY_HH
 #define FACSIM_MEM_MEMORY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -25,22 +36,99 @@ class Memory
     static constexpr uint32_t pageBytes = 4096;
 
     /** Read one byte (allocates the page if untouched; reads as zero). */
-    uint8_t read8(uint32_t addr);
+    uint8_t
+    read8(uint32_t addr)
+    {
+        if ((addr / pageBytes) == lastPageNum)
+            return lastPage[addr % pageBytes];
+        return read8Slow(addr);
+    }
+
     /** Read a 16-bit little-endian value. */
-    uint16_t read16(uint32_t addr);
+    uint16_t
+    read16(uint32_t addr)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 2 <= pageBytes) {
+            uint16_t v;
+            std::memcpy(&v, lastPage + off, 2);
+            return v;
+        }
+        return read16Slow(addr);
+    }
+
     /** Read a 32-bit little-endian value. */
-    uint32_t read32(uint32_t addr);
+    uint32_t
+    read32(uint32_t addr)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 4 <= pageBytes) {
+            uint32_t v;
+            std::memcpy(&v, lastPage + off, 4);
+            return v;
+        }
+        return read32Slow(addr);
+    }
+
     /** Read a 64-bit little-endian value. */
-    uint64_t read64(uint32_t addr);
+    uint64_t
+    read64(uint32_t addr)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 8 <= pageBytes) {
+            uint64_t v;
+            std::memcpy(&v, lastPage + off, 8);
+            return v;
+        }
+        return read64Slow(addr);
+    }
 
     /** Write one byte. */
-    void write8(uint32_t addr, uint8_t v);
+    void
+    write8(uint32_t addr, uint8_t v)
+    {
+        if ((addr / pageBytes) == lastPageNum) {
+            lastPage[addr % pageBytes] = v;
+            return;
+        }
+        write8Slow(addr, v);
+    }
+
     /** Write a 16-bit little-endian value. */
-    void write16(uint32_t addr, uint16_t v);
+    void
+    write16(uint32_t addr, uint16_t v)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 2 <= pageBytes) {
+            std::memcpy(lastPage + off, &v, 2);
+            return;
+        }
+        write16Slow(addr, v);
+    }
+
     /** Write a 32-bit little-endian value. */
-    void write32(uint32_t addr, uint32_t v);
+    void
+    write32(uint32_t addr, uint32_t v)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 4 <= pageBytes) {
+            std::memcpy(lastPage + off, &v, 4);
+            return;
+        }
+        write32Slow(addr, v);
+    }
+
     /** Write a 64-bit little-endian value. */
-    void write64(uint32_t addr, uint64_t v);
+    void
+    write64(uint32_t addr, uint64_t v)
+    {
+        uint32_t off = addr % pageBytes;
+        if ((addr / pageBytes) == lastPageNum && off + 8 <= pageBytes) {
+            std::memcpy(lastPage + off, &v, 8);
+            return;
+        }
+        write64Slow(addr, v);
+    }
 
     /** Copy @p bytes into memory starting at @p addr. */
     void writeBlock(uint32_t addr, const uint8_t *data, uint32_t len);
@@ -56,17 +144,31 @@ class Memory
     clear()
     {
         pages.clear();
-        lastPageNum = 0xffffffffu;
+        lastPageNum = noPage;
         lastPage = nullptr;
     }
 
   private:
     uint8_t *pagePtr(uint32_t addr);
 
+    uint8_t read8Slow(uint32_t addr);
+    uint16_t read16Slow(uint32_t addr);
+    uint32_t read32Slow(uint32_t addr);
+    uint64_t read64Slow(uint32_t addr);
+    void write8Slow(uint32_t addr, uint8_t v);
+    void write16Slow(uint32_t addr, uint16_t v);
+    void write32Slow(uint32_t addr, uint32_t v);
+    void write64Slow(uint32_t addr, uint64_t v);
+
     std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> pages;
 
-    // One-entry page cache: workloads hammer the same pages repeatedly.
-    uint32_t lastPageNum = 0xffffffffu;
+    /**
+     * One-entry page cache. The sentinel can never equal a real page
+     * number (32-bit addresses / 4 KB pages top out at 0xfffff), so a
+     * matching lastPageNum implies lastPage is a valid page pointer.
+     */
+    static constexpr uint32_t noPage = 0xffffffffu;
+    uint32_t lastPageNum = noPage;
     uint8_t *lastPage = nullptr;
 };
 

@@ -11,6 +11,8 @@ runProfile(const ProfileRequest &req)
     Profiler prof;
     for (const FacConfig &fc : req.facConfigs)
         prof.addFacConfig(fc);
+    for (const LtbRequest &lr : req.ltbConfigs)
+        prof.addLtbConfig(lr.entries, lr.policy);
     if (req.withTlb)
         prof.enableTlb();
 
@@ -34,6 +36,8 @@ runProfile(const ProfileRequest &req)
     res.offsets[2] = prof.offsets(RefClass::General);
     for (size_t i = 0; i < prof.numFacConfigs(); ++i)
         res.fac.push_back(prof.fac(i));
+    for (size_t i = 0; i < prof.numLtbConfigs(); ++i)
+        res.ltb.push_back(prof.ltb(i));
     res.tlbMissRatio = prof.tlbMissRatio();
     res.memUsageBytes = machine.memUsageBytes();
     return res;

@@ -20,6 +20,13 @@
 namespace facsim
 {
 
+/** One load-target-buffer configuration to evaluate during a profile. */
+struct LtbRequest
+{
+    unsigned entries = 1024;
+    LtbPolicy policy = LtbPolicy::LastAddress;
+};
+
 /** Inputs for a profile run. */
 struct ProfileRequest
 {
@@ -27,6 +34,8 @@ struct ProfileRequest
     BuildOptions build;
     /** Predictor configurations to evaluate simultaneously. */
     std::vector<FacConfig> facConfigs;
+    /** Load-target-buffer configurations (Section 6 comparison). */
+    std::vector<LtbRequest> ltbConfigs;
     /** Model the 64-entry data TLB of Section 5.4. */
     bool withTlb = false;
     /** Stop after this many instructions (0 = run to completion). */
@@ -45,6 +54,8 @@ struct ProfileResult
     std::array<OffsetHistogram, 3> offsets;
     /** One entry per requested FacConfig. */
     std::vector<FacProfile> fac;
+    /** One entry per requested LtbRequest. */
+    std::vector<LtbProfile> ltb;
     double tlbMissRatio = 0.0;
     uint64_t memUsageBytes = 0;
 };

@@ -4,6 +4,17 @@
  * program assembly, linking (with the policy's software support), heap
  * initialisation and the functional CPU. One Machine corresponds to one
  * program execution; construct a fresh one per simulation run.
+ *
+ * Thread-safety contract (relied on by sim/runner.hh): constructing and
+ * running any number of Machine instances on concurrent threads is
+ * safe. Every piece of mutable state — Program, Memory, Rng, Heap,
+ * Emulator, and the Pipeline/Profiler driven on top — is owned by one
+ * Machine or one experiment, and the library keeps no mutable globals:
+ * the workload registry and ISA lookup tables are `static const` with
+ * thread-safe (C++11 magic-static) initialisation, all randomness flows
+ * through the per-Machine Rng seeded from BuildOptions::seed, and
+ * logging writes to stderr with no shared buffers. A single Machine
+ * must stay confined to one thread at a time.
  */
 
 #ifndef FACSIM_SIM_MACHINE_HH

@@ -1,0 +1,54 @@
+#include "sim/runner.hh"
+
+namespace facsim
+{
+
+void
+RunnerReport::merge(const RunnerReport &other)
+{
+    if (other.jobs > jobs)
+        jobs = other.jobs;
+    numJobs += other.numJobs;
+    wallSeconds += other.wallSeconds;
+    simInsts += other.simInsts;
+    perJob.insert(perJob.end(), other.perJob.begin(), other.perJob.end());
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<ProfileResult>
+Runner::runProfiles(const std::vector<ProfileRequest> &reqs,
+                    RunnerReport *report)
+{
+    std::vector<ProfileResult> out(reqs.size());
+    RunnerReport rep = forEachIndex(reqs.size(), [&](size_t i) {
+        out[i] = runProfile(reqs[i]);
+        return out[i].insts;
+    });
+    if (report)
+        *report = std::move(rep);
+    return out;
+}
+
+std::vector<TimingResult>
+Runner::runTimings(const std::vector<TimingRequest> &reqs,
+                   RunnerReport *report)
+{
+    std::vector<TimingResult> out(reqs.size());
+    RunnerReport rep = forEachIndex(reqs.size(), [&](size_t i) {
+        out[i] = runTiming(reqs[i]);
+        return out[i].stats.insts;
+    });
+    if (report)
+        *report = std::move(rep);
+    return out;
+}
+
+} // namespace facsim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parallel experiment runner: fans a batch of independent simulation
+ * jobs (ProfileRequest / TimingRequest, or any indexed callable) across
+ * a fixed-size pool of host threads.
+ *
+ * Guarantees:
+ *  - *Determinism*: results are returned in submission order, and every
+ *    job builds its own Machine from an explicit seed, so a batch run
+ *    with N threads is bitwise-identical to the same batch run with 1
+ *    (verified by tests/test_runner.cc).
+ *  - *Exception propagation*: a throwing job does not take down the
+ *    pool; after all jobs finish, the exception of the earliest failed
+ *    job (in submission order) is rethrown on the calling thread.
+ *  - *Accounting*: per-job host wall time and simulated-instruction
+ *    counts are collected into a RunnerReport, along with the batch
+ *    wall time and the aggregate simulated-instructions-per-host-second
+ *    rate (the fleet-level throughput metric the bench harnesses emit).
+ *
+ * Thread-safety contract: jobs must not share mutable state. Machine
+ * and everything below it (Emulator, Pipeline, Profiler, Memory, Rng)
+ * are instance-local, and the library keeps no mutable globals (the
+ * only function-local statics are `static const` lookup tables with
+ * thread-safe initialisation), so one Machine per job is safe. Note
+ * that fatal()/panic() terminate the whole process regardless of which
+ * thread calls them — configuration errors are not recoverable
+ * per-job.
+ */
+
+#ifndef FACSIM_SIM_RUNNER_HH
+#define FACSIM_SIM_RUNNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace facsim
+{
+
+/** Host-side measurements for one job. */
+struct JobStats
+{
+    double wallSeconds = 0.0;
+    uint64_t simInsts = 0;
+};
+
+/** Host-side measurements for one batch (or several merged batches). */
+struct RunnerReport
+{
+    /** Worker threads used. */
+    unsigned jobs = 1;
+    /** Jobs executed. */
+    size_t numJobs = 0;
+    /** Batch wall time (max over merged batches' serial sum). */
+    double wallSeconds = 0.0;
+    /** Total simulated instructions across all jobs. */
+    uint64_t simInsts = 0;
+    /** Per-job stats, in submission order. */
+    std::vector<JobStats> perJob;
+
+    /** Aggregate simulated instructions per host second. */
+    double
+    simInstsPerHostSecond() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(simInsts) / wallSeconds : 0.0;
+    }
+
+    /** Fold another batch into this report (batches ran back-to-back). */
+    void merge(const RunnerReport &other);
+};
+
+/** Resolve a --jobs style value: 0 means "all hardware threads". */
+unsigned resolveJobs(unsigned requested);
+
+/** Fixed-size thread-pool runner for independent simulation jobs. */
+class Runner
+{
+  public:
+    /** @param jobs worker threads; 0 = all hardware threads. */
+    explicit Runner(unsigned jobs = 0) : jobs_(resolveJobs(jobs)) {}
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run @p fn(i) for every i in [0, n) on the pool. @p fn returns the
+     * job's simulated instruction count (uint64_t). Results must be
+     * written by the callable into per-index slots; the runner itself
+     * only orders and accounts.
+     */
+    template <class Fn>
+    RunnerReport
+    forEachIndex(size_t n, Fn &&fn)
+    {
+        using clock = std::chrono::steady_clock;
+        RunnerReport rep;
+        rep.numJobs = n;
+        rep.perJob.resize(n);
+        unsigned workers = jobs_;
+        if (n < workers)
+            workers = n ? static_cast<unsigned>(n) : 1;
+        rep.jobs = workers;
+
+        std::vector<std::exception_ptr> errors(n);
+        std::atomic<size_t> next{0};
+        auto t0 = clock::now();
+        auto worker = [&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                auto js = clock::now();
+                try {
+                    rep.perJob[i].simInsts = fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+                rep.perJob[i].wallSeconds =
+                    std::chrono::duration<double>(clock::now() - js)
+                        .count();
+            }
+        };
+
+        if (workers <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (unsigned t = 0; t < workers; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &t : pool)
+                t.join();
+        }
+
+        rep.wallSeconds =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        for (const JobStats &j : rep.perJob)
+            rep.simInsts += j.simInsts;
+        // Earliest failure in submission order wins, deterministically.
+        for (size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+        }
+        return rep;
+    }
+
+    /** Run a batch of profile experiments; results in request order. */
+    std::vector<ProfileResult>
+    runProfiles(const std::vector<ProfileRequest> &reqs,
+                RunnerReport *report = nullptr);
+
+    /** Run a batch of timing experiments; results in request order. */
+    std::vector<TimingResult>
+    runTimings(const std::vector<TimingRequest> &reqs,
+               RunnerReport *report = nullptr);
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_SIM_RUNNER_HH

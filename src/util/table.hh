@@ -39,6 +39,15 @@ class Table
     /** Number of data rows added so far. */
     size_t numRows() const { return rows_.size(); }
 
+    /** Header cells (empty until header() is called). */
+    const std::vector<std::string> &headerCells() const { return header_; }
+
+    /** All data rows, in insertion order (separators not included). */
+    const std::vector<std::vector<std::string>> &dataRows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -21,6 +21,7 @@
  *   --max-insts=N      stop after N instructions
  *   --scale=N          workload scale (built-in workloads)
  *   --trace=N          print the first N executed instructions
+ *   --jobs=N           worker threads for --compare runs (0 = all)
  */
 
 #include <cstdio>
@@ -36,6 +37,7 @@
 #include "link/linker.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/logging.hh"
 
 using namespace facsim;
@@ -54,6 +56,7 @@ struct CliOptions
     uint64_t maxInsts = 0;
     uint64_t scale = 1;
     uint64_t trace = 0;
+    unsigned jobs = 1;
 };
 
 std::string
@@ -95,6 +98,8 @@ parseOptions(int argc, char **argv, int first)
             o.scale = std::strtoull(v, nullptr, 0);
         else if (const char *v = val("--trace="))
             o.trace = std::strtoull(v, nullptr, 0);
+        else if (const char *v = val("--jobs="))
+            o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
         else
             fatal("unknown option '%s'", a.c_str());
     }
@@ -232,21 +237,51 @@ cmdRun(const std::string &target, const CliOptions &o)
 int
 cmdTime(const std::string &target, const CliOptions &o)
 {
-    auto timeWith = [&](const PipelineConfig &cfg) {
-        if (!target.empty() && target[0] == '@') {
+    bool is_workload = !target.empty() && target[0] == '@';
+
+    if (is_workload) {
+        // Workload targets go through the experiment runner so a
+        // --compare pair runs on two threads when --jobs allows it.
+        auto requestWith = [&](const PipelineConfig &cfg) {
             TimingRequest req;
             req.workload = target.substr(1);
             req.build.policy = policyOf(o);
             req.build.scale = o.scale;
             req.pipe = cfg;
             req.maxInsts = o.maxInsts;
-            return runTiming(req).stats;
+            return req;
+        };
+        std::vector<TimingRequest> reqs{requestWith(pipeOf(o))};
+        if (o.compare)
+            reqs.push_back(requestWith(baselineConfig(o.block)));
+
+        RunnerReport report;
+        std::vector<TimingResult> res =
+            Runner(o.jobs).runTimings(reqs, &report);
+
+        printPipeStats(res[0].stats);
+        if (o.compare) {
+            uint64_t base = res[1].stats.cycles;
+            std::printf("baseline cycles:   %llu\n",
+                        static_cast<unsigned long long>(base));
+            std::printf("speedup:           %.3f\n",
+                        base && res[0].stats.cycles
+                            ? static_cast<double>(base) /
+                                  res[0].stats.cycles
+                            : 0.0);
+            std::printf("host time:         %.2fs on %u threads "
+                        "(%.2fM sim-insts/s)\n",
+                        report.wallSeconds, report.jobs,
+                        report.simInstsPerHostSecond() / 1e6);
         }
+        return 0;
+    }
+
+    auto timeWith = [&](const PipelineConfig &cfg) {
         auto l = loadAsm(target, o);
         Pipeline pipe(cfg, *l->emu);
         return pipe.run(o.maxInsts);
     };
-
     PipeStats st = timeWith(pipeOf(o));
     printPipeStats(st);
     if (o.compare) {
