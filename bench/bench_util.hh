@@ -182,6 +182,9 @@ jsonEscape(const std::string &s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           default:
             if (static_cast<unsigned char>(c) < 0x20)
                 out += strprintf("\\u%04x", c);

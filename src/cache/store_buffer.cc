@@ -51,7 +51,13 @@ StoreBuffer::conflicts(uint32_t addr, uint32_t block_bytes) const
 {
     uint32_t block = addr / block_bytes;
     for (const Entry &e : entries) {
-        if (e.addrValid && e.addr / block_bytes == block)
+        // An entry whose address is still pending (a non-speculative
+        // store, or a misprediction awaiting its MEM-stage patch) must
+        // be treated as a conflict: its architectural address is not
+        // known yet, so it could be anywhere. Skipping pending entries
+        // would let a load slip past *every* non-speculative store for
+        // one cycle.
+        if (!e.addrValid || e.addr / block_bytes == block)
             return true;
     }
     return false;

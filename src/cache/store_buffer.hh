@@ -70,9 +70,14 @@ class StoreBuffer
 
     /**
      * True if any buffered store's block overlaps @p addr's block —
-     * used to force load/store ordering to the same block.
+     * used to force load/store ordering to the same block. Entries
+     * whose address is still pending conservatively conflict with
+     * everything.
      */
     bool conflicts(uint32_t addr, uint32_t block_bytes) const;
+
+    /** All entries, oldest first (diagnostics/co-sim access). */
+    const std::deque<Entry> &contents() const { return entries; }
 
     /** Drop everything. */
     void clear() { entries.clear(); }

@@ -84,6 +84,9 @@ class Emulator
     /** Set an FP register. */
     void setFpReg(unsigned r, double v) { fregs[r] = v; }
 
+    /** FP condition-code flag (set by C.cond.D compares). */
+    bool fpccFlag() const { return fpcc; }
+
     /** The memory this CPU executes against. */
     Memory &memory() { return mem_; }
 

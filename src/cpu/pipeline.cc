@@ -318,6 +318,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
             allow_spec = false;
 
         bool issued_spec = false;
+        bool spec_failed = false;
         uint64_t data_ready = 0;
 
         if (allow_spec && readPortsAt(cycle) < cfg.maxLoadsPerCycle) {
@@ -341,6 +342,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                     data_ready = dcacheReadAt(cycle + 1, rec.effAddr);
                     lastMispredictCycle = cycle;
                     lastMispredictWasLoad = true;
+                    spec_failed = true;
                 }
                 issued_spec = true;
             }
@@ -375,9 +377,12 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         ++st.loads;
         ++st.insts;
         ++loads_this_cycle;
-        notifyIssue(rec, issued_spec,
-                    issued_spec && lastMispredictCycle == cycle &&
-                    lastMispredictWasLoad);
+        // The event flag must reflect *this* access's verification
+        // outcome. Deriving it from lastMispredict{Cycle,WasLoad} would
+        // alias: a second load issuing successfully in the same cycle as
+        // another load's misprediction would be reported as mispredicted
+        // too.
+        notifyIssue(rec, issued_spec, spec_failed);
         fbuf.pop_front();
         return true;
     }
@@ -404,6 +409,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
             allow_spec = false;  // the load-after-load exception is loads-only
 
         bool handled = false;
+        bool spec_failed = false;
         if (allow_spec) {
             FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
                                        rec.offsetFromReg);
@@ -423,6 +429,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                     patches.push_back({cycle + 1, seq, rec.effAddr});
                     lastMispredictCycle = cycle;
                     lastMispredictWasLoad = false;
+                    spec_failed = true;
                 }
                 handled = true;
             }
@@ -441,9 +448,10 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         ++st.stores;
         ++st.insts;
         ++stores_this_cycle;
-        notifyIssue(rec, handled,
-                    handled && lastMispredictCycle == cycle &&
-                    !lastMispredictWasLoad);
+        // Per-access flag, same reasoning as the load path (here the
+        // aliased form happened to be correct only because at most one
+        // store issues per cycle).
+        notifyIssue(rec, handled, spec_failed);
         fbuf.pop_front();
         return true;
     }
@@ -570,14 +578,16 @@ Pipeline::run(uint64_t max_insts)
         // load accessed it this cycle; a pipeline stalled on a full
         // buffer forces the oldest entry out regardless.
         if ((readPortsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
-            uint32_t addr = sbuf.front().addr;
+            const StoreBuffer::Entry ent = sbuf.front();
             sbuf.pop();
             ++st.dcacheAccesses;
             if (!cfg.perfectDCache) {
-                CacheAccess acc = dcache.write(addr);
+                CacheAccess acc = dcache.write(ent.addr);
                 if (!acc.hit)
                     ++st.dcacheMisses;
             }
+            if (storeRetireHook)
+                storeRetireHook(ent.seq, ent.addr);
         }
 
         if (st.insts != last_insts) {

@@ -208,6 +208,22 @@ class Pipeline
         issueHook = std::move(fn);
     }
 
+    /**
+     * Install an observer invoked when a store retires from the store
+     * buffer into the data cache, with its sequence number (dynamic
+     * store index, from 0) and the address written. Used by the
+     * differential co-simulation to check FIFO retirement order and
+     * that patched (mispredicted) addresses reached the cache.
+     */
+    void
+    onStoreRetire(std::function<void(uint64_t, uint32_t)> fn)
+    {
+        storeRetireHook = std::move(fn);
+    }
+
+    /** The store buffer (observer access for diagnostics/co-sim). */
+    const StoreBuffer &storeBuffer() const { return sbuf; }
+
   private:
     /** A fetched instruction waiting to issue. */
     struct FetchedInst
@@ -261,6 +277,7 @@ class Pipeline
     }
 
     std::function<void(const IssueEvent &)> issueHook;
+    std::function<void(uint64_t, uint32_t)> storeRetireHook;
 
     PipelineConfig cfg;
     Emulator &emu;

@@ -1,9 +1,44 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace facsim
 {
+
+bool
+Memory::firstDifferenceWith(const Memory &other, uint32_t *addr) const
+{
+    // Union of touched page numbers, in address order so the reported
+    // difference is the lowest one.
+    std::vector<uint32_t> pns;
+    pns.reserve(pages.size() + other.pages.size());
+    for (const auto &kv : pages)
+        pns.push_back(kv.first);
+    for (const auto &kv : other.pages)
+        pns.push_back(kv.first);
+    std::sort(pns.begin(), pns.end());
+    pns.erase(std::unique(pns.begin(), pns.end()), pns.end());
+
+    static const uint8_t zeros[pageBytes] = {};
+    for (uint32_t pn : pns) {
+        auto ia = pages.find(pn);
+        auto ib = other.pages.find(pn);
+        const uint8_t *pa = ia == pages.end() ? zeros : ia->second.get();
+        const uint8_t *pb =
+            ib == other.pages.end() ? zeros : ib->second.get();
+        if (pa == pb || std::memcmp(pa, pb, pageBytes) == 0)
+            continue;
+        for (uint32_t i = 0; i < pageBytes; ++i) {
+            if (pa[i] != pb[i]) {
+                *addr = pn * pageBytes + i;
+                return true;
+            }
+        }
+    }
+    return false;
+}
 
 uint8_t *
 Memory::pagePtr(uint32_t addr)

@@ -133,6 +133,17 @@ class Memory
     /** Copy @p bytes into memory starting at @p addr. */
     void writeBlock(uint32_t addr, const uint8_t *data, uint32_t len);
 
+    /**
+     * Compare the full contents of two memories, treating untouched
+     * pages as zero-filled (touching a page never changes contents, so
+     * sparseness differences are not differences).
+     *
+     * @param other memory to compare against.
+     * @param addr set to the lowest differing byte address on mismatch.
+     * @return true when the memories differ.
+     */
+    bool firstDifferenceWith(const Memory &other, uint32_t *addr) const;
+
     /** Number of distinct pages touched so far. */
     uint64_t pagesTouched() const { return pages.size(); }
 

@@ -1,0 +1,772 @@
+#include "verify/cosim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "core/fast_addr_calc.hh"
+#include "isa/disasm.hh"
+#include "mem/memory.hh"
+#include "util/logging.hh"
+
+namespace facsim::verify
+{
+namespace
+{
+
+/**
+ * RefModel: the reference half of the differential pair — a from-scratch
+ * interpreter for the ISA, deliberately written with a different
+ * structure from cpu/emulator.cc (64-bit intermediate arithmetic,
+ * category dispatch, its own sign-extension helpers) so that a semantic
+ * slip in either implementation shows up as a divergence rather than
+ * being shared. Semantics follow the simulator definitions documented in
+ * the emulator: division by zero yields 0, INT_MIN/-1 yields INT_MIN
+ * (remainder 0), CVT.W.D saturates, MTC1/MFC1 move raw bits.
+ */
+class RefModel
+{
+  public:
+    /** What one reference step exposes for cross-checking. */
+    struct Step
+    {
+        uint32_t pc = 0;
+        Inst inst;
+        uint32_t effAddr = 0;
+        uint32_t baseVal = 0;
+        int32_t offsetVal = 0;
+        bool offsetFromReg = false;
+        bool taken = false;
+        uint32_t nextPc = 0;
+        bool fetchFault = false;
+    };
+
+    RefModel(const Program &prog, Memory &mem, const LinkedImage &img,
+             uint32_t sp)
+        : prog_(prog), mem_(mem)
+    {
+        pc_ = img.entryPc;
+        x_[reg::gp] = img.gpValue;
+        x_[reg::sp] = sp;
+    }
+
+    bool halted() const { return halted_; }
+    uint64_t count() const { return count_; }
+    uint32_t reg(unsigned r) const { return x_[r]; }
+    bool cc() const { return cc_; }
+
+    uint64_t
+    fpBits(unsigned r) const
+    {
+        uint64_t b;
+        std::memcpy(&b, &f_[r], 8);
+        return b;
+    }
+
+    /** Fault injection (test hook): flip bits in an integer register. */
+    void
+    corrupt(unsigned r, uint32_t xor_mask)
+    {
+        if (r != reg::zero)
+            x_[r] ^= xor_mask;
+    }
+
+    Step step();
+
+  private:
+    static int64_t sgn(uint32_t v) { return static_cast<int32_t>(v); }
+
+    void
+    put(unsigned r, uint32_t v)
+    {
+        if (r != reg::zero)
+            x_[r] = v;
+    }
+
+    uint32_t aluReg(const Inst &in) const;
+    uint32_t aluImm(const Inst &in) const;
+    void doMem(const Inst &in, uint32_t ea);
+    void doFp(const Inst &in);
+    bool branchCond(const Inst &in) const;
+
+    const Program &prog_;
+    Memory &mem_;
+    uint32_t x_[numIntRegs] = {};
+    double f_[numFpRegs] = {};
+    bool cc_ = false;
+    uint32_t pc_ = 0;
+    bool halted_ = false;
+    uint64_t count_ = 0;
+};
+
+uint32_t
+RefModel::aluReg(const Inst &in) const
+{
+    const uint32_t a = x_[in.rs], b = x_[in.rt];
+    switch (in.op) {
+      case Op::ADD: return static_cast<uint32_t>(
+          (static_cast<uint64_t>(a) + b) & 0xffffffffu);
+      case Op::SUB: return static_cast<uint32_t>(
+          (static_cast<uint64_t>(a) - b) & 0xffffffffu);
+      case Op::AND: return a & b;
+      case Op::OR: return a | b;
+      case Op::XOR: return a ^ b;
+      case Op::NOR: return ~(a | b);
+      case Op::SLT: return sgn(a) < sgn(b) ? 1u : 0u;
+      case Op::SLTU: return a < b ? 1u : 0u;
+      case Op::MUL: return static_cast<uint32_t>(
+          (static_cast<uint64_t>(a) * static_cast<uint64_t>(b))
+          & 0xffffffffu);
+      case Op::DIV:
+        if (b == 0)
+            return 0;
+        if (a == 0x80000000u && b == 0xffffffffu)
+            return 0x80000000u;
+        return static_cast<uint32_t>(sgn(a) / sgn(b));
+      case Op::REM:
+        if (b == 0 || (a == 0x80000000u && b == 0xffffffffu))
+            return 0;
+        return static_cast<uint32_t>(sgn(a) % sgn(b));
+      case Op::SLL: return a << (in.imm & 31);
+      case Op::SRL: return a >> (in.imm & 31);
+      case Op::SRA: return static_cast<uint32_t>(
+          sgn(a) >> (in.imm & 31));
+      case Op::SLLV: return a << (b & 31);
+      case Op::SRLV: return a >> (b & 31);
+      case Op::SRAV: return static_cast<uint32_t>(sgn(a) >> (b & 31));
+      default: panic("refmodel: not an ALU reg op");
+    }
+}
+
+uint32_t
+RefModel::aluImm(const Inst &in) const
+{
+    const uint32_t a = x_[in.rs];
+    const uint32_t imm = static_cast<uint32_t>(in.imm);
+    switch (in.op) {
+      case Op::ADDI: return static_cast<uint32_t>(
+          (static_cast<uint64_t>(a) + imm) & 0xffffffffu);
+      case Op::ANDI: return a & imm;
+      case Op::ORI: return a | imm;
+      case Op::XORI: return a ^ imm;
+      case Op::SLTI: return sgn(a) < in.imm ? 1u : 0u;
+      case Op::SLTIU: return a < imm ? 1u : 0u;
+      case Op::LUI: return imm << 16;
+      default: panic("refmodel: not an ALU imm op");
+    }
+}
+
+void
+RefModel::doMem(const Inst &in, uint32_t ea)
+{
+    const unsigned bytes = memAccessSize(in.op);
+    FACSIM_ASSERT((ea & (bytes - 1)) == 0,
+                  "refmodel: unaligned %s at 0x%08x", opName(in.op), ea);
+    switch (in.op) {
+      case Op::LB:
+        put(in.rt, static_cast<uint32_t>(static_cast<int64_t>(
+            static_cast<int8_t>(mem_.read8(ea)))));
+        break;
+      case Op::LBU: put(in.rt, mem_.read8(ea)); break;
+      case Op::LH:
+        put(in.rt, static_cast<uint32_t>(static_cast<int64_t>(
+            static_cast<int16_t>(mem_.read16(ea)))));
+        break;
+      case Op::LHU: put(in.rt, mem_.read16(ea)); break;
+      case Op::LW: put(in.rt, mem_.read32(ea)); break;
+      case Op::SB: mem_.write8(ea, static_cast<uint8_t>(x_[in.rt])); break;
+      case Op::SH: mem_.write16(ea, static_cast<uint16_t>(x_[in.rt])); break;
+      case Op::SW: mem_.write32(ea, x_[in.rt]); break;
+      case Op::LWC1: {
+        const uint32_t raw = mem_.read32(ea);
+        float s;
+        std::memcpy(&s, &raw, 4);
+        f_[in.rt] = s;
+        break;
+      }
+      case Op::SWC1: {
+        const float s = static_cast<float>(f_[in.rt]);
+        uint32_t raw;
+        std::memcpy(&raw, &s, 4);
+        mem_.write32(ea, raw);
+        break;
+      }
+      case Op::LDC1: {
+        const uint64_t raw = mem_.read64(ea);
+        std::memcpy(&f_[in.rt], &raw, 8);
+        break;
+      }
+      case Op::SDC1: {
+        uint64_t raw;
+        std::memcpy(&raw, &f_[in.rt], 8);
+        mem_.write64(ea, raw);
+        break;
+      }
+      default: panic("refmodel: not a memory op");
+    }
+}
+
+void
+RefModel::doFp(const Inst &in)
+{
+    switch (in.op) {
+      case Op::ADD_D: f_[in.rd] = f_[in.rs] + f_[in.rt]; break;
+      case Op::SUB_D: f_[in.rd] = f_[in.rs] - f_[in.rt]; break;
+      case Op::MUL_D: f_[in.rd] = f_[in.rs] * f_[in.rt]; break;
+      case Op::DIV_D: f_[in.rd] = f_[in.rs] / f_[in.rt]; break;
+      case Op::SQRT_D: f_[in.rd] = std::sqrt(f_[in.rs]); break;
+      case Op::ABS_D: f_[in.rd] = std::fabs(f_[in.rs]); break;
+      case Op::NEG_D: f_[in.rd] = -f_[in.rs]; break;
+      case Op::MOV_D: f_[in.rd] = f_[in.rs]; break;
+      case Op::CVT_D_W: {
+        uint64_t raw;
+        std::memcpy(&raw, &f_[in.rs], 8);
+        f_[in.rd] = static_cast<double>(
+            static_cast<int32_t>(static_cast<uint32_t>(raw)));
+        break;
+      }
+      case Op::CVT_W_D: {
+        const double v = f_[in.rs];
+        int32_t w;
+        if (!(v >= -2147483648.0))
+            w = INT32_MIN;       // includes NaN
+        else if (v >= 2147483647.0)
+            w = INT32_MAX;
+        else
+            w = static_cast<int32_t>(v);
+        const uint64_t raw = static_cast<uint32_t>(w);
+        std::memcpy(&f_[in.rd], &raw, 8);
+        break;
+      }
+      case Op::C_EQ_D: cc_ = f_[in.rs] == f_[in.rt]; break;
+      case Op::C_LT_D: cc_ = f_[in.rs] < f_[in.rt]; break;
+      case Op::C_LE_D: cc_ = f_[in.rs] <= f_[in.rt]; break;
+      case Op::MTC1: {
+        const uint64_t raw = x_[in.rt];
+        std::memcpy(&f_[in.rd], &raw, 8);
+        break;
+      }
+      case Op::MFC1: {
+        uint64_t raw;
+        std::memcpy(&raw, &f_[in.rs], 8);
+        put(in.rd, static_cast<uint32_t>(raw));
+        break;
+      }
+      default: panic("refmodel: not an FP op");
+    }
+}
+
+bool
+RefModel::branchCond(const Inst &in) const
+{
+    switch (in.op) {
+      case Op::BEQ: return x_[in.rs] == x_[in.rt];
+      case Op::BNE: return x_[in.rs] != x_[in.rt];
+      case Op::BLEZ: return sgn(x_[in.rs]) <= 0;
+      case Op::BGTZ: return sgn(x_[in.rs]) > 0;
+      case Op::BLTZ: return sgn(x_[in.rs]) < 0;
+      case Op::BGEZ: return sgn(x_[in.rs]) >= 0;
+      case Op::BC1T: return cc_;
+      case Op::BC1F: return !cc_;
+      default: panic("refmodel: not a branch");
+    }
+}
+
+RefModel::Step
+RefModel::step()
+{
+    Step st;
+    if (halted_) {
+        st.fetchFault = true;
+        return st;
+    }
+    if ((pc_ & 3) != 0 || pc_ < Program::textBase ||
+        (pc_ - Program::textBase) / 4 >= prog_.numInsts()) {
+        st.fetchFault = true;
+        return st;
+    }
+    const Inst in = prog_.inst((pc_ - Program::textBase) / 4);
+    st.pc = pc_;
+    st.inst = in;
+    uint32_t next = pc_ + 4;
+
+    if (in.op == Op::HALT) {
+        halted_ = true;
+    } else if (isMem(in.op)) {
+        st.baseVal = x_[in.rs];
+        if (in.amode == AMode::RegConst) {
+            st.offsetVal = in.imm;
+        } else if (in.amode == AMode::RegReg) {
+            st.offsetVal = static_cast<int32_t>(x_[in.rd]);
+            st.offsetFromReg = true;
+        }
+        st.effAddr = static_cast<uint32_t>(
+            (static_cast<int64_t>(st.baseVal) + st.offsetVal)
+            & 0xffffffff);
+        doMem(in, st.effAddr);
+        // Post-increment updates the base *after* the access, reading the
+        // base register again: for a load whose destination *is* the base
+        // register, the stride is applied to the freshly loaded value.
+        if (in.amode == AMode::PostInc)
+            put(in.rs, static_cast<uint32_t>(
+                (static_cast<int64_t>(x_[in.rs]) + in.imm) & 0xffffffff));
+    } else if (isBranch(in.op)) {
+        if (branchCond(in)) {
+            st.taken = true;
+            next = pc_ + 4 + (static_cast<uint32_t>(in.imm) << 2);
+        }
+    } else if (isJump(in.op)) {
+        st.taken = true;
+        switch (in.op) {
+          case Op::J:
+            next = static_cast<uint32_t>(in.imm) << 2;
+            break;
+          case Op::JAL:
+            put(reg::ra, pc_ + 4);
+            next = static_cast<uint32_t>(in.imm) << 2;
+            break;
+          case Op::JR:
+            next = x_[in.rs];
+            break;
+          case Op::JALR:
+            put(in.rd, pc_ + 4);
+            next = x_[in.rs];
+            break;
+          default: panic("refmodel: not a jump");
+        }
+    } else if (isFpOp(in.op) || in.op == Op::MTC1 || in.op == Op::MFC1) {
+        doFp(in);
+    } else if (in.op != Op::NOP) {
+        switch (in.op) {
+          case Op::ADDI: case Op::ANDI: case Op::ORI: case Op::XORI:
+          case Op::SLTI: case Op::SLTIU: case Op::LUI:
+            put(in.rt, aluImm(in));
+            break;
+          default:
+            put(in.rd, aluReg(in));
+            break;
+        }
+    }
+
+    pc_ = next;
+    st.nextPc = next;
+    ++count_;
+    return st;
+}
+
+/** One fully built side of the diff. */
+struct Side
+{
+    Program prog;
+    Memory mem;
+    LinkedImage img;
+};
+
+void
+buildSide(const std::function<void(AsmBuilder &)> &gen,
+          const LinkPolicy &link, Side &side)
+{
+    AsmBuilder as(side.prog);
+    gen(as);
+    side.img = Linker(link).link(side.prog, side.mem);
+}
+
+std::string
+hex32(uint32_t v)
+{
+    return strprintf("0x%08x", v);
+}
+
+/** Lockstep checker driven by the pipeline's observer hooks. */
+class Verifier
+{
+  public:
+    Verifier(const CosimOptions &opt, const Side &pipeSide,
+             const PipelineConfig &cfg, RefModel &ref)
+        : opt_(opt), side_(pipeSide), cfg_(cfg), ref_(ref)
+    {
+        if (cfg.facEnabled)
+            fac_ = std::make_unique<FastAddrCalc>(cfg.fac);
+    }
+
+    std::vector<Divergence> &&takeDivergences()
+    {
+        return std::move(divs_);
+    }
+    const Divergence *first() const
+    {
+        return divs_.empty() ? nullptr : &divs_[0];
+    }
+    /** Pipeline-side context captured when the first divergence fired. */
+    const std::string &context() const { return context_; }
+
+    void onIssue(const Pipeline &pipe, const Pipeline::IssueEvent &ev);
+    void onStoreRetire(uint64_t seq, uint32_t addr);
+    void finish(const Pipeline &pipe, const Emulator &emu,
+                const PipeStats &stats, const Side &refSide);
+
+  private:
+    void
+    report(uint64_t index, uint32_t pc, std::string what,
+           std::string expected, std::string actual)
+    {
+        if (divs_.size() >= opt_.maxDivergences)
+            return;
+        divs_.push_back(Divergence{index, pc, std::move(what),
+                                   std::move(expected), std::move(actual)});
+    }
+
+    void captureContext(const Pipeline &pipe, const Pipeline::IssueEvent &ev);
+
+    const CosimOptions &opt_;
+    const Side &side_;
+    const PipelineConfig &cfg_;
+    RefModel &ref_;
+    std::unique_ptr<FastAddrCalc> fac_;
+
+    std::vector<Divergence> divs_;
+    std::string context_;
+
+    uint64_t index_ = 0;            ///< dynamic instruction index
+    std::vector<uint32_t> storeAddrs_; ///< architectural store stream
+    uint64_t storesRetired_ = 0;
+    // Section 5.5 issue-policy shadow state.
+    uint64_t mispredCycle_ = UINT64_MAX - 8;
+    bool mispredWasLoad_ = false;
+};
+
+void
+Verifier::captureContext(const Pipeline &pipe, const Pipeline::IssueEvent &ev)
+{
+    const ExecRecord &rec = ev.rec;
+    std::string out;
+
+    // Static code window around the diverging instruction.
+    const uint32_t idx = (rec.pc - Program::textBase) / 4;
+    const uint32_t lo =
+        idx > opt_.contextWindow ? idx - opt_.contextWindow : 0;
+    const uint32_t hi = std::min<uint32_t>(side_.prog.numInsts(),
+                                           idx + opt_.contextWindow + 1);
+    out += "-- code --\n";
+    for (uint32_t i = lo; i < hi; ++i) {
+        const uint32_t pc = side_.prog.instAddr(i);
+        out += strprintf(" %c %08x  %s\n", i == idx ? '>' : ' ', pc,
+                         disasm(side_.prog.inst(i), pc).c_str());
+    }
+
+    // FAC predict/verify breakdown for the access.
+    if (fac_ && isMem(rec.inst.op)) {
+        FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
+                                     rec.offsetFromReg);
+        out += strprintf(
+            "-- fac --\n predict(base=%s, offset=%d, from_reg=%d): "
+            "attempted=%d success=%d pred=%s fail=%s\n"
+            " event: cycle=%llu speculated=%d mispredicted=%d\n",
+            hex32(rec.baseVal).c_str(), rec.offsetVal, rec.offsetFromReg,
+            fr.attempted, fr.success, hex32(fr.predictedAddr).c_str(),
+            FastAddrCalc::failMaskName(fr.failMask).c_str(),
+            static_cast<unsigned long long>(ev.cycle), ev.speculated,
+            ev.mispredicted);
+    }
+
+    // Store-buffer contents at the diverging issue.
+    const StoreBuffer &sb = pipe.storeBuffer();
+    out += strprintf("-- store buffer (%zu/%u) --\n", sb.size(),
+                     sb.capacity());
+    size_t slot = 0;
+    for (const StoreBuffer::Entry &e : sb.contents()) {
+        out += strprintf("  [%zu] seq=%llu addr=%s %s\n", slot++,
+                         static_cast<unsigned long long>(e.seq),
+                         hex32(e.addr).c_str(),
+                         e.addrValid ? "valid" : "addr-pending");
+    }
+    context_ = std::move(out);
+}
+
+void
+Verifier::onIssue(const Pipeline &pipe, const Pipeline::IssueEvent &ev)
+{
+    if (divs_.size() >= opt_.maxDivergences)
+        return;
+    const ExecRecord &rec = ev.rec;
+    const uint64_t i = index_++;
+    const bool firstBefore = divs_.empty();
+
+    RefModel::Step ref = ref_.step();
+    if (ref.fetchFault) {
+        report(i, rec.pc, "retire-after-ref-halt",
+               "reference model halted/faulted",
+               strprintf("pipeline retired pc %s (%s)",
+                         hex32(rec.pc).c_str(),
+                         disasm(rec.inst, rec.pc).c_str()));
+        if (firstBefore)
+            captureContext(pipe, ev);
+        return;
+    }
+    if (opt_.corruptAfterInst && ref_.count() == opt_.corruptAfterInst)
+        ref_.corrupt(opt_.corruptReg, opt_.corruptXor);
+
+    // Retirement order: same instruction, same PC.
+    if (ref.pc != rec.pc) {
+        report(i, rec.pc, "retire-pc", hex32(ref.pc), hex32(rec.pc));
+    } else if (!(ref.inst == rec.inst)) {
+        report(i, rec.pc, "retire-inst", disasm(ref.inst, ref.pc),
+               disasm(rec.inst, rec.pc));
+    } else {
+        // Operand/effective-address cross-check for memory operations.
+        if (isMem(rec.inst.op)) {
+            if (rec.baseVal != ref.baseVal)
+                report(i, rec.pc,
+                       strprintf("baseVal($%s)", regName(rec.inst.rs)),
+                       hex32(ref.baseVal), hex32(rec.baseVal));
+            if (rec.offsetVal != ref.offsetVal)
+                report(i, rec.pc,
+                       rec.offsetFromReg
+                           ? strprintf("offsetVal($%s)",
+                                       regName(rec.inst.rd))
+                           : std::string("offsetVal"),
+                       strprintf("%d", ref.offsetVal),
+                       strprintf("%d", rec.offsetVal));
+            if (rec.offsetFromReg != ref.offsetFromReg)
+                report(i, rec.pc, "offsetFromReg",
+                       strprintf("%d", ref.offsetFromReg),
+                       strprintf("%d", rec.offsetFromReg));
+            if (rec.effAddr != ref.effAddr)
+                report(i, rec.pc, "effAddr", hex32(ref.effAddr),
+                       hex32(rec.effAddr));
+            // Conservative-disambiguation policy: when configured, a
+            // load must never issue while an outstanding store's block
+            // overlaps its own — including stores whose address is
+            // still pending in the buffer (they are conflicts too: the
+            // architectural address is simply not known yet).
+            if (cfg_.loadsStallOnStoreConflict && isLoad(rec.inst.op)) {
+                const uint32_t bb = cfg_.dcache.blockBytes;
+                for (uint64_t s = storesRetired_;
+                     s < storeAddrs_.size(); ++s) {
+                    if (storeAddrs_[s] / bb != ref.effAddr / bb)
+                        continue;
+                    report(i, rec.pc, "disambiguation-policy",
+                           strprintf(
+                               "load stalls until store seq %llu "
+                               "(addr %s) drains",
+                               static_cast<unsigned long long>(s),
+                               hex32(storeAddrs_[s]).c_str()),
+                           "load issued with a conflicting store "
+                           "buffered");
+                    break;
+                }
+            }
+            if (isStore(rec.inst.op))
+                storeAddrs_.push_back(ref.effAddr);
+        }
+        // Control-flow cross-check.
+        if (rec.taken != ref.taken)
+            report(i, rec.pc, "taken", strprintf("%d", ref.taken),
+                   strprintf("%d", rec.taken));
+        if (rec.nextPc != ref.nextPc && rec.inst.op != Op::HALT)
+            report(i, rec.pc, "nextPc", hex32(ref.nextPc),
+                   hex32(rec.nextPc));
+    }
+
+    // FAC signal consistency (pipeline-internal invariants).
+    if (isMem(rec.inst.op)) {
+        if (!cfg_.facEnabled && ev.speculated)
+            report(i, rec.pc, "fac-speculated-while-disabled", "0", "1");
+        if (ev.mispredicted && !ev.speculated)
+            report(i, rec.pc, "fac-mispredict-without-speculation",
+                   "speculated=1", "speculated=0");
+        if (fac_ && ev.speculated) {
+            FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
+                                         rec.offsetFromReg);
+            if (!fr.attempted)
+                report(i, rec.pc, "fac-speculated-unattemptable",
+                       "attempted=1", "attempted=0");
+            else if (ev.mispredicted != !fr.success)
+                report(i, rec.pc, "fac-mispredict-flag",
+                       strprintf("mispredicted=%d (verify circuit)",
+                                 !fr.success),
+                       strprintf("mispredicted=%d (issue event)",
+                                 ev.mispredicted));
+            if (rec.offsetFromReg && !cfg_.fac.speculateRegReg)
+                report(i, rec.pc, "fac-regreg-policy",
+                       "no speculation (speculateRegReg=0)",
+                       "speculated=1");
+            // Section 5.5 issue rule: no speculation in the cycle after
+            // a misprediction, except a load right after a load.
+            if (ev.cycle == mispredCycle_ + 1 &&
+                !(isLoad(rec.inst.op) && mispredWasLoad_))
+                report(i, rec.pc, "fac-issue-policy",
+                       "MEM-deferred access after misprediction",
+                       "speculated=1");
+        }
+        if (ev.speculated && ev.mispredicted && fac_) {
+            FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
+                                         rec.offsetFromReg);
+            // Track the policy shadow only for true mispredictions so a
+            // wrong flag doesn't cascade into spurious policy reports.
+            if (fr.attempted && !fr.success) {
+                mispredCycle_ = ev.cycle;
+                mispredWasLoad_ = isLoad(rec.inst.op);
+            }
+        }
+    }
+
+    if (firstBefore && !divs_.empty())
+        captureContext(pipe, ev);
+}
+
+void
+Verifier::onStoreRetire(uint64_t seq, uint32_t addr)
+{
+    if (divs_.size() >= opt_.maxDivergences)
+        return;
+    // Stores retire strictly in FIFO (issue) order...
+    if (seq != storesRetired_) {
+        report(index_, 0, "store-retire-order",
+               strprintf("seq %llu",
+                         static_cast<unsigned long long>(storesRetired_)),
+               strprintf("seq %llu", static_cast<unsigned long long>(seq)));
+        return;
+    }
+    ++storesRetired_;
+    // ...and with the architectural address, even when the entry was
+    // pushed with a mispredicted address and patched in MEM.
+    if (seq < storeAddrs_.size() && addr != storeAddrs_[seq])
+        report(index_, 0,
+               strprintf("store-retire-addr(seq %llu)",
+                         static_cast<unsigned long long>(seq)),
+               hex32(storeAddrs_[seq]), hex32(addr));
+}
+
+void
+Verifier::finish(const Pipeline &pipe, const Emulator &emu,
+                 const PipeStats &stats, const Side &refSide)
+{
+    // Retirement count: pipeline vs reference (pipeline counts NOP/HALT
+    // the same way the reference does — one record each).
+    if (stats.insts != ref_.count())
+        report(index_, 0, "retired-inst-count",
+               strprintf("%llu",
+                         static_cast<unsigned long long>(ref_.count())),
+               strprintf("%llu",
+                         static_cast<unsigned long long>(stats.insts)));
+
+    // Stores still buffered at halt must be the tail of the
+    // architectural store stream, in order.
+    uint64_t seq = storesRetired_;
+    for (const StoreBuffer::Entry &e : pipe.storeBuffer().contents()) {
+        if (e.seq != seq)
+            report(index_, 0, "store-buffer-tail-order",
+                   strprintf("seq %llu",
+                             static_cast<unsigned long long>(seq)),
+                   strprintf("seq %llu",
+                             static_cast<unsigned long long>(e.seq)));
+        else if (e.addrValid && seq < storeAddrs_.size() &&
+                 e.addr != storeAddrs_[seq])
+            report(index_, 0,
+                   strprintf("store-buffer-tail-addr(seq %llu)",
+                             static_cast<unsigned long long>(seq)),
+                   hex32(storeAddrs_[seq]), hex32(e.addr));
+        ++seq;
+    }
+    if (seq != storeAddrs_.size())
+        report(index_, 0, "store-count",
+               strprintf("%zu stores", storeAddrs_.size()),
+               strprintf("%llu retired+buffered",
+                         static_cast<unsigned long long>(seq)));
+
+    if (!ref_.halted())
+        report(index_, 0, "halt", "reference ran to HALT",
+               "reference still running when pipeline halted");
+
+    // Final architectural state: integer and FP register files, the FP
+    // condition code, and the complete memory images.
+    for (unsigned r = 0; r < numIntRegs; ++r) {
+        if (emu.intReg(r) != ref_.reg(r))
+            report(index_, 0, strprintf("final-reg($%s)", regName(r)),
+                   hex32(ref_.reg(r)), hex32(emu.intReg(r)));
+    }
+    for (unsigned r = 0; r < numFpRegs; ++r) {
+        double v = emu.fpReg(r);
+        uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        if (bits != ref_.fpBits(r))
+            report(index_, 0, strprintf("final-fpreg($f%u)", r),
+                   strprintf("0x%016llx",
+                             static_cast<unsigned long long>(
+                                 ref_.fpBits(r))),
+                   strprintf("0x%016llx",
+                             static_cast<unsigned long long>(bits)));
+    }
+    if (emu.fpccFlag() != ref_.cc())
+        report(index_, 0, "final-fpcc", strprintf("%d", ref_.cc()),
+               strprintf("%d", emu.fpccFlag()));
+
+    uint32_t diffAddr = 0;
+    if (side_.mem.firstDifferenceWith(refSide.mem, &diffAddr)) {
+        // Re-read through the (non-const) memories for the report.
+        Memory &a = const_cast<Memory &>(side_.mem);
+        Memory &b = const_cast<Memory &>(refSide.mem);
+        report(index_, 0, strprintf("final-mem[%s]",
+                                    hex32(diffAddr).c_str()),
+               strprintf("0x%02x", b.read8(diffAddr)),
+               strprintf("0x%02x", a.read8(diffAddr)));
+    }
+}
+
+} // anonymous namespace
+
+CosimResult
+runCosim(const std::function<void(AsmBuilder &)> &gen,
+         const PipelineConfig &pipeCfg, const CosimOptions &opt)
+{
+    // Two fully independent sides: separate Program, Memory, link.
+    Side pipeSide, refSide;
+    buildSide(gen, opt.link, pipeSide);
+    buildSide(gen, opt.link, refSide);
+
+    Emulator emu(pipeSide.prog, pipeSide.mem, pipeSide.img, opt.initialSp);
+    Pipeline pipe(pipeCfg, emu);
+    RefModel ref(refSide.prog, refSide.mem, refSide.img, opt.initialSp);
+
+    Verifier v(opt, pipeSide, pipeCfg, ref);
+    pipe.onIssue([&](const Pipeline::IssueEvent &ev) {
+        v.onIssue(pipe, ev);
+    });
+    pipe.onStoreRetire([&](uint64_t seq, uint32_t addr) {
+        v.onStoreRetire(seq, addr);
+    });
+
+    CosimResult res;
+    res.stats = pipe.run(opt.maxInsts);
+    res.refInsts = ref.count();
+    res.ranToHalt = emu.halted() && opt.maxInsts == 0;
+    if (res.ranToHalt)
+        v.finish(pipe, emu, res.stats, refSide);
+
+    std::string context = v.context();
+    res.divergences = v.takeDivergences();
+    if (!res.divergences.empty()) {
+        const Divergence &d = res.divergences[0];
+        std::string rep;
+        rep += "=== cosim divergence "
+               "=============================================\n";
+        rep += strprintf("instruction #%llu  pc %s\n",
+                         static_cast<unsigned long long>(d.index),
+                         hex32(d.pc).c_str());
+        rep += strprintf("field:     %s\n", d.what.c_str());
+        rep += strprintf("reference: %s\n", d.expected.c_str());
+        rep += strprintf("pipeline:  %s\n", d.actual.c_str());
+        rep += context;
+        if (res.divergences.size() > 1)
+            rep += strprintf("(%zu further divergence(s) recorded)\n",
+                             res.divergences.size() - 1);
+        rep += "==========================================================="
+               "====\n";
+        res.report = std::move(rep);
+    }
+    return res;
+}
+
+} // namespace facsim::verify

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Differential co-simulation: runs the timing Pipeline and an
+ * independently written reference interpreter on the same program and
+ * cross-checks architectural state at every retirement.
+ *
+ * The Pipeline is trace-driven from the functional Emulator, so the two
+ * sides of the diff are:
+ *
+ *  - the *pipeline side*: Emulator + Pipeline, sharing one Memory — the
+ *    production stack whose numbers appear in Tables 3/4/6 and Figure 6;
+ *  - the *reference side*: RefModel (cosim.cc), a second, deliberately
+ *    independent implementation of the ISA semantics with its own
+ *    register file and its own Memory.
+ *
+ * Checked at every instruction issue (in-order issue makes the issue
+ * stream the retirement stream):
+ *
+ *  - retirement order: the retired PC/instruction sequence equals the
+ *    reference execution exactly (no dropped, duplicated or reordered
+ *    instructions);
+ *  - operand values: a memory operation's base register value, offset
+ *    (constant or index register) and effective address match the
+ *    reference register file;
+ *  - control flow: taken/next-PC outcomes match the reference;
+ *  - FAC signals: a speculative access's `mispredicted` flag must equal
+ *    the recomputed verification-circuit outcome, and the Section 5.5
+ *    post-misprediction issue policy must hold;
+ *  - store retirement: stores leave the store buffer in FIFO order with
+ *    the architecturally correct (possibly patched) address.
+ *
+ * At halt the integer/FP register files, the FP condition code and the
+ * full memory images (heap, stack, statics) are compared byte for byte.
+ *
+ * On divergence a rich report is produced: the disassembled static code
+ * window around the diverging instruction, the FAC predict/verify
+ * breakdown for the access, and the live store-buffer contents.
+ */
+
+#ifndef FACSIM_VERIFY_COSIM_HH
+#define FACSIM_VERIFY_COSIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "cpu/pipeline.hh"
+#include "link/linker.hh"
+
+namespace facsim::verify
+{
+
+/** Options controlling one co-simulation run. */
+struct CosimOptions
+{
+    /** Link policy for both sides (software support toggles live here). */
+    LinkPolicy link;
+    /** Startup stack pointer. */
+    uint32_t initialSp = 0x7fff5b88;
+    /** Stop after this many retired instructions (0 = run to halt).
+     *  Final-state comparison is skipped for truncated runs. */
+    uint64_t maxInsts = 0;
+    /** Static instructions shown either side of a divergence. */
+    unsigned contextWindow = 4;
+    /** Divergences recorded before checking goes quiet. */
+    unsigned maxDivergences = 8;
+
+    /**
+     * Test-only fault injection: after the reference model executes its
+     * Nth instruction (1-based dynamic count), XOR integer register
+     * @p corruptReg with @p corruptXor. Simulates a semantic bug on one
+     * side of the diff so the reporting machinery itself can be tested.
+     * 0 disables.
+     */
+    uint64_t corruptAfterInst = 0;
+    uint8_t corruptReg = 0;
+    uint32_t corruptXor = 0;
+};
+
+/** One observed disagreement between the two sides. */
+struct Divergence
+{
+    uint64_t index = 0;   ///< dynamic instruction index (retire order)
+    uint32_t pc = 0;      ///< PC of the diverging instruction
+    /** What disagreed, e.g. "baseVal($t3)", "retire-pc", "final-mem". */
+    std::string what;
+    std::string expected; ///< reference-side value
+    std::string actual;   ///< pipeline-side value
+};
+
+/** Outcome of one co-simulation run. */
+struct CosimResult
+{
+    /** All recorded divergences, first (root cause) first. */
+    std::vector<Divergence> divergences;
+    /** Rich human-readable report for the first divergence ("" if clean). */
+    std::string report;
+    /** Pipeline statistics of the run. */
+    PipeStats stats;
+    /** Instructions executed by the reference model. */
+    uint64_t refInsts = 0;
+    /** True when both sides ran to HALT (final state was compared). */
+    bool ranToHalt = false;
+
+    bool diverged() const { return !divergences.empty(); }
+};
+
+/**
+ * Run the pipeline and the reference model in lockstep.
+ *
+ * @param gen emits the program under test; called twice, once per side,
+ *        so the two sides share no Program or Memory state. Must be
+ *        deterministic — a mismatch between the two emissions is itself
+ *        reported as a divergence.
+ * @param pipeCfg timing-pipeline configuration (any FAC variant).
+ * @param opt co-simulation options.
+ */
+CosimResult runCosim(const std::function<void(AsmBuilder &)> &gen,
+                     const PipelineConfig &pipeCfg,
+                     const CosimOptions &opt = {});
+
+} // namespace facsim::verify
+
+#endif // FACSIM_VERIFY_COSIM_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Seeded random-program fuzzer over the differential co-simulation
+ * (verify/cosim.hh).
+ *
+ * Generation is two-phase to make shrinking well-defined:
+ *
+ *  1. a seeded Rng produces a vector of abstract FuzzItem descriptors,
+ *     with *all* randomness resolved into descriptor fields;
+ *  2. materialize() turns a descriptor vector into assembly through
+ *     AsmBuilder, with no randomness of its own.
+ *
+ * Any subsequence of a valid descriptor vector therefore materializes
+ * into a valid program (forward skips bind their labels at descriptor
+ * boundaries), so delta-debugging can drop descriptors freely. A
+ * diverging case is minimized with ddmin: remove chunks of descriptors
+ * at shrinking granularity while the divergence (same configuration)
+ * reproduces, then try single-descriptor removals until a fixpoint.
+ *
+ * The offset/alignment distributions are deliberately FAC-adversarial:
+ * base registers parked at block edges and power-of-two boundaries,
+ * constant offsets clustered around 0, +/-2^B and +/-2^S, negative
+ * register indices, post-increment walks, store bursts that overflow
+ * the 16-entry store buffer, and store->load pairs to the same address.
+ * Every effective address stays inside one 128 KB buffer and aligned to
+ * the access size (the emulator treats unaligned access as a fatal
+ * program-generation bug, not a divergence).
+ *
+ * Reproducibility: case i of a batch is generated from
+ * splitmix64(seed, i) alone, so a given --seed produces byte-identical
+ * programs at any --jobs value; runFuzzBatch() proves it by folding
+ * per-case program digests in index order into FuzzBatchResult::digest.
+ */
+
+#ifndef FACSIM_VERIFY_FUZZ_HH
+#define FACSIM_VERIFY_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "util/rng.hh"
+#include "verify/cosim.hh"
+
+namespace facsim::verify
+{
+
+/** One abstract program element; fields are interpreted per kind. */
+struct FuzzItem
+{
+    enum class Kind : uint8_t
+    {
+        AluReg,       ///< 3-register ALU op (a=op, b/c/d=reg slots)
+        AluImm,       ///< immediate ALU op (a=op, b/c=reg slots, x=imm)
+        LiConst,      ///< li of an interesting constant (b=dst, x=value)
+        LoadConst,    ///< reg+const load (a=size, b=dst, c=base, x=offset)
+        StoreConst,   ///< reg+const store (a=size, b=src, c=base, x=offset)
+        MemRR,        ///< reg+reg access (a=op, b=data, c=base, x=index)
+        MemRRMasked,  ///< index masked from a temp, optionally negated
+        PostInc,      ///< post-inc/dec walk step (a=op, b=data, x=stride)
+        CursorReset,  ///< reset the post-increment cursor
+        FpArith,      ///< FP arithmetic (a=op, b/c/d=FP reg slots)
+        FpMove,       ///< mtc1/mfc1/cvt (a=op, b=FP slot, c=temp slot)
+        FpCmp,        ///< FP compare, sets the condition code
+        FpMemConst,   ///< FP load/store (a=op, b=FP slot, c=base, x=offset)
+        Skip,         ///< conditional forward skip of x items (a=cond)
+        StoreBurst,   ///< burst of x stores (overflows the store buffer)
+        StoreThenLoad ///< store + load of the same address (c=base, x=off)
+    };
+
+    Kind kind = Kind::AluReg;
+    uint8_t a = 0, b = 0, c = 0, d = 0;
+    int32_t x = 0, y = 0;
+
+    bool operator==(const FuzzItem &o) const = default;
+};
+
+/** SplitMix64: the per-case seed derivation (jobs-invariant). */
+uint64_t splitmix64(uint64_t seed, uint64_t index);
+
+/** Phase 1: generate @p count descriptors from @p rng. */
+std::vector<FuzzItem> generateItems(Rng &rng, unsigned count);
+
+/** Phase 2: deterministically emit the program for @p items. */
+void materialize(AsmBuilder &as, const std::vector<FuzzItem> &items);
+
+/** FNV-1a digest of the program @p items materialize into. */
+uint64_t programDigest(const std::vector<FuzzItem> &items);
+
+/** One pipeline configuration of the fuzz matrix. */
+struct FuzzConfig
+{
+    std::string name;     ///< "off", "hw", "hw+sw", "r+r", "hw+disamb"
+    PipelineConfig pipe;
+    LinkPolicy link;
+};
+
+/** The configurations every case runs under. */
+std::vector<FuzzConfig> fuzzConfigMatrix();
+
+/** Options for one fuzz batch. */
+struct FuzzOptions
+{
+    uint64_t seed = 2026;
+    uint64_t count = 100;
+    /** Host threads (0 = all hardware threads). */
+    unsigned jobs = 1;
+    /** Shrink diverging cases to a minimal descriptor vector. */
+    bool shrink = false;
+    /** Descriptors per case are drawn from [minItems, maxItems]. */
+    unsigned minItems = 40;
+    unsigned maxItems = 160;
+    /** Cap on co-sim runs spent shrinking one case. */
+    unsigned shrinkBudget = 400;
+};
+
+/** Outcome of one fuzz case (diverging cases carry diagnostics). */
+struct FuzzCaseOutcome
+{
+    uint64_t index = 0;
+    uint64_t caseSeed = 0;
+    uint64_t digest = 0;      ///< program digest (jobs-invariance proof)
+    uint64_t simInsts = 0;    ///< both sides, all configs (accounting)
+    bool diverged = false;
+    std::string configName;   ///< first diverging configuration
+    std::string report;       ///< cosim report for that configuration
+    std::vector<FuzzItem> items;        ///< the generated descriptors
+    std::vector<FuzzItem> shrunkItems;  ///< minimal repro (if shrunk)
+    std::string shrunkListing;          ///< disassembly of the repro
+};
+
+/** Aggregate result of a fuzz batch. */
+struct FuzzBatchResult
+{
+    uint64_t casesRun = 0;
+    uint64_t divergingCases = 0;
+    /** Per-case digests folded in index order (jobs-invariant). */
+    uint64_t digest = 0;
+    uint64_t simInsts = 0;
+    double wallSeconds = 0.0;
+    /** Outcomes of the diverging cases only, in index order. */
+    std::vector<FuzzCaseOutcome> failures;
+};
+
+/** Run one case (all matrix configurations) from its derived seed. */
+FuzzCaseOutcome runFuzzCase(uint64_t case_seed, uint64_t index,
+                            const FuzzOptions &opt);
+
+/**
+ * Run a whole batch, fanned across opt.jobs host threads with the
+ * parallel Runner (per-index result slots keep results deterministic).
+ */
+FuzzBatchResult runFuzzBatch(const FuzzOptions &opt);
+
+/**
+ * Generic ddmin over @p items: returns a (locally) minimal subsequence
+ * for which @p still_fails returns true, spending at most @p budget
+ * predicate evaluations. Exposed for unit testing; the fuzzer calls it
+ * with "co-sim still diverges under this configuration" as predicate.
+ */
+std::vector<FuzzItem>
+ddminItems(const std::vector<FuzzItem> &items,
+           const std::function<bool(const std::vector<FuzzItem> &)>
+               &still_fails,
+           unsigned budget);
+
+} // namespace facsim::verify
+
+#endif // FACSIM_VERIFY_FUZZ_HH

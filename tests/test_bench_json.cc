@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Round-trip tests for the bench harnesses' JSON emission: jsonEscape
+ * output is parsed back through a small but strict JSON parser (written
+ * here, shared with nothing) and must reproduce the original bytes, and
+ * a full emitJson() line must parse as one valid JSON object with the
+ * original cell contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace facsim
+{
+namespace
+{
+
+/** Minimal strict JSON value/parser (objects, arrays, strings, numbers). */
+struct JsonValue
+{
+    enum class Kind { String, Number, Object, Array } kind = Kind::String;
+    std::string str;
+    double num = 0;
+    std::map<std::string, std::shared_ptr<JsonValue>> obj;
+    std::vector<std::shared_ptr<JsonValue>> arr;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    std::shared_ptr<JsonValue>
+    parse()
+    {
+        std::shared_ptr<JsonValue> v = value();
+        skipWs();
+        if (!ok_ || pos_ != s_.size())
+            return nullptr;
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        ok_ = false;
+        return false;
+    }
+
+    std::shared_ptr<JsonValue>
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return nullptr;
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        return number();
+    }
+
+    std::shared_ptr<JsonValue>
+    object()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Object;
+        eat('{');
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return v;
+        }
+        while (ok_) {
+            std::shared_ptr<JsonValue> key = string();
+            if (!ok_ || !eat(':'))
+                break;
+            v->obj[key->str] = value();
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            eat('}');
+            break;
+        }
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    array()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Array;
+        eat('[');
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return v;
+        }
+        while (ok_) {
+            v->arr.push_back(value());
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            eat(']');
+            break;
+        }
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    string()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::String;
+        if (!eat('"'))
+            return v;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Raw control characters are illegal inside JSON strings.
+                ok_ = false;
+                return v;
+            }
+            if (c != '\\') {
+                v->str += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                ok_ = false;
+                return v;
+            }
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': v->str += '"'; break;
+              case '\\': v->str += '\\'; break;
+              case '/': v->str += '/'; break;
+              case 'n': v->str += '\n'; break;
+              case 't': v->str += '\t'; break;
+              case 'r': v->str += '\r'; break;
+              case 'b': v->str += '\b'; break;
+              case 'f': v->str += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) {
+                    ok_ = false;
+                    return v;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok_ = false;
+                        return v;
+                    }
+                }
+                // The emitter only uses \u for single bytes; reject the
+                // rest so a change in behaviour shows up here.
+                if (cp > 0xff) {
+                    ok_ = false;
+                    return v;
+                }
+                v->str += static_cast<char>(cp);
+                break;
+              }
+              default:
+                ok_ = false;
+                return v;
+            }
+        }
+        eat('"');
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    number()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Number;
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v->num = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+std::string
+parseStringLiteral(const std::string &lit, bool *ok)
+{
+    JsonParser p(lit);
+    std::shared_ptr<JsonValue> v = p.parse();
+    *ok = v != nullptr && v->kind == JsonValue::Kind::String;
+    return *ok ? v->str : std::string();
+}
+
+TEST(BenchJson, EscapeRoundTripsEveryByte)
+{
+    // Every byte value, including NUL and the high half.
+    std::string s;
+    for (int b = 0; b < 256; ++b)
+        s += static_cast<char>(b);
+    const std::string lit = "\"" + bench::jsonEscape(s) + "\"";
+    bool ok = false;
+    const std::string back = parseStringLiteral(lit, &ok);
+    ASSERT_TRUE(ok) << lit;
+    EXPECT_EQ(back, s);
+}
+
+TEST(BenchJson, ControlCharactersNeverAppearRaw)
+{
+    std::string s;
+    for (int b = 0; b < 0x20; ++b)
+        s += static_cast<char>(b);
+    const std::string esc = bench::jsonEscape(s);
+    for (char c : esc)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    // The common controls use the conventional short escapes.
+    EXPECT_EQ(bench::jsonEscape("\n"), "\\n");
+    EXPECT_EQ(bench::jsonEscape("\t"), "\\t");
+    EXPECT_EQ(bench::jsonEscape("\r"), "\\r");
+    EXPECT_EQ(bench::jsonEscape("\b"), "\\b");
+    EXPECT_EQ(bench::jsonEscape("\f"), "\\f");
+    EXPECT_EQ(bench::jsonEscape("\""), "\\\"");
+    EXPECT_EQ(bench::jsonEscape("\\"), "\\\\");
+    EXPECT_EQ(bench::jsonEscape("\x01"), "\\u0001");
+}
+
+TEST(BenchJson, EmitJsonLineParsesBackToTheTable)
+{
+    const std::string caption = "nasty \"caption\"\nwith\tcontrols\r\b\f";
+    Table t;
+    t.header({"name", "va\"lue"});
+    t.row({"first\nrow", "1.5"});
+    t.row({"second\\row", "\x02\x1f"});
+
+    bench::Options o;
+    o.jsonPath = "test_bench_json_tmp.jsonl";
+    bench::emitJson(o, caption, t);
+
+    std::ifstream in(o.jsonPath);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    std::remove(o.jsonPath.c_str());
+
+    JsonParser p(line);
+    std::shared_ptr<JsonValue> v = p.parse();
+    ASSERT_NE(v, nullptr) << line;
+    ASSERT_EQ(v->kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v->obj.at("caption")->str, caption);
+    const JsonValue &hdr = *v->obj.at("header");
+    ASSERT_EQ(hdr.arr.size(), 2u);
+    EXPECT_EQ(hdr.arr[1]->str, "va\"lue");
+    const JsonValue &rows = *v->obj.at("rows");
+    ASSERT_EQ(rows.arr.size(), 2u);
+    EXPECT_EQ(rows.arr[0]->arr[0]->str, "first\nrow");
+    EXPECT_EQ(rows.arr[1]->arr[1]->str, "\x02\x1f");
+    EXPECT_TRUE(v->obj.count("meta"));
+}
+
+} // anonymous namespace
+} // namespace facsim

@@ -143,6 +143,94 @@ TEST_P(FacPropertyTest, AlignedBaseAlwaysPredicts)
     }
 }
 
+// Exhaustive version of the sampled properties above: shrink the
+// datapath to B=2, S=5 so the full cross product of field patterns fits
+// in one in-process sweep — every 10-bit base pattern (with and without
+// all high bits set, so tag arithmetic sees carries in and out), every
+// offset the window can express in both signs, both offset kinds, both
+// tag circuits. Proves the failure signals fire IFF the prediction is
+// wrong, modulo the one deliberately conservative case (negative
+// register index), for every reachable combination rather than a sample.
+TEST(FacExhaustive, ReducedWidthFailureSignalsAreExact)
+{
+    for (bool full_tag : {true, false}) {
+        FacConfig cfg{.blockBits = 2, .setBits = 5,
+                      .fullTagAdd = full_tag, .speculateRegReg = true};
+        FastAddrCalc fac(cfg);
+        for (uint32_t b10 = 0; b10 < 1024; ++b10) {
+            for (uint32_t hi : {0u, 0xfffffc00u}) {
+                const uint32_t base = b10 | hi;
+                for (int32_t ofs = -1024; ofs < 1024; ++ofs) {
+                    for (bool from_reg : {false, true}) {
+                        FacResult r = fac.predict(base, ofs, from_reg);
+                        ASSERT_TRUE(r.attempted);
+                        const uint32_t actual =
+                            base + static_cast<uint32_t>(ofs);
+                        if (r.success) {
+                            ASSERT_EQ(r.predictedAddr, actual)
+                                << "SAFETY: base=0x" << std::hex << base
+                                << " ofs=" << std::dec << ofs
+                                << " from_reg=" << from_reg
+                                << " tag=" << full_tag;
+                        } else if (!(from_reg && ofs < 0)) {
+                            ASSERT_NE(r.predictedAddr, actual)
+                                << "PRECISION: base=0x" << std::hex
+                                << base << " ofs=" << std::dec << ofs
+                                << " from_reg=" << from_reg
+                                << " tag=" << full_tag << " failMask="
+                                << FastAddrCalc::failMaskName(
+                                       r.failMask);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Signed-offset boundary specials at full width: INT32_MIN (whose
+// negation does not exist), INT32_MAX, and offsets equal to the exact
+// set-index span. SAFETY must hold unconditionally; the known-wrong
+// cases must all raise a failure signal.
+TEST(FacExhaustive, SignedBoundarySpecials)
+{
+    FacConfig cfg{.blockBits = 5, .setBits = 14, .fullTagAdd = true,
+                  .speculateRegReg = true};
+    FastAddrCalc fac(cfg);
+    const int32_t span = 1 << cfg.setBits;
+    const std::vector<uint32_t> bases = {
+        0, 1, 31, 32, 0x3fff, 0x4000, 0x7fff5b88, 0x80000000,
+        0xffffffe0, 0xffffffff,
+    };
+    const std::vector<int32_t> offsets = {
+        INT32_MIN, INT32_MIN + 1, INT32_MAX, INT32_MAX - 31,
+        -span, -span + 1, span, span - 1, -32, -31, -1,
+    };
+    for (uint32_t base : bases) {
+        for (int32_t ofs : offsets) {
+            for (bool from_reg : {false, true}) {
+                FacResult r = fac.predict(base, ofs, from_reg);
+                ASSERT_TRUE(r.attempted);
+                const uint32_t actual =
+                    base + static_cast<uint32_t>(ofs);
+                if (r.success)
+                    ASSERT_EQ(r.predictedAddr, actual)
+                        << "base=0x" << std::hex << base
+                        << " ofs=" << std::dec << ofs;
+                else if (!(from_reg && ofs < 0))
+                    ASSERT_NE(r.predictedAddr, actual)
+                        << "base=0x" << std::hex << base
+                        << " ofs=" << std::dec << ofs;
+            }
+        }
+    }
+    // INT32_MIN can never satisfy the small-negative-constant decoder:
+    // its upper bits are not all ones, whatever the base.
+    EXPECT_FALSE(fac.predict(0x7fff5b88, INT32_MIN, false).success);
+    EXPECT_TRUE(fac.predict(0x7fff5b88, INT32_MIN, false).failMask &
+                facFailLargeNegConst);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Geometries, FacPropertyTest,
     ::testing::Values(

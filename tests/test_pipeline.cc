@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "asm/builder.hh"
+#include "core/fast_addr_calc.hh"
 #include "cpu/pipeline.hh"
 #include "link/linker.hh"
 #include "sim/config.hh"
@@ -335,6 +336,50 @@ TEST(Pipeline, MaxInstsStopsEarly)
     PipeStats st = pipe.run(500);
     EXPECT_GE(st.insts, 500u);
     EXPECT_LT(st.insts, 600u);
+}
+
+// Regression (found by the differential fuzzer): when two loads issue
+// in the same cycle and the *first* one mispredicts, the second load's
+// issue event must not inherit the misprediction flag. The flag used to
+// be derived from the shared lastMispredict{Cycle,WasLoad} state, which
+// the first load had just set.
+TEST(Pipeline, SameCycleLoadPairKeepsMispredictFlagsSeparate)
+{
+    Program p;
+    AsmBuilder as(p);
+    SymId buf = as.global("buf", 256, 64, false);
+    as.la(reg::s0, buf);
+    as.la(reg::s1, buf, 0x80);
+    // Independent loads, so they dual-issue: the first with an offset
+    // the FAC cannot absorb, the second with a trivially correct one.
+    as.lw(reg::t0, -52, reg::s1);
+    as.lw(reg::t1, 0, reg::s0);
+    as.halt();
+    Memory mem;
+    LinkedImage img = Linker(LinkPolicy{}).link(p, mem);
+    Emulator emu(p, mem, img, 0x7fff5b88);
+
+    PipelineConfig cfg = facPipelineConfig();
+    // Premise check: the offsets really split into fail + success.
+    FastAddrCalc fac(cfg.fac);
+    DataSym sym = p.syms()[0];
+    ASSERT_FALSE(fac.predict(sym.addr + 0x80, -52, false).success);
+    ASSERT_TRUE(fac.predict(sym.addr, 0, false).success);
+
+    Pipeline pipe(cfg, emu);
+    std::vector<Pipeline::IssueEvent> loads;
+    pipe.onIssue([&](const Pipeline::IssueEvent &ev) {
+        if (isLoad(ev.rec.inst.op))
+            loads.push_back(ev);
+    });
+    pipe.run();
+
+    ASSERT_EQ(loads.size(), 2u);
+    ASSERT_EQ(loads[0].cycle, loads[1].cycle);  // they did dual-issue
+    EXPECT_TRUE(loads[0].speculated);
+    EXPECT_TRUE(loads[0].mispredicted);
+    EXPECT_TRUE(loads[1].speculated);
+    EXPECT_FALSE(loads[1].mispredicted);
 }
 
 TEST(PipelineDeathTest, FacGeometryMustMatchCache)

@@ -72,9 +72,22 @@ TEST(StoreBuffer, ConflictsByBlock)
     EXPECT_TRUE(sb.conflicts(0x100, 32));   // same 32-byte block
     EXPECT_TRUE(sb.conflicts(0x11f, 32));
     EXPECT_FALSE(sb.conflicts(0x120, 32));
-    // An address-pending entry can't conflict yet.
-    sb.clear();
-    sb.push(0x100, 2, false);
+}
+
+TEST(StoreBuffer, PendingAddressConflictsWithEverything)
+{
+    // An entry whose address is still pending must conservatively
+    // conflict with any probe: its architectural address is unknown, so
+    // disambiguation cannot prove the load independent. (Every
+    // non-speculative store sits in this state for one cycle; treating
+    // it as a non-conflict let loads slip past it.)
+    StoreBuffer sb(4);
+    sb.push(0, 2, /*addr_valid=*/false);
+    EXPECT_TRUE(sb.conflicts(0x100, 32));
+    EXPECT_TRUE(sb.conflicts(0xfff00, 32));
+    // Once patched, it conflicts only by block again.
+    sb.patchAddr(2, 0x200);
+    EXPECT_TRUE(sb.conflicts(0x210, 32));
     EXPECT_FALSE(sb.conflicts(0x100, 32));
 }
 

@@ -9,7 +9,15 @@
  *   facsim_cli profile <file.s|@workload>     reference behaviour + FAC
  *   facsim_cli disasm <file.s>                assemble and disassemble
  *   facsim_cli dinero <file.s|@workload>      dinero-format address trace
+ *   facsim_cli fuzz [--seed=N] [--count=M]    differential fuzzing
  *   facsim_cli list                           list built-in workloads
+ *
+ * Fuzz options:
+ *   --seed=N           batch seed (default 2026); case i is generated
+ *                      from splitmix64(seed, i), independent of --jobs
+ *   --count=M          cases to run (default 100)
+ *   --jobs=N           worker threads (0 = all; default 1)
+ *   --shrink           minimize diverging cases with ddmin
  *
  * Options:
  *   --support          enable the Section 4 software support
@@ -39,6 +47,7 @@
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "util/logging.hh"
+#include "verify/fuzz.hh"
 
 using namespace facsim;
 
@@ -395,6 +404,69 @@ cmdDinero(const std::string &target, const CliOptions &o)
     return 0;
 }
 
+/**
+ * Run the differential fuzzer: each case is one random program run
+ * through the co-simulation under every configuration of the FAC matrix
+ * (off / hw / hw+sw / r+r / hw+disamb). Exits non-zero if any case
+ * diverges.
+ */
+int
+cmdFuzz(int argc, char **argv, int first)
+{
+    verify::FuzzOptions fo;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *p) -> const char * {
+            size_t n = std::strlen(p);
+            return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char *v = val("--seed="))
+            fo.seed = std::strtoull(v, nullptr, 0);
+        else if (const char *v = val("--count="))
+            fo.count = std::strtoull(v, nullptr, 0);
+        else if (const char *v = val("--jobs="))
+            fo.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        else if (a == "--shrink")
+            fo.shrink = true;
+        else if (const char *v = val("--min-items="))
+            fo.minItems =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = val("--max-items="))
+            fo.maxItems =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        else
+            fatal("unknown fuzz option '%s'", a.c_str());
+    }
+
+    verify::FuzzBatchResult res = verify::runFuzzBatch(fo);
+    std::printf("fuzz: %llu case(s), seed %llu, batch digest %016llx\n",
+                static_cast<unsigned long long>(res.casesRun),
+                static_cast<unsigned long long>(fo.seed),
+                static_cast<unsigned long long>(res.digest));
+    std::printf("      %.2fs host time, %.2fM sim-insts\n",
+                res.wallSeconds, res.simInsts / 1e6);
+    if (!res.divergingCases) {
+        std::printf("      no divergences\n");
+        return 0;
+    }
+    std::printf("      %llu DIVERGING case(s)\n",
+                static_cast<unsigned long long>(res.divergingCases));
+    for (const verify::FuzzCaseOutcome &f : res.failures) {
+        std::printf("\n--- case %llu (seed %llu, config %s) ---\n",
+                    static_cast<unsigned long long>(f.index),
+                    static_cast<unsigned long long>(f.caseSeed),
+                    f.configName.c_str());
+        if (!f.shrunkItems.empty()) {
+            std::printf("shrunk %zu -> %zu descriptor(s); minimal "
+                        "program:\n%s\n",
+                        f.items.size(), f.shrunkItems.size(),
+                        f.shrunkListing.c_str());
+        }
+        std::printf("%s", f.report.c_str());
+    }
+    return 1;
+}
+
 int
 cmdDisasm(const std::string &target, const CliOptions &o)
 {
@@ -424,6 +496,8 @@ main(int argc, char **argv)
                         w.floatingPoint ? "FP" : "Int", w.input);
         return 0;
     }
+    if (cmd == "fuzz")
+        return cmdFuzz(argc, argv, 2);
     if (argc < 3)
         fatal("'%s' needs a target", cmd.c_str());
     std::string target = argv[2];
