@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Memory-hierarchy ablation — Figure 6's headline speedup replayed on
+ * machines the paper could not model. Three sweeps:
+ *
+ *  1. depth: the paper's flat 6-cycle machine vs the `modern` preset
+ *     (16KB L1 + 256KB L2 + 80-cycle DRAM), with per-level miss ratios
+ *     and DRAM traffic;
+ *  2. L1 MSHR count {1,2,4,8} on the modern machine, with the merge
+ *     count and peak occupancy at the largest file;
+ *  3. DRAM latency {40,80,160,320} on the modern machine — the FAC
+ *     speedup should shrink monotonically as misses dominate (the
+ *     flat-machine trend of ablation_misslatency, re-derived on a
+ *     hierarchy that actually filters misses through an L2).
+ */
+
+#include "bench_util.hh"
+
+using namespace facsim;
+using namespace facsim::bench;
+
+namespace
+{
+
+/** Base/FAC timing request pair sharing one hierarchy config. */
+void
+pushPair(std::vector<TimingRequest> &reqs, const Options &opt,
+         const WorkloadInfo *w, const HierarchyConfig &hier)
+{
+    for (bool fac_on : {false, true}) {
+        TimingRequest req;
+        req.workload = w->name;
+        req.build = buildOptions(opt, CodeGenPolicy::withSupport());
+        req.pipe = fac_on ? facPipelineConfig() : baselineConfig();
+        req.pipe.hierarchy = hier;
+        req.maxInsts = opt.maxInsts;
+        reqs.push_back(req);
+    }
+}
+
+/** Speedup of the FAC run over the base run of pair @p pi. */
+double
+pairSpeedup(const std::vector<TimingResult> &res, size_t pi)
+{
+    return speedup(res[pi * 2].stats.cycles, res[pi * 2 + 1].stats.cycles);
+}
+
+/** Append the paper-style Int-Avg / FP-Avg rows for @p cols speedups. */
+void
+averageRows(Table &t, const std::vector<const WorkloadInfo *> &workloads,
+            const std::vector<std::vector<double>> &cols,
+            const std::vector<double> &weights, size_t pad_cells = 0)
+{
+    std::vector<bool> is_fp;
+    for (const WorkloadInfo *w : workloads)
+        is_fp.push_back(w->floatingPoint);
+    t.separator();
+    for (bool fp : {false, true}) {
+        std::vector<std::string> cells{fp ? "FP-Avg" : "Int-Avg"};
+        for (const std::vector<double> &col : cols)
+            cells.push_back(fmtF(groupAverage(col, weights, is_fp, fp), 3));
+        for (size_t i = 0; i < pad_cells; ++i)
+            cells.push_back("");
+        t.row(cells);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    std::vector<const WorkloadInfo *> workloads = selectedWorkloads(opt);
+
+    // --- Sweep 1: hierarchy depth (flat paper machine vs modern) ----
+    std::vector<TimingRequest> dreqs;
+    for (const WorkloadInfo *w : workloads) {
+        pushPair(dreqs, opt, w, paperHierarchy());
+        pushPair(dreqs, opt, w, modernHierarchy());
+    }
+    std::vector<TimingResult> dres = runAll(opt, dreqs, "hier-depth");
+
+    // Per-workload weights for the group averages: flat baseline cycles
+    // (the paper's run-time weighting).
+    std::vector<double> weights;
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        weights.push_back(
+            static_cast<double>(dres[wi * 4].stats.cycles));
+
+    Table td;
+    td.header({"Benchmark", "FlatSpd", "ModSpd", "L1miss%", "L2miss%",
+               "DRAMrd", "DRAMq%"});
+    std::vector<std::vector<double>> dspd(2);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        // Per workload: flat base, flat FAC, modern base, modern FAC.
+        const HierarchyStats &h = dres[wi * 4 + 2].hier;
+        const DramStats &dram = h.dram;
+        dspd[0].push_back(pairSpeedup(dres, wi * 2));
+        dspd[1].push_back(pairSpeedup(dres, wi * 2 + 1));
+        td.row({workloads[wi]->name,
+                fmtF(dspd[0].back(), 3),
+                fmtF(dspd[1].back(), 3),
+                fmtPct(h.levels.at(0).missRatio, 2),
+                fmtPct(h.levels.at(1).missRatio, 2),
+                fmtCount(dram.reads),
+                fmtPct(ratio(dram.queuedCycles,
+                             dram.queuedCycles + dram.busyCycles), 1)});
+    }
+    if (opt.workloadFilter.empty())
+        averageRows(td, workloads, dspd, weights, 4);
+    emit(opt, "Hierarchy ablation 1: FAC speedup, flat (paper) vs "
+              "modern (L1+L2+DRAM); modern-base per-level miss ratios "
+              "and DRAM read traffic", td);
+
+    // --- Sweep 2: L1 MSHR count on the modern machine ---------------
+    const unsigned mshrs[] = {1, 2, 4, 8};
+    constexpr size_t num_mshrs = std::size(mshrs);
+    std::vector<TimingRequest> mreqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (unsigned n : mshrs) {
+            HierarchyConfig hier = modernHierarchy();
+            hier.l1Mshr.entries = n;
+            pushPair(mreqs, opt, w, hier);
+        }
+    }
+    std::vector<TimingResult> mres = runAll(opt, mreqs, "hier-mshr");
+
+    Table tm;
+    std::vector<std::string> mhdr{"Benchmark"};
+    for (unsigned n : mshrs)
+        mhdr.push_back(strprintf("mshr=%u", n));
+    mhdr.push_back("Merges");
+    mhdr.push_back("PeakOcc");
+    tm.header(mhdr);
+    std::vector<std::vector<double>> mspd(num_mshrs);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]->name};
+        for (size_t mi = 0; mi < num_mshrs; ++mi) {
+            mspd[mi].push_back(pairSpeedup(mres, wi * num_mshrs + mi));
+            row.push_back(fmtF(mspd[mi].back(), 3));
+        }
+        // Merge/occupancy detail from the largest file's FAC run.
+        const MshrStats &ms =
+            mres[(wi * num_mshrs + num_mshrs - 1) * 2 + 1]
+                .hier.levels.at(0).mshr;
+        row.push_back(fmtCount(ms.merges));
+        row.push_back(strprintf("%llu",
+            static_cast<unsigned long long>(ms.maxOccupancy)));
+        tm.row(row);
+    }
+    if (opt.workloadFilter.empty())
+        averageRows(tm, workloads, mspd, weights, 2);
+    emit(opt, "Hierarchy ablation 2: FAC speedup vs L1 MSHR entries "
+              "(modern machine); secondary-miss merges and peak "
+              "occupancy at the 8-entry file", tm);
+
+    // --- Sweep 3: DRAM latency on the modern machine ----------------
+    const unsigned dram_lats[] = {40, 80, 160, 320};
+    constexpr size_t num_lats = std::size(dram_lats);
+    std::vector<TimingRequest> lreqs;
+    for (const WorkloadInfo *w : workloads) {
+        for (unsigned lat : dram_lats) {
+            HierarchyConfig hier = modernHierarchy();
+            hier.dram.latency = lat;
+            pushPair(lreqs, opt, w, hier);
+        }
+    }
+    std::vector<TimingResult> lres = runAll(opt, lreqs, "hier-dram");
+
+    Table tl;
+    std::vector<std::string> lhdr{"Benchmark"};
+    for (unsigned lat : dram_lats)
+        lhdr.push_back(strprintf("dram=%u", lat));
+    lhdr.push_back("Mono");
+    tl.header(lhdr);
+    std::vector<std::vector<double>> lspd(num_lats);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]->name};
+        std::vector<double> spd;
+        for (size_t li = 0; li < num_lats; ++li) {
+            spd.push_back(pairSpeedup(lres, wi * num_lats + li));
+            lspd[li].push_back(spd.back());
+            row.push_back(fmtF(spd.back(), 3));
+        }
+        // A 1-cycle address-calculation saving matters less and less as
+        // DRAM stalls dominate; allow a little timing noise.
+        row.push_back(isNonIncreasing(spd, 0.002) ? "yes" : "no");
+        tl.row(row);
+    }
+    if (opt.workloadFilter.empty())
+        averageRows(tl, workloads, lspd, weights, 1);
+    emit(opt, "Hierarchy ablation 3: FAC speedup vs DRAM latency "
+              "(modern machine) — expected monotonically non-increasing",
+         tl);
+    return 0;
+}

@@ -18,14 +18,28 @@ CacheConfig::setBits() const
     return log2i(static_cast<uint64_t>(sizeBytes) / assoc);
 }
 
+void
+CacheConfig::validate(const char *what) const
+{
+    FACSIM_ASSERT(isPow2(sizeBytes) && isPow2(blockBytes) && isPow2(assoc),
+                  "%s geometry must be powers of two "
+                  "(size=%u block=%u assoc=%u)",
+                  what, sizeBytes, blockBytes, assoc);
+    FACSIM_ASSERT(blockBytes >= 4,
+                  "%s block (%uB) smaller than one word", what, blockBytes);
+    FACSIM_ASSERT(blockBytes <= sizeBytes,
+                  "%s block (%uB) larger than the cache (%uB)",
+                  what, blockBytes, sizeBytes);
+    FACSIM_ASSERT(static_cast<uint64_t>(blockBytes) * assoc <= sizeBytes,
+                  "%s too small for its associativity "
+                  "(size=%u block=%u assoc=%u needs at least one set)",
+                  what, sizeBytes, blockBytes, assoc);
+}
+
 Cache::Cache(const CacheConfig &config)
     : cfg(config)
 {
-    FACSIM_ASSERT(isPow2(cfg.sizeBytes) && isPow2(cfg.blockBytes) &&
-                  isPow2(cfg.assoc),
-                  "cache geometry must be powers of two");
-    FACSIM_ASSERT(cfg.sizeBytes >= cfg.blockBytes * cfg.assoc,
-                  "cache too small for its associativity");
+    cfg.validate();
     lines.resize(cfg.numSets() * cfg.assoc);
 }
 
@@ -49,7 +63,7 @@ Cache::touch(uint32_t addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock;
             line.dirty = line.dirty || is_write;
-            return {true, false};
+            return {true, false, 0};
         }
     }
 
@@ -71,13 +85,19 @@ Cache::touch(uint32_t addr, bool is_write)
 
     Line &line = lines[base + victim];
     bool wb = line.valid && line.dirty;
-    if (wb)
+    uint32_t victim_addr = 0;
+    if (wb) {
         ++writebacks_;
+        // Reconstruct the victim's block address from its tag and set.
+        uint32_t set = base / cfg.assoc;
+        victim_addr = (line.tag << cfg.setBits()) |
+            (set << cfg.blockBits());
+    }
     line.valid = true;
     line.dirty = is_write;
     line.tag = tag;
     line.lastUse = useClock;
-    return {false, wb};
+    return {false, wb, victim_addr};
 }
 
 CacheAccess

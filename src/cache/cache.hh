@@ -38,6 +38,14 @@ struct CacheConfig
     unsigned setBits() const;
     /** Number of sets. */
     uint32_t numSets() const { return sizeBytes / blockBytes / assoc; }
+
+    /**
+     * Die with a clear message unless the geometry is coherent:
+     * size/block/assoc powers of two, block at least one word and no
+     * larger than the cache, and enough sets for the associativity.
+     * @param what label for the error message ("L2 cache", ...).
+     */
+    void validate(const char *what = "cache") const;
 };
 
 /** Result of a cache access. */
@@ -45,6 +53,8 @@ struct CacheAccess
 {
     bool hit = false;
     bool writeback = false;  ///< a dirty victim was evicted
+    /** Block-aligned address of the evicted victim (valid iff writeback). */
+    uint32_t victimAddr = 0;
 };
 
 /** Tag-state cache model with LRU replacement. */

@@ -8,8 +8,9 @@ namespace facsim
 {
 
 Pipeline::Pipeline(const PipelineConfig &config, Emulator &emulator)
-    : cfg(config), emu(emulator), icache(cfg.icache), dcache(cfg.dcache),
-      btb(cfg.btbEntries), sbuf(cfg.storeBufferEntries), fac(cfg.fac)
+    : cfg(config), emu(emulator), icache(cfg.icache),
+      dmem(cfg.dcache, cfg.hierarchy), btb(cfg.btbEntries),
+      sbuf(cfg.storeBufferEntries), fac(cfg.fac)
 {
     if (cfg.agiOrganization) {
         FACSIM_ASSERT(!cfg.facEnabled && !cfg.oneCycleLoads,
@@ -43,11 +44,10 @@ Pipeline::dcacheReadAt(uint64_t t, uint32_t addr)
     ++st.dcacheAccesses;
     if (cfg.perfectDCache)
         return t;
-    CacheAccess acc = dcache.read(addr);
-    if (acc.hit)
-        return t;
-    ++st.dcacheMisses;
-    return t + cfg.dcache.missLatency;
+    MemResult r = dmem.read(addr, t);
+    if (!r.l1Hit)
+        ++st.dcacheMisses;
+    return r.doneCycle;
 }
 
 void
@@ -582,8 +582,12 @@ Pipeline::run(uint64_t max_insts)
             sbuf.pop();
             ++st.dcacheAccesses;
             if (!cfg.perfectDCache) {
-                CacheAccess acc = dcache.write(ent.addr);
-                if (!acc.hit)
+                // Store completion is fire-and-forget: the buffer entry
+                // is gone and writes never block the core, so only the
+                // hit/miss outcome is consumed (tag state and any
+                // MSHR/DRAM occupancy still advance inside the port).
+                MemResult r = dmem.write(ent.addr, cycle);
+                if (!r.l1Hit)
                     ++st.dcacheMisses;
             }
             if (storeRetireHook)

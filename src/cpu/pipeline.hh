@@ -45,6 +45,7 @@
 #include "cache/store_buffer.hh"
 #include "core/fast_addr_calc.hh"
 #include "cpu/emulator.hh"
+#include "mem/hierarchy/hierarchy.hh"
 
 namespace facsim
 {
@@ -58,6 +59,15 @@ struct PipelineConfig
 
     CacheConfig icache{16 * 1024, 32, 1, 6};
     CacheConfig dcache{16 * 1024, 32, 1, 6};
+
+    /**
+     * What sits below (and around) the L1 data cache. The default flat
+     * hierarchy charges `dcache.missLatency` per miss — the paper's
+     * machine, bit-identical to the pre-hierarchy model. See
+     * `mem/hierarchy/hierarchy.hh` for the L2/MSHR/DRAM parameters and
+     * `modernHierarchy()` in sim/config.hh for the deeper preset.
+     */
+    HierarchyConfig hierarchy{};
 
     unsigned btbEntries = 1024;
     unsigned branchPenalty = 2;
@@ -224,6 +234,12 @@ class Pipeline
     /** The store buffer (observer access for diagnostics/co-sim). */
     const StoreBuffer &storeBuffer() const { return sbuf; }
 
+    /** The data-memory hierarchy (observer access for tests/stats). */
+    const MemHierarchy &dataMem() const { return dmem; }
+
+    /** Per-level hierarchy counters (exported with timing results). */
+    HierarchyStats hierarchyStats() const { return dmem.snapshot(); }
+
   private:
     /** A fetched instruction waiting to issue. */
     struct FetchedInst
@@ -282,7 +298,7 @@ class Pipeline
     PipelineConfig cfg;
     Emulator &emu;
     Cache icache;
-    Cache dcache;
+    MemHierarchy dmem;
     Btb btb;
     StoreBuffer sbuf;
     FastAddrCalc fac;

@@ -165,6 +165,10 @@ class Profiler
 
     /** TLB miss ratio (0 when the TLB is disabled). */
     double tlbMissRatio() const { return tlb ? tlb->missRatio() : 0.0; }
+    /** Raw TLB probe count (0 when the TLB is disabled). */
+    uint64_t tlbAccesses() const { return tlb ? tlb->accesses() : 0; }
+    /** Raw TLB miss count (0 when the TLB is disabled). */
+    uint64_t tlbMisses() const { return tlb ? tlb->misses() : 0; }
 
   private:
     uint64_t insts_ = 0;

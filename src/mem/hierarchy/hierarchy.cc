@@ -1,0 +1,247 @@
+#include "mem/hierarchy/hierarchy.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+// ---------------------------------------------------------------------------
+// HierarchyConfig
+
+void
+HierarchyConfig::validate() const
+{
+    if (depth == HierarchyDepth::L2)
+        l2.validate("L2 cache");
+    if (tlbEnabled) {
+        FACSIM_ASSERT(tlbEntries > 0, "TLB needs at least one entry");
+        FACSIM_ASSERT(isPow2(tlbPageBytes),
+                      "TLB page size must be a power of two (got %u)",
+                      tlbPageBytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WritebackBuffer
+
+WritebackBuffer::WritebackBuffer(unsigned entries)
+{
+    slots.resize(entries, 0);
+}
+
+uint64_t
+WritebackBuffer::whenFree(uint64_t t) const
+{
+    if (slots.empty())  // disabled: writeback traffic unmodelled
+        return t;
+    uint64_t earliest = UINT64_MAX;
+    for (uint64_t busy : slots) {
+        if (busy <= t)
+            return t;
+        earliest = std::min(earliest, busy);
+    }
+    return earliest;
+}
+
+void
+WritebackBuffer::occupy(uint64_t t, uint64_t done_cycle)
+{
+    for (uint64_t &busy : slots) {
+        if (busy <= t) {
+            busy = done_cycle;
+            return;
+        }
+    }
+    panic("writeback buffer occupy with no free slot (caller must wait "
+          "for whenFree)");
+}
+
+void
+WritebackBuffer::reset()
+{
+    std::fill(slots.begin(), slots.end(), 0);
+    fullStallCycles_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// CacheLevel
+
+CacheLevel::CacheLevel(const char *name, const Params &params,
+                       MemLevel &below)
+    : name_(name), prm(params), cache(params.cache), mshr(params.mshr),
+      wb(params.wbEntries), next(below)
+{
+}
+
+LevelResult
+CacheLevel::access(uint32_t addr, bool is_write, uint64_t t)
+{
+    uint64_t at = t + prm.hitLatency;
+    CacheAccess acc = is_write ? cache.write(addr) : cache.read(addr);
+    uint32_t block = addr >> prm.cache.blockBits();
+
+    // Wait until the MSHR file has a free entry, charging the stall.
+    auto wait_for_entry = [&](uint64_t from) {
+        uint64_t free_at = mshr.whenFree(from);
+        if (free_at > from)
+            mshr.noteFullStall(free_at - from);
+        return free_at;
+    };
+
+    if (acc.hit) {
+        if (!mshr.enabled())
+            return {at, true};
+        // The tag model fills on the primary miss, so an access to a
+        // line whose fill is still in flight looks like a hit; its data
+        // is only available once the fill lands.
+        uint64_t fill = mshr.inflightFill(block, at);
+        if (!fill)
+            return {at, true};
+        if (mshr.mergeSecondary()) {
+            mshr.noteMerge();
+            return {fill, true};
+        }
+        // No secondary-miss support: re-request the line below,
+        // occupying a fresh entry.
+        uint64_t start = wait_for_entry(at);
+        LevelResult below = next.access(addr, false, start);
+        mshr.allocate(block, start, below.doneCycle);
+        return {below.doneCycle, true};
+    }
+
+    // Primary miss.
+    uint64_t start = at;
+    if (mshr.enabled())
+        start = wait_for_entry(at);
+    if (acc.writeback && wb.enabled()) {
+        // The dirty victim needs a writeback-buffer slot before the
+        // fill may proceed; the drain itself is traffic to the level
+        // below (write-allocate there is the victim's home).
+        uint64_t free_at = wb.whenFree(start);
+        if (free_at > start) {
+            wb.noteFullStall(free_at - start);
+            start = free_at;
+        }
+        LevelResult drained = next.access(acc.victimAddr, true, start);
+        wb.occupy(start, drained.doneCycle);
+    }
+    // The line fill is a read from below regardless of the demand type
+    // (write-allocate).
+    LevelResult below = next.access(addr, false, start);
+    if (mshr.enabled())
+        mshr.allocate(block, start, below.doneCycle);
+    return {below.doneCycle, false};
+}
+
+void
+CacheLevel::reset()
+{
+    cache.reset();
+    mshr.reset();
+    wb.reset();
+}
+
+LevelStats
+CacheLevel::stats() const
+{
+    LevelStats s;
+    s.name = name_;
+    s.accesses = cache.accesses();
+    s.misses = cache.misses();
+    s.writebacks = cache.writebacks();
+    s.missRatio = cache.missRatio();
+    s.mshr = mshr.stats();
+    s.wbFullStallCycles = wb.fullStallCycles();
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// MemHierarchy
+
+MemHierarchy::MemHierarchy(const CacheConfig &l1,
+                           const HierarchyConfig &config)
+    : cfg(config)
+{
+    l1.validate("L1 data cache");
+    cfg.validate();
+
+    CacheLevel::Params p1{l1, 0, cfg.l1Mshr, cfg.l1WbEntries};
+    if (cfg.depth == HierarchyDepth::Flat) {
+        flat_ = std::make_unique<FixedLatencyMem>(l1.missLatency);
+        l1_ = std::make_unique<CacheLevel>("L1D", p1, *flat_);
+    } else {
+        FACSIM_ASSERT(cfg.l2.blockBytes >= l1.blockBytes,
+                      "L2 block (%uB) must be at least the L1 block "
+                      "(%uB)",
+                      cfg.l2.blockBytes, l1.blockBytes);
+        FACSIM_ASSERT(cfg.l2.sizeBytes >= l1.sizeBytes,
+                      "L2 (%uB) must be at least as large as L1 (%uB)",
+                      cfg.l2.sizeBytes, l1.sizeBytes);
+        dram_ = std::make_unique<DramModel>(cfg.dram);
+        CacheLevel::Params p2{cfg.l2, cfg.l2HitLatency, cfg.l2Mshr,
+                              cfg.l2WbEntries};
+        l2_ = std::make_unique<CacheLevel>("L2", p2, *dram_);
+        l1_ = std::make_unique<CacheLevel>("L1D", p1, *l2_);
+    }
+    if (cfg.tlbEnabled)
+        tlb_ = std::make_unique<Tlb>(cfg.tlbEntries, cfg.tlbPageBytes);
+}
+
+uint64_t
+MemHierarchy::translate(uint32_t addr, uint64_t t)
+{
+    if (!tlb_)
+        return t;
+    return tlb_->access(addr) ? t : t + cfg.tlbMissPenalty;
+}
+
+MemResult
+MemHierarchy::read(uint32_t addr, uint64_t t)
+{
+    LevelResult r = l1_->access(addr, false, translate(addr, t));
+    return {r.doneCycle, r.hit};
+}
+
+MemResult
+MemHierarchy::write(uint32_t addr, uint64_t t)
+{
+    LevelResult r = l1_->access(addr, true, translate(addr, t));
+    return {r.doneCycle, r.hit};
+}
+
+void
+MemHierarchy::reset()
+{
+    l1_->reset();
+    if (l2_)
+        l2_->reset();
+    if (dram_)
+        dram_->reset();
+    if (flat_)
+        flat_->reset();
+    if (tlb_)
+        tlb_->reset();
+}
+
+HierarchyStats
+MemHierarchy::snapshot() const
+{
+    HierarchyStats s;
+    s.levels.push_back(l1_->stats());
+    if (l2_)
+        s.levels.push_back(l2_->stats());
+    if (dram_) {
+        s.hasDram = true;
+        s.dram = dram_->stats();
+    }
+    if (tlb_) {
+        s.tlbAccesses = tlb_->accesses();
+        s.tlbMisses = tlb_->misses();
+    }
+    return s;
+}
+
+} // namespace facsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The pluggable memory-port abstraction between the pipeline's MEM
+ * stage and the data memory system.
+ *
+ * The paper's machine (Table 5) hard-wires a flat 16 KB data cache with
+ * a fixed 6-cycle miss penalty; the pipeline only ever needed a hit/miss
+ * bool. A multi-level hierarchy cannot be described that way — an access
+ * may hit L1, hit an in-flight fill, hit L2, or go to DRAM behind a
+ * queue — so the port contract is a *completion cycle*: "present this
+ * access at cycle t, receive the cycle its data is available". The
+ * pipeline stays in charge of ports, issue rules and speculation; the
+ * memory system owns everything below the first tag lookup.
+ *
+ * `MemPort` is the core-facing interface (read/write with L1-hit
+ * visibility for the pipeline's miss statistics); `MemLevel` is the
+ * level-to-level interface a hierarchy is composed from (each level
+ * forwards its misses to the level below it).
+ */
+
+#ifndef FACSIM_MEM_HIERARCHY_MEM_PORT_HH
+#define FACSIM_MEM_HIERARCHY_MEM_PORT_HH
+
+#include <cstdint>
+
+namespace facsim
+{
+
+/** Outcome of one data access presented to a memory port. */
+struct MemResult
+{
+    uint64_t doneCycle = 0;  ///< cycle the data is available to the core
+    bool l1Hit = true;       ///< the first-level tag lookup hit
+};
+
+/** Core-facing data-memory interface consumed by the pipeline. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** Load access arriving at cycle @p t. */
+    virtual MemResult read(uint32_t addr, uint64_t t) = 0;
+
+    /** Store (store-buffer retirement) arriving at cycle @p t. */
+    virtual MemResult write(uint32_t addr, uint64_t t) = 0;
+
+    /** Invalidate all state and clear statistics. */
+    virtual void reset() = 0;
+};
+
+/** Outcome of an access serviced by one hierarchy level. */
+struct LevelResult
+{
+    uint64_t doneCycle = 0;  ///< cycle this level can deliver the data
+    bool hit = true;         ///< the level's tag lookup hit
+};
+
+/** One level of a memory hierarchy (a cache level or a backend). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Service a demand access arriving at cycle @p t.
+     * @param addr full byte address (levels derive their own block).
+     * @param is_write write traffic (writebacks from above / store fills).
+     * @param t cycle the request reaches this level.
+     */
+    virtual LevelResult access(uint32_t addr, bool is_write, uint64_t t) = 0;
+
+    virtual void reset() = 0;
+
+    /** Display name ("L2", "dram", ...). */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Fixed-latency, infinite-bandwidth backend — the paper's implicit
+ * memory: every miss costs exactly `latency` cycles, misses never queue
+ * and writebacks are free. Terminating a hierarchy with this level and
+ * no MSHR/writeback modelling reproduces the flat machine bit for bit.
+ */
+class FixedLatencyMem final : public MemLevel
+{
+  public:
+    explicit FixedLatencyMem(unsigned latency) : lat(latency) {}
+
+    LevelResult
+    access(uint32_t, bool, uint64_t t) override
+    {
+        return {t + lat, true};
+    }
+
+    void reset() override {}
+    const char *name() const override { return "mem"; }
+
+  private:
+    unsigned lat;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_MEM_HIERARCHY_MEM_PORT_HH

@@ -35,6 +35,38 @@ facPipelineConfig(uint32_t dcache_block_bytes, bool speculate_rr,
     return c;
 }
 
+HierarchyConfig
+paperHierarchy()
+{
+    return HierarchyConfig{};  // Flat, untracked, free writebacks
+}
+
+HierarchyConfig
+modernHierarchy()
+{
+    HierarchyConfig h;
+    h.depth = HierarchyDepth::L2;
+    h.l1Mshr = MshrConfig{8, true};
+    h.l1WbEntries = 4;
+    h.l2 = CacheConfig{256 * 1024, 64, 8, 0};
+    h.l2HitLatency = 12;
+    h.l2Mshr = MshrConfig{16, true};
+    h.l2WbEntries = 8;
+    h.dram = DramConfig{80, 8};
+    return h;
+}
+
+HierarchyConfig
+hierarchyPreset(const std::string &name)
+{
+    if (name == "paper")
+        return paperHierarchy();
+    if (name == "modern")
+        return modernHierarchy();
+    fatal("unknown hierarchy preset '%s' (expected 'paper' or 'modern')",
+          name.c_str());
+}
+
 PipelineConfig
 agiConfig(uint32_t dcache_block_bytes)
 {
@@ -98,6 +130,29 @@ describeConfig(const PipelineConfig &c)
                    c.dcache.sizeBytes / 1024, c.dcache.blockBytes,
                    c.dcache.missLatency,
                    c.perfectDCache ? " (PERFECT)" : "");
+    if (c.hierarchy.depth == HierarchyDepth::L2) {
+        const HierarchyConfig &h = c.hierarchy;
+        s += strprintf("L1 MSHRs:     %u entries, secondary misses %s, "
+                       "%u writeback slots\n",
+                       h.l1Mshr.entries,
+                       h.l1Mshr.mergeSecondary ? "merge" : "re-request",
+                       h.l1WbEntries);
+        s += strprintf("L2:           %uk %u-way unified, %uB blocks, "
+                       "%u-cycle hit, %u MSHRs, %u writeback slots\n",
+                       h.l2.sizeBytes / 1024, h.l2.assoc, h.l2.blockBytes,
+                       h.l2HitLatency, h.l2Mshr.entries, h.l2WbEntries);
+        s += strprintf("DRAM:         %u-cycle latency, 1 request / %u "
+                       "cycles\n",
+                       h.dram.latency, h.dram.issueInterval);
+    } else {
+        s += "Hierarchy:    flat (L1 miss = fixed latency; paper preset)\n";
+    }
+    if (c.hierarchy.tlbEnabled) {
+        s += strprintf("D-TLB:        %u entries, %uB pages, %u-cycle "
+                       "miss penalty\n",
+                       c.hierarchy.tlbEntries, c.hierarchy.tlbPageBytes,
+                       c.hierarchy.tlbMissPenalty);
+    }
     s += strprintf("Store buffer: %u entries, non-merging\n",
                    c.storeBufferEntries);
     s += strprintf("Loads:        %s\n",

@@ -42,6 +42,27 @@ PipelineConfig oneCyclePerfectConfig(uint32_t dcache_block_bytes = 32);
 FacConfig facConfigFor(const CacheConfig &dcache, bool speculate_rr = true,
                        bool full_tag_add = true);
 
+/**
+ * Flat single-level memory hierarchy — the paper's machine (Table 5):
+ * every L1 miss costs `dcache.missLatency` cycles, misses are unbounded
+ * and untracked, writebacks are free. This is the default in
+ * `PipelineConfig`; results are bit-identical to the pre-hierarchy
+ * simulator.
+ */
+HierarchyConfig paperHierarchy();
+
+/**
+ * A deeper, contemporary hierarchy under the same 16 KB L1: 256 KB
+ * 8-way unified L2 (64 B blocks, 12-cycle L1-miss-to-data), 8 L1 MSHRs
+ * with secondary-miss merging, 4 L1 writeback-buffer slots, 16 L2
+ * MSHRs, 8 L2 writeback slots, and an 80-cycle DRAM that can start one
+ * request every 8 cycles.
+ */
+HierarchyConfig modernHierarchy();
+
+/** Look up a hierarchy preset by name ("paper" or "modern"). */
+HierarchyConfig hierarchyPreset(const std::string &name);
+
 /** Render the Table 5 parameter listing for a configuration. */
 std::string describeConfig(const PipelineConfig &config);
 

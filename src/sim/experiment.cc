@@ -39,6 +39,8 @@ runProfile(const ProfileRequest &req)
     for (size_t i = 0; i < prof.numLtbConfigs(); ++i)
         res.ltb.push_back(prof.ltb(i));
     res.tlbMissRatio = prof.tlbMissRatio();
+    res.tlbAccesses = prof.tlbAccesses();
+    res.tlbMisses = prof.tlbMisses();
     res.memUsageBytes = machine.memUsageBytes();
     return res;
 }
@@ -51,6 +53,7 @@ runTiming(const TimingRequest &req)
 
     TimingResult res;
     res.stats = pipe.run(req.maxInsts);
+    res.hier = pipe.hierarchyStats();
     res.memUsageBytes = machine.memUsageBytes();
     return res;
 }

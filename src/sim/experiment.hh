@@ -57,6 +57,9 @@ struct ProfileResult
     /** One entry per requested LtbRequest. */
     std::vector<LtbProfile> ltb;
     double tlbMissRatio = 0.0;
+    /** Raw TLB counters (0 unless withTlb; exported to bench JSON). */
+    uint64_t tlbAccesses = 0;
+    uint64_t tlbMisses = 0;
     uint64_t memUsageBytes = 0;
 };
 
@@ -76,6 +79,8 @@ struct TimingRequest
 struct TimingResult
 {
     PipeStats stats;
+    /** Per-level hierarchy counters (L1D [, L2, DRAM], TLB). */
+    HierarchyStats hier;
     uint64_t memUsageBytes = 0;
 };
 

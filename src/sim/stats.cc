@@ -33,4 +33,20 @@ pctChange(double before, double after)
     return before != 0.0 ? (after - before) / before * 100.0 : 0.0;
 }
 
+double
+ratio(uint64_t num, uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+bool
+isNonIncreasing(const std::vector<double> &values, double tol)
+{
+    for (size_t i = 1; i < values.size(); ++i) {
+        if (values[i] > values[i - 1] + tol)
+            return false;
+    }
+    return true;
+}
+
 } // namespace facsim

@@ -27,6 +27,19 @@ double speedup(uint64_t base_cycles, uint64_t new_cycles);
 /** Percent change from @p before to @p after (+/-). */
 double pctChange(double before, double after);
 
+/**
+ * @p num / @p den with a zero guard — the per-level hit/miss/occupancy
+ * ratios the hierarchy benches report. Returns 0 when @p den is 0.
+ */
+double ratio(uint64_t num, uint64_t den);
+
+/**
+ * True iff @p values never increase (within @p tol) along the vector —
+ * the monotonicity check the hierarchy ablation applies to FAC speedup
+ * as DRAM latency grows.
+ */
+bool isNonIncreasing(const std::vector<double> &values, double tol = 0.0);
+
 } // namespace facsim
 
 #endif // FACSIM_SIM_STATS_HH

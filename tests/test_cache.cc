@@ -104,10 +104,82 @@ TEST(Cache, MissRatioAndReset)
     EXPECT_FALSE(c.read(0x0).hit);
 }
 
+TEST(Cache, FourWayLruEvictionOrder)
+{
+    // One set holds four lines; touching them in a known order must
+    // evict strictly least-recently-used first.
+    Cache c(CacheConfig{128, 32, 4, 6});
+    c.read(0x000);
+    c.read(0x080);
+    c.read(0x100);
+    c.read(0x180);
+    c.read(0x000);            // order is now 080, 100, 180, 000
+    c.read(0x080);            // order is now 100, 180, 000, 080
+    c.read(0x200);            // evicts 0x100
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x180));
+    c.read(0x280);            // evicts 0x180
+    EXPECT_FALSE(c.probe(0x180));
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(Cache, DirtyWritebackPerWayAtAssocTwo)
+{
+    // Dirty state must follow the way, not the set: evicting the clean
+    // way of a set with one dirty way is free; evicting the dirty way
+    // writes back.
+    Cache c(CacheConfig{1024, 32, 2, 6});
+    c.write(0x0);             // way A dirty
+    c.read(0x200);            // way B clean
+    c.write(0x0);             // A is MRU; B is the next victim
+    CacheAccess clean = c.read(0x400);
+    EXPECT_FALSE(clean.writeback);
+    // Now A (0x0, dirty) is LRU behind 0x400.
+    c.read(0x400);
+    CacheAccess dirty = c.read(0x600);
+    EXPECT_TRUE(dirty.writeback);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, VictimAddressReconstructsEvictedBlock)
+{
+    Cache c(CacheConfig{1024, 32, 1, 6});
+    c.write(0x12340);                  // dirty, set = (0x12340/32) % 32
+    CacheAccess a = c.read(0x12340 + 1024);  // same set, evicts it
+    EXPECT_TRUE(a.writeback);
+    EXPECT_EQ(a.victimAddr, 0x12340u);
+    // Two-way: the victim is the LRU way's block, not the incoming one.
+    Cache c2(CacheConfig{1024, 32, 2, 6});
+    c2.write(0x0);
+    c2.write(0x200);
+    c2.read(0x0);
+    CacheAccess b = c2.read(0x400);    // evicts LRU = 0x200
+    EXPECT_TRUE(b.writeback);
+    EXPECT_EQ(b.victimAddr, 0x200u);
+}
+
 TEST(CacheDeathTest, RejectsBadGeometry)
 {
     EXPECT_DEATH(Cache(CacheConfig{1000, 32, 1, 6}), "powers of two");
     EXPECT_DEATH(Cache(CacheConfig{32, 32, 4, 6}), "too small");
+}
+
+TEST(CacheDeathTest, ValidateRejectsIncoherentShapes)
+{
+    // Block larger than the whole cache.
+    EXPECT_DEATH((CacheConfig{1024, 2048, 1, 6}.validate()),
+                 "larger than");
+    // Sub-word blocks.
+    EXPECT_DEATH((CacheConfig{1024, 2, 1, 6}.validate()), "smaller than");
+    // Associativity that cannot fit even one set.
+    EXPECT_DEATH((CacheConfig{128, 32, 8, 6}.validate()), "too small");
+    // Non-power-of-two associativity.
+    EXPECT_DEATH((CacheConfig{1024, 32, 3, 6}.validate()),
+                 "powers of two");
+    // A coherent shape passes (validate returns normally).
+    CacheConfig{1024, 32, 4, 6}.validate();
 }
 
 } // anonymous namespace

@@ -25,6 +25,12 @@
  *   --agi              AGI pipeline organisation (time)
  *   --compare          also run the plain baseline and print the speedup
  *   --block=16|32      data-cache block size (default 32)
+ *   --hierarchy=NAME   memory hierarchy preset: 'paper' (flat 6-cycle,
+ *                      default) or 'modern' (L2 + MSHRs + DRAM) (time)
+ *   --dram-lat=N       override the preset's DRAM latency (time)
+ *   --mshrs=N          override the preset's L1 MSHR entry count (time)
+ *   --tlb-penalty=N    model a 64-entry data TLB whose misses add N
+ *                      cycles to the access (time)
  *   --no-rr            disable register+register speculation
  *   --max-insts=N      stop after N instructions
  *   --scale=N          workload scale (built-in workloads)
@@ -62,6 +68,11 @@ struct CliOptions
     bool compare = false;
     bool specRr = true;
     uint32_t block = 32;
+    std::string hierarchy = "paper";
+    /** Preset overrides; UINT32_MAX / -1 = keep the preset's value. */
+    uint32_t dramLat = UINT32_MAX;
+    uint32_t mshrs = UINT32_MAX;
+    uint32_t tlbPenalty = UINT32_MAX;
     uint64_t maxInsts = 0;
     uint64_t scale = 1;
     uint64_t trace = 0;
@@ -101,6 +112,15 @@ parseOptions(int argc, char **argv, int first)
             o.specRr = false;
         else if (const char *v = val("--block="))
             o.block = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = val("--hierarchy="))
+            o.hierarchy = v;
+        else if (const char *v = val("--dram-lat="))
+            o.dramLat = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = val("--mshrs="))
+            o.mshrs = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = val("--tlb-penalty="))
+            o.tlbPenalty =
+                static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
         else if (const char *v = val("--max-insts="))
             o.maxInsts = std::strtoull(v, nullptr, 0);
         else if (const char *v = val("--scale="))
@@ -122,14 +142,33 @@ policyOf(const CliOptions &o)
                      : CodeGenPolicy::baseline();
 }
 
+HierarchyConfig
+hierarchyOf(const CliOptions &o)
+{
+    HierarchyConfig h = hierarchyPreset(o.hierarchy);
+    if (o.dramLat != UINT32_MAX)
+        h.dram.latency = o.dramLat;
+    if (o.mshrs != UINT32_MAX)
+        h.l1Mshr.entries = o.mshrs;
+    if (o.tlbPenalty != UINT32_MAX) {
+        h.tlbEnabled = true;
+        h.tlbMissPenalty = o.tlbPenalty;
+    }
+    return h;
+}
+
 PipelineConfig
 pipeOf(const CliOptions &o)
 {
+    PipelineConfig c;
     if (o.agi)
-        return agiConfig(o.block);
-    if (o.fac)
-        return facPipelineConfig(o.block, o.specRr);
-    return baselineConfig(o.block);
+        c = agiConfig(o.block);
+    else if (o.fac)
+        c = facPipelineConfig(o.block, o.specRr);
+    else
+        c = baselineConfig(o.block);
+    c.hierarchy = hierarchyOf(o);
+    return c;
 }
 
 /** A loaded program ready to execute (from a .s file). */
@@ -189,6 +228,58 @@ printPipeStats(const PipeStats &st)
                     static_cast<unsigned long long>(st.loadSpecFailures),
                     static_cast<unsigned long long>(st.storeSpecFailures),
                     100.0 * st.bandwidthOverhead());
+    }
+}
+
+/**
+ * Per-level hierarchy detail, printed only when the memory system has
+ * something the flat paper machine doesn't (an L2, MSHRs, or a TLB).
+ */
+void
+printHierarchyStats(const HierarchyStats &s)
+{
+    bool interesting = s.levels.size() > 1 || s.tlbAccesses ||
+        (!s.levels.empty() && s.levels[0].mshr.allocations);
+    if (!interesting)
+        return;
+    for (const LevelStats &l : s.levels) {
+        std::printf("%-4s accesses:     %llu (miss ratio %.2f%%, "
+                    "%llu writebacks)\n",
+                    l.name.c_str(),
+                    static_cast<unsigned long long>(l.accesses),
+                    100.0 * l.missRatio,
+                    static_cast<unsigned long long>(l.writebacks));
+        if (l.mshr.allocations) {
+            std::printf("%-4s MSHRs:        %llu fills, %llu merges, "
+                        "peak %u in flight, %llu full-stall cycles\n",
+                        l.name.c_str(),
+                        static_cast<unsigned long long>(
+                            l.mshr.allocations),
+                        static_cast<unsigned long long>(l.mshr.merges),
+                        l.mshr.maxOccupancy,
+                        static_cast<unsigned long long>(
+                            l.mshr.fullStallCycles));
+        }
+        if (l.wbFullStallCycles) {
+            std::printf("%-4s WB stalls:    %llu cycles\n",
+                        l.name.c_str(),
+                        static_cast<unsigned long long>(
+                            l.wbFullStallCycles));
+        }
+    }
+    if (s.hasDram) {
+        std::printf("DRAM traffic:      %llu reads, %llu writes, "
+                    "%llu queued cycles\n",
+                    static_cast<unsigned long long>(s.dram.reads),
+                    static_cast<unsigned long long>(s.dram.writes),
+                    static_cast<unsigned long long>(s.dram.queuedCycles));
+    }
+    if (s.tlbAccesses) {
+        std::printf("D-TLB:             %llu accesses, %llu misses "
+                    "(%.3f%%)\n",
+                    static_cast<unsigned long long>(s.tlbAccesses),
+                    static_cast<unsigned long long>(s.tlbMisses),
+                    100.0 * s.tlbMissRatio());
     }
 }
 
@@ -261,14 +352,20 @@ cmdTime(const std::string &target, const CliOptions &o)
             return req;
         };
         std::vector<TimingRequest> reqs{requestWith(pipeOf(o))};
-        if (o.compare)
-            reqs.push_back(requestWith(baselineConfig(o.block)));
+        if (o.compare) {
+            // The baseline shares the memory system so the speedup
+            // isolates the pipeline change.
+            PipelineConfig base = baselineConfig(o.block);
+            base.hierarchy = hierarchyOf(o);
+            reqs.push_back(requestWith(base));
+        }
 
         RunnerReport report;
         std::vector<TimingResult> res =
             Runner(o.jobs).runTimings(reqs, &report);
 
         printPipeStats(res[0].stats);
+        printHierarchyStats(res[0].hier);
         if (o.compare) {
             uint64_t base = res[1].stats.cycles;
             std::printf("baseline cycles:   %llu\n",
@@ -286,15 +383,22 @@ cmdTime(const std::string &target, const CliOptions &o)
         return 0;
     }
 
-    auto timeWith = [&](const PipelineConfig &cfg) {
+    auto timeWith = [&](const PipelineConfig &cfg, HierarchyStats *hs) {
         auto l = loadAsm(target, o);
         Pipeline pipe(cfg, *l->emu);
-        return pipe.run(o.maxInsts);
+        PipeStats st = pipe.run(o.maxInsts);
+        if (hs)
+            *hs = pipe.hierarchyStats();
+        return st;
     };
-    PipeStats st = timeWith(pipeOf(o));
+    HierarchyStats hier;
+    PipeStats st = timeWith(pipeOf(o), &hier);
     printPipeStats(st);
+    printHierarchyStats(hier);
     if (o.compare) {
-        PipeStats base = timeWith(baselineConfig(o.block));
+        PipelineConfig bcfg = baselineConfig(o.block);
+        bcfg.hierarchy = hierarchyOf(o);
+        PipeStats base = timeWith(bcfg, nullptr);
         std::printf("baseline cycles:   %llu\n",
                     static_cast<unsigned long long>(base.cycles));
         std::printf("speedup:           %.3f\n",
