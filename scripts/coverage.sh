@@ -1,0 +1,79 @@
+#!/bin/sh
+# Aggregate line coverage over src/ and enforce a floor.
+#
+#   coverage.sh <build-dir> <source-root> <floor-percent>
+#
+# Prefers gcovr when installed (CI installs it); otherwise falls back
+# to raw gcov, merging per-line execution counts across translation
+# units so headers included from many TUs are not double-counted.
+set -eu
+
+BUILD=$1
+ROOT=$2
+FLOOR=$3
+
+if command -v gcovr >/dev/null 2>&1; then
+    exec gcovr --root "$ROOT" --filter "$ROOT/src/" \
+        --object-directory "$BUILD" \
+        --print-summary --fail-under-line "$FLOOR"
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Generate .gcov reports for every profiled object into TMP; -p keeps
+# the full source path mangled into the report file name so distinct
+# sources never collide.
+find "$BUILD" -name '*.gcda' | while read -r gcda; do
+    (cd "$TMP" && gcov -p -o "$(dirname "$gcda")" "$gcda" \
+        >/dev/null 2>&1) || true
+done
+
+if ! ls "$TMP"/*.gcov >/dev/null 2>&1; then
+    echo "coverage.sh: no .gcov reports produced — did the tests run?" >&2
+    exit 1
+fi
+
+# Merge: a line is covered if any TU executed it. Only sources under
+# $ROOT/src/ count toward the floor.
+awk -v root="$ROOT/src/" -v floor="$FLOOR" '
+    /:[ \t]*0:Source:/ {
+        split($0, a, ":Source:")
+        src = a[2]
+        relevant = (index(src, root) == 1)
+        next
+    }
+    !relevant { next }
+    {
+        split($0, a, ":")
+        count = a[1]
+        line = a[2] + 0
+        gsub(/[ \t*]/, "", count)
+        if (count == "-" || line == 0)
+            next
+        key = src SUBSEP line
+        seen[key] = 1
+        if (count !~ /[#=]/ && count + 0 > 0)
+            hit[key] = 1
+    }
+    END {
+        total = 0; covered = 0
+        for (k in seen) {
+            ++total
+            if (k in hit)
+                ++covered
+        }
+        if (total == 0) {
+            print "coverage.sh: no executable lines found under " root
+            exit 1
+        }
+        pct = 100.0 * covered / total
+        printf "line coverage over src/: %.1f%% (%d of %d lines)\n",
+            pct, covered, total
+        if (pct < floor) {
+            printf "FAIL: below the %d%% floor\n", floor
+            exit 1
+        }
+        printf "OK: meets the %d%% floor\n", floor
+    }
+' "$TMP"/*.gcov

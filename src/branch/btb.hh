@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -42,8 +44,23 @@ class Btb
      */
     void update(uint32_t pc, bool taken, uint32_t target);
 
+    /**
+     * Functional-warming train: identical table effect to update()
+     * (update() keeps no counters of its own, so this is an alias kept
+     * for interface symmetry with Cache::warm/Tlb::warm).
+     */
+    void warm(uint32_t pc, bool taken, uint32_t target)
+    {
+        update(pc, taken, target);
+    }
+
     /** Invalidate all entries and reset counters. */
     void reset();
+
+    /** Serialize table contents and statistics. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (table size must match). */
+    void loadState(ser::Reader &r);
 
     /** @{ @name Statistics (direction+target correctness) */
     uint64_t lookups() const { return lookups_; }

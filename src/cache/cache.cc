@@ -41,17 +41,13 @@ Cache::Cache(const CacheConfig &config)
 {
     cfg.validate();
     lines.resize(cfg.numSets() * cfg.assoc);
-}
-
-uint32_t
-Cache::setBase(uint32_t addr) const
-{
-    uint32_t set = (addr >> cfg.blockBits()) & (cfg.numSets() - 1);
-    return set * cfg.assoc;
+    blockBits_ = cfg.blockBits();
+    setShift_ = cfg.setBits();
+    setMask_ = cfg.numSets() - 1;
 }
 
 CacheAccess
-Cache::touch(uint32_t addr, bool is_write)
+Cache::touch(uint32_t addr, bool is_write, bool count_stats)
 {
     ++useClock;
     uint32_t base = setBase(addr);
@@ -87,7 +83,8 @@ Cache::touch(uint32_t addr, bool is_write)
     bool wb = line.valid && line.dirty;
     uint32_t victim_addr = 0;
     if (wb) {
-        ++writebacks_;
+        if (count_stats)
+            ++writebacks_;
         // Reconstruct the victim's block address from its tag and set.
         uint32_t set = base / cfg.assoc;
         victim_addr = (line.tag << cfg.setBits()) |
@@ -104,7 +101,7 @@ CacheAccess
 Cache::read(uint32_t addr)
 {
     ++reads_;
-    CacheAccess r = touch(addr, false);
+    CacheAccess r = touch(addr, false, true);
     if (!r.hit)
         ++readMisses_;
     return r;
@@ -114,10 +111,16 @@ CacheAccess
 Cache::write(uint32_t addr)
 {
     ++writes_;
-    CacheAccess r = touch(addr, true);
+    CacheAccess r = touch(addr, true, true);
     if (!r.hit)
         ++writeMisses_;
     return r;
+}
+
+CacheAccess
+Cache::warm(uint32_t addr, bool is_write)
+{
+    return touch(addr, is_write, false);
 }
 
 bool
@@ -142,6 +145,46 @@ Cache::reset()
     reads_ = writes_ = 0;
     readMisses_ = writeMisses_ = 0;
     writebacks_ = 0;
+}
+
+void
+Cache::saveState(ser::Writer &w) const
+{
+    w.u64(lines.size());
+    for (const Line &line : lines) {
+        w.u32(line.tag);
+        w.b(line.valid);
+        w.b(line.dirty);
+        w.u64(line.lastUse);
+    }
+    w.u64(useClock);
+    w.u64(reads_);
+    w.u64(writes_);
+    w.u64(readMisses_);
+    w.u64(writeMisses_);
+    w.u64(writebacks_);
+}
+
+void
+Cache::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == lines.size(),
+                  "checkpoint cache has %llu lines, this config has %zu "
+                  "(geometry mismatch)",
+                  static_cast<unsigned long long>(n), lines.size());
+    for (Line &line : lines) {
+        line.tag = r.u32();
+        line.valid = r.b();
+        line.dirty = r.b();
+        line.lastUse = r.u64();
+    }
+    useClock = r.u64();
+    reads_ = r.u64();
+    writes_ = r.u64();
+    readMisses_ = r.u64();
+    writeMisses_ = r.u64();
+    writebacks_ = r.u64();
 }
 
 } // namespace facsim

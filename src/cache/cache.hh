@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -69,11 +71,24 @@ class Cache
     /** Look up @p addr for a write; write-allocate, marks dirty. */
     CacheAccess write(uint32_t addr);
 
+    /**
+     * Functional-warming access: identical tag-fill/LRU/dirty behaviour
+     * to read()/write(), but updates no statistics counters. Used by
+     * sampled simulation to keep cache state warm during fast-forward
+     * without polluting measured-window stats.
+     */
+    CacheAccess warm(uint32_t addr, bool is_write);
+
     /** Tag probe with no state change (store-buffer tag check). */
     bool probe(uint32_t addr) const;
 
     /** Invalidate everything and clear statistics. */
     void reset();
+
+    /** Serialize tag state, LRU clock and statistics. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (geometry must match). */
+    void loadState(ser::Reader &r);
 
     /** Geometry this cache was built with. */
     const CacheConfig &config() const { return cfg; }
@@ -102,12 +117,22 @@ class Cache
     };
 
     /** Index of the first line of the set containing @p addr. */
-    uint32_t setBase(uint32_t addr) const;
-    uint32_t tagOf(uint32_t addr) const { return addr >> cfg.setBits(); }
+    uint32_t
+    setBase(uint32_t addr) const
+    {
+        return ((addr >> blockBits_) & setMask_) * cfg.assoc;
+    }
+    uint32_t tagOf(uint32_t addr) const { return addr >> setShift_; }
     /** Common lookup/fill; returns the access outcome. */
-    CacheAccess touch(uint32_t addr, bool is_write);
+    CacheAccess touch(uint32_t addr, bool is_write, bool count_stats);
 
     CacheConfig cfg;
+    // Geometry, precomputed once: touch() runs on every simulated
+    // cache access (and on every fast-forwarded one during sampling),
+    // so the field widths must not be re-derived per access.
+    unsigned blockBits_ = 0;
+    unsigned setShift_ = 0;
+    uint32_t setMask_ = 0;
     std::vector<Line> lines;
     uint64_t useClock = 0;
     uint64_t reads_ = 0, writes_ = 0;

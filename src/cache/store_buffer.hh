@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -81,6 +83,33 @@ class StoreBuffer
 
     /** Drop everything. */
     void clear() { entries.clear(); }
+
+    /** Serialize the pending entries, oldest first. */
+    void
+    saveState(ser::Writer &w) const
+    {
+        w.u64(entries.size());
+        for (const Entry &e : entries) {
+            w.u32(e.addr);
+            w.u64(e.seq);
+            w.b(e.addrValid);
+        }
+    }
+
+    /** Restore entries saved by saveState. */
+    void
+    loadState(ser::Reader &r)
+    {
+        entries.clear();
+        uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.addr = r.u32();
+            e.seq = r.u64();
+            e.addrValid = r.b();
+            entries.push_back(e);
+        }
+    }
 
   private:
     std::deque<Entry> entries;

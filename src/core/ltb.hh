@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -57,8 +59,20 @@ class Ltb
      */
     void update(uint32_t pc, uint32_t eff_addr);
 
+    /**
+     * Functional-warming train (alias of update(), which keeps no
+     * counters; kept for interface symmetry with the other warmable
+     * structures).
+     */
+    void warm(uint32_t pc, uint32_t eff_addr) { update(pc, eff_addr); }
+
     /** Invalidate all entries. */
     void reset();
+
+    /** Serialize table contents. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (table size must match). */
+    void loadState(ser::Reader &r);
 
     /** The active policy. */
     LtbPolicy policy() const { return pol; }

@@ -39,12 +39,13 @@ Emulator::setIntReg(unsigned r, uint32_t v)
 bool
 Emulator::step(ExecRecord *rec)
 {
-    return rec ? stepImpl<true>(rec) : stepImpl<false>(nullptr);
+    return rec ? stepImpl<true, false>(rec, nullptr)
+               : stepImpl<false, false>(nullptr, nullptr);
 }
 
-template <bool WithRec>
+template <bool WithRec, bool WithWarm>
 bool
-Emulator::stepImpl(ExecRecord *rec)
+Emulator::stepImpl(ExecRecord *rec, [[maybe_unused]] WarmSink *sink)
 {
     if (halted_)
         return false;
@@ -72,11 +73,14 @@ Emulator::stepImpl(ExecRecord *rec)
     };
     auto s = [&](uint8_t x) { return static_cast<int32_t>(regs[x]); };
 
+    [[maybe_unused]] bool warm_taken = false;
     auto branchTo = [&](bool cond) {
         if (cond) {
             next_pc = pc + 4 + (static_cast<uint32_t>(in.imm) << 2);
             if constexpr (WithRec)
                 r->taken = true;
+            if constexpr (WithWarm)
+                warm_taken = true;
         }
     };
 
@@ -174,6 +178,8 @@ Emulator::stepImpl(ExecRecord *rec)
         FACSIM_ASSERT((ea & (size - 1)) == 0,
                       "unaligned %s access at 0x%08x (pc 0x%08x)",
                       opName(in.op), ea, pc);
+        if constexpr (WithWarm)
+            sink->warmData(ea, isStore(in.op));
         switch (in.op) {
           case Op::LB: wr(in.rt, static_cast<uint32_t>(
                              static_cast<int8_t>(mem_.read8(ea)))); break;
@@ -237,23 +243,31 @@ Emulator::stepImpl(ExecRecord *rec)
         next_pc = static_cast<uint32_t>(in.imm) << 2;
         if constexpr (WithRec)
             r->taken = true;
+        if constexpr (WithWarm)
+            warm_taken = true;
         break;
       case Op::JAL:
         wr(reg::ra, pc + 4);
         next_pc = static_cast<uint32_t>(in.imm) << 2;
         if constexpr (WithRec)
             r->taken = true;
+        if constexpr (WithWarm)
+            warm_taken = true;
         break;
       case Op::JR:
         next_pc = regs[in.rs];
         if constexpr (WithRec)
             r->taken = true;
+        if constexpr (WithWarm)
+            warm_taken = true;
         break;
       case Op::JALR:
         wr(in.rd, pc + 4);
         next_pc = regs[in.rs];
         if constexpr (WithRec)
             r->taken = true;
+        if constexpr (WithWarm)
+            warm_taken = true;
         break;
 
       case Op::ADD_D: fregs[in.rd] = fregs[in.rs] + fregs[in.rt]; break;
@@ -308,6 +322,11 @@ Emulator::stepImpl(ExecRecord *rec)
               opName(in.op), pc);
     }
 
+    if constexpr (WithWarm) {
+        if (opFlags(in.op) & opclass::control)
+            sink->warmControl(pc, warm_taken, next_pc);
+    }
+
     pc_ = next_pc;
     if constexpr (WithRec)
         r->nextPc = next_pc;
@@ -320,10 +339,61 @@ Emulator::run(uint64_t max_insts)
 {
     uint64_t n = 0;
     while (!halted_ && (max_insts == 0 || n < max_insts)) {
-        stepImpl<false>(nullptr);
+        stepImpl<false, false>(nullptr, nullptr);
         ++n;
     }
     return n;
+}
+
+uint64_t
+Emulator::runWarm(uint64_t max_insts, unsigned iblock_bits,
+                  WarmSink &sink)
+{
+    uint64_t done = 0;
+    uint32_t prev_block = 0xffffffffu;
+    while (done < max_insts && !halted_) {
+        const uint32_t block = pc_ >> iblock_bits;
+        if (block != prev_block) {
+            prev_block = block;
+            sink.warmFetch(pc_);
+        }
+        if (!stepImpl<false, true>(nullptr, &sink))
+            break;
+        ++done;
+    }
+    return done;
+}
+
+void
+Emulator::saveState(ser::Writer &w) const
+{
+    for (uint32_t r : regs)
+        w.u32(r);
+    // FP registers as raw bit patterns so NaN payloads survive.
+    for (double f : fregs) {
+        uint64_t bits;
+        __builtin_memcpy(&bits, &f, 8);
+        w.u64(bits);
+    }
+    w.b(fpcc);
+    w.u32(pc_);
+    w.b(halted_);
+    w.u64(icount);
+}
+
+void
+Emulator::loadState(ser::Reader &r)
+{
+    for (uint32_t &reg : regs)
+        reg = r.u32();
+    for (double &f : fregs) {
+        uint64_t bits = r.u64();
+        __builtin_memcpy(&f, &bits, 8);
+    }
+    fpcc = r.b();
+    pc_ = r.u32();
+    halted_ = r.b();
+    icount = r.u64();
 }
 
 } // namespace facsim

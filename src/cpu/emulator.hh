@@ -16,6 +16,7 @@
 #include "isa/inst.hh"
 #include "link/linker.hh"
 #include "mem/memory.hh"
+#include "util/serialize.hh"
 
 namespace facsim
 {
@@ -66,6 +67,38 @@ class Emulator
     /** Run to completion (or @p max_insts), discarding records. */
     uint64_t run(uint64_t max_insts = 0);
 
+    /**
+     * Consumer of the functional-warming traffic produced by runWarm()
+     * during sampled-simulation fast-forward: instruction-block
+     * fetches, control transfers and data accesses, in retirement
+     * order.
+     */
+    class WarmSink
+    {
+      public:
+        virtual ~WarmSink() = default;
+        /** First fetch from a new instruction block. */
+        virtual void warmFetch(uint32_t pc) = 0;
+        /** Retired control transfer. */
+        virtual void warmControl(uint32_t pc, bool taken,
+                                 uint32_t next_pc) = 0;
+        /** Retired data access. */
+        virtual void warmData(uint32_t addr, bool is_store) = 0;
+    };
+
+    /**
+     * Run up to @p max_insts instructions, reporting warming traffic
+     * to @p sink without materializing per-instruction ExecRecords
+     * (the sampled-simulation fast-forward hot loop). warmFetch fires
+     * once per transition between instruction blocks of 2^@p
+     * iblock_bits bytes; a retiring HALT is counted and fetch-warmed
+     * but reported as neither control nor data traffic.
+     *
+     * @return the number of instructions retired.
+     */
+    uint64_t runWarm(uint64_t max_insts, unsigned iblock_bits,
+                     WarmSink &sink);
+
     /** True once HALT has executed. */
     bool halted() const { return halted_; }
 
@@ -90,10 +123,24 @@ class Emulator
     /** The memory this CPU executes against. */
     Memory &memory() { return mem_; }
 
+    /**
+     * Serialize the architectural register state (integer/FP registers,
+     * FP condition code, PC, halt flag, instruction count). Memory is
+     * serialized separately by the owner (it is shared state).
+     */
+    void saveState(ser::Writer &w) const;
+
+    /** Restore state saved by saveState (same program required). */
+    void loadState(ser::Reader &r);
+
   private:
-    /** Core of step(); WithRec elides all ExecRecord bookkeeping. */
-    template <bool WithRec>
-    bool stepImpl(ExecRecord *rec);
+    /**
+     * Core of step()/runWarm(). WithRec fills *rec with the execution
+     * record; WithWarm reports warming traffic to *sink. Both compile
+     * out entirely when false.
+     */
+    template <bool WithRec, bool WithWarm>
+    bool stepImpl(ExecRecord *rec, WarmSink *sink);
 
     [[noreturn]] void fetchFault(uint32_t pc) const;
 

@@ -528,83 +528,86 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
     return true;
 }
 
+void
+Pipeline::stepCycle(bool allow_fetch)
+{
+    // Slot (cycle+2) cannot yet hold valid reservations (they are
+    // made at most one cycle ahead), so recycle it now.
+    readPorts[(cycle + 2) % portWindow] = 0;
+
+    // Apply MEM-stage store-address patches due this cycle.
+    for (auto it = patches.begin(); it != patches.end();) {
+        if (it->applyCycle <= cycle) {
+            sbuf.patchAddr(it->seq, it->addr);
+            it = patches.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    if (allow_fetch && !traceDone && !awaitingRedirect &&
+        cycle >= fetchReadyCycle && fbuf.size() < cfg.fetchBufferSize) {
+        fetchGroup();
+    }
+
+    unsigned nloads = 0, nstores = 0;
+    bool forced_retire = false;
+    unsigned issued = 0;
+    for (unsigned slot = 0; slot < cfg.issueWidth; ++slot) {
+        if (!tryIssue(nloads, nstores, forced_retire))
+            break;
+        ++issued;
+    }
+    if (issued == 0 && !halted) {
+        switch (lastStall) {
+          case StallReason::Fetch: ++st.stallFetch; break;
+          case StallReason::Data: ++st.stallData; break;
+          case StallReason::Structural: ++st.stallStructural; break;
+          case StallReason::StoreBuffer:
+            ++st.stallStoreBuffer;
+            break;
+          case StallReason::None: break;
+        }
+    }
+
+    // Store-buffer retirement: the data cache is "unused" when no
+    // load accessed it this cycle; a pipeline stalled on a full
+    // buffer forces the oldest entry out regardless.
+    if ((readPortsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
+        const StoreBuffer::Entry ent = sbuf.front();
+        sbuf.pop();
+        ++st.dcacheAccesses;
+        if (!cfg.perfectDCache) {
+            // Store completion is fire-and-forget: the buffer entry
+            // is gone and writes never block the core, so only the
+            // hit/miss outcome is consumed (tag state and any
+            // MSHR/DRAM occupancy still advance inside the port).
+            MemResult r = dmem.write(ent.addr, cycle);
+            if (!r.l1Hit)
+                ++st.dcacheMisses;
+        }
+        if (storeRetireHook)
+            storeRetireHook(ent.seq, ent.addr);
+    }
+
+    if (st.insts != lastProgressInsts) {
+        lastProgressInsts = st.insts;
+        lastProgressCycle = cycle;
+    } else if (cycle - lastProgressCycle > 100000) {
+        panic("pipeline deadlock: no instruction issued for 100k "
+              "cycles (cycle %llu, %llu insts)",
+              static_cast<unsigned long long>(cycle),
+              static_cast<unsigned long long>(st.insts));
+    }
+
+    ++cycle;
+}
+
 PipeStats
 Pipeline::run(uint64_t max_insts)
 {
-    uint64_t last_progress_cycle = 0;
-    uint64_t last_insts = 0;
-
     while (!halted) {
-        // Slot (cycle+2) cannot yet hold valid reservations (they are
-        // made at most one cycle ahead), so recycle it now.
-        readPorts[(cycle + 2) % portWindow] = 0;
-
-        // Apply MEM-stage store-address patches due this cycle.
-        for (auto it = patches.begin(); it != patches.end();) {
-            if (it->applyCycle <= cycle) {
-                sbuf.patchAddr(it->seq, it->addr);
-                it = patches.erase(it);
-            } else {
-                ++it;
-            }
-        }
-
-        if (!traceDone && !awaitingRedirect && cycle >= fetchReadyCycle &&
-            fbuf.size() < cfg.fetchBufferSize) {
-            fetchGroup();
-        }
-
-        unsigned nloads = 0, nstores = 0;
-        bool forced_retire = false;
-        unsigned issued = 0;
-        for (unsigned slot = 0; slot < cfg.issueWidth; ++slot) {
-            if (!tryIssue(nloads, nstores, forced_retire))
-                break;
-            ++issued;
-        }
-        if (issued == 0 && !halted) {
-            switch (lastStall) {
-              case StallReason::Fetch: ++st.stallFetch; break;
-              case StallReason::Data: ++st.stallData; break;
-              case StallReason::Structural: ++st.stallStructural; break;
-              case StallReason::StoreBuffer:
-                ++st.stallStoreBuffer;
-                break;
-              case StallReason::None: break;
-            }
-        }
-
-        // Store-buffer retirement: the data cache is "unused" when no
-        // load accessed it this cycle; a pipeline stalled on a full
-        // buffer forces the oldest entry out regardless.
-        if ((readPortsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
-            const StoreBuffer::Entry ent = sbuf.front();
-            sbuf.pop();
-            ++st.dcacheAccesses;
-            if (!cfg.perfectDCache) {
-                // Store completion is fire-and-forget: the buffer entry
-                // is gone and writes never block the core, so only the
-                // hit/miss outcome is consumed (tag state and any
-                // MSHR/DRAM occupancy still advance inside the port).
-                MemResult r = dmem.write(ent.addr, cycle);
-                if (!r.l1Hit)
-                    ++st.dcacheMisses;
-            }
-            if (storeRetireHook)
-                storeRetireHook(ent.seq, ent.addr);
-        }
-
-        if (st.insts != last_insts) {
-            last_insts = st.insts;
-            last_progress_cycle = cycle;
-        } else if (cycle - last_progress_cycle > 100000) {
-            panic("pipeline deadlock: no instruction issued for 100k "
-                  "cycles (cycle %llu, %llu insts)",
-                  static_cast<unsigned long long>(cycle),
-                  static_cast<unsigned long long>(st.insts));
-        }
-
-        ++cycle;
+        stepCycle(true);
         if (max_insts && st.insts >= max_insts)
             break;
     }
@@ -612,6 +615,258 @@ Pipeline::run(uint64_t max_insts)
     // Account for the remaining WB drain of the final group.
     st.cycles = cycle + 2;
     return st;
+}
+
+uint64_t
+Pipeline::fastForward(uint64_t n)
+{
+    // Route the emulator's fused warming loop into this pipeline's
+    // structures. Stores warm as writes: the detailed model's
+    // store-buffer retirement reaches the hierarchy as write traffic
+    // (write-allocate + dirty), and the buffer itself is empty at
+    // every window boundary by construction (drain()).
+    struct Sink final : Emulator::WarmSink
+    {
+        Pipeline &p;
+        explicit Sink(Pipeline &p) : p(p) {}
+        void
+        warmFetch(uint32_t pc) override
+        {
+            if (!p.cfg.perfectICache)
+                p.icache.warm(pc, false);
+        }
+        void
+        warmControl(uint32_t pc, bool taken, uint32_t next_pc) override
+        {
+            p.btb.warm(pc, taken, next_pc);
+        }
+        void
+        warmData(uint32_t addr, bool is_store) override
+        {
+            if (!p.cfg.perfectDCache)
+                p.dmem.warm(addr, is_store);
+        }
+    } sink{*this};
+
+    uint64_t done = 0;
+    if (!traceDone)
+        done = emu.runWarm(n, cfg.icache.blockBits(), sink);
+    if (emu.halted()) {
+        // The detailed model never sees the HALT; the sampled run is
+        // over.
+        traceDone = true;
+        halted = true;
+    }
+
+    ffInsts += done;
+    return done;
+}
+
+void
+Pipeline::drain()
+{
+    while (!halted && (!fbuf.empty() || !patches.empty() || !sbuf.empty()))
+        stepCycle(false);
+
+    // Advance the clock past every busy resource: the next measurement
+    // window must not inherit stalls from before the sampling gap.
+    // Read-port reservations exist at most one cycle ahead, so cycle+2
+    // clears the ring's live range.
+    uint64_t q = cycle + 2;
+    for (uint64_t v : intReady)
+        q = std::max(q, v);
+    for (uint64_t v : fpReady)
+        q = std::max(q, v);
+    q = std::max(q, fpccReady);
+    for (const auto &cls : fus)
+        for (uint64_t v : cls)
+            q = std::max(q, v);
+    q = std::max(q, fetchReadyCycle);
+    q = std::max(q, dmem.busyUntil());
+
+    cycle = q;
+    readPorts.fill(0);
+    fetchReadyCycle = cycle;
+    // Keep the deadlock watchdog from seeing the jump as a stall.
+    lastProgressCycle = cycle;
+}
+
+void
+Pipeline::saveState(ser::Writer &w) const
+{
+    // Statistics.
+    w.u64(st.cycles);
+    w.u64(st.insts);
+    w.u64(st.loads);
+    w.u64(st.stores);
+    w.u64(st.icacheAccesses);
+    w.u64(st.icacheMisses);
+    w.u64(st.dcacheAccesses);
+    w.u64(st.dcacheMisses);
+    w.u64(st.btbLookups);
+    w.u64(st.btbMispredicts);
+    w.u64(st.loadsSpeculated);
+    w.u64(st.loadSpecFailures);
+    w.u64(st.storesSpeculated);
+    w.u64(st.storeSpecFailures);
+    w.u64(st.extraAccesses);
+    w.u64(st.storeBufferFullStalls);
+    w.u64(st.stallFetch);
+    w.u64(st.stallData);
+    w.u64(st.stallStructural);
+    w.u64(st.stallStoreBuffer);
+
+    // Clocks and control flags (all cycle values are absolute).
+    w.u64(cycle);
+    w.u64(fetchReadyCycle);
+    w.b(awaitingRedirect);
+    w.b(traceDone);
+    w.b(halted);
+    w.u64(seqCounter);
+    w.u64(ffInsts);
+    w.u64(lastProgressCycle);
+    w.u64(lastProgressInsts);
+    w.u64(lastMispredictCycle);
+    w.b(lastMispredictWasLoad);
+
+    // Fetch buffer (in-flight, already-executed trace records).
+    w.u64(fbuf.size());
+    for (const FetchedInst &fi : fbuf) {
+        w.u32(fi.rec.pc);
+        w.u8(static_cast<uint8_t>(fi.rec.inst.op));
+        w.u8(static_cast<uint8_t>(fi.rec.inst.amode));
+        w.u8(fi.rec.inst.rd);
+        w.u8(fi.rec.inst.rs);
+        w.u8(fi.rec.inst.rt);
+        w.u32(static_cast<uint32_t>(fi.rec.inst.imm));
+        w.u32(fi.rec.effAddr);
+        w.u32(fi.rec.baseVal);
+        w.u32(static_cast<uint32_t>(fi.rec.offsetVal));
+        w.b(fi.rec.offsetFromReg);
+        w.b(fi.rec.taken);
+        w.u32(fi.rec.nextPc);
+        w.u64(fi.readyCycle);
+        w.b(fi.ctlMispredicted);
+    }
+
+    // Pending MEM-stage store-address patches.
+    w.u64(patches.size());
+    for (const StorePatch &p : patches) {
+        w.u64(p.applyCycle);
+        w.u64(p.seq);
+        w.u32(p.addr);
+    }
+
+    // Scoreboards and functional units.
+    for (uint64_t v : intReady)
+        w.u64(v);
+    for (uint64_t v : fpReady)
+        w.u64(v);
+    w.u64(fpccReady);
+    for (const auto &cls : fus) {
+        w.u64(cls.size());
+        for (uint64_t v : cls)
+            w.u64(v);
+    }
+    for (unsigned v : readPorts)
+        w.u32(v);
+
+    // Structures.
+    icache.saveState(w);
+    dmem.saveState(w);
+    btb.saveState(w);
+    sbuf.saveState(w);
+}
+
+void
+Pipeline::loadState(ser::Reader &r)
+{
+    st.cycles = r.u64();
+    st.insts = r.u64();
+    st.loads = r.u64();
+    st.stores = r.u64();
+    st.icacheAccesses = r.u64();
+    st.icacheMisses = r.u64();
+    st.dcacheAccesses = r.u64();
+    st.dcacheMisses = r.u64();
+    st.btbLookups = r.u64();
+    st.btbMispredicts = r.u64();
+    st.loadsSpeculated = r.u64();
+    st.loadSpecFailures = r.u64();
+    st.storesSpeculated = r.u64();
+    st.storeSpecFailures = r.u64();
+    st.extraAccesses = r.u64();
+    st.storeBufferFullStalls = r.u64();
+    st.stallFetch = r.u64();
+    st.stallData = r.u64();
+    st.stallStructural = r.u64();
+    st.stallStoreBuffer = r.u64();
+
+    cycle = r.u64();
+    fetchReadyCycle = r.u64();
+    awaitingRedirect = r.b();
+    traceDone = r.b();
+    halted = r.b();
+    seqCounter = r.u64();
+    ffInsts = r.u64();
+    lastProgressCycle = r.u64();
+    lastProgressInsts = r.u64();
+    lastMispredictCycle = r.u64();
+    lastMispredictWasLoad = r.b();
+
+    fbuf.clear();
+    uint64_t nfetched = r.u64();
+    for (uint64_t i = 0; i < nfetched; ++i) {
+        FetchedInst fi;
+        fi.rec.pc = r.u32();
+        fi.rec.inst.op = static_cast<Op>(r.u8());
+        fi.rec.inst.amode = static_cast<AMode>(r.u8());
+        fi.rec.inst.rd = r.u8();
+        fi.rec.inst.rs = r.u8();
+        fi.rec.inst.rt = r.u8();
+        fi.rec.inst.imm = static_cast<int32_t>(r.u32());
+        fi.rec.effAddr = r.u32();
+        fi.rec.baseVal = r.u32();
+        fi.rec.offsetVal = static_cast<int32_t>(r.u32());
+        fi.rec.offsetFromReg = r.b();
+        fi.rec.taken = r.b();
+        fi.rec.nextPc = r.u32();
+        fi.readyCycle = r.u64();
+        fi.ctlMispredicted = r.b();
+        fbuf.push_back(fi);
+    }
+
+    patches.clear();
+    uint64_t npatches = r.u64();
+    for (uint64_t i = 0; i < npatches; ++i) {
+        StorePatch p{};
+        p.applyCycle = r.u64();
+        p.seq = r.u64();
+        p.addr = r.u32();
+        patches.push_back(p);
+    }
+
+    for (uint64_t &v : intReady)
+        v = r.u64();
+    for (uint64_t &v : fpReady)
+        v = r.u64();
+    fpccReady = r.u64();
+    for (auto &cls : fus) {
+        uint64_t n = r.u64();
+        FACSIM_ASSERT(n == cls.size(),
+                      "checkpoint functional-unit count %llu does not "
+                      "match this config's %zu",
+                      static_cast<unsigned long long>(n), cls.size());
+        for (uint64_t &v : cls)
+            v = r.u64();
+    }
+    for (unsigned &v : readPorts)
+        v = r.u32();
+
+    icache.loadState(r);
+    dmem.loadState(r);
+    btb.loadState(r);
+    sbuf.loadState(r);
 }
 
 } // namespace facsim

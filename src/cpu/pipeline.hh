@@ -192,12 +192,65 @@ class Pipeline
 
     /**
      * Simulate until the program halts (or @p max_insts issue).
+     * Resumable: calling run() again continues from where the previous
+     * call stopped.
      * @return the accumulated statistics (also via stats()).
      */
     PipeStats run(uint64_t max_insts = 0);
 
+    /**
+     * Sampled-simulation fast-forward: consume up to @p n instructions
+     * from the functional emulator with *functional warming* — I-cache,
+     * BTB and the data hierarchy (D-cache tags, L2, TLB) observe the
+     * stream through their counter-free warm() interfaces, so the
+     * large-structure state stays accurate across skipped intervals while
+     * measured-window statistics stay unpolluted. The cycle counter
+     * does not advance. If the program's HALT is consumed here the
+     * pipeline is marked done.
+     *
+     * @return instructions actually consumed (< n at end of trace).
+     */
+    uint64_t fastForward(uint64_t n);
+
+    /**
+     * Drain the in-flight state after a measurement window: issue
+     * everything already fetched, retire the store buffer and apply
+     * pending store patches (fetch inhibited), then advance the clock
+     * past every busy resource (scoreboards, functional units, MSHR
+     * fills, writeback drains, the DRAM channel). On return the
+     * machine is quiescent: the next measurement window starts with
+     * empty queues and no timing state leaking across the gap.
+     */
+    void drain();
+
+    /** True once the program's HALT has been consumed. */
+    bool done() const { return halted; }
+
+    /** Current simulation cycle. */
+    uint64_t currentCycle() const { return cycle; }
+
+    /** Instructions consumed by fastForward() (not in stats().insts). */
+    uint64_t fastForwardedInsts() const { return ffInsts; }
+
+    /** The configuration this pipeline was built with. */
+    const PipelineConfig &config() const { return cfg; }
+
     /** Statistics of the last/ongoing run. */
     const PipeStats &stats() const { return st; }
+
+    /**
+     * Serialize the complete timing state: statistics, clocks, the
+     * fetch buffer and pending store patches, scoreboards, functional
+     * units, read-port reservations, I-cache/BTB/store-buffer state and
+     * the whole data hierarchy. All in-flight completion cycles are
+     * stored as absolute cycle numbers; the cycle counter itself is
+     * saved, so restore continues bit-identically with no drain needed.
+     * The Emulator/Memory are serialized separately by the owner.
+     */
+    void saveState(ser::Writer &w) const;
+
+    /** Restore state saved by saveState (same config required). */
+    void loadState(ser::Reader &r);
 
     /** Per-issue observer event. */
     struct IssueEvent
@@ -263,6 +316,9 @@ class Pipeline
         None, Fetch, Data, Structural, StoreBuffer
     };
 
+    // Simulate one cycle (the body of run()); allow_fetch=false is the
+    // drain mode used at sampling window boundaries.
+    void stepCycle(bool allow_fetch);
     // Fetch one group into the fetch buffer; advances the trace.
     void fetchGroup();
     // Try to issue the head of the fetch buffer; true on success.
@@ -281,9 +337,8 @@ class Pipeline
 
     // Data-cache access at a given cycle; returns the data-ready cycle.
     uint64_t dcacheReadAt(uint64_t t, uint32_t addr);
-    // Port-usage ring helpers.
+    // Port-usage ring helper.
     unsigned &readPortsAt(uint64_t t);
-    void advancePortWindow();
 
     void
     notifyIssue(const ExecRecord &rec, bool spec, bool mispred)
@@ -310,6 +365,12 @@ class Pipeline
     bool traceDone = false;
     bool halted = false;
     uint64_t seqCounter = 0;
+    /** Instructions consumed by fastForward (excluded from st.insts). */
+    uint64_t ffInsts = 0;
+
+    // Deadlock watchdog (no issue for 100k cycles => panic).
+    uint64_t lastProgressCycle = 0;
+    uint64_t lastProgressInsts = 0;
 
     std::deque<FetchedInst> fbuf;
     std::vector<StorePatch> patches;
@@ -329,7 +390,6 @@ class Pipeline
     // Read-port usage for a short window of cycles.
     static constexpr unsigned portWindow = 8;
     std::array<unsigned, portWindow> readPorts{};
-    uint64_t portBaseCycle = 0;
 
     // Section 5.5 post-misprediction issue rule.
     uint64_t lastMispredictCycle = UINT64_MAX - 8;

@@ -5,78 +5,6 @@
 namespace facsim
 {
 
-bool
-isLoad(Op op)
-{
-    switch (op) {
-      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU: case Op::LW:
-      case Op::LWC1: case Op::LDC1:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isStore(Op op)
-{
-    switch (op) {
-      case Op::SB: case Op::SH: case Op::SW:
-      case Op::SWC1: case Op::SDC1:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isBranch(Op op)
-{
-    switch (op) {
-      case Op::BEQ: case Op::BNE: case Op::BLEZ: case Op::BGTZ:
-      case Op::BLTZ: case Op::BGEZ: case Op::BC1T: case Op::BC1F:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isJump(Op op)
-{
-    switch (op) {
-      case Op::J: case Op::JAL: case Op::JR: case Op::JALR:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isFpOp(Op op)
-{
-    switch (op) {
-      case Op::ADD_D: case Op::SUB_D: case Op::MUL_D: case Op::DIV_D:
-      case Op::SQRT_D: case Op::ABS_D: case Op::NEG_D: case Op::MOV_D:
-      case Op::CVT_D_W: case Op::CVT_W_D:
-      case Op::C_EQ_D: case Op::C_LT_D: case Op::C_LE_D:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isFpMem(Op op)
-{
-    switch (op) {
-      case Op::LWC1: case Op::LDC1: case Op::SWC1: case Op::SDC1:
-        return true;
-      default:
-        return false;
-    }
-}
-
 unsigned
 memAccessSize(Op op)
 {

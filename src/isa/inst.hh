@@ -13,6 +13,7 @@
 #ifndef FACSIM_ISA_INST_HH
 #define FACSIM_ISA_INST_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -122,22 +123,96 @@ struct Inst
     bool operator==(const Inst &o) const = default;
 };
 
+/**
+ * Operation-class bit flags, one byte per opcode. The predicates below
+ * sit on the per-instruction hot paths of both the emulator and the
+ * timing pipeline (and the sampled-simulation fast-forward loop runs
+ * several of them per instruction), so they compile down to a single
+ * table load instead of an out-of-line switch.
+ */
+namespace opclass
+{
+enum : uint8_t
+{
+    load = 1 << 0,
+    store = 1 << 1,
+    branch = 1 << 2,
+    jump = 1 << 3,
+    fp = 1 << 4,
+    fpMem = 1 << 5,
+
+    mem = load | store,
+    control = branch | jump,
+};
+
+constexpr auto table = [] {
+    std::array<uint8_t, static_cast<size_t>(Op::NumOps)> t{};
+    auto set = [&](std::initializer_list<Op> ops, uint8_t f) {
+        for (Op op : ops)
+            t[static_cast<size_t>(op)] |= f;
+    };
+    set({Op::LB, Op::LBU, Op::LH, Op::LHU, Op::LW, Op::LWC1, Op::LDC1},
+        load);
+    set({Op::SB, Op::SH, Op::SW, Op::SWC1, Op::SDC1}, store);
+    set({Op::BEQ, Op::BNE, Op::BLEZ, Op::BGTZ, Op::BLTZ, Op::BGEZ,
+         Op::BC1T, Op::BC1F},
+        branch);
+    set({Op::J, Op::JAL, Op::JR, Op::JALR}, jump);
+    set({Op::ADD_D, Op::SUB_D, Op::MUL_D, Op::DIV_D, Op::SQRT_D,
+         Op::ABS_D, Op::NEG_D, Op::MOV_D, Op::CVT_D_W, Op::CVT_W_D,
+         Op::C_EQ_D, Op::C_LT_D, Op::C_LE_D},
+        fp);
+    set({Op::LWC1, Op::LDC1, Op::SWC1, Op::SDC1}, fpMem);
+    return t;
+}();
+} // namespace opclass
+
+/** Class flags (opclass::*) of @p op. */
+inline constexpr uint8_t opFlags(Op op)
+{
+    return opclass::table[static_cast<size_t>(op)];
+}
+
 /** True for all load operations (integer and FP). */
-bool isLoad(Op op);
+inline constexpr bool isLoad(Op op)
+{
+    return opFlags(op) & opclass::load;
+}
 /** True for all store operations (integer and FP). */
-bool isStore(Op op);
+inline constexpr bool isStore(Op op)
+{
+    return opFlags(op) & opclass::store;
+}
 /** True for loads and stores. */
-inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+inline constexpr bool isMem(Op op)
+{
+    return opFlags(op) & opclass::mem;
+}
 /** True for conditional branches (not jumps). */
-bool isBranch(Op op);
+inline constexpr bool isBranch(Op op)
+{
+    return opFlags(op) & opclass::branch;
+}
 /** True for unconditional jumps (J/JAL/JR/JALR). */
-bool isJump(Op op);
+inline constexpr bool isJump(Op op)
+{
+    return opFlags(op) & opclass::jump;
+}
 /** True for any control-transfer instruction. */
-inline bool isControl(Op op) { return isBranch(op) || isJump(op); }
+inline constexpr bool isControl(Op op)
+{
+    return opFlags(op) & opclass::control;
+}
 /** True for FP-pipeline operations (arith + compares + converts). */
-bool isFpOp(Op op);
+inline constexpr bool isFpOp(Op op)
+{
+    return opFlags(op) & opclass::fp;
+}
 /** True if the memory op's data register names the FP register file. */
-bool isFpMem(Op op);
+inline constexpr bool isFpMem(Op op)
+{
+    return opFlags(op) & opclass::fpMem;
+}
 /** Number of bytes accessed by a memory operation. */
 unsigned memAccessSize(Op op);
 

@@ -57,11 +57,38 @@ class DramModel final : public MemLevel
         return {start + cfg.latency, true};
     }
 
+    void warm(uint32_t, bool) override {}  // no warmable state
+
+    /** The channel's busy-until cycle (bandwidth constraint). */
+    uint64_t busyUntil() const override { return nextFree; }
+
     void
     reset() override
     {
         nextFree = 0;
         st = DramStats{};
+    }
+
+    /** Serialize channel occupancy (absolute cycle) and statistics. */
+    void
+    saveState(ser::Writer &w) const
+    {
+        w.u64(nextFree);
+        w.u64(st.reads);
+        w.u64(st.writes);
+        w.u64(st.queuedCycles);
+        w.u64(st.busyCycles);
+    }
+
+    /** Restore state saved by saveState. */
+    void
+    loadState(ser::Reader &r)
+    {
+        nextFree = r.u64();
+        st.reads = r.u64();
+        st.writes = r.u64();
+        st.queuedCycles = r.u64();
+        st.busyCycles = r.u64();
     }
 
     const char *name() const override { return "dram"; }

@@ -59,11 +59,42 @@ WritebackBuffer::occupy(uint64_t t, uint64_t done_cycle)
           "for whenFree)");
 }
 
+uint64_t
+WritebackBuffer::maxBusyCycle() const
+{
+    uint64_t m = 0;
+    for (uint64_t busy : slots)
+        m = std::max(m, busy);
+    return m;
+}
+
 void
 WritebackBuffer::reset()
 {
     std::fill(slots.begin(), slots.end(), 0);
     fullStallCycles_ = 0;
+}
+
+void
+WritebackBuffer::saveState(ser::Writer &w) const
+{
+    w.u64(slots.size());
+    for (uint64_t busy : slots)
+        w.u64(busy);
+    w.u64(fullStallCycles_);
+}
+
+void
+WritebackBuffer::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == slots.size(),
+                  "checkpoint writeback buffer has %llu slots, this "
+                  "config has %zu",
+                  static_cast<unsigned long long>(n), slots.size());
+    for (uint64_t &busy : slots)
+        busy = r.u64();
+    fullStallCycles_ = r.u64();
 }
 
 // ---------------------------------------------------------------------------
@@ -137,11 +168,48 @@ CacheLevel::access(uint32_t addr, bool is_write, uint64_t t)
 }
 
 void
+CacheLevel::warm(uint32_t addr, bool is_write)
+{
+    CacheAccess acc = cache.warm(addr, is_write);
+    if (acc.hit)
+        return;
+    // Mirror access()'s traffic: a dirty victim drains below (its home
+    // is the next level, write-allocate there), then the line fills as
+    // a read from below regardless of the demand type.
+    if (acc.writeback)
+        next.warm(acc.victimAddr, true);
+    next.warm(addr, false);
+}
+
+uint64_t
+CacheLevel::busyUntil() const
+{
+    return std::max({mshr.maxFillCycle(), wb.maxBusyCycle(),
+                     next.busyUntil()});
+}
+
+void
 CacheLevel::reset()
 {
     cache.reset();
     mshr.reset();
     wb.reset();
+}
+
+void
+CacheLevel::saveState(ser::Writer &w) const
+{
+    cache.saveState(w);
+    mshr.saveState(w);
+    wb.saveState(w);
+}
+
+void
+CacheLevel::loadState(ser::Reader &r)
+{
+    cache.loadState(r);
+    mshr.loadState(r);
+    wb.loadState(r);
 }
 
 LevelStats
@@ -213,6 +281,20 @@ MemHierarchy::write(uint32_t addr, uint64_t t)
 }
 
 void
+MemHierarchy::warm(uint32_t addr, bool is_write)
+{
+    if (tlb_)
+        tlb_->warm(addr);
+    l1_->warm(addr, is_write);
+}
+
+uint64_t
+MemHierarchy::busyUntil() const
+{
+    return l1_->busyUntil();
+}
+
+void
 MemHierarchy::reset()
 {
     l1_->reset();
@@ -224,6 +306,30 @@ MemHierarchy::reset()
         flat_->reset();
     if (tlb_)
         tlb_->reset();
+}
+
+void
+MemHierarchy::saveState(ser::Writer &w) const
+{
+    l1_->saveState(w);
+    if (l2_)
+        l2_->saveState(w);
+    if (dram_)
+        dram_->saveState(w);
+    if (tlb_)
+        tlb_->saveState(w);
+}
+
+void
+MemHierarchy::loadState(ser::Reader &r)
+{
+    l1_->loadState(r);
+    if (l2_)
+        l2_->loadState(r);
+    if (dram_)
+        dram_->loadState(r);
+    if (tlb_)
+        tlb_->loadState(r);
 }
 
 HierarchyStats

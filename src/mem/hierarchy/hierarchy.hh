@@ -133,7 +133,15 @@ class WritebackBuffer
     void noteFullStall(uint64_t cycles) { fullStallCycles_ += cycles; }
     uint64_t fullStallCycles() const { return fullStallCycles_; }
 
+    /** Latest busy-until cycle of any slot (0 when empty/disabled). */
+    uint64_t maxBusyCycle() const;
+
     void reset();
+
+    /** Serialize slot busy-until cycles (absolute) and statistics. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (slot count must match). */
+    void loadState(ser::Reader &r);
 
   private:
     std::vector<uint64_t> slots;  ///< per-slot busy-until cycle
@@ -156,6 +164,16 @@ class CacheLevel final : public MemLevel
     CacheLevel(const char *name, const Params &params, MemLevel &below);
 
     LevelResult access(uint32_t addr, bool is_write, uint64_t t) override;
+
+    /**
+     * Counter-free warming: same fill/LRU/dirty/victim traffic as
+     * access() (a warm miss warms the level below; a warm dirty
+     * eviction warm-writes the victim below) with no timing effects.
+     */
+    void warm(uint32_t addr, bool is_write) override;
+
+    uint64_t busyUntil() const override;
+
     void reset() override;
     const char *name() const override { return name_.c_str(); }
 
@@ -163,6 +181,11 @@ class CacheLevel final : public MemLevel
     const MshrFile &mshrs() const { return mshr; }
 
     LevelStats stats() const;
+
+    /** Serialize tags + MSHR + writeback-buffer state (this level only). */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState. */
+    void loadState(ser::Reader &r);
 
   private:
     std::string name_;
@@ -186,7 +209,25 @@ class MemHierarchy final : public MemPort
 
     MemResult read(uint32_t addr, uint64_t t) override;
     MemResult write(uint32_t addr, uint64_t t) override;
+
+    /**
+     * Counter-free functional warming of the whole hierarchy (TLB entry
+     * fill + recursive cache-level warming). See MemPort::warm.
+     */
+    void warm(uint32_t addr, bool is_write) override;
+
+    /**
+     * Latest absolute cycle any in-flight resource below the core stays
+     * busy (MSHR fills, writeback drains, the DRAM channel).
+     */
+    uint64_t busyUntil() const;
+
     void reset() override;
+
+    /** Serialize every level's state (geometry must match on restore). */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState. */
+    void loadState(ser::Reader &r);
 
     const HierarchyConfig &config() const { return cfg; }
 

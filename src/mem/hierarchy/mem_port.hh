@@ -23,6 +23,8 @@
 
 #include <cstdint>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -44,6 +46,15 @@ class MemPort
 
     /** Store (store-buffer retirement) arriving at cycle @p t. */
     virtual MemResult write(uint32_t addr, uint64_t t) = 0;
+
+    /**
+     * Functional-warming access: update tag/predictor state exactly as
+     * a demand access would (fills, LRU, dirty bits, recursive traffic
+     * to lower levels) but with no timing and no statistics. This is
+     * the first-class warming interface sampled simulation fast-forwards
+     * through; see sim/sampling.hh.
+     */
+    virtual void warm(uint32_t addr, bool is_write) = 0;
 
     /** Invalidate all state and clear statistics. */
     virtual void reset() = 0;
@@ -70,6 +81,17 @@ class MemLevel
      */
     virtual LevelResult access(uint32_t addr, bool is_write, uint64_t t) = 0;
 
+    /** Counter-free state warming (see MemPort::warm). */
+    virtual void warm(uint32_t addr, bool is_write) = 0;
+
+    /**
+     * Latest absolute cycle any in-flight resource of this level (or a
+     * level below it) stays busy: MSHR fills, writeback-buffer slots,
+     * the DRAM channel. Used by the pipeline's drain (sampling window
+     * boundaries) to advance the clock to full quiescence.
+     */
+    virtual uint64_t busyUntil() const = 0;
+
     virtual void reset() = 0;
 
     /** Display name ("L2", "dram", ...). */
@@ -93,6 +115,8 @@ class FixedLatencyMem final : public MemLevel
         return {t + lat, true};
     }
 
+    void warm(uint32_t, bool) override {}  // stateless backend
+    uint64_t busyUntil() const override { return 0; }
     void reset() override {}
     const char *name() const override { return "mem"; }
 

@@ -64,12 +64,55 @@ MshrFile::occupancyAt(uint64_t t) const
     return n;
 }
 
+uint64_t
+MshrFile::maxFillCycle() const
+{
+    uint64_t m = 0;
+    for (const Entry &e : slots)
+        m = std::max(m, e.fillCycle);
+    return m;
+}
+
 void
 MshrFile::reset()
 {
     for (Entry &e : slots)
         e = Entry{};
     st = MshrStats{};
+}
+
+void
+MshrFile::saveState(ser::Writer &w) const
+{
+    w.u64(slots.size());
+    for (const Entry &e : slots) {
+        w.u32(e.block);
+        w.u64(e.fillCycle);
+    }
+    w.u64(st.allocations);
+    w.u64(st.merges);
+    w.u64(st.fullStallCycles);
+    w.u32(st.maxOccupancy);
+    w.u64(st.occupancySum);
+}
+
+void
+MshrFile::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == slots.size(),
+                  "checkpoint MSHR file has %llu entries, this config "
+                  "has %zu",
+                  static_cast<unsigned long long>(n), slots.size());
+    for (Entry &e : slots) {
+        e.block = r.u32();
+        e.fillCycle = r.u64();
+    }
+    st.allocations = r.u64();
+    st.merges = r.u64();
+    st.fullStallCycles = r.u64();
+    st.maxOccupancy = r.u32();
+    st.occupancySum = r.u64();
 }
 
 } // namespace facsim

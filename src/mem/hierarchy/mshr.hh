@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace facsim
 {
 
@@ -84,7 +86,15 @@ class MshrFile
     /** In-flight fills at cycle @p t. */
     unsigned occupancyAt(uint64_t t) const;
 
+    /** Latest fill-completion cycle of any entry (0 when none/disabled). */
+    uint64_t maxFillCycle() const;
+
     void reset();
+
+    /** Serialize entries (absolute fill cycles) and statistics. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (entry count must match). */
+    void loadState(ser::Reader &r);
 
     const MshrStats &stats() const { return st; }
 

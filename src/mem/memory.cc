@@ -44,17 +44,16 @@ uint8_t *
 Memory::pagePtr(uint32_t addr)
 {
     uint32_t pn = addr / pageBytes;
-    if (pn == lastPageNum)
-        return lastPage;
+    if (uint8_t *p = cachedPage(pn))
+        return p;
     auto it = pages.find(pn);
     if (it == pages.end()) {
         auto page = std::make_unique<uint8_t[]>(pageBytes);
         std::memset(page.get(), 0, pageBytes);
         it = pages.emplace(pn, std::move(page)).first;
     }
-    lastPageNum = pn;
-    lastPage = it->second.get();
-    return lastPage;
+    pageCache[pn % pageCacheSlots] = {pn, it->second.get()};
+    return it->second.get();
 }
 
 uint8_t
@@ -138,6 +137,35 @@ Memory::writeBlock(uint32_t addr, const uint8_t *data, uint32_t len)
 {
     for (uint32_t i = 0; i < len; ++i)
         write8(addr + i, data[i]);
+}
+
+void
+Memory::saveState(ser::Writer &w) const
+{
+    std::vector<uint32_t> pns;
+    pns.reserve(pages.size());
+    for (const auto &kv : pages)
+        pns.push_back(kv.first);
+    std::sort(pns.begin(), pns.end());
+
+    w.u64(pns.size());
+    for (uint32_t pn : pns) {
+        w.u32(pn);
+        w.bytes(pages.at(pn).get(), pageBytes);
+    }
+}
+
+void
+Memory::loadState(ser::Reader &r)
+{
+    clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        uint32_t pn = r.u32();
+        auto page = std::make_unique<uint8_t[]>(pageBytes);
+        r.bytes(page.get(), pageBytes);
+        pages.emplace(pn, std::move(page));
+    }
 }
 
 } // namespace facsim

@@ -5,25 +5,30 @@
  * of Tables 3 and 4 (the paper uses it as an indirect indicator of virtual
  * memory pressure from the alignment optimizations).
  *
- * The accessors are split into an inline last-page fast path and an
- * out-of-line slow path: workloads hammer the same page in long streaks,
- * so the common case is one compare against the cached page number and a
- * memcpy into the cached page — no hash lookup and no cross-TU call.
+ * The accessors are split into an inline fast path and an out-of-line
+ * slow path. The fast path goes through a small direct-mapped cache of
+ * page pointers: workloads interleave accesses to a handful of hot
+ * regions (stack, globals, a few heap structures), which a one-entry
+ * cache thrashes on, so the common case is one tag compare in a
+ * 64-slot array and a memcpy — no hash lookup and no cross-TU call.
  *
  * Thread-safety: each Memory instance is confined to one simulation;
  * concurrent access to *distinct* instances is safe (no shared state),
  * concurrent access to one instance is not (reads allocate pages and
- * update the one-entry page cache).
+ * update the page-pointer cache).
  */
 
 #ifndef FACSIM_MEM_MEMORY_HH
 #define FACSIM_MEM_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
+
+#include "util/serialize.hh"
 
 namespace facsim
 {
@@ -39,8 +44,8 @@ class Memory
     uint8_t
     read8(uint32_t addr)
     {
-        if ((addr / pageBytes) == lastPageNum)
-            return lastPage[addr % pageBytes];
+        if (uint8_t *p = cachedPage(addr / pageBytes))
+            return p[addr % pageBytes];
         return read8Slow(addr);
     }
 
@@ -49,9 +54,10 @@ class Memory
     read16(uint32_t addr)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 2 <= pageBytes) {
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 2 <= pageBytes) {
             uint16_t v;
-            std::memcpy(&v, lastPage + off, 2);
+            std::memcpy(&v, p + off, 2);
             return v;
         }
         return read16Slow(addr);
@@ -62,9 +68,10 @@ class Memory
     read32(uint32_t addr)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 4 <= pageBytes) {
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 4 <= pageBytes) {
             uint32_t v;
-            std::memcpy(&v, lastPage + off, 4);
+            std::memcpy(&v, p + off, 4);
             return v;
         }
         return read32Slow(addr);
@@ -75,9 +82,10 @@ class Memory
     read64(uint32_t addr)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 8 <= pageBytes) {
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 8 <= pageBytes) {
             uint64_t v;
-            std::memcpy(&v, lastPage + off, 8);
+            std::memcpy(&v, p + off, 8);
             return v;
         }
         return read64Slow(addr);
@@ -87,8 +95,8 @@ class Memory
     void
     write8(uint32_t addr, uint8_t v)
     {
-        if ((addr / pageBytes) == lastPageNum) {
-            lastPage[addr % pageBytes] = v;
+        if (uint8_t *p = cachedPage(addr / pageBytes)) {
+            p[addr % pageBytes] = v;
             return;
         }
         write8Slow(addr, v);
@@ -99,8 +107,9 @@ class Memory
     write16(uint32_t addr, uint16_t v)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 2 <= pageBytes) {
-            std::memcpy(lastPage + off, &v, 2);
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 2 <= pageBytes) {
+            std::memcpy(p + off, &v, 2);
             return;
         }
         write16Slow(addr, v);
@@ -111,8 +120,9 @@ class Memory
     write32(uint32_t addr, uint32_t v)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 4 <= pageBytes) {
-            std::memcpy(lastPage + off, &v, 4);
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 4 <= pageBytes) {
+            std::memcpy(p + off, &v, 4);
             return;
         }
         write32Slow(addr, v);
@@ -123,8 +133,9 @@ class Memory
     write64(uint32_t addr, uint64_t v)
     {
         uint32_t off = addr % pageBytes;
-        if ((addr / pageBytes) == lastPageNum && off + 8 <= pageBytes) {
-            std::memcpy(lastPage + off, &v, 8);
+        uint8_t *p = cachedPage(addr / pageBytes);
+        if (p && off + 8 <= pageBytes) {
+            std::memcpy(p + off, &v, 8);
             return;
         }
         write64Slow(addr, v);
@@ -155,12 +166,45 @@ class Memory
     clear()
     {
         pages.clear();
-        lastPageNum = noPage;
-        lastPage = nullptr;
+        for (PageSlot &s : pageCache)
+            s = PageSlot{};
     }
+
+    /**
+     * Serialize every touched page, sorted by page number so the
+     * encoding is independent of hash-map iteration order.
+     */
+    void saveState(ser::Writer &w) const;
+
+    /**
+     * Replace all contents with state saved by saveState; the restored
+     * touched-page set (and therefore memUsageBytes()) matches the
+     * saved memory exactly.
+     */
+    void loadState(ser::Reader &r);
 
   private:
     uint8_t *pagePtr(uint32_t addr);
+
+    /**
+     * Direct-mapped cache slot over the page map. The sentinel page
+     * number can never match a real one (32-bit addresses / 4 KB pages
+     * top out at 0xfffff), so a tag match implies ptr is valid.
+     */
+    struct PageSlot
+    {
+        uint32_t num = 0xffffffffu;
+        uint8_t *ptr = nullptr;
+    };
+    static constexpr uint32_t pageCacheSlots = 64;
+
+    /** Cached pointer to page @p pn, or nullptr on a cache miss. */
+    uint8_t *
+    cachedPage(uint32_t pn)
+    {
+        const PageSlot &s = pageCache[pn % pageCacheSlots];
+        return s.num == pn ? s.ptr : nullptr;
+    }
 
     uint8_t read8Slow(uint32_t addr);
     uint16_t read16Slow(uint32_t addr);
@@ -173,14 +217,7 @@ class Memory
 
     std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> pages;
 
-    /**
-     * One-entry page cache. The sentinel can never equal a real page
-     * number (32-bit addresses / 4 KB pages top out at 0xfffff), so a
-     * matching lastPageNum implies lastPage is a valid page pointer.
-     */
-    static constexpr uint32_t noPage = 0xffffffffu;
-    uint32_t lastPageNum = noPage;
-    uint8_t *lastPage = nullptr;
+    std::array<PageSlot, pageCacheSlots> pageCache{};
 };
 
 } // namespace facsim

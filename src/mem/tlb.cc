@@ -17,7 +17,20 @@ Tlb::Tlb(unsigned entries, uint32_t page_bytes, uint64_t seed)
 bool
 Tlb::access(uint32_t addr)
 {
-    ++accesses_;
+    return lookup(addr, true);
+}
+
+void
+Tlb::warm(uint32_t addr)
+{
+    lookup(addr, false);
+}
+
+bool
+Tlb::lookup(uint32_t addr, bool count_stats)
+{
+    if (count_stats)
+        ++accesses_;
     uint32_t page = addr >> pageShift;
     if (valid[mru] && vpn[mru] == page)
         return true;
@@ -27,7 +40,8 @@ Tlb::access(uint32_t addr)
             return true;
         }
     }
-    ++misses_;
+    if (count_stats)
+        ++misses_;
     // Fill an invalid slot if one exists, else evict at random.
     for (size_t i = 0; i < vpn.size(); ++i) {
         if (!valid[i]) {
@@ -49,6 +63,37 @@ Tlb::reset()
     std::fill(valid.begin(), valid.end(), false);
     accesses_ = 0;
     misses_ = 0;
+}
+
+void
+Tlb::saveState(ser::Writer &w) const
+{
+    w.u64(vpn.size());
+    for (size_t i = 0; i < vpn.size(); ++i) {
+        w.u32(vpn[i]);
+        w.b(valid[i]);
+    }
+    w.u64(mru);
+    w.u64(rng.rawState());
+    w.u64(accesses_);
+    w.u64(misses_);
+}
+
+void
+Tlb::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == vpn.size(),
+                  "checkpoint TLB has %llu entries, this config has %zu",
+                  static_cast<unsigned long long>(n), vpn.size());
+    for (size_t i = 0; i < vpn.size(); ++i) {
+        vpn[i] = r.u32();
+        valid[i] = r.b();
+    }
+    mru = static_cast<size_t>(r.u64());
+    rng.setRawState(r.u64());
+    accesses_ = r.u64();
+    misses_ = r.u64();
 }
 
 } // namespace facsim

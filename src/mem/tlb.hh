@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/rng.hh"
+#include "util/serialize.hh"
 
 namespace facsim
 {
@@ -47,10 +48,25 @@ class Tlb
         return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
     }
 
+    /**
+     * Functional-warming probe: identical fill/eviction behaviour to
+     * access() (including the replacement RNG draw on a full-TLB miss)
+     * but updates no statistics counters.
+     */
+    void warm(uint32_t addr);
+
     /** Empty the TLB and reset counters. */
     void reset();
 
+    /** Serialize entries, MRU slot, replacement-RNG state and stats. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (entry count must match). */
+    void loadState(ser::Reader &r);
+
   private:
+    /** Common probe/fill path; returns hit. */
+    bool lookup(uint32_t addr, bool count_stats);
+
     std::vector<uint32_t> vpn;
     std::vector<bool> valid;
     size_t mru = 0;

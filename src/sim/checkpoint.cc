@@ -1,0 +1,279 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace facsim
+{
+
+namespace
+{
+
+const char magic[8] = {'F', 'A', 'C', 'S', 'I', 'M', 'C', 'K'};
+
+void
+writeIdentity(ser::Writer &w, const Machine &m, uint64_t pipe_fp)
+{
+    const BuildOptions &o = m.buildOptions();
+    w.str(m.workloadName());
+    w.u64(o.scale);
+    w.u64(o.seed);
+    w.u8(o.policy.softwareSupport ? 1 : 0);
+    w.u64(pipe_fp);
+}
+
+void
+checkIdentity(ser::Reader &r, const Machine &m, uint64_t pipe_fp)
+{
+    const BuildOptions &o = m.buildOptions();
+    std::string wl = r.str();
+    uint64_t scale = r.u64();
+    uint64_t seed = r.u64();
+    uint8_t support = r.u8();
+    uint64_t fp = r.u64();
+
+    FACSIM_ASSERT(wl == m.workloadName(),
+                  "checkpoint was taken from workload '%s' but this "
+                  "machine runs '%s'",
+                  wl.c_str(), m.workloadName().c_str());
+    FACSIM_ASSERT(scale == o.scale,
+                  "checkpoint scale %llu does not match this build's %llu",
+                  static_cast<unsigned long long>(scale),
+                  static_cast<unsigned long long>(o.scale));
+    FACSIM_ASSERT(seed == o.seed,
+                  "checkpoint seed 0x%llx does not match this build's 0x%llx",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(o.seed));
+    FACSIM_ASSERT((support != 0) == o.policy.softwareSupport,
+                  "checkpoint codegen policy (%s software support) does "
+                  "not match this build",
+                  support ? "with" : "without");
+    FACSIM_ASSERT(fp == pipe_fp,
+                  "checkpoint pipeline-config fingerprint %016llx does "
+                  "not match this run's %016llx",
+                  static_cast<unsigned long long>(fp),
+                  static_cast<unsigned long long>(pipe_fp));
+}
+
+void
+writeFile(const std::string &path, const ser::Writer &w)
+{
+    // Checksum covers everything before it.
+    uint64_t sum = ser::fnv1a(w.data().data(), w.data().size());
+    ser::Writer tail;
+    tail.u64(sum);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    FACSIM_ASSERT(f, "cannot open checkpoint file '%s' for writing",
+                  path.c_str());
+    bool ok =
+        std::fwrite(w.data().data(), 1, w.data().size(), f) ==
+            w.data().size() &&
+        std::fwrite(tail.data().data(), 1, tail.data().size(), f) ==
+            tail.data().size();
+    ok = std::fclose(f) == 0 && ok;
+    FACSIM_ASSERT(ok, "short write to checkpoint file '%s'", path.c_str());
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    FACSIM_ASSERT(f, "cannot open checkpoint file '%s'", path.c_str());
+    std::string data;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    FACSIM_ASSERT(!std::ferror(f), "read error on checkpoint file '%s'",
+                  path.c_str());
+    std::fclose(f);
+    return data;
+}
+
+/**
+ * Validate container framing (size, magic, version, checksum) and
+ * return a Reader positioned just past the magic+version, with the
+ * trailing checksum stripped. @p kind_out receives the stored kind.
+ */
+ser::Reader
+openContainer(const std::string &path, const std::string &data,
+              CheckpointKind *kind_out)
+{
+    FACSIM_ASSERT(data.size() >= sizeof(magic) + 4 + 1 + 8,
+                  "'%s' is not a facsim checkpoint (only %zu bytes)",
+                  path.c_str(), data.size());
+    FACSIM_ASSERT(std::memcmp(data.data(), magic, sizeof(magic)) == 0,
+                  "'%s' is not a facsim checkpoint (bad magic)",
+                  path.c_str());
+
+    size_t body = data.size() - 8;
+    uint64_t stored;
+    std::memcpy(&stored, data.data() + body, 8);
+    uint64_t actual = ser::fnv1a(data.data(), body);
+    FACSIM_ASSERT(stored == actual,
+                  "checkpoint '%s' is corrupted: checksum %016llx does "
+                  "not match stored %016llx",
+                  path.c_str(), static_cast<unsigned long long>(actual),
+                  static_cast<unsigned long long>(stored));
+
+    ser::Reader r(data.data(), body, "checkpoint");
+    char skip[sizeof(magic)];
+    r.bytes(skip, sizeof(skip));  // magic, already verified
+    uint32_t version = r.u32();
+    FACSIM_ASSERT(version == checkpointVersion,
+                  "checkpoint '%s' has format version %u; this build "
+                  "reads version %u",
+                  path.c_str(), version, checkpointVersion);
+    uint8_t kind = r.u8();
+    FACSIM_ASSERT(kind <= static_cast<uint8_t>(CheckpointKind::Timing),
+                  "checkpoint '%s' has unknown kind %u", path.c_str(), kind);
+    *kind_out = static_cast<CheckpointKind>(kind);
+    return r;
+}
+
+void
+expectKind(const std::string &path, CheckpointKind got, CheckpointKind want)
+{
+    FACSIM_ASSERT(got == want,
+                  "checkpoint '%s' is a %s checkpoint but a %s restore "
+                  "was requested",
+                  path.c_str(),
+                  got == CheckpointKind::Timing ? "timing" : "functional",
+                  want == CheckpointKind::Timing ? "timing" : "functional");
+}
+
+} // namespace
+
+uint64_t
+pipelineFingerprint(const PipelineConfig &c)
+{
+    ser::Writer w;
+    w.u32(c.fetchWidth);
+    w.u32(c.issueWidth);
+    w.u32(c.fetchBufferSize);
+
+    auto cacheCfg = [&](const CacheConfig &cc) {
+        w.u32(cc.sizeBytes);
+        w.u32(cc.blockBytes);
+        w.u32(cc.assoc);
+        w.u32(cc.missLatency);
+    };
+    cacheCfg(c.icache);
+    cacheCfg(c.dcache);
+
+    const HierarchyConfig &h = c.hierarchy;
+    w.u8(static_cast<uint8_t>(h.depth));
+    w.u32(h.l1Mshr.entries);
+    w.b(h.l1Mshr.mergeSecondary);
+    w.u32(h.l1WbEntries);
+    cacheCfg(h.l2);
+    w.u32(h.l2HitLatency);
+    w.u32(h.l2Mshr.entries);
+    w.b(h.l2Mshr.mergeSecondary);
+    w.u32(h.l2WbEntries);
+    w.u32(h.dram.latency);
+    w.u32(h.dram.issueInterval);
+    w.b(h.tlbEnabled);
+    w.u32(h.tlbEntries);
+    w.u32(h.tlbPageBytes);
+    w.u32(h.tlbMissPenalty);
+
+    w.u32(c.btbEntries);
+    w.u32(c.branchPenalty);
+    w.u32(c.storeBufferEntries);
+    w.u32(c.maxLoadsPerCycle);
+    w.u32(c.maxStoresPerCycle);
+    w.u32(c.numIntAlus);
+    w.u32(c.numMemUnits);
+    w.u32(c.numFpAdders);
+    w.u32(c.intAluLat);
+    w.u32(c.intMulLat);
+    w.u32(c.intDivLat);
+    w.u32(c.fpAddLat);
+    w.u32(c.fpMulLat);
+    w.u32(c.fpDivLat);
+    w.u32(c.fpSqrtLat);
+
+    w.b(c.facEnabled);
+    w.u32(c.fac.blockBits);
+    w.u32(c.fac.setBits);
+    w.b(c.fac.fullTagAdd);
+    w.b(c.fac.speculateRegReg);
+    w.b(c.speculateStores);
+    w.b(c.loadsStallOnStoreConflict);
+    w.b(c.oneCycleLoads);
+    w.b(c.perfectDCache);
+    w.b(c.perfectICache);
+    w.b(c.agiOrganization);
+
+    return ser::fnv1a(w.data().data(), w.data().size());
+}
+
+CheckpointKind
+checkpointKindOf(const std::string &path)
+{
+    std::string data = readFile(path);
+    CheckpointKind kind;
+    openContainer(path, data, &kind);
+    return kind;
+}
+
+void
+saveFunctionalCheckpoint(const std::string &path, const Machine &m)
+{
+    ser::Writer w;
+    w.bytes(magic, sizeof(magic));
+    w.u32(checkpointVersion);
+    w.u8(static_cast<uint8_t>(CheckpointKind::Functional));
+    writeIdentity(w, m, 0);
+    m.emulator().saveState(w);
+    m.memory().saveState(w);
+    writeFile(path, w);
+}
+
+void
+restoreFunctionalCheckpoint(const std::string &path, Machine &m)
+{
+    std::string data = readFile(path);
+    CheckpointKind kind;
+    ser::Reader r = openContainer(path, data, &kind);
+    expectKind(path, kind, CheckpointKind::Functional);
+    checkIdentity(r, m, 0);
+    m.emulator().loadState(r);
+    m.memory().loadState(r);
+    r.expectEnd();
+}
+
+void
+saveTimingCheckpoint(const std::string &path, const Machine &m,
+                     const Pipeline &pipe)
+{
+    ser::Writer w;
+    w.bytes(magic, sizeof(magic));
+    w.u32(checkpointVersion);
+    w.u8(static_cast<uint8_t>(CheckpointKind::Timing));
+    writeIdentity(w, m, pipelineFingerprint(pipe.config()));
+    m.emulator().saveState(w);
+    m.memory().saveState(w);
+    pipe.saveState(w);
+    writeFile(path, w);
+}
+
+void
+restoreTimingCheckpoint(const std::string &path, Machine &m, Pipeline &pipe)
+{
+    std::string data = readFile(path);
+    CheckpointKind kind;
+    ser::Reader r = openContainer(path, data, &kind);
+    expectKind(path, kind, CheckpointKind::Timing);
+    checkIdentity(r, m, pipelineFingerprint(pipe.config()));
+    m.emulator().loadState(r);
+    m.memory().loadState(r);
+    pipe.loadState(r);
+    r.expectEnd();
+}
+
+} // namespace facsim

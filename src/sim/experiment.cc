@@ -52,7 +52,12 @@ runTiming(const TimingRequest &req)
     Pipeline pipe(req.pipe, machine.emulator());
 
     TimingResult res;
-    res.stats = pipe.run(req.maxInsts);
+    if (req.sampling.enabled()) {
+        res.sample = runSampled(pipe, req.sampling, req.maxInsts);
+        res.stats = pipe.stats();
+    } else {
+        res.stats = pipe.run(req.maxInsts);
+    }
     res.hier = pipe.hierarchyStats();
     res.memUsageBytes = machine.memUsageBytes();
     return res;

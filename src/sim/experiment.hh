@@ -16,6 +16,7 @@
 #include "cpu/pipeline.hh"
 #include "cpu/profiler.hh"
 #include "sim/machine.hh"
+#include "sim/sampling.hh"
 
 namespace facsim
 {
@@ -72,7 +73,15 @@ struct TimingRequest
     std::string workload;
     BuildOptions build;
     PipelineConfig pipe;
+    /**
+     * Stop after this many instructions. For a full-detail run this
+     * bounds the instructions the pipeline issues; for a sampled run it
+     * bounds *total* retired instructions, fast-forwarded ones
+     * included, so full and sampled runs cover the same program slice.
+     */
     uint64_t maxInsts = 0;
+    /** Systematic sampling; period 0 (default) = full detail. */
+    SamplingConfig sampling;
 };
 
 /** Outputs of a timing run. */
@@ -82,6 +91,27 @@ struct TimingResult
     /** Per-level hierarchy counters (L1D [, L2, DRAM], TLB). */
     HierarchyStats hier;
     uint64_t memUsageBytes = 0;
+    /**
+     * Sampling estimate (sample.enabled iff the request sampled). When
+     * sampling, `stats` covers only the detailed instructions; use
+     * sample.cpi/ipc (with confidence intervals) and estCycles() for
+     * whole-program metrics.
+     */
+    SampleEstimate sample;
+
+    /** Whole-program cycles: measured, or the sampling estimate. */
+    double
+    estimatedCycles() const
+    {
+        return sample.enabled ? sample.estCycles()
+                              : static_cast<double>(stats.cycles);
+    }
+    /** Whole-program IPC: measured, or the sampling estimate. */
+    double
+    estimatedIpc() const
+    {
+        return sample.enabled ? sample.ipc.mean : stats.ipc();
+    }
 };
 
 /** Run one workload through the timing pipeline. */

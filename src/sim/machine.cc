@@ -6,7 +6,7 @@ namespace facsim
 {
 
 Machine::Machine(const WorkloadInfo &info, const BuildOptions &options)
-    : rng(options.seed)
+    : wlName(info.name), opts(options), rng(options.seed)
 {
     AsmBuilder as(prog);
     WorkloadContext ctx(as, options.policy, rng, options.scale);

@@ -21,6 +21,7 @@
 #define FACSIM_SIM_MACHINE_HH
 
 #include <memory>
+#include <string>
 
 #include "cpu/emulator.hh"
 #include "runtime/heap.hh"
@@ -47,9 +48,11 @@ class Machine
 
     /** The functional CPU positioned at the entry point. */
     Emulator &emulator() { return *emu; }
+    const Emulator &emulator() const { return *emu; }
 
     /** Simulated memory (text+data+heap initialised). */
     Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
 
     /** The linked program. */
     const Program &program() const { return prog; }
@@ -66,7 +69,15 @@ class Machine
      */
     uint64_t memUsageBytes() const { return mem.memUsageBytes(); }
 
+    /** Workload name this machine was built from (checkpoint identity). */
+    const std::string &workloadName() const { return wlName; }
+
+    /** Build options this machine was built with (checkpoint identity). */
+    const BuildOptions &buildOptions() const { return opts; }
+
   private:
+    std::string wlName;
+    BuildOptions opts;
     Memory mem;
     Program prog;
     Rng rng;

@@ -44,7 +44,10 @@ Runner::runTimings(const std::vector<TimingRequest> &reqs,
     std::vector<TimingResult> out(reqs.size());
     RunnerReport rep = forEachIndex(reqs.size(), [&](size_t i) {
         out[i] = runTiming(reqs[i]);
-        return out[i].stats.insts;
+        // Sampled runs retire most instructions functionally; count
+        // them all so throughput reflects program coverage.
+        return out[i].sample.enabled ? out[i].sample.totalInsts
+                                     : out[i].stats.insts;
     });
     if (report)
         *report = std::move(rep);

@@ -1,0 +1,83 @@
+#include "util/parse.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace facsim::parse
+{
+
+bool
+tryU64(const std::string &s, uint64_t *out)
+{
+    size_t i = 0;
+    int base = 10;
+    if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        i = 2;
+    }
+    if (i >= s.size())
+        return false;
+
+    uint64_t v = 0;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        uint64_t next = v * base + digit;
+        if (next / base != v || (next % base) != static_cast<uint64_t>(digit))
+            return false; // overflow
+        v = next;
+    }
+    *out = v;
+    return true;
+}
+
+uint64_t
+u64Flag(const char *flag, const std::string &value)
+{
+    uint64_t v;
+    if (!tryU64(value, &v)) {
+        fatal("usage: %s expects a non-negative integer "
+              "(decimal or 0x-hex), got '%s'", flag, value.c_str());
+    }
+    return v;
+}
+
+uint64_t
+u64FlagPositive(const char *flag, const std::string &value)
+{
+    uint64_t v = u64Flag(flag, value);
+    if (v == 0)
+        fatal("usage: %s expects a positive integer, got '%s'",
+              flag, value.c_str());
+    return v;
+}
+
+uint32_t
+u32Flag(const char *flag, const std::string &value)
+{
+    uint64_t v = u64Flag(flag, value);
+    if (v > std::numeric_limits<uint32_t>::max())
+        fatal("usage: %s value '%s' is out of range", flag, value.c_str());
+    return static_cast<uint32_t>(v);
+}
+
+uint32_t
+u32FlagPositive(const char *flag, const std::string &value)
+{
+    uint32_t v = u32Flag(flag, value);
+    if (v == 0)
+        fatal("usage: %s expects a positive integer, got '%s'",
+              flag, value.c_str());
+    return v;
+}
+
+} // namespace facsim::parse

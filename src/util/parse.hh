@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Strict command-line value parsing. The CLI historically used bare
+ * strtoul(), which silently accepts garbage ("--mshrs=banana" parsed as
+ * 0) and negative values (wrapped to huge unsigneds). These helpers
+ * parse the *whole* token or die with a usage message, so a mistyped
+ * flag can never silently misconfigure an experiment.
+ */
+
+#ifndef FACSIM_UTIL_PARSE_HH
+#define FACSIM_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace facsim::parse
+{
+
+/**
+ * Parse a full string as an unsigned integer (decimal, or hex with a
+ * 0x/0X prefix). Rejects empty strings, signs, trailing junk, and
+ * values that overflow uint64_t.
+ *
+ * @return true and *out on success; false otherwise (*out untouched).
+ */
+bool tryU64(const std::string &s, uint64_t *out);
+
+/**
+ * Parse @p value for flag @p flag or die with a usage message.
+ * Accepts zero; use u64FlagPositive when zero is also invalid.
+ */
+uint64_t u64Flag(const char *flag, const std::string &value);
+
+/** Like u64Flag, but additionally rejects zero. */
+uint64_t u64FlagPositive(const char *flag, const std::string &value);
+
+/** u64Flag narrowed to uint32_t (dies if the value doesn't fit). */
+uint32_t u32Flag(const char *flag, const std::string &value);
+
+/** u32Flag that additionally rejects zero. */
+uint32_t u32FlagPositive(const char *flag, const std::string &value);
+
+} // namespace facsim::parse
+
+#endif // FACSIM_UTIL_PARSE_HH

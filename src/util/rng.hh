@@ -36,6 +36,12 @@ class Rng
     /** Bernoulli trial with probability @p p of returning true. */
     bool chance(double p);
 
+    /** Raw generator state, for checkpointing. Never zero. */
+    uint64_t rawState() const { return state; }
+
+    /** Restore state captured by rawState (must be non-zero). */
+    void setRawState(uint64_t s);
+
   private:
     uint64_t state;
 };

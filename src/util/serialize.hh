@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Header-only binary serialization used by the checkpoint subsystem
+ * (sim/checkpoint.hh). Kept in util/ and fully inline so that low-level
+ * structures (Cache, Btb, Tlb, MshrFile, ...) can implement
+ * saveState()/loadState() without linking against the sim layer.
+ *
+ * The encoding is fixed-width little-endian with no alignment; strings
+ * and byte blocks are length-prefixed. Readers are bounds-checked: any
+ * read past the end of the buffer dies through fatal() with a message
+ * naming the checkpoint as truncated, which is how corrupt files are
+ * rejected (see tests/test_checkpoint.cc).
+ */
+
+#ifndef FACSIM_UTIL_SERIALIZE_HH
+#define FACSIM_UTIL_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace facsim::ser
+{
+
+/** FNV-1a 64-bit hash — the checkpoint trailer checksum. */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t h = 0xcbf29ce484222325ull)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Accumulates an encoded byte stream. */
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        raw(&v, 4);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        raw(&v, 8);
+    }
+
+    void
+    f64(double v)
+    {
+        raw(&v, 8);
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    /** Raw bytes, no length prefix (caller encodes the length). */
+    void
+    bytes(const void *data, size_t len)
+    {
+        raw(data, len);
+    }
+
+    const std::string &data() const { return buf_; }
+
+  private:
+    void
+    raw(const void *p, size_t n)
+    {
+        // Encode little-endian regardless of host order. All supported
+        // hosts are little-endian; memcpy keeps this alignment-safe.
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf_;
+};
+
+/** Bounds-checked decoder over a byte buffer (not owned). */
+class Reader
+{
+  public:
+    /**
+     * @param data encoded stream (must outlive the Reader).
+     * @param len stream length in bytes.
+     * @param what label for error messages ("checkpoint", ...).
+     */
+    Reader(const void *data, size_t len, const char *what = "checkpoint")
+        : p_(static_cast<const uint8_t *>(data)), len_(len), what_(what)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return p_[off_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v;
+        need(4);
+        std::memcpy(&v, p_ + off_, 4);
+        off_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v;
+        need(8);
+        std::memcpy(&v, p_ + off_, 8);
+        off_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v;
+        need(8);
+        std::memcpy(&v, p_ + off_, 8);
+        off_ += 8;
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        // Strings in checkpoints are identifiers; a huge length means
+        // the stream is corrupt, not that someone saved a 16 MB name.
+        FACSIM_ASSERT(n <= (1u << 24),
+                      "%s corrupt: unreasonable string length %llu",
+                      what_, static_cast<unsigned long long>(n));
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p_ + off_),
+                      static_cast<size_t>(n));
+        off_ += static_cast<size_t>(n);
+        return s;
+    }
+
+    void
+    bytes(void *out, size_t n)
+    {
+        need(n);
+        std::memcpy(out, p_ + off_, n);
+        off_ += n;
+    }
+
+    size_t offset() const { return off_; }
+    size_t remaining() const { return len_ - off_; }
+
+    /** Die unless the whole stream was consumed (trailing-junk check). */
+    void
+    expectEnd() const
+    {
+        if (off_ != len_) {
+            fatal("%s corrupt: %zu trailing byte(s) after the last "
+                  "section", what_, len_ - off_);
+        }
+    }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        if (off_ + n > len_) {
+            fatal("%s truncated: needed %zu byte(s) at offset %zu but "
+                  "only %zu remain", what_, n, off_, len_ - off_);
+        }
+    }
+
+    const uint8_t *p_;
+    size_t len_;
+    const char *what_;
+    size_t off_ = 0;
+};
+
+} // namespace facsim::ser
+
+#endif // FACSIM_UTIL_SERIALIZE_HH

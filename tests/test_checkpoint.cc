@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Checkpoint/restore tests (sim/checkpoint.hh): a timing run saved at
+ * an arbitrary cycle boundary and resumed in a fresh process-equivalent
+ * (new Machine + Pipeline) finishes with bit-identical statistics; the
+ * functional kind round-trips the emulator; and damaged or mismatched
+ * files are rejected with clear fatal messages (death tests).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/serialize.hh"
+
+using namespace facsim;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string data;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    std::fclose(f);
+    return data;
+}
+
+void
+spew(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+}
+
+/** Patch @p data in place and re-seal the trailing checksum. */
+std::string
+patchAndReseal(std::string data, size_t offset, char value)
+{
+    data[offset] = value;
+    uint64_t sum = ser::fnv1a(data.data(), data.size() - 8);
+    std::memcpy(&data[data.size() - 8], &sum, 8);
+    return data;
+}
+
+void
+expectStatsEqual(const PipeStats &a, const PipeStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.icacheAccesses, b.icacheAccesses);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheAccesses, b.dcacheAccesses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.btbLookups, b.btbLookups);
+    EXPECT_EQ(a.btbMispredicts, b.btbMispredicts);
+    EXPECT_EQ(a.loadsSpeculated, b.loadsSpeculated);
+    EXPECT_EQ(a.loadSpecFailures, b.loadSpecFailures);
+    EXPECT_EQ(a.storesSpeculated, b.storesSpeculated);
+    EXPECT_EQ(a.storeSpecFailures, b.storeSpecFailures);
+    EXPECT_EQ(a.extraAccesses, b.extraAccesses);
+    EXPECT_EQ(a.storeBufferFullStalls, b.storeBufferFullStalls);
+    EXPECT_EQ(a.stallFetch, b.stallFetch);
+    EXPECT_EQ(a.stallData, b.stallData);
+    EXPECT_EQ(a.stallStructural, b.stallStructural);
+    EXPECT_EQ(a.stallStoreBuffer, b.stallStoreBuffer);
+}
+
+PipelineConfig
+timingConfig()
+{
+    PipelineConfig c = facPipelineConfig(32);
+    // Exercise the deep hierarchy so MSHR/WB/DRAM/TLB in-flight state
+    // crosses the checkpoint too.
+    c.hierarchy = hierarchyPreset("modern");
+    c.hierarchy.tlbEnabled = true;
+    c.hierarchy.tlbMissPenalty = 30;
+    return c;
+}
+
+} // namespace
+
+TEST(CheckpointTest, TimingRestoreIsBitIdentical)
+{
+    const std::string path = tmpPath("timing.ckpt");
+    const uint64_t saveAt = 30000;
+    const uint64_t total = 70000;
+    BuildOptions b;
+    b.policy = CodeGenPolicy::withSupport();
+
+    // Uninterrupted reference run.
+    Machine mRef(workload("compress"), b);
+    Pipeline pRef(timingConfig(), mRef.emulator());
+    PipeStats ref = pRef.run(total);
+
+    // Run to an arbitrary mid-flight boundary (no drain), save.
+    {
+        Machine m1(workload("compress"), b);
+        Pipeline p1(timingConfig(), m1.emulator());
+        p1.run(saveAt);
+        saveTimingCheckpoint(path, m1, p1);
+    }
+
+    // Fresh machine + pipeline, restore, finish.
+    Machine m2(workload("compress"), b);
+    Pipeline p2(timingConfig(), m2.emulator());
+    restoreTimingCheckpoint(path, m2, p2);
+    EXPECT_EQ(p2.stats().insts, saveAt);
+    PipeStats resumed = p2.run(total);
+
+    expectStatsEqual(resumed, ref);
+    EXPECT_EQ(p2.currentCycle(), pRef.currentCycle());
+    EXPECT_EQ(m2.emulator().instCount(), mRef.emulator().instCount());
+    EXPECT_EQ(m2.emulator().pc(), mRef.emulator().pc());
+    EXPECT_EQ(m2.memUsageBytes(), mRef.memUsageBytes());
+
+    // Hierarchy counters (all levels + TLB) must match too.
+    HierarchyStats ha = p2.hierarchyStats();
+    HierarchyStats hb = pRef.hierarchyStats();
+    ASSERT_EQ(ha.levels.size(), hb.levels.size());
+    for (size_t i = 0; i < ha.levels.size(); ++i) {
+        EXPECT_EQ(ha.levels[i].accesses, hb.levels[i].accesses);
+        EXPECT_EQ(ha.levels[i].misses, hb.levels[i].misses);
+        EXPECT_EQ(ha.levels[i].writebacks, hb.levels[i].writebacks);
+    }
+    EXPECT_EQ(ha.tlbAccesses, hb.tlbAccesses);
+    EXPECT_EQ(ha.tlbMisses, hb.tlbMisses);
+}
+
+TEST(CheckpointTest, TimingRestoreRunToCompletion)
+{
+    const std::string path = tmpPath("timing_full.ckpt");
+    BuildOptions b;
+
+    Machine mRef(workload("ora"), b);
+    Pipeline pRef(facPipelineConfig(32), mRef.emulator());
+    PipeStats ref = pRef.run(0);  // to completion
+
+    {
+        Machine m1(workload("ora"), b);
+        Pipeline p1(facPipelineConfig(32), m1.emulator());
+        p1.run(ref.insts / 3);
+        saveTimingCheckpoint(path, m1, p1);
+    }
+
+    Machine m2(workload("ora"), b);
+    Pipeline p2(facPipelineConfig(32), m2.emulator());
+    restoreTimingCheckpoint(path, m2, p2);
+    PipeStats resumed = p2.run(0);
+
+    expectStatsEqual(resumed, ref);
+    EXPECT_TRUE(p2.done());
+}
+
+TEST(CheckpointTest, FunctionalRoundTrip)
+{
+    const std::string path = tmpPath("func.ckpt");
+    BuildOptions b;
+
+    Machine mRef(workload("eqntott"), b);
+    ExecRecord rec;
+    while (mRef.emulator().instCount() < 40000 &&
+           mRef.emulator().step(&rec)) {
+    }
+    bool refHalted = mRef.emulator().halted();
+    while (mRef.emulator().step(&rec)) {
+    }
+
+    {
+        Machine m1(workload("eqntott"), b);
+        while (m1.emulator().instCount() < 40000 && m1.emulator().step(&rec)) {
+        }
+        ASSERT_EQ(m1.emulator().halted(), refHalted);
+        saveFunctionalCheckpoint(path, m1);
+        EXPECT_EQ(checkpointKindOf(path), CheckpointKind::Functional);
+    }
+
+    Machine m2(workload("eqntott"), b);
+    restoreFunctionalCheckpoint(path, m2);
+    EXPECT_EQ(m2.emulator().instCount(), 40000u);
+    while (m2.emulator().step(&rec)) {
+    }
+
+    EXPECT_EQ(m2.emulator().instCount(), mRef.emulator().instCount());
+    EXPECT_EQ(m2.emulator().pc(), mRef.emulator().pc());
+    for (unsigned r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(m2.emulator().intReg(r), mRef.emulator().intReg(r));
+    EXPECT_EQ(m2.memUsageBytes(), mRef.memUsageBytes());
+}
+
+TEST(CheckpointDeathTest, RejectsDamagedAndMismatchedFiles)
+{
+    const std::string good = tmpPath("good.ckpt");
+    BuildOptions b;
+    Machine m(workload("compress"), b);
+    Pipeline p(facPipelineConfig(32), m.emulator());
+    p.run(5000);
+    saveTimingCheckpoint(good, m, p);
+    EXPECT_EQ(checkpointKindOf(good), CheckpointKind::Timing);
+    const std::string data = slurp(good);
+    ASSERT_GT(data.size(), 64u);
+
+    auto restore = [&](const std::string &path) {
+        Machine m2(workload("compress"), b);
+        Pipeline p2(facPipelineConfig(32), m2.emulator());
+        restoreTimingCheckpoint(path, m2, p2);
+    };
+
+    // Missing file.
+    EXPECT_DEATH(restore(tmpPath("nonexistent.ckpt")), "cannot open");
+
+    // Not a checkpoint at all.
+    const std::string junk = tmpPath("junk.ckpt");
+    spew(junk, "this is not a checkpoint file at all, sorry");
+    EXPECT_DEATH(restore(junk), "not a facsim checkpoint");
+
+    // Too short to even hold the header.
+    const std::string tiny = tmpPath("tiny.ckpt");
+    spew(tiny, data.substr(0, 10));
+    EXPECT_DEATH(restore(tiny), "not a facsim checkpoint");
+
+    // Truncated: checksum cannot match.
+    const std::string trunc = tmpPath("trunc.ckpt");
+    spew(trunc, data.substr(0, data.size() / 2));
+    EXPECT_DEATH(restore(trunc), "corrupted: checksum");
+
+    // One flipped byte mid-stream.
+    const std::string flip = tmpPath("flip.ckpt");
+    std::string flipped = data;
+    flipped[data.size() / 2] ^= 0x40;
+    spew(flip, flipped);
+    EXPECT_DEATH(restore(flip), "corrupted: checksum");
+
+    // Unknown version (re-sealed so the checksum is valid).
+    const std::string vers = tmpPath("version.ckpt");
+    spew(vers, patchAndReseal(data, 8, 99));
+    EXPECT_DEATH(restore(vers), "format version 99");
+
+    // Kind mismatch: functional restore of a timing file and vice
+    // versa.
+    const std::string func = tmpPath("func_kind.ckpt");
+    saveFunctionalCheckpoint(func, m);
+    EXPECT_DEATH(restore(func), "functional checkpoint");
+    EXPECT_DEATH(
+        {
+            Machine m2(workload("compress"), b);
+            restoreFunctionalCheckpoint(good, m2);
+        },
+        "timing checkpoint");
+
+    // Wrong workload.
+    EXPECT_DEATH(
+        {
+            Machine m2(workload("eqntott"), b);
+            Pipeline p2(facPipelineConfig(32), m2.emulator());
+            restoreTimingCheckpoint(good, m2, p2);
+        },
+        "workload 'compress'");
+
+    // Wrong build seed.
+    EXPECT_DEATH(
+        {
+            BuildOptions b2;
+            b2.seed = 123;
+            Machine m2(workload("compress"), b2);
+            Pipeline p2(facPipelineConfig(32), m2.emulator());
+            restoreTimingCheckpoint(good, m2, p2);
+        },
+        "seed");
+
+    // Wrong pipeline configuration.
+    EXPECT_DEATH(
+        {
+            Machine m2(workload("compress"), b);
+            Pipeline p2(baselineConfig(16), m2.emulator());
+            restoreTimingCheckpoint(good, m2, p2);
+        },
+        "fingerprint");
+
+    // Trailing junk between the last section and the checksum.
+    const std::string tail = tmpPath("tail.ckpt");
+    std::string padded = data.substr(0, data.size() - 8) + "XXXX";
+    uint64_t sum = ser::fnv1a(padded.data(), padded.size());
+    padded.append(reinterpret_cast<const char *>(&sum), 8);
+    spew(tail, padded);
+    EXPECT_DEATH(restore(tail), "trailing byte");
+}
+
+TEST(CheckpointTest, FingerprintSeparatesConfigurations)
+{
+    uint64_t base = pipelineFingerprint(baselineConfig(32));
+    EXPECT_EQ(base, pipelineFingerprint(baselineConfig(32)));
+    EXPECT_NE(base, pipelineFingerprint(baselineConfig(16)));
+    EXPECT_NE(base, pipelineFingerprint(facPipelineConfig(32)));
+
+    PipelineConfig deep = baselineConfig(32);
+    deep.hierarchy = hierarchyPreset("modern");
+    EXPECT_NE(base, pipelineFingerprint(deep));
+}

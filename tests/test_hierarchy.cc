@@ -39,10 +39,19 @@ class RecordingMem final : public MemLevel
         return {t + lat, true};
     }
 
-    void reset() override { reqs.clear(); }
+    void
+    warm(uint32_t addr, bool is_write) override
+    {
+        warms.push_back({addr, is_write, 0});
+    }
+
+    uint64_t busyUntil() const override { return 0; }
+
+    void reset() override { reqs.clear(); warms.clear(); }
     const char *name() const override { return "rec"; }
 
     std::vector<Req> reqs;
+    std::vector<Req> warms;
 
   private:
     unsigned lat;

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Strict flag parsing: unit tests for util/parse.hh and end-to-end
+ * negative tests that drive the real facsim_cli binary (path injected
+ * as FACSIM_CLI_BIN) with zero/negative/garbage values for every
+ * numeric flag, asserting a non-zero exit and a usage message. The
+ * CLI historically used bare strtoul(), which accepted all of these
+ * silently.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/parse.hh"
+
+using namespace facsim;
+
+TEST(ParseTest, TryU64AcceptsWholeTokens)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parse::tryU64("0", &v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parse::tryU64("42", &v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parse::tryU64("0x1f", &v));
+    EXPECT_EQ(v, 0x1fu);
+    EXPECT_TRUE(parse::tryU64("0XFF", &v));
+    EXPECT_EQ(v, 0xffu);
+    EXPECT_TRUE(parse::tryU64("18446744073709551615", &v));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseTest, TryU64RejectsGarbage)
+{
+    uint64_t v = 77;
+    EXPECT_FALSE(parse::tryU64("", &v));
+    EXPECT_FALSE(parse::tryU64("-1", &v));
+    EXPECT_FALSE(parse::tryU64("+5", &v));
+    EXPECT_FALSE(parse::tryU64("12abc", &v));
+    EXPECT_FALSE(parse::tryU64("abc", &v));
+    EXPECT_FALSE(parse::tryU64("1 2", &v));
+    EXPECT_FALSE(parse::tryU64(" 1", &v));
+    EXPECT_FALSE(parse::tryU64("0x", &v));
+    EXPECT_FALSE(parse::tryU64("0xg", &v));
+    EXPECT_FALSE(parse::tryU64("18446744073709551616", &v));  // 2^64
+    EXPECT_FALSE(parse::tryU64("99999999999999999999999", &v));
+    EXPECT_EQ(v, 77u) << "failed parse must not touch *out";
+}
+
+TEST(ParseDeathTest, FlagHelpersDieWithUsage)
+{
+    EXPECT_DEATH(parse::u64Flag("--x", "nope"), "usage: --x expects");
+    EXPECT_DEATH(parse::u64Flag("--x", "-3"), "usage");
+    EXPECT_DEATH(parse::u64FlagPositive("--x", "0"), "positive");
+    EXPECT_DEATH(parse::u32Flag("--x", "4294967296"), "out of range");
+    EXPECT_DEATH(parse::u32FlagPositive("--x", "0"), "positive");
+    EXPECT_EQ(parse::u64Flag("--x", "0"), 0u);
+    EXPECT_EQ(parse::u64FlagPositive("--x", "9"), 9u);
+    EXPECT_EQ(parse::u32Flag("--x", "4294967295"), 4294967295u);
+}
+
+#ifdef FACSIM_CLI_BIN
+
+namespace
+{
+
+/** Run the CLI, capture combined output, return the exit status. */
+int
+runCli(const std::string &args, std::string *output)
+{
+    std::string cmd =
+        std::string(FACSIM_CLI_BIN) + " " + args + " 2>&1";
+    std::FILE *p = popen(cmd.c_str(), "r");
+    EXPECT_NE(p, nullptr);
+    output->clear();
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0)
+        output->append(buf, n);
+    return pclose(p);
+}
+
+void
+expectUsageFailure(const std::string &args)
+{
+    SCOPED_TRACE(args);
+    std::string out;
+    int status = runCli(args, &out);
+    EXPECT_NE(status, 0) << out;
+    EXPECT_NE(out.find("usage"), std::string::npos) << out;
+}
+
+} // namespace
+
+TEST(CliFlagAuditTest, NumericFlagsRejectZeroNegativeAndGarbage)
+{
+    // New sampling/checkpoint flags.
+    expectUsageFailure("time @compress --sample-period=0");
+    expectUsageFailure("time @compress --sample-period=-5");
+    expectUsageFailure("time @compress --sample-period=fast");
+    expectUsageFailure(
+        "time @compress --sample-period=1000 --sample-detail=0");
+    expectUsageFailure(
+        "time @compress --sample-period=1000 --sample-detail=10x");
+    expectUsageFailure(
+        "time @compress --sample-period=1000 --sample-warmup=0");
+    expectUsageFailure(
+        "time @compress --sample-period=1000 --sample-warmup=-1");
+    expectUsageFailure("time @compress --ckpt-save=");
+    expectUsageFailure("time @compress --ckpt-restore=");
+    expectUsageFailure(
+        "time @compress --ckpt-save=/tmp/a --ckpt-restore=/tmp/b");
+    expectUsageFailure(
+        "time @compress --sample-period=1000 --ckpt-save=/tmp/a");
+
+    // Pre-existing hierarchy flags, previously parsed with strtoul.
+    expectUsageFailure("time @compress --mshrs=0");
+    expectUsageFailure("time @compress --mshrs=-2");
+    expectUsageFailure("time @compress --mshrs=banana");
+    expectUsageFailure("time @compress --dram-lat=0");
+    expectUsageFailure("time @compress --dram-lat=80ns");
+    expectUsageFailure("time @compress --tlb-penalty=0");
+    expectUsageFailure("time @compress --tlb-penalty=slow");
+
+    // Other numeric flags.
+    expectUsageFailure("time @compress --block=0");
+    expectUsageFailure("time @compress --max-insts=ten");
+    expectUsageFailure("time @compress --scale=0");
+    expectUsageFailure("time @compress --jobs=two");
+}
+
+TEST(CliFlagAuditTest, SamplingInvariantsEnforced)
+{
+    std::string out;
+    // warmup + detail must fit in the period.
+    int status = runCli("time @compress --sample-period=1000 "
+                        "--sample-detail=600 --sample-warmup=600",
+                        &out);
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("fit in the period"), std::string::npos) << out;
+}
+
+TEST(CliFlagAuditTest, ValidFlagsStillWork)
+{
+    std::string out;
+    int status = runCli("time @ora --max-insts=20000 "
+                        "--sample-period=2000 --sample-detail=400 "
+                        "--sample-warmup=400",
+                        &out);
+    EXPECT_EQ(status, 0) << out;
+    EXPECT_NE(out.find("CPI estimate"), std::string::npos) << out;
+}
+
+#endif // FACSIM_CLI_BIN

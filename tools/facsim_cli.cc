@@ -32,10 +32,26 @@
  *   --tlb-penalty=N    model a 64-entry data TLB whose misses add N
  *                      cycles to the access (time)
  *   --no-rr            disable register+register speculation
- *   --max-insts=N      stop after N instructions
+ *   --max-insts=N      stop after N instructions (sampled runs: total
+ *                      retired instructions, fast-forwarded included)
  *   --scale=N          workload scale (built-in workloads)
  *   --trace=N          print the first N executed instructions
  *   --jobs=N           worker threads for --compare runs (0 = all)
+ *
+ * Sampled simulation (time, @workload or .s):
+ *   --sample-period=U  systematic sampling: one detailed window per U
+ *                      retired instructions (0 is rejected; omit the
+ *                      flag for full detail)
+ *   --sample-detail=N  measured instructions per window (default 1000)
+ *   --sample-warmup=N  unmeasured detailed warmup per window
+ *                      (default 2000)
+ *
+ * Checkpoints (@workload targets; 'run' = functional, 'time' = timing):
+ *   --ckpt-save=FILE   run (honouring --max-insts), then save
+ *   --ckpt-restore=FILE restore, then continue to completion (or
+ *                      --max-insts total instructions); the resumed
+ *                      run's final stats are bit-identical to an
+ *                      uninterrupted run
  */
 
 #include <cstdio>
@@ -49,10 +65,12 @@
 #include "cpu/profiler.hh"
 #include "isa/disasm.hh"
 #include "link/linker.hh"
+#include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "verify/fuzz.hh"
 
 using namespace facsim;
@@ -77,6 +95,11 @@ struct CliOptions
     uint64_t scale = 1;
     uint64_t trace = 0;
     unsigned jobs = 1;
+    /** Systematic sampling (time); period 0 = full detail. */
+    SamplingConfig sampling;
+    /** Checkpoint paths; empty = no checkpointing. */
+    std::string ckptSave;
+    std::string ckptRestore;
 };
 
 std::string
@@ -111,27 +134,49 @@ parseOptions(int argc, char **argv, int first)
         else if (a == "--no-rr")
             o.specRr = false;
         else if (const char *v = val("--block="))
-            o.block = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+            o.block = parse::u32FlagPositive("--block", v);
         else if (const char *v = val("--hierarchy="))
             o.hierarchy = v;
         else if (const char *v = val("--dram-lat="))
-            o.dramLat = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+            o.dramLat = parse::u32FlagPositive("--dram-lat", v);
         else if (const char *v = val("--mshrs="))
-            o.mshrs = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+            o.mshrs = parse::u32FlagPositive("--mshrs", v);
         else if (const char *v = val("--tlb-penalty="))
-            o.tlbPenalty =
-                static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+            o.tlbPenalty = parse::u32FlagPositive("--tlb-penalty", v);
         else if (const char *v = val("--max-insts="))
-            o.maxInsts = std::strtoull(v, nullptr, 0);
+            o.maxInsts = parse::u64Flag("--max-insts", v);
         else if (const char *v = val("--scale="))
-            o.scale = std::strtoull(v, nullptr, 0);
+            o.scale = parse::u64FlagPositive("--scale", v);
         else if (const char *v = val("--trace="))
-            o.trace = std::strtoull(v, nullptr, 0);
+            o.trace = parse::u64Flag("--trace", v);
         else if (const char *v = val("--jobs="))
-            o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
-        else
+            o.jobs = parse::u32Flag("--jobs", v);
+        else if (const char *v = val("--sample-period="))
+            o.sampling.period = parse::u64FlagPositive("--sample-period", v);
+        else if (const char *v = val("--sample-detail="))
+            o.sampling.detail = parse::u64FlagPositive("--sample-detail", v);
+        else if (const char *v = val("--sample-warmup="))
+            o.sampling.warmup = parse::u64FlagPositive("--sample-warmup", v);
+        else if (const char *v = val("--ckpt-save=")) {
+            if (!*v)
+                fatal("usage: --ckpt-save expects a file path");
+            o.ckptSave = v;
+        } else if (const char *v = val("--ckpt-restore=")) {
+            if (!*v)
+                fatal("usage: --ckpt-restore expects a file path");
+            o.ckptRestore = v;
+        } else
             fatal("unknown option '%s'", a.c_str());
     }
+    if (!o.ckptSave.empty() && !o.ckptRestore.empty())
+        fatal("usage: --ckpt-save and --ckpt-restore are mutually "
+              "exclusive");
+    if (o.sampling.enabled() &&
+        (!o.ckptSave.empty() || !o.ckptRestore.empty()))
+        fatal("usage: sampling (--sample-period) cannot be combined with "
+              "checkpointing (--ckpt-save/--ckpt-restore)");
+    if (o.sampling.enabled())
+        o.sampling.validate();
     return o;
 }
 
@@ -291,6 +336,7 @@ cmdRun(const std::string &target, const CliOptions &o)
     Emulator *emu;
     const Program *prog;
     Memory *mem;
+    bool ckpt = !o.ckptSave.empty() || !o.ckptRestore.empty();
     if (!target.empty() && target[0] == '@') {
         BuildOptions b;
         b.policy = policyOf(o);
@@ -300,22 +346,38 @@ cmdRun(const std::string &target, const CliOptions &o)
         prog = &m->program();
         mem = &m->memory();
     } else {
+        if (ckpt)
+            fatal("checkpoints require a built-in @workload target");
         l = loadAsm(target, o);
         emu = l->emu.get();
         prog = &l->prog;
         mem = &l->mem;
     }
 
+    if (!o.ckptRestore.empty()) {
+        restoreFunctionalCheckpoint(o.ckptRestore, *m);
+        std::printf("restored '%s' at %llu instructions\n",
+                    o.ckptRestore.c_str(),
+                    static_cast<unsigned long long>(emu->instCount()));
+    }
+
+    // --max-insts bounds *total* executed instructions so a save/restore
+    // pair covers exactly the same stream as an uninterrupted run.
     uint64_t n = 0;
     ExecRecord rec;
-    while (emu->step(&rec)) {
+    while ((!o.maxInsts || emu->instCount() < o.maxInsts) &&
+           emu->step(&rec)) {
         if (n < o.trace) {
             std::printf("%08x  %s\n", rec.pc,
                         disasm(rec.inst, rec.pc).c_str());
         }
         ++n;
-        if (o.maxInsts && n >= o.maxInsts)
-            break;
+    }
+    if (!o.ckptSave.empty()) {
+        saveFunctionalCheckpoint(o.ckptSave, *m);
+        std::printf("checkpoint saved to '%s' at %llu instructions\n",
+                    o.ckptSave.c_str(),
+                    static_cast<unsigned long long>(emu->instCount()));
     }
     std::printf("executed %llu instructions; %s\n",
                 static_cast<unsigned long long>(n),
@@ -334,10 +396,66 @@ cmdRun(const std::string &target, const CliOptions &o)
     return 0;
 }
 
+void
+printSampleEstimate(const SampleEstimate &s)
+{
+    std::printf("sampling:          %llu window(s); %.2f%% of %llu "
+                "insts in detail\n",
+                static_cast<unsigned long long>(s.windows),
+                100.0 * s.detailFraction(),
+                static_cast<unsigned long long>(s.totalInsts));
+    std::printf("  measured:        %llu insts / %llu cycles "
+                "(+%llu warmup, +%llu drain, %llu fast-forwarded)\n",
+                static_cast<unsigned long long>(s.measuredInsts),
+                static_cast<unsigned long long>(s.measuredCycles),
+                static_cast<unsigned long long>(s.warmupInsts),
+                static_cast<unsigned long long>(s.drainInsts),
+                static_cast<unsigned long long>(s.fastForwardInsts));
+    std::printf("  CPI estimate:    %.4f +- %.4f (95%% CI)\n",
+                s.cpi.mean, s.cpi.halfWidth);
+    std::printf("  IPC estimate:    %.4f +- %.4f (95%% CI)\n",
+                s.ipc.mean, s.ipc.halfWidth);
+    std::printf("  est. cycles:     %.0f\n", s.estCycles());
+}
+
 int
 cmdTime(const std::string &target, const CliOptions &o)
 {
     bool is_workload = !target.empty() && target[0] == '@';
+
+    if (!o.ckptSave.empty() || !o.ckptRestore.empty()) {
+        if (!is_workload)
+            fatal("checkpoints require a built-in @workload target");
+        BuildOptions b;
+        b.policy = policyOf(o);
+        b.scale = o.scale;
+        Machine m(workload(target.substr(1)), b);
+        Pipeline pipe(pipeOf(o), m.emulator());
+        if (!o.ckptRestore.empty()) {
+            restoreTimingCheckpoint(o.ckptRestore, m, pipe);
+            std::printf("restored '%s' at cycle %llu (%llu insts)\n",
+                        o.ckptRestore.c_str(),
+                        static_cast<unsigned long long>(
+                            pipe.currentCycle()),
+                        static_cast<unsigned long long>(
+                            pipe.stats().insts));
+        }
+        // run() bounds *total* issued instructions, so a save/restore
+        // pair replays exactly the cycles an uninterrupted run would.
+        PipeStats st = pipe.run(o.maxInsts);
+        if (!o.ckptSave.empty()) {
+            saveTimingCheckpoint(o.ckptSave, m, pipe);
+            std::printf("checkpoint saved to '%s' at cycle %llu "
+                        "(%llu insts)\n",
+                        o.ckptSave.c_str(),
+                        static_cast<unsigned long long>(
+                            pipe.currentCycle()),
+                        static_cast<unsigned long long>(st.insts));
+        }
+        printPipeStats(st);
+        printHierarchyStats(pipe.hierarchyStats());
+        return 0;
+    }
 
     if (is_workload) {
         // Workload targets go through the experiment runner so a
@@ -349,6 +467,7 @@ cmdTime(const std::string &target, const CliOptions &o)
             req.build.scale = o.scale;
             req.pipe = cfg;
             req.maxInsts = o.maxInsts;
+            req.sampling = o.sampling;
             return req;
         };
         std::vector<TimingRequest> reqs{requestWith(pipeOf(o))};
@@ -366,15 +485,16 @@ cmdTime(const std::string &target, const CliOptions &o)
 
         printPipeStats(res[0].stats);
         printHierarchyStats(res[0].hier);
+        if (res[0].sample.enabled)
+            printSampleEstimate(res[0].sample);
         if (o.compare) {
-            uint64_t base = res[1].stats.cycles;
-            std::printf("baseline cycles:   %llu\n",
-                        static_cast<unsigned long long>(base));
-            std::printf("speedup:           %.3f\n",
-                        base && res[0].stats.cycles
-                            ? static_cast<double>(base) /
-                                  res[0].stats.cycles
-                            : 0.0);
+            double base = res[1].estimatedCycles();
+            double mine = res[0].estimatedCycles();
+            std::printf("baseline cycles:   %.0f\n", base);
+            std::printf("speedup:           %.3f%s\n",
+                        base > 0.0 && mine > 0.0 ? base / mine : 0.0,
+                        res[0].sample.enabled ? " (sampled estimate)"
+                                              : "");
             std::printf("host time:         %.2fs on %u threads "
                         "(%.2fM sim-insts/s)\n",
                         report.wallSeconds, report.jobs,
@@ -383,28 +503,41 @@ cmdTime(const std::string &target, const CliOptions &o)
         return 0;
     }
 
-    auto timeWith = [&](const PipelineConfig &cfg, HierarchyStats *hs) {
+    auto timeWith = [&](const PipelineConfig &cfg, HierarchyStats *hs,
+                        SampleEstimate *se) {
         auto l = loadAsm(target, o);
         Pipeline pipe(cfg, *l->emu);
-        PipeStats st = pipe.run(o.maxInsts);
+        PipeStats st;
+        if (o.sampling.enabled()) {
+            *se = runSampled(pipe, o.sampling, o.maxInsts);
+            st = pipe.stats();
+        } else {
+            st = pipe.run(o.maxInsts);
+        }
         if (hs)
             *hs = pipe.hierarchyStats();
         return st;
     };
     HierarchyStats hier;
-    PipeStats st = timeWith(pipeOf(o), &hier);
+    SampleEstimate sample;
+    PipeStats st = timeWith(pipeOf(o), &hier, &sample);
     printPipeStats(st);
     printHierarchyStats(hier);
+    if (sample.enabled)
+        printSampleEstimate(sample);
     if (o.compare) {
         PipelineConfig bcfg = baselineConfig(o.block);
         bcfg.hierarchy = hierarchyOf(o);
-        PipeStats base = timeWith(bcfg, nullptr);
-        std::printf("baseline cycles:   %llu\n",
-                    static_cast<unsigned long long>(base.cycles));
-        std::printf("speedup:           %.3f\n",
-                    base.cycles && st.cycles
-                        ? static_cast<double>(base.cycles) / st.cycles
-                        : 0.0);
+        SampleEstimate bsample;
+        PipeStats base = timeWith(bcfg, nullptr, &bsample);
+        double bcyc = bsample.enabled ? bsample.estCycles()
+                                      : static_cast<double>(base.cycles);
+        double mcyc = sample.enabled ? sample.estCycles()
+                                     : static_cast<double>(st.cycles);
+        std::printf("baseline cycles:   %.0f\n", bcyc);
+        std::printf("speedup:           %.3f%s\n",
+                    bcyc > 0.0 && mcyc > 0.0 ? bcyc / mcyc : 0.0,
+                    sample.enabled ? " (sampled estimate)" : "");
     }
     return 0;
 }
