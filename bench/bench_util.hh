@@ -31,6 +31,7 @@
 
 #include "sim/config.hh"
 #include "sim/experiment.hh"
+#include "sim/obs_views.hh"
 #include "sim/runner.hh"
 #include "sim/stats.hh"
 #include "util/logging.hh"
@@ -55,6 +56,11 @@ struct Options
     std::vector<std::string> extra;
     /** Host-time accounting merged across every runAll() batch. */
     RunnerReport report;
+    /**
+     * Stats-registry accumulation across every runAll() batch; emitted
+     * under the "stats" key of each --json line.
+     */
+    StatsAccum statsAccum;
 };
 
 inline Options
@@ -150,6 +156,8 @@ runAll(Options &o, const std::vector<TimingRequest> &reqs,
                  tag, reqs.size(), rep.jobs, rep.wallSeconds,
                  rep.simInstsPerHostSecond() / 1e6);
     o.report.merge(rep);
+    for (const TimingResult &r : out)
+        o.statsAccum.add(r);
     return out;
 }
 
@@ -167,6 +175,8 @@ runAll(Options &o, const std::vector<ProfileRequest> &reqs,
                  tag, reqs.size(), rep.jobs, rep.wallSeconds,
                  rep.simInstsPerHostSecond() / 1e6);
     o.report.merge(rep);
+    for (const ProfileResult &r : out)
+        o.statsAccum.add(r);
     return out;
 }
 
@@ -196,11 +206,20 @@ jsonEscape(const std::string &s)
 }
 
 /**
- * Append one JSON object for @p t to @p o.jsonPath: caption, header,
- * rows (arrays of strings) and host-time metadata from o.report (jobs,
- * wall seconds, simulated instructions per host second). One object per
- * line (JSON-lines), truncating the file on the first emit of the
- * process so reruns do not accumulate.
+ * Version of the JSON-lines schema emitJson() writes. v1 (implicit,
+ * no schema_version key): caption/header/rows/meta. v2: adds
+ * schema_version itself and the merged stats-registry dump under
+ * "stats".
+ */
+constexpr unsigned benchJsonSchemaVersion = 2;
+
+/**
+ * Append one JSON object for @p t to @p o.jsonPath: schema version,
+ * caption, header, rows (arrays of strings), the accumulated stats
+ * registry and host-time metadata from o.report (jobs, wall seconds,
+ * simulated instructions per host second). One object per line
+ * (JSON-lines), truncating the file on the first emit of the process so
+ * reruns do not accumulate.
  */
 inline void
 emitJson(const Options &o, const std::string &caption, const Table &t)
@@ -212,7 +231,8 @@ emitJson(const Options &o, const std::string &caption, const Table &t)
     if (!out)
         fatal("cannot write '%s'", o.jsonPath.c_str());
 
-    out << "{\"caption\":\"" << jsonEscape(caption) << "\",";
+    out << "{\"schema_version\":" << benchJsonSchemaVersion << ",";
+    out << "\"caption\":\"" << jsonEscape(caption) << "\",";
     out << "\"header\":[";
     const auto &hdr = t.headerCells();
     for (size_t i = 0; i < hdr.size(); ++i)
@@ -232,7 +252,8 @@ emitJson(const Options &o, const std::string &caption, const Table &t)
                      o.report.wallSeconds,
                      static_cast<unsigned long long>(o.report.simInsts),
                      o.report.simInstsPerHostSecond());
-    out << "}}\n";
+    out << "},\"stats\":" << o.statsAccum.statsJsonObject();
+    out << "}\n";
 }
 
 /** Print the table in the requested format, with a caption. */

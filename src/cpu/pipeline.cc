@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "isa/disasm.hh"
+#include "obs/debug.hh"
 #include "util/logging.hh"
 
 namespace facsim
@@ -32,22 +34,86 @@ Pipeline::Pipeline(const PipelineConfig &config, Emulator &emulator)
     fus[fuFpMulDiv].assign(1, 0);
 }
 
+Pipeline::~Pipeline()
+{
+    // Release the panic hook only if this pipeline still owns it.
+    clearPanicContextHook(this);
+}
+
+void
+Pipeline::enableHistoryRing(size_t capacity)
+{
+    ring_ = std::make_unique<obs::RetireRing>(capacity);
+    setPanicContextHook(&Pipeline::panicHistoryThunk, this);
+}
+
+std::string
+Pipeline::panicHistoryThunk(void *self)
+{
+    auto *p = static_cast<Pipeline *>(self);
+    return p->ring_ ? p->ring_->dump() : std::string();
+}
+
+void
+Pipeline::recordInst(const FetchedInst &fi, bool spec, bool spec_failed,
+                     uint64_t done, uint8_t level)
+{
+    uint64_t seq = dynSeq_++;
+    const ExecRecord &rec = fi.rec;
+    bool is_mem = isMem(rec.inst.op);
+    if (ring_) {
+        obs::RingEntry e;
+        e.seq = seq;
+        e.issueCycle = cycle;
+        e.doneCycle = done;
+        e.pc = rec.pc;
+        e.inst = rec.inst;
+        e.effAddr = rec.effAddr;
+        e.isMem = is_mem;
+        e.specAccess = spec && is_mem;
+        e.specFailed = spec_failed;
+        e.memLevel = level;
+        ring_->push(e);
+    }
+    if (trace_ && seq >= traceStart_ && seq - traceStart_ < traceCount_) {
+        obs::InstTraceRecord r;
+        r.seq = seq;
+        r.pc = rec.pc;
+        r.text = disasm(rec.inst, rec.pc);
+        r.fetchCycle = fi.fetchCycle;
+        r.issueCycle = cycle;
+        r.doneCycle = done;
+        r.isLoad = isLoad(rec.inst.op);
+        r.isStore = isStore(rec.inst.op);
+        r.specAccess = spec && is_mem;
+        r.specFailed = spec_failed;
+        r.memLevel = level;
+        trace_->instruction(r);
+    }
+}
+
 unsigned &
 Pipeline::readPortsAt(uint64_t t)
 {
     return readPorts[t % portWindow];
 }
 
-uint64_t
+MemResult
 Pipeline::dcacheReadAt(uint64_t t, uint32_t addr)
 {
     ++st.dcacheAccesses;
     if (cfg.perfectDCache)
-        return t;
+        return {t, true, memlevel::None};
     MemResult r = dmem.read(addr, t);
-    if (!r.l1Hit)
+    if (!r.l1Hit) {
         ++st.dcacheMisses;
-    return r.doneCycle;
+        FACSIM_DPRINTF(Mem, "cycle=%llu load addr=%08x L1 miss, "
+                       "serviced by %s, done=%llu",
+                       static_cast<unsigned long long>(t), addr,
+                       obs::memLevelName(r.level),
+                       static_cast<unsigned long long>(r.doneCycle));
+    }
+    return r;
 }
 
 void
@@ -208,6 +274,7 @@ Pipeline::fetchGroup()
 
         FetchedInst fi;
         fi.rec = rec;
+        fi.fetchCycle = cycle;
 
         if (rec.inst.op == Op::HALT) {
             fbuf.push_back(fi);
@@ -228,6 +295,10 @@ Pipeline::fetchGroup()
             fi.ctlMispredicted = mispredict;
             fbuf.push_back(fi);
             if (mispredict) {
+                FACSIM_DPRINTF(Fetch, "cycle=%llu pc=%08x BTB mispredict "
+                               "(taken=%d target=%08x), fetch redirect",
+                               static_cast<unsigned long long>(cycle),
+                               rec.pc, rec.taken ? 1 : 0, rec.nextPc);
                 // The machine fetches down the wrong path until the
                 // transfer resolves in EX; we model that as a fetch stall
                 // released by the resolving instruction.
@@ -271,13 +342,13 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
     if (in.op == Op::HALT) {
         ++st.insts;
         halted = true;
-        notifyIssue(rec, false, false);
+        notifyIssue(fi, false, false, cycle + 1, memlevel::None);
         fbuf.pop_front();
         return false;
     }
     if (in.op == Op::NOP) {
         ++st.insts;
-        notifyIssue(rec, false, false);
+        notifyIssue(fi, false, false, cycle + 1, memlevel::None);
         fbuf.pop_front();
         return true;
     }
@@ -320,6 +391,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         bool issued_spec = false;
         bool spec_failed = false;
         uint64_t data_ready = 0;
+        uint8_t mem_level = memlevel::None;
 
         if (allow_spec && readPortsAt(cycle) < cfg.maxLoadsPerCycle) {
             FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
@@ -330,16 +402,25 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                 if (fr.success) {
                     FACSIM_ASSERT(fr.predictedAddr == rec.effAddr,
                                   "FAC success with wrong address");
-                    data_ready = dcacheReadAt(cycle, rec.effAddr);
+                    MemResult mr = dcacheReadAt(cycle, rec.effAddr);
+                    data_ready = mr.doneCycle;
+                    mem_level = mr.level;
                 } else {
                     // Wasted speculative access with the wrong address
                     // (bandwidth only — the fill is squashed), then a
                     // MEM-stage re-execution next cycle.
+                    FACSIM_DPRINTF(FacVerify, "cycle=%llu pc=%08x load "
+                                   "FAC mispredict pred=%08x actual=%08x, "
+                                   "MEM replay",
+                                   static_cast<unsigned long long>(cycle),
+                                   rec.pc, fr.predictedAddr, rec.effAddr);
                     ++st.loadSpecFailures;
                     ++st.extraAccesses;
                     ++st.dcacheAccesses;
                     ++readPortsAt(cycle + 1);
-                    data_ready = dcacheReadAt(cycle + 1, rec.effAddr);
+                    MemResult mr = dcacheReadAt(cycle + 1, rec.effAddr);
+                    data_ready = mr.doneCycle;
+                    mem_level = mr.level;
                     lastMispredictCycle = cycle;
                     lastMispredictWasLoad = true;
                     spec_failed = true;
@@ -356,7 +437,9 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                 return false;
             }
             ++readPortsAt(at);
-            data_ready = dcacheReadAt(at, rec.effAddr);
+            MemResult mr = dcacheReadAt(at, rec.effAddr);
+            data_ready = mr.doneCycle;
+            mem_level = mr.level;
         }
 
         // Under the AGI organisation the consumer's ALU stage sits level
@@ -382,7 +465,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         // alias: a second load issuing successfully in the same cycle as
         // another load's misprediction would be reported as mispredicted
         // too.
-        notifyIssue(rec, issued_spec, spec_failed);
+        notifyIssue(fi, issued_spec, spec_failed, data_ready, mem_level);
         fbuf.pop_front();
         return true;
     }
@@ -395,6 +478,9 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         }
         if (sbuf.full()) {
             // Paper: the pipeline stalls and the oldest entry retires.
+            FACSIM_DPRINTF(StoreBuffer, "cycle=%llu pc=%08x store buffer "
+                           "full, stalling and forcing retirement",
+                           static_cast<unsigned long long>(cycle), rec.pc);
             ++st.storeBufferFullStalls;
             store_forced_retire = true;
             lastStall = StallReason::StoreBuffer;
@@ -422,6 +508,11 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                 } else {
                     // Wasted tag probe; the buffered entry is patched by
                     // the MEM-stage re-execution next cycle.
+                    FACSIM_DPRINTF(FacVerify, "cycle=%llu pc=%08x store "
+                                   "FAC mispredict pred=%08x actual=%08x, "
+                                   "buffer entry patched",
+                                   static_cast<unsigned long long>(cycle),
+                                   rec.pc, fr.predictedAddr, rec.effAddr);
                     ++st.storeSpecFailures;
                     ++st.extraAccesses;
                     ++st.dcacheAccesses;
@@ -450,8 +541,10 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         ++stores_this_cycle;
         // Per-access flag, same reasoning as the load path (here the
         // aliased form happened to be correct only because at most one
-        // store issues per cycle).
-        notifyIssue(rec, handled, spec_failed);
+        // store issues per cycle). A store's data leaves the core when
+        // its buffer entry is complete (cycle+1); the cache write and
+        // its service level happen at retirement, asynchronously.
+        notifyIssue(fi, handled, spec_failed, cycle + 1, memlevel::None);
         fbuf.pop_front();
         return true;
     }
@@ -475,7 +568,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
             setIntReady(in.rd, cycle + 1);
         takeFu(cls, 1);
         ++st.insts;
-        notifyIssue(rec, false, false);
+        notifyIssue(fi, false, false, cycle + 1, memlevel::None);
         fbuf.pop_front();
         return true;
     }
@@ -523,7 +616,7 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
 
     takeFu(cls, busy);
     ++st.insts;
-    notifyIssue(rec, false, false);
+    notifyIssue(fi, false, false, cycle + lat, memlevel::None);
     fbuf.pop_front();
     return true;
 }
@@ -723,6 +816,7 @@ Pipeline::saveState(ser::Writer &w) const
     w.b(traceDone);
     w.b(halted);
     w.u64(seqCounter);
+    w.u64(dynSeq_);
     w.u64(ffInsts);
     w.u64(lastProgressCycle);
     w.u64(lastProgressInsts);
@@ -746,6 +840,7 @@ Pipeline::saveState(ser::Writer &w) const
         w.b(fi.rec.taken);
         w.u32(fi.rec.nextPc);
         w.u64(fi.readyCycle);
+        w.u64(fi.fetchCycle);
         w.b(fi.ctlMispredicted);
     }
 
@@ -808,6 +903,7 @@ Pipeline::loadState(ser::Reader &r)
     traceDone = r.b();
     halted = r.b();
     seqCounter = r.u64();
+    dynSeq_ = r.u64();
     ffInsts = r.u64();
     lastProgressCycle = r.u64();
     lastProgressInsts = r.u64();
@@ -832,6 +928,7 @@ Pipeline::loadState(ser::Reader &r)
         fi.rec.taken = r.b();
         fi.rec.nextPc = r.u32();
         fi.readyCycle = r.u64();
+        fi.fetchCycle = r.u64();
         fi.ctlMispredicted = r.b();
         fbuf.push_back(fi);
     }

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "branch/btb.hh"
@@ -46,6 +47,8 @@
 #include "core/fast_addr_calc.hh"
 #include "cpu/emulator.hh"
 #include "mem/hierarchy/hierarchy.hh"
+#include "obs/ring.hh"
+#include "obs/trace.hh"
 
 namespace facsim
 {
@@ -189,6 +192,7 @@ class Pipeline
      *        must be freshly constructed/positioned at the program start).
      */
     Pipeline(const PipelineConfig &config, Emulator &emu);
+    ~Pipeline();
 
     /**
      * Simulate until the program halts (or @p max_insts issue).
@@ -284,6 +288,34 @@ class Pipeline
         storeRetireHook = std::move(fn);
     }
 
+    /**
+     * Attach a per-instruction lifecycle trace sink (nullptr detaches;
+     * not owned — must outlive the run). Only dynamic instructions in
+     * [@p start, @p start + @p count) are reported. The pipeline checks
+     * one pointer per issued instruction, so detached tracing is free.
+     * Trace/ring progress is not checkpointed: a restored run restarts
+     * its dynamic-sequence numbering from the checkpoint's counter but
+     * needs its sink re-attached.
+     */
+    void
+    setTrace(obs::TraceSink *sink, uint64_t start = 0,
+             uint64_t count = UINT64_MAX)
+    {
+        trace_ = sink;
+        traceStart_ = start;
+        traceCount_ = count;
+    }
+
+    /**
+     * Retain the last @p capacity issued instructions in a history ring
+     * and install this thread's panic-context hook, so panics (and the
+     * co-simulation's divergence reports) carry the pipeline history.
+     */
+    void enableHistoryRing(size_t capacity);
+
+    /** The history ring, or nullptr when disabled. */
+    const obs::RetireRing *historyRing() const { return ring_.get(); }
+
     /** The store buffer (observer access for diagnostics/co-sim). */
     const StoreBuffer &storeBuffer() const { return sbuf; }
 
@@ -299,6 +331,7 @@ class Pipeline
     {
         ExecRecord rec;
         uint64_t readyCycle = 0;   ///< earliest issue cycle
+        uint64_t fetchCycle = 0;   ///< cycle the fetch happened (traces)
         bool ctlMispredicted = false;
     };
 
@@ -335,20 +368,41 @@ class Pipeline
     void setIntReady(int r, uint64_t t);
     void setFpReady(int r, uint64_t t);
 
-    // Data-cache access at a given cycle; returns the data-ready cycle.
-    uint64_t dcacheReadAt(uint64_t t, uint32_t addr);
+    // Data-cache access at a given cycle; returns the completion cycle
+    // plus L1-hit and service-level attribution.
+    MemResult dcacheReadAt(uint64_t t, uint32_t addr);
     // Port-usage ring helper.
     unsigned &readPortsAt(uint64_t t);
 
+    // Observability slow path: history-ring push + windowed trace
+    // emission for one issued instruction (done = result-ready cycle,
+    // level = hierarchy level that serviced a memory access).
+    void recordInst(const FetchedInst &fi, bool spec, bool spec_failed,
+                    uint64_t done, uint8_t level);
+    static std::string panicHistoryThunk(void *self);
+
     void
-    notifyIssue(const ExecRecord &rec, bool spec, bool mispred)
+    notifyIssue(const FetchedInst &fi, bool spec, bool mispred,
+                uint64_t done, uint8_t level)
     {
+        // Record before the hook fires so a divergence/panic raised from
+        // inside the hook sees this instruction in the history ring.
+        if (trace_ || ring_)
+            recordInst(fi, spec, mispred, done, level);
         if (issueHook)
-            issueHook(IssueEvent{cycle, rec, spec, mispred});
+            issueHook(IssueEvent{cycle, fi.rec, spec, mispred});
     }
 
     std::function<void(const IssueEvent &)> issueHook;
     std::function<void(uint64_t, uint32_t)> storeRetireHook;
+
+    // Observability state (all inert unless explicitly enabled).
+    obs::TraceSink *trace_ = nullptr;
+    uint64_t traceStart_ = 0;
+    uint64_t traceCount_ = 0;
+    std::unique_ptr<obs::RetireRing> ring_;
+    /** Dynamic index of the next issued instruction (trace/ring seq). */
+    uint64_t dynSeq_ = 0;
 
     PipelineConfig cfg;
     Emulator &emu;

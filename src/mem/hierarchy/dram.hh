@@ -54,7 +54,7 @@ class DramModel final : public MemLevel
             st.busyCycles += cfg.issueInterval;
         }
         ++(is_write ? st.writes : st.reads);
-        return {start + cfg.latency, true};
+        return {start + cfg.latency, true, memlevel::Mem};
     }
 
     void warm(uint32_t, bool) override {}  // no warmable state

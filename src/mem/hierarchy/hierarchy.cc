@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/debug.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -124,26 +125,30 @@ CacheLevel::access(uint32_t addr, bool is_write, uint64_t t)
 
     if (acc.hit) {
         if (!mshr.enabled())
-            return {at, true};
+            return {at, true, prm.levelId};
         // The tag model fills on the primary miss, so an access to a
         // line whose fill is still in flight looks like a hit; its data
-        // is only available once the fill lands.
+        // is only available once the fill lands. Attributed to this
+        // level: the merge is serviced out of this level's MSHR file.
         uint64_t fill = mshr.inflightFill(block, at);
         if (!fill)
-            return {at, true};
+            return {at, true, prm.levelId};
         if (mshr.mergeSecondary()) {
             mshr.noteMerge();
-            return {fill, true};
+            return {fill, true, prm.levelId};
         }
         // No secondary-miss support: re-request the line below,
         // occupying a fresh entry.
         uint64_t start = wait_for_entry(at);
         LevelResult below = next.access(addr, false, start);
         mshr.allocate(block, start, below.doneCycle);
-        return {below.doneCycle, true};
+        return {below.doneCycle, true, below.level};
     }
 
     // Primary miss.
+    FACSIM_DPRINTF(Hier, "%s miss addr=%08x cycle=%llu%s", name_.c_str(),
+                   addr, static_cast<unsigned long long>(t),
+                   acc.writeback ? " (dirty victim)" : "");
     uint64_t start = at;
     if (mshr.enabled())
         start = wait_for_entry(at);
@@ -164,7 +169,7 @@ CacheLevel::access(uint32_t addr, bool is_write, uint64_t t)
     LevelResult below = next.access(addr, false, start);
     if (mshr.enabled())
         mshr.allocate(block, start, below.doneCycle);
-    return {below.doneCycle, false};
+    return {below.doneCycle, false, below.level};
 }
 
 void
@@ -236,7 +241,8 @@ MemHierarchy::MemHierarchy(const CacheConfig &l1,
     l1.validate("L1 data cache");
     cfg.validate();
 
-    CacheLevel::Params p1{l1, 0, cfg.l1Mshr, cfg.l1WbEntries};
+    CacheLevel::Params p1{l1, 0, cfg.l1Mshr, cfg.l1WbEntries,
+                          memlevel::L1};
     if (cfg.depth == HierarchyDepth::Flat) {
         flat_ = std::make_unique<FixedLatencyMem>(l1.missLatency);
         l1_ = std::make_unique<CacheLevel>("L1D", p1, *flat_);
@@ -250,7 +256,7 @@ MemHierarchy::MemHierarchy(const CacheConfig &l1,
                       cfg.l2.sizeBytes, l1.sizeBytes);
         dram_ = std::make_unique<DramModel>(cfg.dram);
         CacheLevel::Params p2{cfg.l2, cfg.l2HitLatency, cfg.l2Mshr,
-                              cfg.l2WbEntries};
+                              cfg.l2WbEntries, memlevel::L2};
         l2_ = std::make_unique<CacheLevel>("L2", p2, *dram_);
         l1_ = std::make_unique<CacheLevel>("L1D", p1, *l2_);
     }
@@ -270,14 +276,14 @@ MemResult
 MemHierarchy::read(uint32_t addr, uint64_t t)
 {
     LevelResult r = l1_->access(addr, false, translate(addr, t));
-    return {r.doneCycle, r.hit};
+    return {r.doneCycle, r.hit, r.level};
 }
 
 MemResult
 MemHierarchy::write(uint32_t addr, uint64_t t)
 {
     LevelResult r = l1_->access(addr, true, translate(addr, t));
-    return {r.doneCycle, r.hit};
+    return {r.doneCycle, r.hit, r.level};
 }
 
 void

@@ -159,6 +159,7 @@ class CacheLevel final : public MemLevel
         unsigned hitLatency = 0;  ///< cycles from arrival to hit data
         MshrConfig mshr{};
         unsigned wbEntries = 0;
+        uint8_t levelId = memlevel::L1;  ///< service-attribution id
     };
 
     CacheLevel(const char *name, const Params &params, MemLevel &below);

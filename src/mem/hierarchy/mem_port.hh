@@ -28,11 +28,25 @@
 namespace facsim
 {
 
+/**
+ * Hierarchy-level identifiers used for per-access service attribution
+ * (pipeline traces, stats): 0 = none (perfect cache), 1 = L1, 2 = L2,
+ * 3 = the memory backend (FixedLatencyMem or DRAM).
+ */
+namespace memlevel
+{
+constexpr uint8_t None = 0;
+constexpr uint8_t L1 = 1;
+constexpr uint8_t L2 = 2;
+constexpr uint8_t Mem = 3;
+} // namespace memlevel
+
 /** Outcome of one data access presented to a memory port. */
 struct MemResult
 {
     uint64_t doneCycle = 0;  ///< cycle the data is available to the core
     bool l1Hit = true;       ///< the first-level tag lookup hit
+    uint8_t level = memlevel::L1;  ///< level that serviced the access
 };
 
 /** Core-facing data-memory interface consumed by the pipeline. */
@@ -65,6 +79,7 @@ struct LevelResult
 {
     uint64_t doneCycle = 0;  ///< cycle this level can deliver the data
     bool hit = true;         ///< the level's tag lookup hit
+    uint8_t level = memlevel::L1;  ///< level that supplied the data
 };
 
 /** One level of a memory hierarchy (a cache level or a backend). */
@@ -112,7 +127,7 @@ class FixedLatencyMem final : public MemLevel
     LevelResult
     access(uint32_t, bool, uint64_t t) override
     {
-        return {t + lat, true};
+        return {t + lat, true, memlevel::Mem};
     }
 
     void warm(uint32_t, bool) override {}  // stateless backend

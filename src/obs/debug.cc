@@ -1,0 +1,99 @@
+#include "obs/debug.hh"
+
+#include <cstdarg>
+
+#include "util/logging.hh"
+
+namespace facsim::obs
+{
+
+namespace
+{
+
+std::vector<DebugFlag *> &
+registry()
+{
+    // Function-local static: safe against static-init ordering with the
+    // self-registering flag globals below.
+    static std::vector<DebugFlag *> flags;
+    return flags;
+}
+
+DebugFlag *
+findFlag(const std::string &name)
+{
+    for (DebugFlag *f : registry())
+        if (name == f->name())
+            return f;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+DebugFlag::DebugFlag(const char *name, const char *desc)
+    : name_(name), desc_(desc)
+{
+    registry().push_back(this);
+}
+
+bool
+setDebugFlags(const std::string &csv, std::string *unknown)
+{
+    std::vector<DebugFlag *> to_enable;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        DebugFlag *f = findFlag(name);
+        if (!f) {
+            if (unknown)
+                *unknown = name;
+            return false;
+        }
+        to_enable.push_back(f);
+    }
+    for (DebugFlag *f : to_enable)
+        f->setEnabled(true);
+    return true;
+}
+
+void
+clearDebugFlags()
+{
+    for (DebugFlag *f : registry())
+        f->setEnabled(false);
+}
+
+const std::vector<DebugFlag *> &
+allDebugFlags()
+{
+    return registry();
+}
+
+void
+dprintfImpl(const DebugFlag &flag, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    logLine(flag.name(), msg);
+}
+
+namespace flags
+{
+DebugFlag Fetch("Fetch", "fetch groups, BTB outcomes, redirects");
+DebugFlag FacVerify("FacVerify", "FAC predict+verify outcomes");
+DebugFlag Mem("Mem", "data-cache misses seen by the core");
+DebugFlag StoreBuffer("StoreBuffer",
+                      "store-buffer pressure and retirement");
+DebugFlag Hier("Hier", "per-level hierarchy miss traffic");
+DebugFlag Cosim("Cosim", "co-simulation progress/divergences");
+} // namespace flags
+
+} // namespace facsim::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-style debug-flag logging: named component flags enabled at run
+ * time (`--debug-flags=FacVerify,Hier`) gate `FACSIM_DPRINTF` sites.
+ *
+ * Cost model: a disabled flag costs one relaxed bool load at each
+ * DPRINTF site — and the sites themselves sit on event paths
+ * (mispredicts, misses, stalls), never in the per-instruction issue
+ * loop. Building with -DFACSIM_TRACING_ON=0 removes the sites entirely
+ * (the condition constant-folds to false; the arguments still
+ * type-check, so a fast build cannot bit-rot the format strings).
+ *
+ * Flags are process-global and are intended to be set once at startup,
+ * before any Runner worker threads exist; the flag store itself is not
+ * synchronized (see the thread-safety audit in sim/machine.hh).
+ */
+
+#ifndef FACSIM_OBS_DEBUG_HH
+#define FACSIM_OBS_DEBUG_HH
+
+#include <string>
+#include <vector>
+
+/** Compile-time master switch for DPRINTF sites (1 = compiled in). */
+#ifndef FACSIM_TRACING_ON
+#define FACSIM_TRACING_ON 1
+#endif
+
+namespace facsim::obs
+{
+
+/** One named debug flag; instances self-register at static init. */
+class DebugFlag
+{
+  public:
+    DebugFlag(const char *name, const char *desc);
+
+    DebugFlag(const DebugFlag &) = delete;
+    DebugFlag &operator=(const DebugFlag &) = delete;
+
+    bool enabled() const { return enabled_; }
+    const char *name() const { return name_; }
+    const char *desc() const { return desc_; }
+
+    void setEnabled(bool on) { enabled_ = on; }
+
+  private:
+    const char *name_;
+    const char *desc_;
+    bool enabled_ = false;
+};
+
+/**
+ * Enable the comma-separated flag names in @p csv (on top of whatever
+ * is already enabled). On an unknown name, stores it in @p unknown (if
+ * non-null) and returns false without changing any flag.
+ */
+bool setDebugFlags(const std::string &csv, std::string *unknown = nullptr);
+
+/** Disable every flag (test isolation). */
+void clearDebugFlags();
+
+/** All registered flags, for `--debug-flags=help` style listings. */
+const std::vector<DebugFlag *> &allDebugFlags();
+
+/** Format one DPRINTF line ("FlagName: msg") through the log sink. */
+void dprintfImpl(const DebugFlag &flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** The component flags (extend here as subsystems grow). */
+namespace flags
+{
+extern DebugFlag Fetch;        ///< fetch groups, BTB outcomes, redirects
+extern DebugFlag FacVerify;    ///< FAC predict+verify outcomes
+extern DebugFlag Mem;          ///< data-cache misses seen by the core
+extern DebugFlag StoreBuffer;  ///< store-buffer pressure and retirement
+extern DebugFlag Hier;         ///< per-level hierarchy miss traffic
+extern DebugFlag Cosim;        ///< co-simulation progress/divergences
+} // namespace flags
+
+} // namespace facsim::obs
+
+/**
+ * Print @p ... (printf-style) when debug flag @p flag is enabled.
+ * @p flag is a bare name from facsim::obs::flags.
+ */
+#define FACSIM_DPRINTF(flag, ...)                                           \
+    do {                                                                    \
+        if (FACSIM_TRACING_ON && ::facsim::obs::flags::flag.enabled())      \
+            ::facsim::obs::dprintfImpl(::facsim::obs::flags::flag,          \
+                                       __VA_ARGS__);                        \
+    } while (0)
+
+#endif // FACSIM_OBS_DEBUG_HH

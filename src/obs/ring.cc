@@ -1,0 +1,56 @@
+#include "obs/ring.hh"
+
+#include "isa/disasm.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace facsim::obs
+{
+
+RetireRing::RetireRing(size_t capacity)
+{
+    FACSIM_ASSERT(capacity > 0, "history ring needs a nonzero capacity");
+    buf_.resize(capacity);
+}
+
+const RingEntry &
+RetireRing::fromNewest(size_t i) const
+{
+    FACSIM_ASSERT(i < count_, "ring index %zu out of range (%zu entries)",
+                  i, count_);
+    // next_ points at the slot after the newest entry.
+    size_t idx = (next_ + buf_.size() - 1 - i) % buf_.size();
+    return buf_[idx];
+}
+
+std::string
+RetireRing::dump() const
+{
+    std::string out = strprintf(
+        "pipeline history (last %zu of capacity %zu, oldest first):\n",
+        count_, buf_.size());
+    for (size_t i = count_; i-- > 0;) {
+        const RingEntry &e = fromNewest(i);
+        out += strprintf("  seq=%-8llu cy=%-8llu %08x: %-28s",
+                         static_cast<unsigned long long>(e.seq),
+                         static_cast<unsigned long long>(e.issueCycle),
+                         e.pc, disasm(e.inst, e.pc).c_str());
+        if (e.isMem) {
+            out += strprintf(" ea=%08x %s", e.effAddr,
+                             memLevelName(e.memLevel));
+            if (e.specAccess)
+                out += e.specFailed ? " fac=mispredict" : " fac=hit";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void
+RetireRing::clear()
+{
+    next_ = 0;
+    count_ = 0;
+}
+
+} // namespace facsim::obs

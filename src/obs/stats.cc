@@ -1,0 +1,354 @@
+#include "obs/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace facsim::obs
+{
+
+// ---------------------------------------------------------------------------
+// Stat
+
+Stat::Stat(StatKind kind, std::string name, std::string desc)
+    : kind_(kind), name_(std::move(name)), desc_(std::move(desc))
+{
+    FACSIM_ASSERT(!name_.empty(), "stat registered with an empty name");
+    FACSIM_ASSERT(name_.find('.') == std::string::npos,
+                  "stat name '%s' must not contain '.' (use nested "
+                  "groups for hierarchy)",
+                  name_.c_str());
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";  // NaN/Inf are not JSON; guarded ratios dump as 0
+    // %.9g round-trips every value the simulator produces and keeps the
+    // dump byte-stable across runs of the same simulation.
+    return strprintf("%.9g", v);
+}
+
+void
+Counter::jsonValue(std::string &out) const
+{
+    out += strprintf("%llu", static_cast<unsigned long long>(v_));
+}
+
+std::string
+Counter::textValue() const
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v_));
+}
+
+void
+Scalar::jsonValue(std::string &out) const
+{
+    out += jsonNumber(v_);
+}
+
+std::string
+Scalar::textValue() const
+{
+    return strprintf("%.6f", v_);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, unsigned nbuckets)
+    : Stat(StatKind::Histogram, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi)
+{
+    FACSIM_ASSERT(nbuckets > 0, "histogram '%s' needs at least 1 bucket",
+                  this->name().c_str());
+    FACSIM_ASSERT(hi > lo, "histogram '%s' range [%g, %g) is empty",
+                  this->name().c_str(), lo, hi);
+    width_ = (hi_ - lo_) / nbuckets;
+    buckets_.assign(nbuckets, 0);
+}
+
+void
+Histogram::sample(double v, uint64_t weight)
+{
+    count_ += weight;
+    sum_ += v * weight;
+    if (v < lo_) {
+        underflow_ += weight;
+    } else if (v >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto i = static_cast<size_t>((v - lo_) / width_);
+        if (i >= buckets_.size())  // FP edge at hi_ - epsilon
+            i = buckets_.size() - 1;
+        buckets_[i] += weight;
+    }
+}
+
+void
+Histogram::jsonValue(std::string &out) const
+{
+    out += strprintf("{\"lo\":%s,\"hi\":%s,\"bucket_width\":%s,"
+                     "\"underflow\":%llu,\"overflow\":%llu,\"count\":%llu,"
+                     "\"sum\":%s,\"buckets\":[",
+                     jsonNumber(lo_).c_str(), jsonNumber(hi_).c_str(),
+                     jsonNumber(width_).c_str(),
+                     static_cast<unsigned long long>(underflow_),
+                     static_cast<unsigned long long>(overflow_),
+                     static_cast<unsigned long long>(count_),
+                     jsonNumber(sum_).c_str());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        out += strprintf("%s%llu", i ? "," : "",
+                         static_cast<unsigned long long>(buckets_[i]));
+    out += "]}";
+}
+
+std::string
+Histogram::textValue() const
+{
+    return strprintf("count=%llu mean=%.4f (%zu buckets [%g, %g), "
+                     "under=%llu over=%llu)",
+                     static_cast<unsigned long long>(count_),
+                     count_ ? sum_ / count_ : 0.0, buckets_.size(), lo_,
+                     hi_, static_cast<unsigned long long>(underflow_),
+                     static_cast<unsigned long long>(overflow_));
+}
+
+// ---------------------------------------------------------------------------
+// Distribution
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double mean = sum_ / count_;
+    double var = sumSq_ / count_ - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::jsonValue(std::string &out) const
+{
+    out += strprintf("{\"count\":%llu,\"mean\":%s,\"stddev\":%s,"
+                     "\"min\":%s,\"max\":%s}",
+                     static_cast<unsigned long long>(count_),
+                     jsonNumber(mean()).c_str(),
+                     jsonNumber(stddev()).c_str(),
+                     jsonNumber(min()).c_str(),
+                     jsonNumber(max()).c_str());
+}
+
+std::string
+Distribution::textValue() const
+{
+    return strprintf("count=%llu mean=%.4f stddev=%.4f min=%.4f max=%.4f",
+                     static_cast<unsigned long long>(count_), mean(),
+                     stddev(), min(), max());
+}
+
+void
+Formula::jsonValue(std::string &out) const
+{
+    out += jsonNumber(value());
+}
+
+std::string
+Formula::textValue() const
+{
+    return strprintf("%.6f", value());
+}
+
+// ---------------------------------------------------------------------------
+// Group
+
+void
+Group::checkNewName(const std::string &name) const
+{
+    FACSIM_ASSERT(!name.empty(), "stat/group registered with empty name");
+    FACSIM_ASSERT(name.find('.') == std::string::npos,
+                  "name '%s' must not contain '.'", name.c_str());
+    for (const auto &g : children_) {
+        FACSIM_ASSERT(g->name_ != name,
+                      "duplicate stats path: group '%s' already "
+                      "registered here",
+                      name.c_str());
+    }
+    for (const auto &s : stats_) {
+        FACSIM_ASSERT(s->name() != name,
+                      "duplicate stats path: stat '%s' already "
+                      "registered here",
+                      name.c_str());
+    }
+}
+
+Group &
+Group::group(const std::string &name)
+{
+    for (const auto &g : children_) {
+        if (g->name_ == name)
+            return *g;
+    }
+    checkNewName(name);
+    children_.emplace_back(new Group(name));
+    return *children_.back();
+}
+
+template <typename T, typename... Args>
+T &
+Group::add(const std::string &name, Args &&...args)
+{
+    checkNewName(name);
+    auto node = std::make_unique<T>(name, std::forward<Args>(args)...);
+    T &ref = *node;
+    stats_.push_back(std::move(node));
+    return ref;
+}
+
+Counter &
+Group::counter(const std::string &name, const std::string &desc)
+{
+    return add<Counter>(name, desc);
+}
+
+Scalar &
+Group::scalar(const std::string &name, const std::string &desc)
+{
+    return add<Scalar>(name, desc);
+}
+
+Histogram &
+Group::histogram(const std::string &name, const std::string &desc,
+                 double lo, double hi, unsigned nbuckets)
+{
+    return add<Histogram>(name, desc, lo, hi, nbuckets);
+}
+
+Distribution &
+Group::distribution(const std::string &name, const std::string &desc)
+{
+    return add<Distribution>(name, desc);
+}
+
+Formula &
+Group::formula(const std::string &name, const std::string &desc,
+               std::function<double()> fn)
+{
+    return add<Formula>(name, desc, std::move(fn));
+}
+
+Formula &
+Group::counterView(const std::string &name, const std::string &desc,
+                   const uint64_t *v)
+{
+    FACSIM_ASSERT(v != nullptr, "counterView '%s' bound to null",
+                  name.c_str());
+    // A bound view dumps as an integer; implemented over Formula with an
+    // exact conversion (counters stay far below 2^53 in practice).
+    return add<Formula>(name, desc,
+                        [v] { return static_cast<double>(*v); });
+}
+
+const Stat *
+Group::find(const std::string &path) const
+{
+    size_t dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &s : stats_) {
+            if (s->name() == path)
+                return s.get();
+        }
+        return nullptr;
+    }
+    const Group *g = findGroup(path.substr(0, dot));
+    return g ? g->find(path.substr(dot + 1)) : nullptr;
+}
+
+const Group *
+Group::findGroup(const std::string &name) const
+{
+    for (const auto &g : children_) {
+        if (g->name_ == name)
+            return g.get();
+    }
+    return nullptr;
+}
+
+void
+Group::dumpText(std::ostream &out, const std::string &prefix) const
+{
+    std::string base = prefix.empty()
+        ? name_
+        : (name_.empty() ? prefix : prefix + "." + name_);
+    for (const auto &s : stats_) {
+        std::string path = base.empty() ? s->name() : base + "." + s->name();
+        std::string line = strprintf("%-44s %20s", path.c_str(),
+                                     s->textValue().c_str());
+        if (!s->desc().empty())
+            line += strprintf("  # %s", s->desc().c_str());
+        out << line << "\n";
+    }
+    for (const auto &g : children_)
+        g->dumpText(out, base);
+}
+
+void
+Group::dumpJson(std::string &out, const std::string &prefix) const
+{
+    std::string base = prefix.empty()
+        ? name_
+        : (name_.empty() ? prefix : prefix + "." + name_);
+    for (const auto &s : stats_) {
+        if (out.size() > 1 && out.back() != '{')
+            out += ',';
+        std::string path = base.empty() ? s->name() : base + "." + s->name();
+        out += '"';
+        out += path;  // names are dot-free identifiers, no escaping needed
+        out += "\":";
+        s->jsonValue(out);
+    }
+    for (const auto &g : children_)
+        g->dumpJson(out, base);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+std::string
+Registry::jsonDump() const
+{
+    std::string out = strprintf("{\"schema_version\":%u,\"stats\":{",
+                                schemaVersion);
+    std::string body;
+    root_.dumpJson(body);
+    out += body;
+    out += "}}\n";
+    return out;
+}
+
+std::string
+Registry::textDump() const
+{
+    std::ostringstream ss;
+    root_.dumpText(ss);
+    return ss.str();
+}
+
+void
+Registry::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write stats dump '%s'", path.c_str());
+    bool json = path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0;
+    std::string text = json ? jsonDump() : textDump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace facsim::obs

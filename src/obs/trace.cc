@@ -1,0 +1,207 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace facsim::obs
+{
+
+const char *
+memLevelName(uint8_t level)
+{
+    switch (level) {
+      case 1: return "L1";
+      case 2: return "L2";
+      case 3: return "mem";
+      default: return "-";
+    }
+}
+
+namespace
+{
+
+/** FAC outcome rendered for hover text / event args. */
+const char *
+facOutcome(const InstTraceRecord &rec)
+{
+    if (!rec.specAccess)
+        return "none";
+    return rec.specFailed ? "mispredict" : "hit";
+}
+
+/**
+ * Stage boundaries shared by both backends. Fetch-to-issue is the F
+ * stage; X is the EX cycle; a memory access still outstanding after EX
+ * renders as an M stage up to the completion cycle. Completion can be
+ * reported as early as the issue cycle (an L1 hit delivers in EX), so
+ * every stage is clamped to at least one cycle for visibility.
+ */
+struct Stages
+{
+    uint64_t fetch, issue, xEnd, memEnd;
+    bool hasMem;
+};
+
+Stages
+stagesOf(const InstTraceRecord &rec)
+{
+    Stages s{};
+    s.fetch = rec.fetchCycle;
+    s.issue = std::max(rec.issueCycle, rec.fetchCycle + 1);
+    bool mem = rec.isLoad || rec.isStore;
+    s.xEnd = mem ? s.issue + 1 : std::max(rec.doneCycle, s.issue + 1);
+    s.memEnd = std::max(rec.doneCycle, s.xEnd);
+    s.hasMem = mem && s.memEnd > s.xEnd;
+    return s;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// KonataTraceSink
+
+KonataTraceSink::KonataTraceSink(std::ostream &out) : out_(out)
+{
+    out_ << "Kanata\t0004\n";
+}
+
+void
+KonataTraceSink::instruction(const InstTraceRecord &rec)
+{
+    Stages s = stagesOf(rec);
+    uint64_t id = nextId_++;
+
+    // One self-contained block per instruction, jumping the clock with
+    // C= at each stage boundary (Konata accepts absolute cycle sets).
+    out_ << "C=\t" << s.fetch << "\n";
+    out_ << "I\t" << id << "\t" << rec.seq << "\t0\n";
+    out_ << "L\t" << id << "\t0\t"
+         << strprintf("%08x: %s", rec.pc, rec.text.c_str()) << "\n";
+    out_ << "L\t" << id << "\t1\t"
+         << strprintf("seq=%llu fac=%s level=%s",
+                      static_cast<unsigned long long>(rec.seq),
+                      facOutcome(rec), memLevelName(rec.memLevel))
+         << "\n";
+    out_ << "S\t" << id << "\t0\tF\n";
+    out_ << "C=\t" << s.issue << "\n";
+    out_ << "E\t" << id << "\t0\tF\n";
+    out_ << "S\t" << id << "\t0\tX\n";
+    out_ << "C=\t" << s.xEnd << "\n";
+    out_ << "E\t" << id << "\t0\tX\n";
+    if (s.hasMem) {
+        out_ << "S\t" << id << "\t0\tM\n";
+        out_ << "C=\t" << s.memEnd << "\n";
+        out_ << "E\t" << id << "\t0\tM\n";
+    }
+    out_ << "R\t" << id << "\t" << id << "\t0\n";
+}
+
+void
+KonataTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &out) : out_(out)
+{
+    out_ << "{\"traceEvents\":[";
+}
+
+void
+ChromeTraceSink::event(const char *stage, uint64_t ts, uint64_t dur,
+                       const InstTraceRecord &rec)
+{
+    if (!first_)
+        out_ << ",";
+    first_ = false;
+    // JSON-escape the disassembly conservatively: the text is generated
+    // by disasm() and contains no quotes/backslashes, but a stray
+    // control byte must not produce invalid JSON.
+    std::string text;
+    for (char c : rec.text) {
+        if (c == '"' || c == '\\') {
+            text += '\\';
+            text += c;
+        } else if (static_cast<unsigned char>(c) < 0x20)
+            text += strprintf("\\u%04x", c);
+        else
+            text += c;
+    }
+    out_ << strprintf(
+        "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+        "\"pid\":0,\"tid\":%llu,\"args\":{\"seq\":%llu,"
+        "\"pc\":\"0x%08x\",\"inst\":\"%s\",\"fac\":\"%s\","
+        "\"level\":\"%s\"}}",
+        stage, static_cast<unsigned long long>(ts),
+        static_cast<unsigned long long>(dur),
+        static_cast<unsigned long long>(rec.seq % 16),
+        static_cast<unsigned long long>(rec.seq), rec.pc, text.c_str(),
+        facOutcome(rec), memLevelName(rec.memLevel));
+}
+
+void
+ChromeTraceSink::instruction(const InstTraceRecord &rec)
+{
+    Stages s = stagesOf(rec);
+    event("F", s.fetch, s.issue - s.fetch, rec);
+    event("X", s.issue, s.xEnd - s.issue, rec);
+    if (s.hasMem)
+        event("M", s.xEnd, s.memEnd - s.xEnd, rec);
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "\n]}\n";
+    out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+
+bool
+parseTraceFormat(const std::string &s, TraceFormat &out)
+{
+    if (s == "konata") {
+        out = TraceFormat::Konata;
+        return true;
+    }
+    if (s == "chrome") {
+        out = TraceFormat::Chrome;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(TraceFormat format, std::ostream &out)
+{
+    if (format == TraceFormat::Chrome)
+        return std::make_unique<ChromeTraceSink>(out);
+    return std::make_unique<KonataTraceSink>(out);
+}
+
+std::unique_ptr<OpenTrace>
+openTrace(const TraceOptions &opts)
+{
+    if (!opts.enabled())
+        return nullptr;
+    auto t = std::make_unique<OpenTrace>();
+    t->file.open(opts.path, std::ios::out | std::ios::trunc);
+    if (!t->file)
+        fatal("cannot open trace file '%s'", opts.path.c_str());
+    t->sink = makeTraceSink(opts.format, t->file);
+    return t;
+}
+
+} // namespace facsim::obs

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-instruction pipeline event tracing.
+ *
+ * The pipeline reports one `InstTraceRecord` per issued instruction —
+ * fetch/issue/completion cycles, the FAC predict+verify outcome and the
+ * hierarchy level that serviced a memory access — to a `TraceSink`.
+ * Two backends render the stream for existing viewers:
+ *
+ *  - `KonataTraceSink` writes the Kanata log format understood by the
+ *    Konata pipeline viewer (https://github.com/shioyadan/Konata):
+ *    open the file with File > Open. Stages shown are F (fetch/decode
+ *    wait), X (issue/EX) and M (cache access beyond EX).
+ *  - `ChromeTraceSink` writes Chrome trace-event JSON: load it at
+ *    chrome://tracing or https://ui.perfetto.dev. One complete ("X")
+ *    event per pipeline stage, cycles mapped to microseconds, and
+ *    instructions spread over 16 rows so overlap is visible.
+ *
+ * Tracing is zero-cost when disabled: the pipeline checks one pointer
+ * per issued instruction and never constructs a record.
+ */
+
+#ifndef FACSIM_OBS_TRACE_HH
+#define FACSIM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace facsim::obs
+{
+
+/** Lifecycle of one issued instruction, as the pipeline saw it. */
+struct InstTraceRecord
+{
+    uint64_t seq = 0;         ///< dynamic instruction index (issue order)
+    uint32_t pc = 0;
+    std::string text;         ///< disassembly
+    uint64_t fetchCycle = 0;  ///< cycle the instruction entered the fbuf
+    uint64_t issueCycle = 0;  ///< EX-entry cycle
+    uint64_t doneCycle = 0;   ///< result-available cycle
+    bool isLoad = false;
+    bool isStore = false;
+    bool specAccess = false;  ///< FAC speculative access performed in EX
+    bool specFailed = false;  ///< FAC verify failed => MEM-stage replay
+    uint8_t memLevel = 0;     ///< 0 none, 1 L1, 2 L2, 3 memory/DRAM
+};
+
+/** Human-readable name of an InstTraceRecord::memLevel value. */
+const char *memLevelName(uint8_t level);
+
+/** Consumer of the pipeline's per-instruction lifecycle stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One issued instruction (called in issue == retirement order). */
+    virtual void instruction(const InstTraceRecord &rec) = 0;
+
+    /** Write any trailer and flush. Idempotent; called by the dtor. */
+    virtual void finish() = 0;
+};
+
+/** Kanata-format backend for the Konata pipeline viewer. */
+class KonataTraceSink final : public TraceSink
+{
+  public:
+    explicit KonataTraceSink(std::ostream &out);
+
+    void instruction(const InstTraceRecord &rec) override;
+    void finish() override;
+
+  private:
+    std::ostream &out_;
+    uint64_t nextId_ = 0;
+    bool finished_ = false;
+};
+
+/** Chrome trace-event JSON backend (chrome://tracing, Perfetto). */
+class ChromeTraceSink final : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &out);
+    ~ChromeTraceSink() override { finish(); }
+
+    void instruction(const InstTraceRecord &rec) override;
+    void finish() override;
+
+  private:
+    void event(const char *stage, uint64_t ts, uint64_t dur,
+               const InstTraceRecord &rec);
+
+    std::ostream &out_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/** Which backend renders the stream. */
+enum class TraceFormat : uint8_t
+{
+    Konata,
+    Chrome,
+};
+
+/** Parse "konata"/"chrome"; false on anything else. */
+bool parseTraceFormat(const std::string &s, TraceFormat &out);
+
+/** Construct the sink for @p format writing to @p out. */
+std::unique_ptr<TraceSink> makeTraceSink(TraceFormat format,
+                                         std::ostream &out);
+
+/** User-facing trace request (CLI flags / TimingRequest). */
+struct TraceOptions
+{
+    std::string path;  ///< empty => tracing disabled
+    TraceFormat format = TraceFormat::Konata;
+    uint64_t start = 0;             ///< first dynamic inst to record
+    uint64_t count = UINT64_MAX;    ///< how many insts to record
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** An open trace file: the stream plus the sink writing into it. */
+struct OpenTrace
+{
+    std::ofstream file;
+    std::unique_ptr<TraceSink> sink;
+
+    ~OpenTrace()
+    {
+        if (sink)
+            sink->finish();
+    }
+};
+
+/**
+ * Open @p opts.path and build its sink; fatal() if the file cannot be
+ * created. Returns nullptr when @p opts is disabled.
+ */
+std::unique_ptr<OpenTrace> openTrace(const TraceOptions &opts);
+
+} // namespace facsim::obs
+
+#endif // FACSIM_OBS_TRACE_HH

@@ -41,8 +41,12 @@
 namespace facsim
 {
 
-/** Container format version written by this build. */
-constexpr uint32_t checkpointVersion = 1;
+/**
+ * Container format version written by this build. v2: FetchedInst
+ * serializes its fetch cycle and the pipeline its dynamic-sequence
+ * counter (observability-layer per-instruction records).
+ */
+constexpr uint32_t checkpointVersion = 2;
 
 /** What a checkpoint file contains. */
 enum class CheckpointKind : uint8_t

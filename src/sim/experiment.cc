@@ -51,6 +51,12 @@ runTiming(const TimingRequest &req)
     Machine machine(workload(req.workload), req.build);
     Pipeline pipe(req.pipe, machine.emulator());
 
+    std::unique_ptr<obs::OpenTrace> trace = obs::openTrace(req.trace);
+    if (trace)
+        pipe.setTrace(trace->sink.get(), req.trace.start, req.trace.count);
+    if (req.historyRing)
+        pipe.enableHistoryRing(req.historyRing);
+
     TimingResult res;
     if (req.sampling.enabled()) {
         res.sample = runSampled(pipe, req.sampling, req.maxInsts);

@@ -15,6 +15,7 @@
 
 #include "cpu/pipeline.hh"
 #include "cpu/profiler.hh"
+#include "obs/trace.hh"
 #include "sim/machine.hh"
 #include "sim/sampling.hh"
 
@@ -82,6 +83,16 @@ struct TimingRequest
     uint64_t maxInsts = 0;
     /** Systematic sampling; period 0 (default) = full detail. */
     SamplingConfig sampling;
+    /**
+     * Per-instruction pipeline trace (Konata / Chrome trace-event).
+     * Disabled unless trace.path is set; zero overhead when disabled.
+     */
+    obs::TraceOptions trace;
+    /**
+     * Keep the last N issued instructions in a crash-dump ring that
+     * panic() and cosim divergence reports print. 0 = off.
+     */
+    size_t historyRing = 0;
 };
 
 /** Outputs of a timing run. */

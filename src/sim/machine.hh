@@ -9,12 +9,15 @@
  * running any number of Machine instances on concurrent threads is
  * safe. Every piece of mutable state — Program, Memory, Rng, Heap,
  * Emulator, and the Pipeline/Profiler driven on top — is owned by one
- * Machine or one experiment, and the library keeps no mutable globals:
- * the workload registry and ISA lookup tables are `static const` with
- * thread-safe (C++11 magic-static) initialisation, all randomness flows
- * through the per-Machine Rng seeded from BuildOptions::seed, and
- * logging writes to stderr with no shared buffers. A single Machine
- * must stay confined to one thread at a time.
+ * Machine or one experiment: the workload registry and ISA lookup
+ * tables are `static const` with thread-safe (C++11 magic-static)
+ * initialisation, all randomness flows through the per-Machine Rng
+ * seeded from BuildOptions::seed, and logging writes to stderr with no
+ * shared buffers. The only mutable globals in the library are the
+ * observability controls — the debug-flag set (obs/debug.hh) and the
+ * swappable log sink (util/logging.hh) — which must be set before
+ * concurrent Machines start running and not changed underneath them.
+ * A single Machine must stay confined to one thread at a time.
  */
 
 #ifndef FACSIM_SIM_MACHINE_HH

@@ -1,0 +1,310 @@
+#include "sim/obs_views.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+namespace
+{
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+void
+registerMshrStats(obs::Group &g, const MshrStats &m)
+{
+    g.counterView("allocations", "primary misses that took an entry",
+                  &m.allocations);
+    g.counterView("merges", "secondary misses folded into one fill",
+                  &m.merges);
+    g.counterView("full_stalls", "cycles waited for a free entry",
+                  &m.fullStallCycles);
+    g.formula("max_occupancy", "peak in-flight fills",
+              [&m] { return static_cast<double>(m.maxOccupancy); });
+    g.formula("avg_occupancy", "mean occupancy at allocation",
+              [&m] { return m.avgOccupancy(); });
+}
+
+} // anonymous namespace
+
+void
+registerPipeStats(obs::Group &g, const PipeStats &st)
+{
+    g.counterView("cycles", "simulated cycles", &st.cycles);
+    g.counterView("insts", "instructions issued", &st.insts);
+    g.counterView("loads", "load instructions", &st.loads);
+    g.counterView("stores", "store instructions", &st.stores);
+    g.formula("ipc", "instructions per cycle", [&st] { return st.ipc(); });
+
+    obs::Group &ic = g.group("icache");
+    ic.counterView("accesses", "I-cache block accesses",
+                   &st.icacheAccesses);
+    ic.counterView("misses", "I-cache misses", &st.icacheMisses);
+
+    obs::Group &dc = g.group("dcache");
+    dc.counterView("accesses", "D-cache accesses (ports consumed)",
+                   &st.dcacheAccesses);
+    dc.counterView("misses", "D-cache (L1) misses", &st.dcacheMisses);
+    dc.formula("miss_ratio", "L1 data miss ratio",
+               [&st] { return st.dcacheMissRatio(); });
+
+    obs::Group &btb = g.group("btb");
+    btb.counterView("lookups", "BTB predictions made", &st.btbLookups);
+    btb.counterView("mispredicts", "control mispredictions",
+                    &st.btbMispredicts);
+
+    obs::Group &fac = g.group("fac");
+    fac.counterView("loads_speculated",
+                    "loads that accessed the cache speculatively in EX",
+                    &st.loadsSpeculated);
+    fac.counterView("load_spec_failures",
+                    "speculative loads whose FAC verify failed",
+                    &st.loadSpecFailures);
+    fac.counterView("stores_speculated",
+                    "stores entered speculatively into the buffer",
+                    &st.storesSpeculated);
+    fac.counterView("store_spec_failures",
+                    "speculative stores whose FAC verify failed",
+                    &st.storeSpecFailures);
+    fac.counterView("extra_accesses",
+                    "wasted cache accesses from mispredictions (Table 6)",
+                    &st.extraAccesses);
+    fac.formula("mispredicts", "all FAC verification failures", [&st] {
+        return static_cast<double>(st.loadSpecFailures +
+                                   st.storeSpecFailures);
+    });
+
+    obs::Group &stall = g.group("stall");
+    stall.counterView("fetch", "cycles stalled with no fetched inst ready",
+                      &st.stallFetch);
+    stall.counterView("data", "cycles stalled on operands / WAW",
+                      &st.stallData);
+    stall.counterView("structural",
+                      "cycles stalled on a unit or cache port",
+                      &st.stallStructural);
+    stall.counterView("store_buffer", "cycles stalled on the store buffer",
+                      &st.stallStoreBuffer);
+
+    g.group("store_buffer")
+        .counterView("full_stalls", "issue stalls with the buffer full",
+                     &st.storeBufferFullStalls);
+}
+
+void
+registerHierarchyStats(obs::Group &g, const HierarchyStats &hs)
+{
+    for (const LevelStats &lvl : hs.levels) {
+        obs::Group &lg = g.group(lowered(lvl.name));
+        lg.counterView("accesses", "demand accesses at this level",
+                       &lvl.accesses);
+        lg.counterView("misses", "misses at this level", &lvl.misses);
+        lg.counterView("writebacks", "dirty victims written below",
+                       &lvl.writebacks);
+        lg.formula("miss_ratio", "per-level miss ratio", [&lvl] {
+            return lvl.accesses
+                ? static_cast<double>(lvl.misses) / lvl.accesses : 0.0;
+        });
+        lg.counterView("wb_full_stall_cycles",
+                       "cycles stalled on a full writeback buffer",
+                       &lvl.wbFullStallCycles);
+        registerMshrStats(lg.group("mshr"), lvl.mshr);
+    }
+    if (hs.hasDram) {
+        obs::Group &dg = g.group("dram");
+        dg.counterView("reads", "line fills from memory", &hs.dram.reads);
+        dg.counterView("writes", "writebacks to memory", &hs.dram.writes);
+        dg.counterView("queued_cycles", "FCFS wait before channel start",
+                       &hs.dram.queuedCycles);
+        dg.counterView("busy_cycles", "channel occupancy",
+                       &hs.dram.busyCycles);
+    }
+    obs::Group &tg = g.group("tlb");
+    tg.counterView("accesses", "data-TLB probes", &hs.tlbAccesses);
+    tg.counterView("misses", "data-TLB misses", &hs.tlbMisses);
+    tg.formula("miss_ratio", "data-TLB miss ratio",
+               [&hs] { return hs.tlbMissRatio(); });
+}
+
+void
+registerProfileStats(obs::Group &g, const ProfileResult &pr)
+{
+    g.counterView("insts", "instructions profiled", &pr.insts);
+    g.counterView("loads", "load references", &pr.loads);
+    g.counterView("stores", "store references", &pr.stores);
+    g.formula("frac_global", "loads off the global pointer",
+              [&pr] { return pr.fracGlobal; });
+    g.formula("frac_stack", "loads off the stack/frame pointer",
+              [&pr] { return pr.fracStack; });
+    g.formula("frac_general", "loads off general pointers",
+              [&pr] { return pr.fracGeneral; });
+    for (size_t i = 0; i < pr.fac.size(); ++i) {
+        const FacProfile &fp = pr.fac[i];
+        obs::Group &fg = g.group(strprintf("fac%zu", i));
+        fg.counterView("load_attempts", "loads the predictor attempted",
+                      &fp.loadAttempts);
+        fg.counterView("load_failures", "attempted loads mispredicted",
+                      &fp.loadFailures);
+        fg.counterView("store_attempts", "stores the predictor attempted",
+                      &fp.storeAttempts);
+        fg.counterView("store_failures", "attempted stores mispredicted",
+                      &fp.storeFailures);
+        fg.formula("load_fail_rate", "Table 3 load failure rate",
+                   [&fp] { return fp.loadFailRate(); });
+        fg.formula("store_fail_rate", "Table 3 store failure rate",
+                   [&fp] { return fp.storeFailRate(); });
+    }
+    obs::Group &tg = g.group("tlb");
+    tg.counterView("accesses", "data-TLB probes", &pr.tlbAccesses);
+    tg.counterView("misses", "data-TLB misses", &pr.tlbMisses);
+}
+
+void
+registerTimingStats(obs::Group &root, const TimingResult &tr)
+{
+    registerPipeStats(root.group("pipeline"), tr.stats);
+    registerHierarchyStats(root.group("hier"), tr.hier);
+    root.group("sim").counterView("mem_usage_bytes",
+                                  "peak simulated-memory footprint",
+                                  &tr.memUsageBytes);
+}
+
+// ---------------------------------------------------------------------------
+// StatsAccum
+
+void
+StatsAccum::add(const TimingResult &r)
+{
+    hasTiming_ = true;
+    ++runs_;
+    memUsageBytes_ = std::max(memUsageBytes_, r.memUsageBytes);
+
+    const PipeStats &s = r.stats;
+    pipe_.cycles += s.cycles;
+    pipe_.insts += s.insts;
+    pipe_.loads += s.loads;
+    pipe_.stores += s.stores;
+    pipe_.icacheAccesses += s.icacheAccesses;
+    pipe_.icacheMisses += s.icacheMisses;
+    pipe_.dcacheAccesses += s.dcacheAccesses;
+    pipe_.dcacheMisses += s.dcacheMisses;
+    pipe_.btbLookups += s.btbLookups;
+    pipe_.btbMispredicts += s.btbMispredicts;
+    pipe_.loadsSpeculated += s.loadsSpeculated;
+    pipe_.loadSpecFailures += s.loadSpecFailures;
+    pipe_.storesSpeculated += s.storesSpeculated;
+    pipe_.storeSpecFailures += s.storeSpecFailures;
+    pipe_.extraAccesses += s.extraAccesses;
+    pipe_.storeBufferFullStalls += s.storeBufferFullStalls;
+    pipe_.stallFetch += s.stallFetch;
+    pipe_.stallData += s.stallData;
+    pipe_.stallStructural += s.stallStructural;
+    pipe_.stallStoreBuffer += s.stallStoreBuffer;
+
+    for (const LevelStats &lvl : r.hier.levels) {
+        LevelStats *dst = nullptr;
+        for (LevelStats &have : hier_.levels)
+            if (have.name == lvl.name)
+                dst = &have;
+        if (!dst) {
+            hier_.levels.push_back(lvl);
+            continue;
+        }
+        dst->accesses += lvl.accesses;
+        dst->misses += lvl.misses;
+        dst->writebacks += lvl.writebacks;
+        dst->wbFullStallCycles += lvl.wbFullStallCycles;
+        dst->mshr.allocations += lvl.mshr.allocations;
+        dst->mshr.merges += lvl.mshr.merges;
+        dst->mshr.fullStallCycles += lvl.mshr.fullStallCycles;
+        dst->mshr.maxOccupancy =
+            std::max(dst->mshr.maxOccupancy, lvl.mshr.maxOccupancy);
+        dst->mshr.occupancySum += lvl.mshr.occupancySum;
+    }
+    hier_.hasDram = hier_.hasDram || r.hier.hasDram;
+    hier_.dram.reads += r.hier.dram.reads;
+    hier_.dram.writes += r.hier.dram.writes;
+    hier_.dram.queuedCycles += r.hier.dram.queuedCycles;
+    hier_.dram.busyCycles += r.hier.dram.busyCycles;
+    hier_.tlbAccesses += r.hier.tlbAccesses;
+    hier_.tlbMisses += r.hier.tlbMisses;
+}
+
+void
+StatsAccum::add(const ProfileResult &r)
+{
+    hasProfile_ = true;
+    ++runs_;
+    memUsageBytes_ = std::max(memUsageBytes_, r.memUsageBytes);
+
+    prof_.insts += r.insts;
+    prof_.loads += r.loads;
+    prof_.stores += r.stores;
+    prof_.tlbAccesses += r.tlbAccesses;
+    prof_.tlbMisses += r.tlbMisses;
+    // Per-run FAC configurations differ in meaning across benches;
+    // merge attempt/failure counters index-wise (all runAll batches use
+    // one config list).
+    for (size_t i = 0; i < r.fac.size(); ++i) {
+        if (i >= prof_.fac.size())
+            prof_.fac.push_back(r.fac[i]);
+        else {
+            prof_.fac[i].loadAttempts += r.fac[i].loadAttempts;
+            prof_.fac[i].loadFailures += r.fac[i].loadFailures;
+            prof_.fac[i].storeAttempts += r.fac[i].storeAttempts;
+            prof_.fac[i].storeFailures += r.fac[i].storeFailures;
+        }
+    }
+    // Class fractions re-derive from the merged totals at dump time;
+    // they are stored per run, so recompute a loads-weighted blend.
+    double w_old = prof_.loads ? static_cast<double>(prof_.loads -
+                                                     r.loads) : 0.0;
+    double w_new = static_cast<double>(r.loads);
+    double w_tot = w_old + w_new;
+    if (w_tot > 0.0) {
+        prof_.fracGlobal =
+            (prof_.fracGlobal * w_old + r.fracGlobal * w_new) / w_tot;
+        prof_.fracStack =
+            (prof_.fracStack * w_old + r.fracStack * w_new) / w_tot;
+        prof_.fracGeneral =
+            (prof_.fracGeneral * w_old + r.fracGeneral * w_new) / w_tot;
+    }
+}
+
+void
+StatsAccum::registerStats(obs::Group &root) const
+{
+    if (hasTiming_) {
+        registerPipeStats(root.group("pipeline"), pipe_);
+        registerHierarchyStats(root.group("hier"), hier_);
+    }
+    if (hasProfile_)
+        registerProfileStats(root.group("profile"), prof_);
+    obs::Group &sg = root.group("sim");
+    sg.counterView("runs", "result structs merged into this dump",
+                   &runs_);
+    sg.counterView("mem_usage_bytes",
+                   "peak simulated-memory footprint across runs",
+                   &memUsageBytes_);
+}
+
+std::string
+StatsAccum::statsJsonObject() const
+{
+    obs::Registry reg;
+    registerStats(reg.root());
+    std::string body;
+    reg.root().dumpJson(body);
+    return "{" + body + "}";
+}
+
+} // namespace facsim

@@ -19,10 +19,15 @@
  *
  * Thread-safety contract: jobs must not share mutable state. Machine
  * and everything below it (Emulator, Pipeline, Profiler, Memory, Rng)
- * are instance-local, and the library keeps no mutable globals (the
- * only function-local statics are `static const` lookup tables with
- * thread-safe initialisation), so one Machine per job is safe. Note
- * that fatal()/panic() terminate the whole process regardless of which
+ * are instance-local, so one Machine per job is safe. The library's
+ * mutable globals are the observability controls only — the debug-flag
+ * set (obs/debug.hh) and the diagnostic log sink (util/logging.hh) —
+ * both of which must be configured before worker threads start and
+ * left alone while a batch runs; the panic-context hook is
+ * thread-local, so per-job Pipelines enabling the history ring on
+ * different workers never race. Everything else is `static const`
+ * lookup tables with thread-safe initialisation. Note that
+ * fatal()/panic() terminate the whole process regardless of which
  * thread calls them — configuration errors are not recoverable
  * per-job.
  */

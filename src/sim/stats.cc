@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace facsim
@@ -37,6 +39,34 @@ double
 ratio(uint64_t num, uint64_t den)
 {
     return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double invSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        invSum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / invSum;
 }
 
 bool

@@ -40,6 +40,21 @@ double ratio(uint64_t num, uint64_t den);
  */
 bool isNonIncreasing(const std::vector<double> &values, double tol = 0.0);
 
+/**
+ * Geometric mean of @p values — the conventional average for speedup
+ * ratios. Returns 0 when the vector is empty or any value is <= 0 (a
+ * zero/negative speedup means a degenerate run; propagating it as 0
+ * beats returning NaN from log()).
+ */
+double geoMean(const std::vector<double> &values);
+
+/**
+ * Harmonic mean of @p values — the correct average for rates such as
+ * IPC over equal instruction counts. Returns 0 when the vector is
+ * empty or any value is <= 0.
+ */
+double harmonicMean(const std::vector<double> &values);
+
 } // namespace facsim
 
 #endif // FACSIM_SIM_STATS_HH

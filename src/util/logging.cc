@@ -1,8 +1,8 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 namespace facsim
 {
@@ -32,22 +32,76 @@ strprintf(const char *fmt, ...)
 namespace
 {
 
+// Status-line sink; nullptr selects the stderr default. Swapped only by
+// single-threaded test code (see setLogSink); atomic so a racing reader
+// at least loads a coherent pointer.
+std::atomic<LogSink *> logSink{nullptr};
+
+// Per-thread panic-context producer (the crash-history ring's owner).
+thread_local PanicContextFn panicCtxFn = nullptr;
+thread_local void *panicCtxArg = nullptr;
+
 void
 emit(const char *tag, const char *fmt, va_list ap)
 {
-    std::string msg = vstrprintf(fmt, ap);
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    logLine(tag, vstrprintf(fmt, ap));
 }
 
 } // anonymous namespace
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    return logSink.exchange(sink);
+}
+
+void
+logLine(const char *tag, const std::string &msg)
+{
+    if (LogSink *s = logSink.load())
+        s->line(tag, msg);
+    else
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+void
+setPanicContextHook(PanicContextFn fn, void *ctx)
+{
+    panicCtxFn = fn;
+    panicCtxArg = ctx;
+}
+
+void
+clearPanicContextHook(void *ctx)
+{
+    if (panicCtxArg == ctx) {
+        panicCtxFn = nullptr;
+        panicCtxArg = nullptr;
+    }
+}
 
 void
 panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("panic", fmt, ap);
+    std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    // Always stderr, never the swappable sink: a captured panic must
+    // still be visible in the crashing process's output.
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    if (panicCtxFn) {
+        // Disarm before calling out so a hook that itself panics cannot
+        // recurse.
+        PanicContextFn fn = panicCtxFn;
+        void *ctx = panicCtxArg;
+        panicCtxFn = nullptr;
+        panicCtxArg = nullptr;
+        std::string extra = fn(ctx);
+        std::fwrite(extra.data(), 1, extra.size(), stderr);
+        if (!extra.empty() && extra.back() != '\n')
+            std::fputc('\n', stderr);
+    }
     std::abort();
 }
 
@@ -56,8 +110,9 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("fatal", fmt, ap);
+    std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }
 

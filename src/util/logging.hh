@@ -2,6 +2,14 @@
  * @file
  * Error-reporting helpers in the gem5 idiom: panic() for internal simulator
  * bugs, fatal() for user/configuration errors, warn()/inform() for status.
+ *
+ * Status output (warn/inform and the obs-layer DPRINTFs) routes through a
+ * swappable LogSink so tests can capture and assert on diagnostics;
+ * panic()/fatal() always write to stderr and keep their abort/exit
+ * semantics regardless of the installed sink. A thread-local
+ * panic-context hook lets the component owning the crash history (the
+ * pipeline's ring buffer) append its dump to panic output without the
+ * logging layer depending on it.
  */
 
 #ifndef FACSIM_UTIL_LOGGING_HH
@@ -9,13 +17,16 @@
 
 #include <cstdarg>
 #include <string>
+#include <vector>
 
 namespace facsim
 {
 
 /**
  * Abort the process because the simulator itself is broken. Use for
- * conditions that should never happen regardless of user input.
+ * conditions that should never happen regardless of user input. If this
+ * thread has a panic-context hook installed, its text (e.g. the
+ * pipeline-history ring dump) is printed before aborting.
  *
  * @param fmt printf-style format string followed by its arguments.
  */
@@ -41,6 +52,63 @@ std::string vstrprintf(const char *fmt, va_list ap);
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Destination of status lines (warn/inform/DPRINTF). The default sink
+ * writes "tag: msg" to stderr.
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    virtual void line(const char *tag, const std::string &msg) = 0;
+};
+
+/**
+ * Install @p sink as the status-line destination and return the
+ * previous one (nullptr = the stderr default). Intended for tests and
+ * single-threaded setup: the pointer itself is unsynchronized, so swap
+ * it only while no Runner worker threads are live.
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** Emit one status line through the current sink. */
+void logLine(const char *tag, const std::string &msg);
+
+/** Sink that retains every line; for asserting on diagnostics in tests. */
+class CaptureLogSink final : public LogSink
+{
+  public:
+    void
+    line(const char *tag, const std::string &msg) override
+    {
+        lines_.push_back(std::string(tag) + ": " + msg);
+    }
+
+    const std::vector<std::string> &lines() const { return lines_; }
+    void clear() { lines_.clear(); }
+
+  private:
+    std::vector<std::string> lines_;
+};
+
+/** Producer of extra context for panic messages (ring-buffer dumps). */
+using PanicContextFn = std::string (*)(void *ctx);
+
+/**
+ * Install a panic-context hook for the calling thread. The hook runs
+ * inside panic() before the abort; keep it allocation-light and
+ * reentrancy-safe (it must not panic). Thread-local so each Runner
+ * worker's pipeline reports its own history.
+ */
+void setPanicContextHook(PanicContextFn fn, void *ctx);
+
+/**
+ * Remove the calling thread's panic-context hook, but only if @p ctx
+ * still owns it (a pipeline being destroyed must not clobber a hook a
+ * newer pipeline installed after it).
+ */
+void clearPanicContextHook(void *ctx);
 
 /**
  * panic() if @p cond is false. Kept as an always-on check (independent of

@@ -8,6 +8,7 @@
 #include "core/fast_addr_calc.hh"
 #include "isa/disasm.hh"
 #include "mem/memory.hh"
+#include "obs/debug.hh"
 #include "util/logging.hh"
 
 namespace facsim::verify
@@ -413,6 +414,10 @@ class Verifier
     {
         if (divs_.size() >= opt_.maxDivergences)
             return;
+        FACSIM_DPRINTF(Cosim,
+                       "divergence #%llu pc=%08x %s: expected %s, got %s",
+                       static_cast<unsigned long long>(index), pc,
+                       what.c_str(), expected.c_str(), actual.c_str());
         divs_.push_back(Divergence{index, pc, std::move(what),
                                    std::move(expected), std::move(actual)});
     }
@@ -481,6 +486,13 @@ Verifier::captureContext(const Pipeline &pipe, const Pipeline::IssueEvent &ev)
                          hex32(e.addr).c_str(),
                          e.addrValid ? "valid" : "addr-pending");
     }
+
+    // Last issued instructions from the crash-dump ring (the diverging
+    // instruction is recorded before the issue hook fires, so it is the
+    // newest entry).
+    if (const obs::RetireRing *ring = pipe.historyRing())
+        out += ring->dump();
+
     context_ = std::move(out);
 }
 
@@ -728,6 +740,9 @@ runCosim(const std::function<void(AsmBuilder &)> &gen,
 
     Emulator emu(pipeSide.prog, pipeSide.mem, pipeSide.img, opt.initialSp);
     Pipeline pipe(pipeCfg, emu);
+    // Keep recent issue history so a divergence report (or a panic in
+    // the middle of a case) shows how the pipeline got there.
+    pipe.enableHistoryRing(32);
     RefModel ref(refSide.prog, refSide.mem, refSide.img, opt.initialSp);
 
     Verifier v(opt, pipeSide, pipeCfg, ref);

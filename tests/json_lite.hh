@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Minimal strict JSON parser shared by the tests that validate JSON the
+ * simulator emits (bench --json lines, stats-registry dumps, Chrome
+ * trace-event files). Deliberately strict where it matters for catching
+ * emitter bugs: raw control characters inside strings are rejected,
+ * escape sequences are validated, and trailing garbage fails the parse.
+ * Test-only — production code never parses JSON.
+ */
+
+#ifndef FACSIM_TESTS_JSON_LITE_HH
+#define FACSIM_TESTS_JSON_LITE_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace facsim::jsonlite
+{
+
+/** One parsed JSON value (objects, arrays, strings, numbers). */
+struct JsonValue
+{
+    enum class Kind { String, Number, Object, Array } kind = Kind::String;
+    std::string str;
+    double num = 0;
+    std::map<std::string, std::shared_ptr<JsonValue>> obj;
+    std::vector<std::shared_ptr<JsonValue>> arr;
+};
+
+class JsonParser
+{
+  public:
+    // Takes a copy so constructing from a temporary is safe.
+    explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+    /** Whole-input parse; nullptr on any syntax error or trailing text. */
+    std::shared_ptr<JsonValue>
+    parse()
+    {
+        std::shared_ptr<JsonValue> v = value();
+        skipWs();
+        if (!ok_ || pos_ != s_.size())
+            return nullptr;
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        ok_ = false;
+        return false;
+    }
+
+    std::shared_ptr<JsonValue>
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return nullptr;
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        return number();
+    }
+
+    std::shared_ptr<JsonValue>
+    object()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Object;
+        eat('{');
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return v;
+        }
+        while (ok_) {
+            std::shared_ptr<JsonValue> key = string();
+            if (!ok_ || !eat(':'))
+                break;
+            v->obj[key->str] = value();
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            eat('}');
+            break;
+        }
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    array()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Array;
+        eat('[');
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return v;
+        }
+        while (ok_) {
+            v->arr.push_back(value());
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            eat(']');
+            break;
+        }
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    string()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::String;
+        if (!eat('"'))
+            return v;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Raw control characters are illegal inside JSON strings.
+                ok_ = false;
+                return v;
+            }
+            if (c != '\\') {
+                v->str += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                ok_ = false;
+                return v;
+            }
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': v->str += '"'; break;
+              case '\\': v->str += '\\'; break;
+              case '/': v->str += '/'; break;
+              case 'n': v->str += '\n'; break;
+              case 't': v->str += '\t'; break;
+              case 'r': v->str += '\r'; break;
+              case 'b': v->str += '\b'; break;
+              case 'f': v->str += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) {
+                    ok_ = false;
+                    return v;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok_ = false;
+                        return v;
+                    }
+                }
+                // The emitters only use \u for single bytes; reject the
+                // rest so a change in behaviour shows up here.
+                if (cp > 0xff) {
+                    ok_ = false;
+                    return v;
+                }
+                v->str += static_cast<char>(cp);
+                break;
+              }
+              default:
+                ok_ = false;
+                return v;
+            }
+        }
+        eat('"');
+        return v;
+    }
+
+    std::shared_ptr<JsonValue>
+    number()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Number;
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v->num = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+        return v;
+    }
+
+    const std::string s_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Parse a standalone JSON string literal back to its byte content. */
+inline std::string
+parseStringLiteral(const std::string &lit, bool *ok)
+{
+    JsonParser p(lit);
+    std::shared_ptr<JsonValue> v = p.parse();
+    *ok = v != nullptr && v->kind == JsonValue::Kind::String;
+    return *ok ? v->str : std::string();
+}
+
+} // namespace facsim::jsonlite
+
+#endif // FACSIM_TESTS_JSON_LITE_HH

@@ -1,250 +1,30 @@
 /**
  * @file
  * Round-trip tests for the bench harnesses' JSON emission: jsonEscape
- * output is parsed back through a small but strict JSON parser (written
- * here, shared with nothing) and must reproduce the original bytes, and
- * a full emitJson() line must parse as one valid JSON object with the
- * original cell contents.
+ * output is parsed back through the strict JSON parser shared in
+ * json_lite.hh and must reproduce the original bytes, and a full
+ * emitJson() line must parse as one valid JSON object with the original
+ * cell contents, the schema version, and the stats-registry dump.
  */
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "bench/bench_util.hh"
+#include "tests/json_lite.hh"
 
 namespace facsim
 {
 namespace
 {
 
-/** Minimal strict JSON value/parser (objects, arrays, strings, numbers). */
-struct JsonValue
-{
-    enum class Kind { String, Number, Object, Array } kind = Kind::String;
-    std::string str;
-    double num = 0;
-    std::map<std::string, std::shared_ptr<JsonValue>> obj;
-    std::vector<std::shared_ptr<JsonValue>> arr;
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    std::shared_ptr<JsonValue>
-    parse()
-    {
-        std::shared_ptr<JsonValue> v = value();
-        skipWs();
-        if (!ok_ || pos_ != s_.size())
-            return nullptr;
-        return v;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-                s_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    bool
-    eat(char c)
-    {
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        ok_ = false;
-        return false;
-    }
-
-    std::shared_ptr<JsonValue>
-    value()
-    {
-        skipWs();
-        if (pos_ >= s_.size()) {
-            ok_ = false;
-            return nullptr;
-        }
-        const char c = s_[pos_];
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        return number();
-    }
-
-    std::shared_ptr<JsonValue>
-    object()
-    {
-        auto v = std::make_shared<JsonValue>();
-        v->kind = JsonValue::Kind::Object;
-        eat('{');
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-            ++pos_;
-            return v;
-        }
-        while (ok_) {
-            std::shared_ptr<JsonValue> key = string();
-            if (!ok_ || !eat(':'))
-                break;
-            v->obj[key->str] = value();
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                skipWs();
-                continue;
-            }
-            eat('}');
-            break;
-        }
-        return v;
-    }
-
-    std::shared_ptr<JsonValue>
-    array()
-    {
-        auto v = std::make_shared<JsonValue>();
-        v->kind = JsonValue::Kind::Array;
-        eat('[');
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-            ++pos_;
-            return v;
-        }
-        while (ok_) {
-            v->arr.push_back(value());
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            eat(']');
-            break;
-        }
-        return v;
-    }
-
-    std::shared_ptr<JsonValue>
-    string()
-    {
-        auto v = std::make_shared<JsonValue>();
-        v->kind = JsonValue::Kind::String;
-        if (!eat('"'))
-            return v;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (static_cast<unsigned char>(c) < 0x20) {
-                // Raw control characters are illegal inside JSON strings.
-                ok_ = false;
-                return v;
-            }
-            if (c != '\\') {
-                v->str += c;
-                continue;
-            }
-            if (pos_ >= s_.size()) {
-                ok_ = false;
-                return v;
-            }
-            const char e = s_[pos_++];
-            switch (e) {
-              case '"': v->str += '"'; break;
-              case '\\': v->str += '\\'; break;
-              case '/': v->str += '/'; break;
-              case 'n': v->str += '\n'; break;
-              case 't': v->str += '\t'; break;
-              case 'r': v->str += '\r'; break;
-              case 'b': v->str += '\b'; break;
-              case 'f': v->str += '\f'; break;
-              case 'u': {
-                if (pos_ + 4 > s_.size()) {
-                    ok_ = false;
-                    return v;
-                }
-                unsigned cp = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = s_[pos_++];
-                    cp <<= 4;
-                    if (h >= '0' && h <= '9')
-                        cp |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        cp |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        cp |= static_cast<unsigned>(h - 'A' + 10);
-                    else {
-                        ok_ = false;
-                        return v;
-                    }
-                }
-                // The emitter only uses \u for single bytes; reject the
-                // rest so a change in behaviour shows up here.
-                if (cp > 0xff) {
-                    ok_ = false;
-                    return v;
-                }
-                v->str += static_cast<char>(cp);
-                break;
-              }
-              default:
-                ok_ = false;
-                return v;
-            }
-        }
-        eat('"');
-        return v;
-    }
-
-    std::shared_ptr<JsonValue>
-    number()
-    {
-        auto v = std::make_shared<JsonValue>();
-        v->kind = JsonValue::Kind::Number;
-        size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start) {
-            ok_ = false;
-            return v;
-        }
-        v->num = std::strtod(s_.substr(start, pos_ - start).c_str(),
-                             nullptr);
-        return v;
-    }
-
-    const std::string &s_;
-    size_t pos_ = 0;
-    bool ok_ = true;
-};
-
-std::string
-parseStringLiteral(const std::string &lit, bool *ok)
-{
-    JsonParser p(lit);
-    std::shared_ptr<JsonValue> v = p.parse();
-    *ok = v != nullptr && v->kind == JsonValue::Kind::String;
-    return *ok ? v->str : std::string();
-}
+using jsonlite::JsonParser;
+using jsonlite::JsonValue;
+using jsonlite::parseStringLiteral;
 
 TEST(BenchJson, EscapeRoundTripsEveryByte)
 {
@@ -309,6 +89,52 @@ TEST(BenchJson, EmitJsonLineParsesBackToTheTable)
     EXPECT_EQ(rows.arr[0]->arr[0]->str, "first\nrow");
     EXPECT_EQ(rows.arr[1]->arr[1]->str, "\x02\x1f");
     EXPECT_TRUE(v->obj.count("meta"));
+
+    // v2 schema: a version stamp and the stats-registry dump.
+    ASSERT_TRUE(v->obj.count("schema_version"));
+    EXPECT_EQ(v->obj.at("schema_version")->num,
+              bench::benchJsonSchemaVersion);
+    ASSERT_TRUE(v->obj.count("stats"));
+    EXPECT_EQ(v->obj.at("stats")->kind, JsonValue::Kind::Object);
+}
+
+TEST(BenchJson, StatsKeyCarriesAccumulatedTimingRuns)
+{
+    bench::Options o;
+    TimingResult r;
+    r.stats.cycles = 100;
+    r.stats.insts = 250;
+    r.stats.loadsSpeculated = 7;
+    LevelStats l1;
+    l1.name = "L1D";
+    l1.accesses = 40;
+    l1.misses = 4;
+    r.hier.levels.push_back(l1);
+    o.statsAccum.add(r);
+    o.statsAccum.add(r);
+
+    Table t;
+    t.header({"h"});
+    t.row({"v"});
+    o.jsonPath = "test_bench_json_stats_tmp.jsonl";
+    bench::emitJson(o, "stats test", t);
+
+    std::ifstream in(o.jsonPath);
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    std::remove(o.jsonPath.c_str());
+
+    JsonParser p(line);
+    std::shared_ptr<JsonValue> v = p.parse();
+    ASSERT_NE(v, nullptr) << line;
+    const JsonValue &st = *v->obj.at("stats");
+    ASSERT_EQ(st.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(st.obj.at("pipeline.cycles")->num, 200);
+    EXPECT_EQ(st.obj.at("pipeline.insts")->num, 500);
+    EXPECT_EQ(st.obj.at("pipeline.fac.loads_speculated")->num, 14);
+    EXPECT_EQ(st.obj.at("hier.l1d.accesses")->num, 80);
+    EXPECT_EQ(st.obj.at("hier.l1d.misses")->num, 8);
+    EXPECT_EQ(st.obj.at("sim.runs")->num, 2);
 }
 
 } // anonymous namespace

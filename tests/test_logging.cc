@@ -1,4 +1,8 @@
-/** @file Unit tests for string formatting helpers. */
+/**
+ * @file
+ * Unit tests for string formatting helpers, the swappable status-line
+ * sink and the thread-local panic-context hook.
+ */
 
 #include <gtest/gtest.h>
 
@@ -31,6 +35,46 @@ TEST(Logging, AssertPassesQuietly)
 {
     FACSIM_ASSERT(true, "never printed");
     SUCCEED();
+}
+
+TEST(Logging, CaptureSinkReceivesWarnAndInform)
+{
+    CaptureLogSink sink;
+    LogSink *prev = setLogSink(&sink);
+    warn("disk %s", "slow");
+    inform("phase %d done", 2);
+    setLogSink(prev);
+    // Restored: this line must go to stderr, not the capture buffer.
+    inform("not captured");
+
+    ASSERT_EQ(sink.lines().size(), 2u);
+    EXPECT_EQ(sink.lines()[0], "warn: disk slow");
+    EXPECT_EQ(sink.lines()[1], "info: phase 2 done");
+
+    sink.clear();
+    EXPECT_TRUE(sink.lines().empty());
+}
+
+TEST(LoggingDeathTest, PanicContextHookRunsOnPanic)
+{
+    static const char marker[] = "ring context 0xbeef";
+    int ctx = 0;
+    setPanicContextHook(
+        [](void *) -> std::string { return marker; }, &ctx);
+    EXPECT_DEATH(panic("boom"), marker);
+    clearPanicContextHook(&ctx);
+}
+
+TEST(LoggingDeathTest, ClearedHookOwnedByAnotherCtxStays)
+{
+    static const char marker[] = "surviving hook";
+    int owner = 0, stranger = 0;
+    setPanicContextHook(
+        [](void *) -> std::string { return marker; }, &owner);
+    // A different context must not clobber the installed hook.
+    clearPanicContextHook(&stranger);
+    EXPECT_DEATH(panic("boom"), marker);
+    clearPanicContextHook(&owner);
 }
 
 } // anonymous namespace

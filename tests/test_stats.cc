@@ -46,5 +46,29 @@ TEST(Stats, PctChange)
     EXPECT_DOUBLE_EQ(pctChange(0.0, 5.0), 0.0);
 }
 
+TEST(Stats, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({4.0}), 4.0);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    // Speedup ratios: the geomean of a ratio and its inverse is 1.
+    EXPECT_NEAR(geoMean({1.25, 0.8}), 1.0, 1e-12);
+    // Degenerate inputs degrade to 0 instead of NaN/-inf.
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({2.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({2.0, -1.0}), 0.0);
+}
+
+TEST(Stats, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({4.0}), 4.0);
+    // Classic rates example: 60 and 30 average to 40, not 45.
+    EXPECT_NEAR(harmonicMean({60.0, 30.0}), 40.0, 1e-12);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 12.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({5.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({5.0, -2.0}), 0.0);
+}
+
 } // anonymous namespace
 } // namespace facsim

@@ -35,8 +35,25 @@
  *   --max-insts=N      stop after N instructions (sampled runs: total
  *                      retired instructions, fast-forwarded included)
  *   --scale=N          workload scale (built-in workloads)
- *   --trace=N          print the first N executed instructions
+ *   --print-insts=N    print the first N executed instructions (run)
  *   --jobs=N           worker threads for --compare runs (0 = all)
+ *
+ * Observability (see docs/INTERNALS.md):
+ *   --stats-out=FILE   dump the hierarchical stats registry after the
+ *                      run; JSON when FILE ends in .json, text otherwise
+ *                      (run/time/profile)
+ *   --trace=FILE       write a per-instruction pipeline trace (time;
+ *                      applies to the measured config of a --compare
+ *                      pair)
+ *   --trace-format=F   konata (default; open in Konata) or chrome
+ *                      (open in chrome://tracing / Perfetto)
+ *   --trace-start=N    first dynamic instruction to trace (default 0)
+ *   --trace-count=N    trace at most N instructions (default: all)
+ *   --ring=N           keep the last N issued instructions in a crash
+ *                      ring that panic() dumps (time)
+ *   --debug-flags=A,B  enable FACSIM_DPRINTF debug output for the named
+ *                      flags (comma separated; unknown names are fatal
+ *                      and list the valid set)
  *
  * Sampled simulation (time, @workload or .s):
  *   --sample-period=U  systematic sampling: one detailed window per U
@@ -60,14 +77,20 @@
 #include <sstream>
 #include <string>
 
+#include <functional>
+
 #include "asm/parser.hh"
 #include "cpu/pipeline.hh"
 #include "cpu/profiler.hh"
 #include "isa/disasm.hh"
 #include "link/linker.hh"
+#include "obs/debug.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
+#include "sim/obs_views.hh"
 #include "sim/runner.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -93,8 +116,14 @@ struct CliOptions
     uint32_t tlbPenalty = UINT32_MAX;
     uint64_t maxInsts = 0;
     uint64_t scale = 1;
-    uint64_t trace = 0;
+    uint64_t printInsts = 0;
     unsigned jobs = 1;
+    /** Pipeline event trace (time); disabled unless --trace=FILE. */
+    obs::TraceOptions trace;
+    /** Stats-registry dump target; empty = no dump. */
+    std::string statsOut;
+    /** Crash-dump ring capacity (time); 0 = off. */
+    size_t ring = 0;
     /** Systematic sampling (time); period 0 = full detail. */
     SamplingConfig sampling;
     /** Checkpoint paths; empty = no checkpointing. */
@@ -147,9 +176,38 @@ parseOptions(int argc, char **argv, int first)
             o.maxInsts = parse::u64Flag("--max-insts", v);
         else if (const char *v = val("--scale="))
             o.scale = parse::u64FlagPositive("--scale", v);
-        else if (const char *v = val("--trace="))
-            o.trace = parse::u64Flag("--trace", v);
-        else if (const char *v = val("--jobs="))
+        else if (const char *v = val("--print-insts="))
+            o.printInsts = parse::u64Flag("--print-insts", v);
+        else if (const char *v = val("--trace=")) {
+            if (!*v)
+                fatal("usage: --trace expects a file path");
+            o.trace.path = v;
+        } else if (const char *v = val("--trace-format=")) {
+            if (!obs::parseTraceFormat(v, o.trace.format))
+                fatal("unknown trace format '%s' (expected 'konata' or "
+                      "'chrome')", v);
+        } else if (const char *v = val("--trace-start="))
+            o.trace.start = parse::u64Flag("--trace-start", v);
+        else if (const char *v = val("--trace-count="))
+            o.trace.count = parse::u64FlagPositive("--trace-count", v);
+        else if (const char *v = val("--stats-out=")) {
+            if (!*v)
+                fatal("usage: --stats-out expects a file path");
+            o.statsOut = v;
+        } else if (const char *v = val("--ring="))
+            o.ring = parse::u64FlagPositive("--ring", v);
+        else if (const char *v = val("--debug-flags=")) {
+            std::string unknown;
+            if (!obs::setDebugFlags(v, &unknown)) {
+                std::string names;
+                for (const obs::DebugFlag *f : obs::allDebugFlags()) {
+                    names += ' ';
+                    names += f->name();
+                }
+                fatal("unknown debug flag '%s' (valid flags:%s)",
+                      unknown.c_str(), names.c_str());
+            }
+        } else if (const char *v = val("--jobs="))
             o.jobs = parse::u32Flag("--jobs", v);
         else if (const char *v = val("--sample-period="))
             o.sampling.period = parse::u64FlagPositive("--sample-period", v);
@@ -214,6 +272,23 @@ pipeOf(const CliOptions &o)
         c = baselineConfig(o.block);
     c.hierarchy = hierarchyOf(o);
     return c;
+}
+
+/**
+ * Build a one-shot registry with @p reg and dump it to --stats-out
+ * (JSON when the path ends in .json, text otherwise). The registry only
+ * lives for the dump, so views over stack-local result structs are safe.
+ */
+void
+writeStatsFile(const std::string &path,
+               const std::function<void(obs::Group &)> &reg)
+{
+    if (path.empty())
+        return;
+    obs::Registry registry;
+    reg(registry.root());
+    registry.writeFile(path);
+    std::printf("stats written to '%s'\n", path.c_str());
 }
 
 /** A loaded program ready to execute (from a .s file). */
@@ -367,12 +442,21 @@ cmdRun(const std::string &target, const CliOptions &o)
     ExecRecord rec;
     while ((!o.maxInsts || emu->instCount() < o.maxInsts) &&
            emu->step(&rec)) {
-        if (n < o.trace) {
+        if (n < o.printInsts) {
             std::printf("%08x  %s\n", rec.pc,
                         disasm(rec.inst, rec.pc).c_str());
         }
         ++n;
     }
+    writeStatsFile(o.statsOut, [&](obs::Group &root) {
+        obs::Group &sg = root.group("sim");
+        uint64_t insts = emu->instCount();
+        uint64_t bytes = mem->memUsageBytes();
+        sg.formula("insts", "instructions executed",
+                   [insts] { return static_cast<double>(insts); });
+        sg.formula("mem_usage_bytes", "simulated-memory footprint",
+                   [bytes] { return static_cast<double>(bytes); });
+    });
     if (!o.ckptSave.empty()) {
         saveFunctionalCheckpoint(o.ckptSave, *m);
         std::printf("checkpoint saved to '%s' at %llu instructions\n",
@@ -431,6 +515,14 @@ cmdTime(const std::string &target, const CliOptions &o)
         b.scale = o.scale;
         Machine m(workload(target.substr(1)), b);
         Pipeline pipe(pipeOf(o), m.emulator());
+        // Trace/ring progress is not part of a checkpoint: a trace
+        // started here covers only this run's portion of the program.
+        std::unique_ptr<obs::OpenTrace> trace = obs::openTrace(o.trace);
+        if (trace)
+            pipe.setTrace(trace->sink.get(), o.trace.start,
+                          o.trace.count);
+        if (o.ring)
+            pipe.enableHistoryRing(o.ring);
         if (!o.ckptRestore.empty()) {
             restoreTimingCheckpoint(o.ckptRestore, m, pipe);
             std::printf("restored '%s' at cycle %llu (%llu insts)\n",
@@ -453,7 +545,16 @@ cmdTime(const std::string &target, const CliOptions &o)
                         static_cast<unsigned long long>(st.insts));
         }
         printPipeStats(st);
-        printHierarchyStats(pipe.hierarchyStats());
+        HierarchyStats hs = pipe.hierarchyStats();
+        printHierarchyStats(hs);
+        uint64_t mu = m.memUsageBytes();
+        writeStatsFile(o.statsOut, [&](obs::Group &root) {
+            registerPipeStats(root.group("pipeline"), st);
+            registerHierarchyStats(root.group("hier"), hs);
+            root.group("sim").counterView(
+                "mem_usage_bytes", "peak simulated-memory footprint",
+                &mu);
+        });
         return 0;
     }
 
@@ -471,6 +572,10 @@ cmdTime(const std::string &target, const CliOptions &o)
             return req;
         };
         std::vector<TimingRequest> reqs{requestWith(pipeOf(o))};
+        // Observability attaches only to the measured configuration;
+        // the --compare baseline runs dark.
+        reqs[0].trace = o.trace;
+        reqs[0].historyRing = o.ring;
         if (o.compare) {
             // The baseline shares the memory system so the speedup
             // isolates the pipeline change.
@@ -487,6 +592,9 @@ cmdTime(const std::string &target, const CliOptions &o)
         printHierarchyStats(res[0].hier);
         if (res[0].sample.enabled)
             printSampleEstimate(res[0].sample);
+        writeStatsFile(o.statsOut, [&](obs::Group &root) {
+            registerTimingStats(root, res[0]);
+        });
         if (o.compare) {
             double base = res[1].estimatedCycles();
             double mine = res[0].estimatedCycles();
@@ -504,9 +612,16 @@ cmdTime(const std::string &target, const CliOptions &o)
     }
 
     auto timeWith = [&](const PipelineConfig &cfg, HierarchyStats *hs,
-                        SampleEstimate *se) {
+                        SampleEstimate *se, bool primary) {
         auto l = loadAsm(target, o);
         Pipeline pipe(cfg, *l->emu);
+        std::unique_ptr<obs::OpenTrace> trace =
+            primary ? obs::openTrace(o.trace) : nullptr;
+        if (trace)
+            pipe.setTrace(trace->sink.get(), o.trace.start,
+                          o.trace.count);
+        if (primary && o.ring)
+            pipe.enableHistoryRing(o.ring);
         PipeStats st;
         if (o.sampling.enabled()) {
             *se = runSampled(pipe, o.sampling, o.maxInsts);
@@ -520,16 +635,20 @@ cmdTime(const std::string &target, const CliOptions &o)
     };
     HierarchyStats hier;
     SampleEstimate sample;
-    PipeStats st = timeWith(pipeOf(o), &hier, &sample);
+    PipeStats st = timeWith(pipeOf(o), &hier, &sample, true);
     printPipeStats(st);
     printHierarchyStats(hier);
     if (sample.enabled)
         printSampleEstimate(sample);
+    writeStatsFile(o.statsOut, [&](obs::Group &root) {
+        registerPipeStats(root.group("pipeline"), st);
+        registerHierarchyStats(root.group("hier"), hier);
+    });
     if (o.compare) {
         PipelineConfig bcfg = baselineConfig(o.block);
         bcfg.hierarchy = hierarchyOf(o);
         SampleEstimate bsample;
-        PipeStats base = timeWith(bcfg, nullptr, &bsample);
+        PipeStats base = timeWith(bcfg, nullptr, &bsample, false);
         double bcyc = bsample.enabled ? bsample.estCycles()
                                       : static_cast<double>(base.cycles);
         double mcyc = sample.enabled ? sample.estCycles()
@@ -605,6 +724,20 @@ cmdProfile(const std::string &target, const CliOptions &o)
         }
     }
     printProfile(prof);
+    ProfileResult pr;
+    pr.insts = prof.insts();
+    pr.loads = prof.loads();
+    pr.stores = prof.stores();
+    pr.fracGlobal = prof.loadFrac(RefClass::Global);
+    pr.fracStack = prof.loadFrac(RefClass::Stack);
+    pr.fracGeneral = prof.loadFrac(RefClass::General);
+    for (size_t i = 0; i < prof.numFacConfigs(); ++i)
+        pr.fac.push_back(prof.fac(i));
+    pr.tlbAccesses = prof.tlbAccesses();
+    pr.tlbMisses = prof.tlbMisses();
+    writeStatsFile(o.statsOut, [&](obs::Group &root) {
+        registerProfileStats(root.group("profile"), pr);
+    });
     return 0;
 }
 
