@@ -1,0 +1,58 @@
+#!/bin/sh
+# Snapshot the emulator/pipeline throughput micro-benchmarks into
+# BENCH_emulator.json at the repository root, so rate regressions are
+# visible in review diffs.
+#
+#   bench_snapshot.sh [build-dir]    (default: build)
+#
+# Runs BM_EmulatorStep / BM_EmulatorRate / BM_PipelineRate from
+# bench/micro_sim and records the steady-state instruction rate of each
+# (items_per_second = simulated insts per host second). Note: the
+# min-time value is deliberately suffix-less — older google-benchmark
+# releases reject the "0.3s" spelling.
+set -eu
+
+BUILD=${1:-build}
+BIN="$BUILD/bench/micro_sim"
+OUT=BENCH_emulator.json
+
+if [ ! -x "$BIN" ]; then
+    echo "bench_snapshot.sh: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_filter='BM_EmulatorStep|BM_EmulatorRate|BM_PipelineRate' \
+       --benchmark_min_time=0.3 \
+       --benchmark_format=json > "$RAW"
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export GIT_REV OUT
+
+python3 - "$RAW" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+
+rates = {}
+for b in raw.get("benchmarks", []):
+    rate = b.get("items_per_second")
+    if rate is not None:
+        rates[b["name"]] = round(rate)
+
+snapshot = {
+    "schema_version": 1,
+    "git_rev": os.environ["GIT_REV"],
+    "insts_per_sec": rates,
+}
+out = os.environ["OUT"]
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}:")
+for name, rate in sorted(rates.items()):
+    print(f"  {name:20s} {rate / 1e6:8.1f}M insts/s")
+EOF

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Translated-block data model for the threaded-code emulator core
+ * (cpu/emulator.hh). The predecoded instruction stream is translated
+ * once, lazily, into *basic blocks* of pre-bound handler records: per
+ * instruction, the operand register indices, the immediate, the
+ * memory addressing mode and (for the computed-goto engine) the
+ * handler's label address are all resolved at translation time, so the
+ * dispatch loop does no per-instruction decoding, no bounds checking
+ * and no PC arithmetic. Blocks chain to their fall-through and
+ * direct-target successors ("superblocks"), so straight-line code and
+ * hot loops run without even a block-cache lookup between blocks.
+ *
+ * See docs/INTERNALS.md ("Threaded emulator core") for the dispatch
+ * selection, the invalidation rules and the batched-warmup argument.
+ */
+
+#ifndef FACSIM_CPU_EMU_BLOCK_HH
+#define FACSIM_CPU_EMU_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+/**
+ * Set by CMake (FACSIM_THREADED_DISPATCH feature test) when the
+ * compiler supports the GNU labels-as-values extension. When 0, the
+ * threaded engine silently degrades to the portable switch engine.
+ */
+#ifndef FACSIM_HAS_COMPUTED_GOTO
+#define FACSIM_HAS_COMPUTED_GOTO 0
+#endif
+
+namespace facsim
+{
+
+/** How the emulator dispatches translated blocks. */
+enum class EmuEngine : uint8_t
+{
+    Switch,    ///< portable: switch over the handler kind per record
+    Threaded,  ///< computed-goto direct threading (GCC/Clang)
+};
+
+/** Human-readable engine name ("switch" / "threaded"). */
+const char *emuEngineName(EmuEngine e);
+
+/** Translation-layer counters (published as "emu.*" registry stats). */
+struct EmuTranslationStats
+{
+    /** Basic blocks decoded into handler records. */
+    uint64_t blocksTranslated = 0;
+    /** Block-cache lookups that found an existing block. */
+    uint64_t blockCacheHits = 0;
+    /** Block-cache lookups that had to translate. */
+    uint64_t blockCacheMisses = 0;
+    /** Successor pointers bound (fall-through or direct-target). */
+    uint64_t superblockChains = 0;
+};
+
+/**
+ * Handler kinds, one per specialized handler. Memory operations are
+ * specialized per addressing mode (_RC = base+constant, _RR =
+ * base+index-register, _PI = post-increment) so the mode is resolved
+ * at translation time, not per execution. ENDBLOCK is the synthetic
+ * terminator appended to blocks that end by size cap (or by running
+ * off the end of text) rather than at a control transfer.
+ *
+ * The X-macro keeps the enum and the computed-goto label table in the
+ * dispatch loops structurally in sync (same order, same names).
+ */
+#define FACSIM_EMU_KINDS(X)                                                  \
+    X(NOP) X(HALT)                                                           \
+    X(ADD) X(SUB) X(AND) X(OR) X(XOR) X(NOR) X(SLT) X(SLTU)                  \
+    X(MUL) X(DIV) X(REM)                                                     \
+    X(SLL) X(SRL) X(SRA) X(SLLV) X(SRLV) X(SRAV)                             \
+    X(ADDI) X(ANDI) X(ORI) X(XORI) X(SLTI) X(SLTIU) X(LUI)                   \
+    X(LB_RC) X(LB_RR) X(LB_PI)                                               \
+    X(LBU_RC) X(LBU_RR) X(LBU_PI)                                            \
+    X(LH_RC) X(LH_RR) X(LH_PI)                                               \
+    X(LHU_RC) X(LHU_RR) X(LHU_PI)                                            \
+    X(LW_RC) X(LW_RR) X(LW_PI)                                               \
+    X(SB_RC) X(SB_RR) X(SB_PI)                                               \
+    X(SH_RC) X(SH_RR) X(SH_PI)                                               \
+    X(SW_RC) X(SW_RR) X(SW_PI)                                               \
+    X(LWC1_RC) X(LWC1_RR) X(LWC1_PI)                                         \
+    X(LDC1_RC) X(LDC1_RR) X(LDC1_PI)                                         \
+    X(SWC1_RC) X(SWC1_RR) X(SWC1_PI)                                         \
+    X(SDC1_RC) X(SDC1_RR) X(SDC1_PI)                                         \
+    X(BEQ) X(BNE) X(BLEZ) X(BGTZ) X(BLTZ) X(BGEZ) X(BC1T) X(BC1F)            \
+    X(J) X(JAL) X(JR) X(JALR)                                                \
+    X(ADD_D) X(SUB_D) X(MUL_D) X(DIV_D) X(SQRT_D) X(ABS_D) X(NEG_D)          \
+    X(MOV_D) X(CVT_D_W) X(CVT_W_D) X(C_EQ_D) X(C_LT_D) X(C_LE_D)             \
+    X(MTC1) X(MFC1)                                                          \
+    X(ENDBLOCK)
+
+enum class EmuKind : uint8_t
+{
+#define FACSIM_EMU_KIND_ENUM(k) k,
+    FACSIM_EMU_KINDS(FACSIM_EMU_KIND_ENUM)
+#undef FACSIM_EMU_KIND_ENUM
+    NumKinds
+};
+
+/**
+ * One pre-bound handler record. Field meanings depend on the kind:
+ *
+ *  - ALU reg/shift:  a = dest, b/c = sources (a redirected to the
+ *                    zero-sink slot when the architectural dest is $0)
+ *  - ALU imm / LUI:  a = dest, b = source, imm = immediate
+ *  - memory:         a = data register (int-load dests redirected),
+ *                    b = base, c = index register (_RR) or the
+ *                    redirected base writeback target (_PI),
+ *                    imm = offset / post-increment stride,
+ *                    aux = instruction PC (alignment-fault message)
+ *  - branches:       b/c = comparands (target is the block's takenPc)
+ *  - JAL/JALR:       a = link register, imm = link value (PC+4)
+ *  - JR/JALR:        b = target register
+ *  - FP:             a/b/c = FP register indices
+ *
+ * `handler` is the computed-goto label address, bound lazily the first
+ * time the threaded engine runs (the switch engine dispatches on
+ * `kind` and ignores it). `op` is kept only for fault messages.
+ */
+struct EmuOpRec
+{
+    const void *handler = nullptr;
+    int32_t imm = 0;
+    uint32_t aux = 0;
+    EmuKind kind = EmuKind::NOP;
+    uint8_t a = 0;
+    uint8_t b = 0;
+    uint8_t c = 0;
+    Op op = Op::NOP;
+};
+
+/** Translation cap: longest straight-line run decoded into one block. */
+constexpr unsigned emuMaxBlockOps = 64;
+
+/** How a block's execution ended (drives chaining and warm batching). */
+enum class EmuExit : uint8_t
+{
+    Fall,        ///< size-capped block fell through (no control transfer)
+    BrNotTaken,  ///< terminal conditional branch, not taken
+    BrTaken,     ///< terminal conditional branch, taken
+    Jump,        ///< direct jump (J/JAL)
+    Indirect,    ///< register-indirect jump (JR/JALR)
+    Halt,        ///< HALT retired
+};
+
+/**
+ * A translated basic block: `numOps` real instructions starting at
+ * `startPc`, ending at a control transfer, HALT, the emuMaxBlockOps
+ * cap or the end of text. Cap-ended blocks carry one extra synthetic
+ * ENDBLOCK record so dispatch loops never test a loop counter.
+ *
+ * `fall` / `taken` are the superblock chain pointers: bound lazily to
+ * the successor block the first time the edge is followed, so hot
+ * paths run block-to-block without a cache lookup. They point into the
+ * owning Emulator's block list and die with it (invalidateBlockCache
+ * frees every block, so no dangling chains can survive).
+ */
+struct EmuBlock
+{
+    uint32_t startPc = 0;
+    uint32_t numOps = 0;
+    uint32_t fallPc = 0;   ///< startPc + 4*numOps
+    uint32_t takenPc = 0;  ///< direct branch/jump target (else 0)
+    bool bound = false;    ///< handler pointers resolved (threaded)
+    EmuBlock *fall = nullptr;
+    EmuBlock *taken = nullptr;
+    std::vector<EmuOpRec> ops;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CPU_EMU_BLOCK_HH

@@ -10,7 +10,7 @@ namespace facsim
 
 Emulator::Emulator(const Program &prog, Memory &mem, const LinkedImage &img,
                    uint32_t initial_sp)
-    : prog_(prog), mem_(mem), pc_(img.entryPc)
+    : prog_(prog), mem_(mem), pc_(img.entryPc), engine_(s_defaultEngine)
 {
     FACSIM_ASSERT(prog.linked(), "emulator needs a linked program");
     numInsts_ = prog.numInsts();
@@ -337,29 +337,289 @@ Emulator::stepImpl(ExecRecord *rec, [[maybe_unused]] WarmSink *sink)
 uint64_t
 Emulator::run(uint64_t max_insts)
 {
-    uint64_t n = 0;
-    while (!halted_ && (max_insts == 0 || n < max_insts)) {
-        stepImpl<false, false>(nullptr, nullptr);
-        ++n;
-    }
-    return n;
+#if FACSIM_HAS_COMPUTED_GOTO
+    if (engine_ == EmuEngine::Threaded)
+        return runBlocksThreaded<false>(max_insts, nullptr);
+#endif
+    return runBlocksSwitch<false>(max_insts, nullptr);
 }
 
 uint64_t
 Emulator::runWarm(uint64_t max_insts, unsigned iblock_bits,
                   WarmSink &sink)
 {
+    // max_insts is a hard budget here, not "unbounded" (run() semantics).
+    if (max_insts == 0)
+        return 0;
+    WarmCtx wc{&sink, iblock_bits, 0xffffffffu};
+#if FACSIM_HAS_COMPUTED_GOTO
+    if (engine_ == EmuEngine::Threaded)
+        return runBlocksThreaded<true>(max_insts, &wc);
+#endif
+    return runBlocksSwitch<true>(max_insts, &wc);
+}
+
+uint64_t
+Emulator::runScalar(uint64_t n, WarmCtx *wc)
+{
     uint64_t done = 0;
-    uint32_t prev_block = 0xffffffffu;
-    while (done < max_insts && !halted_) {
-        const uint32_t block = pc_ >> iblock_bits;
-        if (block != prev_block) {
-            prev_block = block;
-            sink.warmFetch(pc_);
+    if (wc) {
+        // Continue the warm streams exactly where the block loop left
+        // them (wc->prevIBlock carries the fetch-dedup state across).
+        while (done < n && !halted_) {
+            const uint32_t block = pc_ >> wc->shift;
+            if (block != wc->prevIBlock) {
+                wc->prevIBlock = block;
+                wc->sink->warmFetch(pc_);
+            }
+            if (!stepImpl<false, true>(nullptr, wc->sink))
+                break;
+            ++done;
         }
-        if (!stepImpl<false, true>(nullptr, &sink))
+    } else {
+        while (done < n && !halted_) {
+            stepImpl<false, false>(nullptr, nullptr);
+            ++done;
+        }
+    }
+    return done;
+}
+
+void
+Emulator::flushWarm(const EmuBlock &blk, EmuExit exit_kind, uint32_t next_pc,
+                    unsigned dn, WarmCtx *wc)
+{
+    WarmSink &sink = *wc->sink;
+    const unsigned shift = wc->shift;
+    const uint32_t last_pc = blk.fallPc - 4;
+
+    // Fetch stream: replay the per-instruction block-transition checks
+    // arithmetically. Within a block the PC steps by 4, so transitions
+    // happen exactly at the instruction-block-aligned PCs in
+    // (startPc, last_pc] — plus the block entry if the previous
+    // instruction ended in a different instruction block.
+    if ((blk.startPc >> shift) != wc->prevIBlock)
+        sink.warmFetch(blk.startPc);
+    if (shift >= 2) {
+        const uint32_t step = 1u << shift;
+        for (uint32_t p = ((blk.startPc >> shift) + 1) << shift;
+             p <= last_pc && p > blk.startPc; p += step)
+            sink.warmFetch(p);
+    } else {
+        // Degenerate instruction blocks smaller than one instruction.
+        uint32_t prev = blk.startPc >> shift;
+        for (uint32_t p = blk.startPc + 4; p <= last_pc; p += 4) {
+            if ((p >> shift) != prev) {
+                prev = p >> shift;
+                sink.warmFetch(p);
+            }
+        }
+    }
+    wc->prevIBlock = last_pc >> shift;
+
+    // Data stream, in retirement order.
+    for (unsigned i = 0; i < dn; ++i)
+        sink.warmData(dbuf_[i].addr, dbuf_[i].isStore != 0);
+
+    // Control stream: at most the one terminal transfer (a retiring
+    // HALT is counted and fetch-warmed but reports no control traffic,
+    // matching the scalar path).
+    switch (exit_kind) {
+      case EmuExit::BrNotTaken:
+        sink.warmControl(last_pc, false, next_pc);
+        break;
+      case EmuExit::BrTaken:
+      case EmuExit::Jump:
+      case EmuExit::Indirect:
+        sink.warmControl(last_pc, true, next_pc);
+        break;
+      case EmuExit::Fall:
+      case EmuExit::Halt:
+        break;
+    }
+}
+
+#if FACSIM_HAS_COMPUTED_GOTO
+
+template <bool WithWarm>
+uint64_t
+Emulator::runBlocksThreaded(uint64_t max_insts, WarmCtx *wc)
+{
+    // Each template instantiation is its own function with its own
+    // label addresses: blocks bound against another instantiation's
+    // table must be rebound before dispatching here (jumping to a
+    // foreign function's label is undefined behaviour).
+    static const void *const kLabels[] = {
+#define FACSIM_EMU_LABEL(k) &&L_##k,
+        FACSIM_EMU_KINDS(FACSIM_EMU_LABEL)
+#undef FACSIM_EMU_LABEL
+    };
+    if (labels_ != kLabels) {
+        labels_ = kLabels;
+        for (const auto &b : blocks_)
+            b->bound = false;
+    }
+
+    uint32_t *const R = regs.data();
+    double *const F = fregs.data();
+    Memory &M = mem_;
+    [[maybe_unused]] EmuDataTouch *const db = dbuf_.data();
+    [[maybe_unused]] unsigned dn = 0;
+    const EmuOpRec *ip = nullptr;
+    EmuExit exk = EmuExit::Fall;
+    uint32_t ind_pc = 0;
+    uint64_t done = 0;
+    EmuBlock *blk = nullptr;
+    EmuBlock *next_blk = nullptr;
+    EmuBlock **chain_slot = nullptr;
+
+    for (;;) {
+        if (halted_ || (max_insts != 0 && done >= max_insts))
             break;
-        ++done;
+        if (next_blk) {
+            // Chained transition: no lookup (and no hit-counter tick).
+            blk = next_blk;
+        } else {
+            blk = acquireBlock(pc_);
+            if (chain_slot) {
+                *chain_slot = blk;
+                ++tstats_.superblockChains;
+            }
+        }
+        next_blk = nullptr;
+        chain_slot = nullptr;
+        if (max_insts != 0 && done + blk->numOps > max_insts) {
+            // Block would overrun the budget: exact per-inst tail.
+            done += runScalar(max_insts - done, wc);
+            break;
+        }
+        if (!blk->bound)
+            bindBlock(*blk);
+        ip = blk->ops.data();
+        if constexpr (WithWarm)
+            dn = 0;
+        goto *ip->handler;
+
+#define OP(k) L_##k:
+#define NEXT { ++ip; goto *ip->handler; }
+#define ENDB goto block_done;
+#include "cpu/emu_exec.inc"
+#undef OP
+#undef NEXT
+#undef ENDB
+
+      block_done:
+        uint32_t next = blk->fallPc;
+        switch (exk) {
+          case EmuExit::Fall:
+          case EmuExit::BrNotTaken:
+            next_blk = blk->fall;
+            if (!next_blk)
+                chain_slot = &blk->fall;
+            break;
+          case EmuExit::BrTaken:
+          case EmuExit::Jump:
+            next = blk->takenPc;
+            next_blk = blk->taken;
+            if (!next_blk)
+                chain_slot = &blk->taken;
+            break;
+          case EmuExit::Indirect:
+            next = ind_pc;
+            break;
+          case EmuExit::Halt:
+            break;
+        }
+        done += blk->numOps;
+        icount += blk->numOps;
+        if constexpr (WithWarm)
+            flushWarm(*blk, exk, next, dn, wc);
+        pc_ = next;
+    }
+    return done;
+}
+
+#endif // FACSIM_HAS_COMPUTED_GOTO
+
+template <bool WithWarm>
+uint64_t
+Emulator::runBlocksSwitch(uint64_t max_insts, WarmCtx *wc)
+{
+    uint32_t *const R = regs.data();
+    double *const F = fregs.data();
+    Memory &M = mem_;
+    [[maybe_unused]] EmuDataTouch *const db = dbuf_.data();
+    [[maybe_unused]] unsigned dn = 0;
+    const EmuOpRec *ip = nullptr;
+    EmuExit exk = EmuExit::Fall;
+    uint32_t ind_pc = 0;
+    uint64_t done = 0;
+    EmuBlock *blk = nullptr;
+    EmuBlock *next_blk = nullptr;
+    EmuBlock **chain_slot = nullptr;
+
+    for (;;) {
+        if (halted_ || (max_insts != 0 && done >= max_insts))
+            break;
+        if (next_blk) {
+            blk = next_blk;
+        } else {
+            blk = acquireBlock(pc_);
+            if (chain_slot) {
+                *chain_slot = blk;
+                ++tstats_.superblockChains;
+            }
+        }
+        next_blk = nullptr;
+        chain_slot = nullptr;
+        if (max_insts != 0 && done + blk->numOps > max_insts) {
+            done += runScalar(max_insts - done, wc);
+            break;
+        }
+        ip = blk->ops.data();
+        if constexpr (WithWarm)
+            dn = 0;
+        for (;;) {
+            switch (ip->kind) {
+#define OP(k) case EmuKind::k:
+#define NEXT { ++ip; break; }
+#define ENDB goto block_done;
+#include "cpu/emu_exec.inc"
+#undef OP
+#undef NEXT
+#undef ENDB
+              case EmuKind::NumKinds:
+                panic("corrupt handler record");
+            }
+        }
+
+      block_done:
+        uint32_t next = blk->fallPc;
+        switch (exk) {
+          case EmuExit::Fall:
+          case EmuExit::BrNotTaken:
+            next_blk = blk->fall;
+            if (!next_blk)
+                chain_slot = &blk->fall;
+            break;
+          case EmuExit::BrTaken:
+          case EmuExit::Jump:
+            next = blk->takenPc;
+            next_blk = blk->taken;
+            if (!next_blk)
+                chain_slot = &blk->taken;
+            break;
+          case EmuExit::Indirect:
+            next = ind_pc;
+            break;
+          case EmuExit::Halt:
+            break;
+        }
+        done += blk->numOps;
+        icount += blk->numOps;
+        if constexpr (WithWarm)
+            flushWarm(*blk, exk, next, dn, wc);
+        pc_ = next;
     }
     return done;
 }
@@ -367,8 +627,10 @@ Emulator::runWarm(uint64_t max_insts, unsigned iblock_bits,
 void
 Emulator::saveState(ser::Writer &w) const
 {
-    for (uint32_t r : regs)
-        w.u32(r);
+    // Only the architectural registers — the zero-sink slot is
+    // scratch, and the serialized format predates it.
+    for (unsigned i = 0; i < numIntRegs; ++i)
+        w.u32(regs[i]);
     // FP registers as raw bit patterns so NaN payloads survive.
     for (double f : fregs) {
         uint64_t bits;
@@ -384,8 +646,8 @@ Emulator::saveState(ser::Writer &w) const
 void
 Emulator::loadState(ser::Reader &r)
 {
-    for (uint32_t &reg : regs)
-        reg = r.u32();
+    for (unsigned i = 0; i < numIntRegs; ++i)
+        regs[i] = r.u32();
     for (double &f : fregs) {
         uint64_t bits = r.u64();
         __builtin_memcpy(&f, &bits, 8);
@@ -394,6 +656,9 @@ Emulator::loadState(ser::Reader &r)
     pc_ = r.u32();
     halted_ = r.b();
     icount = r.u64();
+    // Architectural state just changed under the engine: drop every
+    // translated block (see invalidateBlockCache's contract).
+    invalidateBlockCache();
 }
 
 } // namespace facsim

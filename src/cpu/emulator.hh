@@ -4,6 +4,15 @@
  * model for the timing pipeline (which consumes its dynamic instruction
  * stream) and the engine behind the reference-behaviour profiler used for
  * Tables 1/3/4 and Figure 3.
+ *
+ * Bulk execution (run()/runWarm()) goes through a translated-block
+ * engine: the predecoded stream is lazily decoded into basic blocks of
+ * pre-bound handler records (cpu/emu_block.hh) dispatched either by
+ * computed goto ("threaded", GCC/Clang) or by a portable switch,
+ * selected per process with setDefaultEngine() / per instance with
+ * setEngine(). step() keeps the original one-instruction scalar path,
+ * so per-record consumers (pipeline, profiler, cosim) are byte-for-byte
+ * unaffected by the engine choice.
  */
 
 #ifndef FACSIM_CPU_EMULATOR_HH
@@ -11,8 +20,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "asm/program.hh"
+#include "cpu/emu_block.hh"
 #include "isa/inst.hh"
 #include "link/linker.hh"
 #include "mem/memory.hh"
@@ -102,6 +114,45 @@ class Emulator
     /** True once HALT has executed. */
     bool halted() const { return halted_; }
 
+    /**
+     * Process-wide default dispatch engine for Emulators constructed
+     * afterwards (the CLI's --engine= flag). Like the debug-flag set,
+     * this is a mutable global: set it before concurrent Machines start
+     * and do not change it underneath them (see sim/machine.hh).
+     */
+    static void setDefaultEngine(EmuEngine e);
+    static EmuEngine defaultEngine();
+
+    /** True when this build supports computed-goto dispatch. */
+    static bool threadedDispatchAvailable();
+
+    /** Override the dispatch engine for this instance. */
+    void setEngine(EmuEngine e) { engine_ = e; }
+
+    /**
+     * Effective dispatch engine: the requested one, degraded to Switch
+     * when the build has no computed-goto support.
+     */
+    EmuEngine engine() const
+    {
+        return FACSIM_HAS_COMPUTED_GOTO ? engine_
+                                        : EmuEngine::Switch;
+    }
+
+    /** Cumulative translation-layer counters (survive invalidation). */
+    const EmuTranslationStats &translationStats() const { return tstats_; }
+
+    /**
+     * Drop every translated block (retranslated lazily on next use).
+     * Must be called whenever state the translation could have baked in
+     * changes under the engine — today that is checkpoint restore and
+     * workload-image reset (loadState() calls this itself). Blocks only
+     * ever encode the immutable linked text, so this is defensive, but
+     * it keeps the invalidation rule simple: derived state never
+     * outlives an architectural-state swap.
+     */
+    void invalidateBlockCache();
+
     /** Dynamic instruction count so far. */
     uint64_t instCount() const { return icount; }
 
@@ -144,6 +195,58 @@ class Emulator
 
     [[noreturn]] void fetchFault(uint32_t pc) const;
 
+    /**
+     * Integer writes whose architectural destination is $zero are
+     * redirected at translation time to this extra register slot, so
+     * block handlers write unconditionally (no per-write zero check)
+     * while regs[0] stays 0. Reads always use real indices.
+     */
+    static constexpr unsigned zeroSinkReg = numIntRegs;
+
+    /** One buffered data access awaiting a batched warm flush. */
+    struct EmuDataTouch
+    {
+        uint32_t addr;
+        uint32_t isStore;
+    };
+
+    /** Per-runWarm functional-warming state threaded through blocks. */
+    struct WarmCtx
+    {
+        WarmSink *sink;
+        unsigned shift;       ///< iblock_bits
+        uint32_t prevIBlock;  ///< last instruction block fetch-warmed
+    };
+
+    /** Block for @p pc from the cache, translating on miss (counted). */
+    EmuBlock *acquireBlock(uint32_t pc);
+    /** Decode the basic block starting at @p pc (= index @p idx). */
+    EmuBlock *translateBlock(uint32_t pc, uint32_t idx);
+    /** Translate one instruction into a handler record. */
+    EmuOpRec translateInst(const Inst &in, uint32_t pc, EmuBlock &blk) const;
+    /** Resolve computed-goto handler addresses for @p blk's records. */
+    void bindBlock(EmuBlock &blk);
+
+    /**
+     * Block-dispatch loops (computed goto / portable switch). WithWarm
+     * compiles in the data-touch buffering and per-block warm flush.
+     * max_insts = 0 means unbounded; a block that would overrun the
+     * bound falls back to runScalar for the exact tail.
+     */
+    template <bool WithWarm>
+    uint64_t runBlocksThreaded(uint64_t max_insts, WarmCtx *wc);
+    template <bool WithWarm>
+    uint64_t runBlocksSwitch(uint64_t max_insts, WarmCtx *wc);
+
+    /** Exact per-instruction fallback (bound tails). */
+    uint64_t runScalar(uint64_t n, WarmCtx *wc);
+
+    /** Deliver one executed block's batched warming traffic. */
+    void flushWarm(const EmuBlock &blk, EmuExit exit_kind, uint32_t next_pc,
+                   unsigned dn, WarmCtx *wc);
+
+    static EmuEngine s_defaultEngine;
+
     const Program &prog_;
     /**
      * Predecoded dense execution array: the program's decoded Inst
@@ -156,12 +259,27 @@ class Emulator
     const Inst *code_ = nullptr;
     uint32_t numInsts_ = 0;
     Memory &mem_;
-    std::array<uint32_t, numIntRegs> regs{};
+    /**
+     * Architectural integer registers plus the zero-sink slot
+     * (zeroSinkReg); only the first numIntRegs entries are
+     * architectural state (serialized, visible through intReg()).
+     */
+    std::array<uint32_t, numIntRegs + 1> regs{};
     std::array<double, numFpRegs> fregs{};
     bool fpcc = false;
     uint32_t pc_;
     bool halted_ = false;
     uint64_t icount = 0;
+
+    EmuEngine engine_;
+    EmuTranslationStats tstats_;
+    /** Computed-goto handler table, captured on first threaded run. */
+    const void *const *labels_ = nullptr;
+    /** Dense block cache: instruction index -> block starting there. */
+    std::vector<EmuBlock *> blockMap_;
+    std::vector<std::unique_ptr<EmuBlock>> blocks_;
+    /** Data-touch accumulator for the batched warm flush. */
+    std::array<EmuDataTouch, emuMaxBlockOps> dbuf_{};
 };
 
 } // namespace facsim

@@ -66,6 +66,8 @@ runTiming(const TimingRequest &req)
     }
     res.hier = pipe.hierarchyStats();
     res.memUsageBytes = machine.memUsageBytes();
+    res.emu = machine.emulator().translationStats();
+    res.emuEngine = machine.emulator().engine();
     return res;
 }
 

@@ -109,6 +109,14 @@ struct TimingResult
      * whole-program metrics.
      */
     SampleEstimate sample;
+    /**
+     * Emulator translation-layer counters (nonzero only when the run
+     * used bulk emulation, e.g. sampled fast-forward) and the dispatch
+     * engine that produced them — host-side observability, not
+     * simulated-architecture state.
+     */
+    EmuTranslationStats emu;
+    EmuEngine emuEngine = EmuEngine::Switch;
 
     /** Whole-program cycles: measured, or the sampling estimate. */
     double

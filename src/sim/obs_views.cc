@@ -169,10 +169,30 @@ registerProfileStats(obs::Group &g, const ProfileResult &pr)
 }
 
 void
+registerEmulatorStats(obs::Group &g, const EmuTranslationStats &ts,
+                      EmuEngine engine)
+{
+    g.counterView("blocks_translated",
+                  "basic blocks decoded into handler records",
+                  &ts.blocksTranslated);
+    g.counterView("block_cache_hits", "dispatches served from the cache",
+                  &ts.blockCacheHits);
+    g.counterView("block_cache_misses",
+                  "dispatches that forced a translation",
+                  &ts.blockCacheMisses);
+    g.counterView("superblock_chains",
+                  "block-to-block links bound for direct transfer",
+                  &ts.superblockChains);
+    g.scalar("dispatch_engine", "active engine (0=switch, 1=threaded)")
+        .set(engine == EmuEngine::Threaded ? 1.0 : 0.0);
+}
+
+void
 registerTimingStats(obs::Group &root, const TimingResult &tr)
 {
     registerPipeStats(root.group("pipeline"), tr.stats);
     registerHierarchyStats(root.group("hier"), tr.hier);
+    registerEmulatorStats(root.group("emu"), tr.emu, tr.emuEngine);
     root.group("sim").counterView("mem_usage_bytes",
                                   "peak simulated-memory footprint",
                                   &tr.memUsageBytes);

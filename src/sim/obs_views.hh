@@ -47,8 +47,16 @@ void registerHierarchyStats(obs::Group &g, const HierarchyStats &hs);
 void registerProfileStats(obs::Group &g, const ProfileResult &pr);
 
 /**
+ * Register emulator translation-layer views over @p ts into @p g
+ * (conventionally "emu"): block-cache counters plus a
+ * "dispatch_engine" scalar (0 = switch, 1 = threaded).
+ */
+void registerEmulatorStats(obs::Group &g, const EmuTranslationStats &ts,
+                           EmuEngine engine);
+
+/**
  * Register the full timing-run schema over @p tr into @p root:
- * "pipeline.*", "hier.*" and "sim.mem_usage_bytes".
+ * "pipeline.*", "hier.*", "emu.*" and "sim.mem_usage_bytes".
  */
 void registerTimingStats(obs::Group &root, const TimingResult &tr);
 

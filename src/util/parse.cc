@@ -80,4 +80,22 @@ u32FlagPositive(const char *flag, const std::string &value)
     return v;
 }
 
+unsigned
+oneOfFlag(const char *flag, const std::string &value,
+          const char *const *choices)
+{
+    for (unsigned i = 0; choices[i]; ++i) {
+        if (value == choices[i])
+            return i;
+    }
+    std::string accepted;
+    for (unsigned i = 0; choices[i]; ++i) {
+        if (i)
+            accepted += "|";
+        accepted += choices[i];
+    }
+    fatal("usage: %s expects one of %s, got '%s'",
+          flag, accepted.c_str(), value.c_str());
+}
+
 } // namespace facsim::parse

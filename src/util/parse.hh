@@ -40,6 +40,15 @@ uint32_t u32Flag(const char *flag, const std::string &value);
 /** u32Flag that additionally rejects zero. */
 uint32_t u32FlagPositive(const char *flag, const std::string &value);
 
+/**
+ * Match @p value against the nullptr-terminated choice list @p choices
+ * or die with a usage message listing every accepted spelling.
+ *
+ * @return the index of the matching choice.
+ */
+unsigned oneOfFlag(const char *flag, const std::string &value,
+                   const char *const *choices);
+
 } // namespace facsim::parse
 
 #endif // FACSIM_UTIL_PARSE_HH

@@ -208,6 +208,46 @@ TEST(CheckpointTest, FunctionalRoundTrip)
     EXPECT_EQ(m2.memUsageBytes(), mRef.memUsageBytes());
 }
 
+TEST(CheckpointTest, FunctionalRestoreResumesThreadedBitIdentical)
+{
+    // Same round trip, but the restored machine resumes on the
+    // translated-block engine via bulk run(): the restore must have
+    // dropped any stale block cache, and the resumed stream must land
+    // on the exact architectural state of an uninterrupted bulk run.
+    const std::string path = tmpPath("func_threaded.ckpt");
+    BuildOptions b;
+
+    Machine mRef(workload("eqntott"), b);
+    mRef.emulator().setEngine(EmuEngine::Threaded);
+    ASSERT_EQ(mRef.emulator().run(40000), 40000u);
+    mRef.emulator().run();  // to completion
+    ASSERT_TRUE(mRef.emulator().halted());
+
+    {
+        Machine m1(workload("eqntott"), b);
+        m1.emulator().setEngine(EmuEngine::Threaded);
+        ASSERT_EQ(m1.emulator().run(40000), 40000u);
+        saveFunctionalCheckpoint(path, m1);
+    }
+
+    Machine m2(workload("eqntott"), b);
+    m2.emulator().setEngine(EmuEngine::Threaded);
+    restoreFunctionalCheckpoint(path, m2);
+    EXPECT_EQ(m2.emulator().instCount(), 40000u);
+    m2.emulator().run();
+
+    EXPECT_EQ(m2.emulator().instCount(), mRef.emulator().instCount());
+    EXPECT_EQ(m2.emulator().pc(), mRef.emulator().pc());
+    EXPECT_TRUE(m2.emulator().halted());
+    for (unsigned r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(m2.emulator().intReg(r), mRef.emulator().intReg(r));
+    EXPECT_EQ(m2.memUsageBytes(), mRef.memUsageBytes());
+    ser::Writer wa, wb;
+    m2.memory().saveState(wa);
+    mRef.memory().saveState(wb);
+    EXPECT_EQ(wa.data(), wb.data());
+}
+
 TEST(CheckpointDeathTest, RejectsDamagedAndMismatchedFiles)
 {
     const std::string good = tmpPath("good.ckpt");

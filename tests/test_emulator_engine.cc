@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Equivalence tests for the translated-block execution engine. The
+ * switch and computed-goto dispatch loops, the scalar step() path and
+ * the batched functional-warming flush must all retire the identical
+ * architectural stream; these tests run them in lockstep over every
+ * workload and compare registers, memory images and warm traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "cpu/emulator.hh"
+#include "isa/inst.hh"
+#include "sim/machine.hh"
+#include "util/serialize.hh"
+
+namespace facsim
+{
+namespace
+{
+
+BuildOptions
+tiny()
+{
+    BuildOptions b;
+    b.policy = CodeGenPolicy::baseline();
+    b.scale = 1;
+    return b;
+}
+
+uint64_t
+fpBits(const Emulator &e, unsigned r)
+{
+    double d = e.fpReg(r);
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+void
+expectSameArch(const Emulator &a, const Emulator &b, const char *ctx)
+{
+    ASSERT_EQ(a.pc(), b.pc()) << ctx;
+    ASSERT_EQ(a.instCount(), b.instCount()) << ctx;
+    ASSERT_EQ(a.halted(), b.halted()) << ctx;
+    ASSERT_EQ(a.fpccFlag(), b.fpccFlag()) << ctx;
+    for (unsigned r = 0; r < numIntRegs; ++r)
+        ASSERT_EQ(a.intReg(r), b.intReg(r))
+            << ctx << ": $" << regName(r);
+    for (unsigned r = 0; r < numFpRegs; ++r)
+        ASSERT_EQ(fpBits(a, r), fpBits(b, r)) << ctx << ": $f" << r;
+}
+
+std::string
+memoryImage(Machine &m)
+{
+    ser::Writer w;
+    m.memory().saveState(w);
+    return w.data();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine lockstep: switch and threaded dispatch must agree on
+// every architectural bit at every chunk boundary. The chunk size is
+// prime so the bound lands mid-block and exercises the scalar tail.
+
+class EngineLockstepTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EngineLockstepTest, SwitchAndThreadedAgree)
+{
+    Machine sw(workload(GetParam()), tiny());
+    Machine th(workload(GetParam()), tiny());
+    sw.emulator().setEngine(EmuEngine::Switch);
+    th.emulator().setEngine(EmuEngine::Threaded);
+
+    constexpr uint64_t kTotal = 200'000;
+    constexpr uint64_t kChunk = 9'973;
+    uint64_t done = 0;
+    while (done < kTotal && !sw.emulator().halted()) {
+        uint64_t ns = sw.emulator().run(kChunk);
+        uint64_t nt = th.emulator().run(kChunk);
+        ASSERT_EQ(ns, nt) << "at " << done << " insts";
+        expectSameArch(sw.emulator(), th.emulator(), GetParam());
+        ASSERT_EQ(sw.emulator().intReg(reg::zero), 0u);
+        ASSERT_EQ(th.emulator().intReg(reg::zero), 0u);
+        if (ns == 0)
+            break;
+        done += ns;
+    }
+    EXPECT_EQ(memoryImage(sw), memoryImage(th)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EngineLockstepTest,
+    ::testing::Values("compress", "eqntott", "espresso", "gcc", "sc",
+                      "xlisp", "elvis", "grep", "perl", "yacr2", "alvinn",
+                      "doduc", "ear", "mdljdp2", "mdljsp2", "ora", "spice",
+                      "su2cor", "tomcatv"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// run() bound behaviour and interaction with the scalar step() path.
+
+TEST(EmulatorEngine, RunBoundIsExactMidBlock)
+{
+    for (EmuEngine eng : {EmuEngine::Switch, EmuEngine::Threaded}) {
+        Machine m(workload("espresso"), tiny());
+        m.emulator().setEngine(eng);
+        uint64_t total = 0;
+        for (uint64_t k : {1ull, 2ull, 3ull, 7ull, 63ull, 64ull, 65ull,
+                           137ull, 10'000ull}) {
+            uint64_t n = m.emulator().run(k);
+            ASSERT_EQ(n, k);
+            total += n;
+            ASSERT_EQ(m.emulator().instCount(), total);
+        }
+        // The chopped-up run must land on the same state as a pure
+        // per-instruction reference at the same instruction count.
+        Machine ref(workload("espresso"), tiny());
+        while (ref.emulator().instCount() < total)
+            ASSERT_TRUE(ref.emulator().step(nullptr));
+        expectSameArch(m.emulator(), ref.emulator(),
+                       eng == EmuEngine::Threaded ? "threaded" : "switch");
+    }
+}
+
+TEST(EmulatorEngine, StepAndRunInterleave)
+{
+    Machine m(workload("eqntott"), tiny());
+    Machine ref(workload("eqntott"), tiny());
+    ExecRecord rec;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 17; ++i)
+            ASSERT_TRUE(m.emulator().step(&rec));
+        ASSERT_EQ(m.emulator().run(4'993), 4'993u);
+    }
+    while (ref.emulator().instCount() < m.emulator().instCount())
+        ASSERT_TRUE(ref.emulator().step(nullptr));
+    expectSameArch(m.emulator(), ref.emulator(), "step/run interleave");
+    EXPECT_EQ(memoryImage(m), memoryImage(ref));
+}
+
+TEST(EmulatorEngine, UnboundedRunHalts)
+{
+    Machine a(workload("compress"), tiny());
+    Machine b(workload("compress"), tiny());
+    a.emulator().setEngine(EmuEngine::Switch);
+    b.emulator().setEngine(EmuEngine::Threaded);
+    uint64_t na = a.emulator().run();
+    uint64_t nb = b.emulator().run();
+    EXPECT_TRUE(a.emulator().halted());
+    EXPECT_TRUE(b.emulator().halted());
+    EXPECT_EQ(na, nb);
+    expectSameArch(a.emulator(), b.emulator(), "run to halt");
+    EXPECT_EQ(memoryImage(a), memoryImage(b));
+}
+
+// ---------------------------------------------------------------------------
+// Translation-layer bookkeeping.
+
+TEST(EmulatorEngine, TranslationStatsAreCoherent)
+{
+    Machine m(workload("espresso"), tiny());
+    Emulator &emu = m.emulator();
+    ASSERT_EQ(emu.run(100'000), 100'000u);
+    const EmuTranslationStats &ts = emu.translationStats();
+    // Every miss translates exactly one block; a loopy kernel revisits
+    // blocks (hits) and binds fall-through/taken links (chains).
+    EXPECT_GT(ts.blocksTranslated, 0u);
+    EXPECT_EQ(ts.blockCacheMisses, ts.blocksTranslated);
+    EXPECT_GT(ts.blockCacheHits, 0u);
+    EXPECT_GT(ts.superblockChains, 0u);
+}
+
+TEST(EmulatorEngine, InvalidateRetranslatesWithoutStateChange)
+{
+    Machine m(workload("grep"), tiny());
+    Machine ref(workload("grep"), tiny());
+    Emulator &emu = m.emulator();
+    ASSERT_EQ(emu.run(50'000), 50'000u);
+    uint64_t translated = emu.translationStats().blocksTranslated;
+    emu.invalidateBlockCache();
+    ASSERT_EQ(emu.run(50'000), 50'000u);
+    // The second half re-translated its working set from scratch...
+    EXPECT_GT(emu.translationStats().blocksTranslated, translated);
+    // ...but the architectural stream is unaffected.
+    ASSERT_EQ(ref.emulator().run(100'000), 100'000u);
+    expectSameArch(emu, ref.emulator(), "invalidate mid-run");
+    EXPECT_EQ(memoryImage(m), memoryImage(ref));
+}
+
+TEST(EmulatorEngine, RestoreInvalidatesAndResumesBitIdentical)
+{
+    Machine m(workload("compress"), tiny());
+    Emulator &emu = m.emulator();
+    ASSERT_EQ(emu.run(50'000), 50'000u);
+
+    ser::Writer cpu, mem;
+    emu.saveState(cpu);
+    m.memory().saveState(mem);
+    uint64_t translated = emu.translationStats().blocksTranslated;
+
+    // Reference: run the original machine to completion.
+    uint64_t more = emu.run();
+    ASSERT_TRUE(emu.halted());
+    std::string end_mem = memoryImage(m);
+
+    // Restore the snapshot into a *fresh* machine and resume under the
+    // threaded engine: the block cache starts empty, and the stream
+    // must replay bit-identically.
+    Machine fresh(workload("compress"), tiny());
+    fresh.emulator().setEngine(EmuEngine::Threaded);
+    ser::Reader cr(cpu.data().data(), cpu.data().size(), "test");
+    fresh.emulator().loadState(cr);
+    ser::Reader mr(mem.data().data(), mem.data().size(), "test");
+    fresh.memory().loadState(mr);
+    EXPECT_EQ(fresh.emulator().run(), more);
+    expectSameArch(fresh.emulator(), emu, "fresh-machine restore");
+    EXPECT_EQ(memoryImage(fresh), end_mem);
+
+    // Restore into the machine that made the snapshot: loadState must
+    // drop its (stale-PC) block cache and re-translate.
+    ser::Reader cr2(cpu.data().data(), cpu.data().size(), "test");
+    emu.loadState(cr2);
+    ser::Reader mr2(mem.data().data(), mem.data().size(), "test");
+    m.memory().loadState(mr2);
+    EXPECT_EQ(emu.run(), more);
+    EXPECT_GT(emu.translationStats().blocksTranslated, translated);
+    expectSameArch(emu, fresh.emulator(), "same-machine restore");
+    EXPECT_EQ(memoryImage(m), end_mem);
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection plumbing.
+
+TEST(EmulatorEngine, DefaultEngineIsThreaded)
+{
+    EXPECT_EQ(Emulator::defaultEngine(), EmuEngine::Threaded);
+    EXPECT_STREQ(emuEngineName(EmuEngine::Threaded), "threaded");
+    EXPECT_STREQ(emuEngineName(EmuEngine::Switch), "switch");
+}
+
+TEST(EmulatorEngine, EngineDegradesToSwitchWithoutComputedGoto)
+{
+    Machine m(workload("compress"), tiny());
+    m.emulator().setEngine(EmuEngine::Threaded);
+    if (Emulator::threadedDispatchAvailable())
+        EXPECT_EQ(m.emulator().engine(), EmuEngine::Threaded);
+    else
+        EXPECT_EQ(m.emulator().engine(), EmuEngine::Switch);
+    m.emulator().setEngine(EmuEngine::Switch);
+    EXPECT_EQ(m.emulator().engine(), EmuEngine::Switch);
+}
+
+// ---------------------------------------------------------------------------
+// Batched functional warming: runWarm() buffers a block's traffic and
+// flushes it per stream; each stream must carry exactly the events the
+// per-instruction scalar path would have reported, in the same order.
+
+struct Event
+{
+    uint32_t a, b, c;
+    bool operator==(const Event &o) const
+    {
+        return a == o.a && b == o.b && c == o.c;
+    }
+};
+
+struct RecordingSink : Emulator::WarmSink
+{
+    std::vector<uint32_t> fetch;
+    std::vector<Event> control;
+    std::vector<Event> data;
+
+    void warmFetch(uint32_t pc) override { fetch.push_back(pc); }
+    void
+    warmControl(uint32_t pc, bool taken, uint32_t next_pc) override
+    {
+        control.push_back({pc, taken, next_pc});
+    }
+    void
+    warmData(uint32_t addr, bool is_store) override
+    {
+        data.push_back({addr, is_store, 0});
+    }
+    uint64_t done = 0;
+};
+
+// Per-instruction reference: replay the documented warm semantics off
+// ExecRecords from the scalar step() path.
+RecordingSink
+scalarWarmReference(const char *wl, uint64_t max_insts, unsigned shift)
+{
+    Machine m(workload(wl), tiny());
+    Emulator &emu = m.emulator();
+    RecordingSink s;
+    uint32_t prev_iblock = 0xffffffffu;
+    ExecRecord rec;
+    while (s.done < max_insts && !emu.halted()) {
+        uint32_t pc = emu.pc();
+        if ((pc >> shift) != prev_iblock) {
+            prev_iblock = pc >> shift;
+            s.fetch.push_back(pc);
+        }
+        if (!emu.step(&rec))
+            break;
+        ++s.done;
+        if (isMem(rec.inst.op))
+            s.data.push_back({rec.effAddr, isStore(rec.inst.op), 0});
+        if (isControl(rec.inst.op))
+            s.control.push_back({rec.pc, rec.taken, rec.nextPc});
+    }
+    return s;
+}
+
+TEST(EmulatorEngine, BatchedWarmMatchesScalarReference)
+{
+    for (const char *wl : {"eqntott", "grep", "alvinn"}) {
+        for (unsigned shift : {4u, 6u}) {
+            RecordingSink ref = scalarWarmReference(wl, 100'000, shift);
+            for (EmuEngine eng :
+                 {EmuEngine::Switch, EmuEngine::Threaded}) {
+                Machine m(workload(wl), tiny());
+                m.emulator().setEngine(eng);
+                RecordingSink got;
+                got.done = m.emulator().runWarm(100'000, shift, got);
+                ASSERT_EQ(got.done, ref.done) << wl << " shift " << shift;
+                EXPECT_EQ(got.fetch, ref.fetch)
+                    << wl << " shift " << shift;
+                EXPECT_TRUE(got.data == ref.data)
+                    << wl << " shift " << shift;
+                EXPECT_TRUE(got.control == ref.control)
+                    << wl << " shift " << shift;
+            }
+        }
+    }
+}
+
+TEST(EmulatorEngine, RunWarmZeroBudgetDoesNothing)
+{
+    Machine m(workload("compress"), tiny());
+    RecordingSink s;
+    EXPECT_EQ(m.emulator().runWarm(0, 4, s), 0u);
+    EXPECT_TRUE(s.fetch.empty());
+    EXPECT_EQ(m.emulator().instCount(), 0u);
+}
+
+} // anonymous namespace
+} // namespace facsim

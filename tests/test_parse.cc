@@ -62,6 +62,19 @@ TEST(ParseDeathTest, FlagHelpersDieWithUsage)
     EXPECT_EQ(parse::u32Flag("--x", "4294967295"), 4294967295u);
 }
 
+TEST(ParseDeathTest, OneOfFlagMatchesOrDies)
+{
+    static const char *const kChoices[] = {"switch", "threaded", nullptr};
+    EXPECT_EQ(parse::oneOfFlag("--engine", "switch", kChoices), 0u);
+    EXPECT_EQ(parse::oneOfFlag("--engine", "threaded", kChoices), 1u);
+    EXPECT_DEATH(parse::oneOfFlag("--engine", "bogus", kChoices),
+                 "usage: --engine expects one of switch\\|threaded, "
+                 "got 'bogus'");
+    EXPECT_DEATH(parse::oneOfFlag("--engine", "", kChoices), "usage");
+    EXPECT_DEATH(parse::oneOfFlag("--engine", "Threaded", kChoices),
+                 "usage");  // case-sensitive, like every other flag
+}
+
 #ifdef FACSIM_CLI_BIN
 
 namespace
@@ -130,6 +143,24 @@ TEST(CliFlagAuditTest, NumericFlagsRejectZeroNegativeAndGarbage)
     expectUsageFailure("time @compress --max-insts=ten");
     expectUsageFailure("time @compress --scale=0");
     expectUsageFailure("time @compress --jobs=two");
+
+    // Enumerated flags.
+    expectUsageFailure("run @compress --engine=bogus");
+    expectUsageFailure("run @compress --engine=");
+    expectUsageFailure("fuzz --count=1 --engine=fastest");
+}
+
+TEST(CliFlagAuditTest, EngineFlagSelectsDispatchEngine)
+{
+    for (const char *eng : {"switch", "threaded"}) {
+        SCOPED_TRACE(eng);
+        std::string out;
+        int status = runCli(std::string("run @compress --max-insts=5000 "
+                                        "--engine=") + eng, &out);
+        EXPECT_EQ(status, 0) << out;
+        EXPECT_NE(out.find("executed 5000 instructions"),
+                  std::string::npos) << out;
+    }
 }
 
 TEST(CliFlagAuditTest, SamplingInvariantsEnforced)

@@ -18,8 +18,13 @@
  *   --count=M          cases to run (default 100)
  *   --jobs=N           worker threads (0 = all; default 1)
  *   --shrink           minimize diverging cases with ddmin
+ *   --engine=E         emulator dispatch engine (see Options)
  *
  * Options:
+ *   --engine=switch|threaded
+ *                      translated-block dispatch engine for bulk
+ *                      emulation (default threaded; degrades to switch
+ *                      when the build lacks computed-goto support)
  *   --support          enable the Section 4 software support
  *   --fac              enable fast address calculation (time)
  *   --agi              AGI pipeline organisation (time)
@@ -101,8 +106,20 @@ using namespace facsim;
 namespace
 {
 
+/** --engine= choices; index order matches EmuEngine's enumerators. */
+const char *const kEngineChoices[] = {"switch", "threaded", nullptr};
+
+EmuEngine
+parseEngineFlag(const std::string &value)
+{
+    return parse::oneOfFlag("--engine", value, kEngineChoices) == 0
+               ? EmuEngine::Switch
+               : EmuEngine::Threaded;
+}
+
 struct CliOptions
 {
+    EmuEngine engine = EmuEngine::Threaded;
     bool support = false;
     bool fac = false;
     bool agi = false;
@@ -152,7 +169,9 @@ parseOptions(int argc, char **argv, int first)
             size_t n = std::strlen(p);
             return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
         };
-        if (a == "--support")
+        if (const char *v = val("--engine="))
+            o.engine = parseEngineFlag(v);
+        else if (a == "--support")
             o.support = true;
         else if (a == "--fac")
             o.fac = true;
@@ -437,17 +456,23 @@ cmdRun(const std::string &target, const CliOptions &o)
     }
 
     // --max-insts bounds *total* executed instructions so a save/restore
-    // pair covers exactly the same stream as an uninterrupted run.
+    // pair covers exactly the same stream as an uninterrupted run. The
+    // first --print-insts instructions go through the scalar step()
+    // path (they need per-instruction records to disassemble); the rest
+    // runs on the translated-block engine selected by --engine.
     uint64_t n = 0;
     ExecRecord rec;
-    while ((!o.maxInsts || emu->instCount() < o.maxInsts) &&
+    while (n < o.printInsts &&
+           (!o.maxInsts || emu->instCount() < o.maxInsts) &&
            emu->step(&rec)) {
-        if (n < o.printInsts) {
-            std::printf("%08x  %s\n", rec.pc,
-                        disasm(rec.inst, rec.pc).c_str());
-        }
+        std::printf("%08x  %s\n", rec.pc,
+                    disasm(rec.inst, rec.pc).c_str());
         ++n;
     }
+    if (!o.maxInsts)
+        n += emu->run();
+    else if (emu->instCount() < o.maxInsts)
+        n += emu->run(o.maxInsts - emu->instCount());
     writeStatsFile(o.statsOut, [&](obs::Group &root) {
         obs::Group &sg = root.group("sim");
         uint64_t insts = emu->instCount();
@@ -456,6 +481,8 @@ cmdRun(const std::string &target, const CliOptions &o)
                    [insts] { return static_cast<double>(insts); });
         sg.formula("mem_usage_bytes", "simulated-memory footprint",
                    [bytes] { return static_cast<double>(bytes); });
+        registerEmulatorStats(root.group("emu"), emu->translationStats(),
+                              emu->engine());
     });
     if (!o.ckptSave.empty()) {
         saveFunctionalCheckpoint(o.ckptSave, *m);
@@ -551,6 +578,9 @@ cmdTime(const std::string &target, const CliOptions &o)
         writeStatsFile(o.statsOut, [&](obs::Group &root) {
             registerPipeStats(root.group("pipeline"), st);
             registerHierarchyStats(root.group("hier"), hs);
+            registerEmulatorStats(root.group("emu"),
+                                  m.emulator().translationStats(),
+                                  m.emulator().engine());
             root.group("sim").counterView(
                 "mem_usage_bytes", "peak simulated-memory footprint",
                 &mu);
@@ -611,6 +641,10 @@ cmdTime(const std::string &target, const CliOptions &o)
         return 0;
     }
 
+    // The emulator dies with the per-run Loaded image, so copy its
+    // translation counters out for the stats dump.
+    EmuTranslationStats emuTs;
+    EmuEngine emuEngine = EmuEngine::Switch;
     auto timeWith = [&](const PipelineConfig &cfg, HierarchyStats *hs,
                         SampleEstimate *se, bool primary) {
         auto l = loadAsm(target, o);
@@ -631,6 +665,10 @@ cmdTime(const std::string &target, const CliOptions &o)
         }
         if (hs)
             *hs = pipe.hierarchyStats();
+        if (primary) {
+            emuTs = l->emu->translationStats();
+            emuEngine = l->emu->engine();
+        }
         return st;
     };
     HierarchyStats hier;
@@ -643,6 +681,7 @@ cmdTime(const std::string &target, const CliOptions &o)
     writeStatsFile(o.statsOut, [&](obs::Group &root) {
         registerPipeStats(root.group("pipeline"), st);
         registerHierarchyStats(root.group("hier"), hier);
+        registerEmulatorStats(root.group("emu"), emuTs, emuEngine);
     });
     if (o.compare) {
         PipelineConfig bcfg = baselineConfig(o.block);
@@ -790,7 +829,9 @@ cmdFuzz(int argc, char **argv, int first)
             size_t n = std::strlen(p);
             return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
         };
-        if (const char *v = val("--seed="))
+        if (const char *v = val("--engine="))
+            Emulator::setDefaultEngine(parseEngineFlag(v));
+        else if (const char *v = val("--seed="))
             fo.seed = std::strtoull(v, nullptr, 0);
         else if (const char *v = val("--count="))
             fo.count = std::strtoull(v, nullptr, 0);
@@ -872,6 +913,9 @@ main(int argc, char **argv)
         fatal("'%s' needs a target", cmd.c_str());
     std::string target = argv[2];
     CliOptions o = parseOptions(argc, argv, 3);
+    // Before any Machine/Emulator is built (including the Runner's
+    // worker-thread builds — see the machine.hh thread-safety note).
+    Emulator::setDefaultEngine(o.engine);
 
     if (cmd == "run")
         return cmdRun(target, o);
