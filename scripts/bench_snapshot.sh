@@ -10,10 +10,15 @@
 # (items_per_second = simulated insts per host second). Note: the
 # min-time value is deliberately suffix-less — older google-benchmark
 # releases reject the "0.3s" spelling.
+#
+# Also cuts a small scratch live-point library and times a matched-pair
+# farm sweep over it (facsim_cli mklib/farm), recording the farm's
+# throughput in live-point jobs per host second.
 set -eu
 
 BUILD=${1:-build}
 BIN="$BUILD/bench/micro_sim"
+CLI="$BUILD/tools/facsim_cli"
 OUT=BENCH_emulator.json
 
 if [ ! -x "$BIN" ]; then
@@ -28,8 +33,24 @@ trap 'rm -f "$RAW"' EXIT
        --benchmark_min_time=0.3 \
        --benchmark_format=json > "$RAW"
 
+# Farm throughput: 10 espresso live-points, matched-pair FAC-vs-baseline
+# sweep on one thread. The live-points/s figure comes from the farm's
+# stderr host-accounting line (stdout is the deterministic report).
+FARM_RATE=""
+if [ -x "$CLI" ]; then
+    LIB=$(mktemp)
+    "$CLI" mklib @espresso --lib="$LIB" --sample-period=20000 \
+           --max-insts=200000 > /dev/null 2>&1
+    FARM_RATE=$("$CLI" farm "$LIB" --fac --compare --jobs=1 2>&1 \
+                    >/dev/null |
+                sed -n 's/.*(\([0-9.]*\) live-points\/s).*/\1/p')
+    rm -f "$LIB"
+else
+    echo "bench_snapshot.sh: $CLI not built; skipping farm rate" >&2
+fi
+
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-export GIT_REV OUT
+export GIT_REV OUT FARM_RATE
 
 python3 - "$RAW" <<'EOF'
 import json, os, sys
@@ -44,10 +65,14 @@ for b in raw.get("benchmarks", []):
         rates[b["name"]] = round(rate)
 
 snapshot = {
-    "schema_version": 1,
+    "schema_version": 2,
     "git_rev": os.environ["GIT_REV"],
     "insts_per_sec": rates,
 }
+farm_rate = os.environ.get("FARM_RATE", "")
+if farm_rate:
+    snapshot["farm_livepoints_per_sec"] = round(float(farm_rate))
+
 out = os.environ["OUT"]
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
@@ -55,4 +80,6 @@ with open(out, "w") as f:
 print(f"wrote {out}:")
 for name, rate in sorted(rates.items()):
     print(f"  {name:20s} {rate / 1e6:8.1f}M insts/s")
+if farm_rate:
+    print(f"  {'FarmRate':20s} {float(farm_rate):8.1f}  live-points/s")
 EOF

@@ -10,6 +10,7 @@
 
 #include "asm/builder.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 namespace facsim
 {
@@ -98,6 +99,23 @@ splitOperands(const std::string &s)
     return out;
 }
 
+/**
+ * Strict decimal register number in [0, 32): digits only, whole token.
+ * The digits-only pre-check also keeps tryU64's 0x-hex forms out —
+ * "$0x10" and "$f1x" are malformed register tokens, not registers.
+ */
+std::optional<uint8_t>
+parseRegNum(const std::string &n)
+{
+    if (n.empty() ||
+        n.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    uint64_t v;
+    if (!parse::tryU64(n, &v) || v >= 32)
+        return std::nullopt;
+    return static_cast<uint8_t>(v);
+}
+
 /** Integer register by name ("$t0", "$3", "$sp"). */
 std::optional<uint8_t>
 parseIntReg(const std::string &t)
@@ -105,13 +123,8 @@ parseIntReg(const std::string &t)
     if (t.size() < 2 || t[0] != '$')
         return std::nullopt;
     std::string n = t.substr(1);
-    if (std::isdigit(static_cast<unsigned char>(n[0]))) {
-        int v = std::atoi(n.c_str());
-        if (v >= 0 && v < 32 && n.find_first_not_of("0123456789") ==
-                std::string::npos)
-            return static_cast<uint8_t>(v);
-        return std::nullopt;
-    }
+    if (std::isdigit(static_cast<unsigned char>(n[0])))
+        return parseRegNum(n);
     for (unsigned r = 0; r < 32; ++r) {
         if (n == regName(r))
             return static_cast<uint8_t>(r);
@@ -123,13 +136,9 @@ parseIntReg(const std::string &t)
 std::optional<uint8_t>
 parseFpReg(const std::string &t)
 {
-    if (t.size() < 3 || t[0] != '$' || t[1] != 'f' ||
-        !std::isdigit(static_cast<unsigned char>(t[2])))
+    if (t.size() < 3 || t[0] != '$' || t[1] != 'f')
         return std::nullopt;
-    int v = std::atoi(t.c_str() + 2);
-    if (v >= 0 && v < 32)
-        return static_cast<uint8_t>(v);
-    return std::nullopt;
+    return parseRegNum(t.substr(2));
 }
 
 std::optional<int64_t>

@@ -966,4 +966,20 @@ Pipeline::loadState(ser::Reader &r)
     sbuf.loadState(r);
 }
 
+void
+Pipeline::saveWarmState(ser::Writer &w) const
+{
+    icache.saveState(w);
+    dmem.saveState(w);
+    btb.saveState(w);
+}
+
+void
+Pipeline::loadWarmState(ser::Reader &r)
+{
+    icache.loadState(r);
+    dmem.loadState(r);
+    btb.loadState(r);
+}
+
 } // namespace facsim

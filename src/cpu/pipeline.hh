@@ -256,6 +256,22 @@ class Pipeline
     /** Restore state saved by saveState (same config required). */
     void loadState(ser::Reader &r);
 
+    /**
+     * Serialize only the functionally-warmed large structures — the
+     * I-cache, the data hierarchy (D-cache tags, L2, TLB) and the BTB.
+     * This is the live-point library payload (sim/lvpt.hh): it is valid
+     * only at a quiescent point with no detailed cycles in flight
+     * (fresh pipeline or post-drain(), empty fetch buffer and store
+     * buffer), which library creation guarantees by only ever calling
+     * fastForward(). Statistics, clocks and in-flight state are NOT
+     * included; a restore target must be a freshly constructed pipeline
+     * with matching structure geometry (see warmStateFingerprint()).
+     */
+    void saveWarmState(ser::Writer &w) const;
+
+    /** Restore structures saved by saveWarmState (fresh pipeline). */
+    void loadWarmState(ser::Reader &r);
+
     /** Per-issue observer event. */
     struct IssueEvent
     {

@@ -301,6 +301,63 @@ StatsAccum::add(const ProfileResult &r)
 }
 
 void
+registerLvptStats(obs::Group &g, const LvptLibrary &lib)
+{
+    // By-value captures: the registry may be dumped after the library
+    // object is gone (one-shot CLI dumps build the registry late).
+    auto scalar = [&g](const char *name, const char *desc, double v) {
+        g.formula(name, desc, [v] { return v; });
+    };
+    scalar("entries", "live-points in the library",
+           static_cast<double>(lib.numEntries()));
+    scalar("bytes", "library file size",
+           static_cast<double>(lib.sizeBytes()));
+    scalar("total_insts", "retired instructions the pass covered",
+           static_cast<double>(lib.totalInsts()));
+    scalar("period", "sampling period between live-points",
+           static_cast<double>(lib.sampling().period));
+    scalar("detail", "measured instructions per window",
+           static_cast<double>(lib.sampling().detail));
+    scalar("warmup", "detailed warmup instructions per window",
+           static_cast<double>(lib.sampling().warmup));
+}
+
+void
+registerFarmStats(obs::Group &g, const FarmResult &fr)
+{
+    auto scalar = [&g](const char *name, const char *desc, double v) {
+        g.formula(name, desc, [v] { return v; });
+    };
+    scalar("windows", "measured windows completed",
+           static_cast<double>(fr.windows));
+    scalar("measured_insts", "instructions inside measured windows",
+           static_cast<double>(fr.measuredInsts));
+    scalar("measured_cycles", "cycles inside measured windows",
+           static_cast<double>(fr.measuredCycles));
+    scalar("warmup_insts", "unmeasured detailed warmup instructions",
+           static_cast<double>(fr.warmupInsts));
+    scalar("cpi", "ratio-estimated CPI", fr.cpi.mean);
+    scalar("cpi_ci", "95% CI half-width of the CPI estimate",
+           fr.cpi.halfWidth);
+    scalar("ipc", "ratio-estimated IPC", fr.ipc.mean);
+    scalar("est_cycles", "whole-program cycle estimate", fr.estCycles());
+    if (fr.pairedSpeedup.n) {
+        scalar("paired_speedup", "matched-pair partner/measured speedup",
+               fr.pairedSpeedup.mean);
+        scalar("paired_speedup_ci", "95% CI half-width, matched pairs",
+               fr.pairedSpeedup.halfWidth);
+        scalar("independent_speedup_ci",
+               "95% CI half-width had the estimates been independent",
+               fr.independentSpeedup.halfWidth);
+    }
+    scalar("jobs", "worker threads",
+           static_cast<double>(fr.report.jobs));
+    scalar("wall_seconds", "farm wall time", fr.report.wallSeconds);
+    scalar("jobs_per_sec", "live-point jobs per host second",
+           fr.jobsPerSecond());
+}
+
+void
 StatsAccum::registerStats(obs::Group &root) const
 {
     if (hasTiming_) {

@@ -21,6 +21,7 @@
 #include "cpu/pipeline.hh"
 #include "obs/stats.hh"
 #include "sim/experiment.hh"
+#include "sim/lvpt.hh"
 
 namespace facsim
 {
@@ -59,6 +60,22 @@ void registerEmulatorStats(obs::Group &g, const EmuTranslationStats &ts,
  * "pipeline.*", "hier.*", "emu.*" and "sim.mem_usage_bytes".
  */
 void registerTimingStats(obs::Group &root, const TimingResult &tr);
+
+/**
+ * Register live-point library identity/shape counters over @p lib into
+ * @p g (conventionally "lvpt"): entries, bytes, covered instructions
+ * and the sampling parameters the creation pass used. Values are
+ * captured at registration time, so @p lib need not outlive the dump.
+ */
+void registerLvptStats(obs::Group &g, const LvptLibrary &lib);
+
+/**
+ * Register farm-sweep counters over @p fr into @p g (conventionally
+ * "farm"): window/instruction totals, the CPI/IPC estimates with CI
+ * half-widths, matched-pair speedups and host throughput (jobs/sec).
+ * Values are captured at registration time.
+ */
+void registerFarmStats(obs::Group &g, const FarmResult &fr);
 
 /**
  * Accumulator merging many run results into one stats dump — the bench

@@ -72,6 +72,7 @@ estimateMean(const std::vector<double> &samples)
     double var = ssq / (samples.size() - 1);
     double sem = std::sqrt(var / samples.size());
     est.halfWidth = tCrit95(samples.size() - 1) * sem;
+    est.insufficient = false;
     return est;
 }
 
@@ -109,6 +110,7 @@ ratioEstimate(const std::vector<double> &num, const std::vector<double> &den)
     double var = ssq / (num.size() - 1);
     double sem = std::sqrt(var / num.size()) / dbar;
     est.halfWidth = tCrit95(num.size() - 1) * sem;
+    est.insufficient = false;
     return est;
 }
 

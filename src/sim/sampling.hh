@@ -55,6 +55,14 @@ struct MetricEstimate
     double halfWidth = 0.0;
     /** Number of samples behind the estimate. */
     uint64_t n = 0;
+    /**
+     * True when no CI could be computed: fewer than 2 samples leave the
+     * Student-t variance with 0 degrees of freedom (and an all-zero
+     * denominator leaves the ratio undefined). The mean is still the
+     * best point estimate, but halfWidth = 0 must not be read as "the
+     * estimate is exact" — consumers report the CI as unavailable.
+     */
+    bool insufficient = true;
 
     /** True when @p value lies inside the confidence interval. */
     bool

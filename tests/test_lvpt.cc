@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Live-point library tests (sim/lvpt.hh): a farm sweep over a library
+ * reproduces the serial sampler's estimates exactly, is bitwise
+ * deterministic for any job count, and the matched-pair speedup CI is
+ * narrower than the independent one; damaged, stale or mismatched
+ * libraries die with clear fatal messages (death tests), including a
+ * damaged entry that only fails once the farm reaches it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cpu/pipeline.hh"
+#include "sim/config.hh"
+#include "sim/lvpt.hh"
+#include "sim/machine.hh"
+#include "sim/sampling.hh"
+#include "util/serialize.hh"
+
+using namespace facsim;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string data;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    std::fclose(f);
+    return data;
+}
+
+void
+spew(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+}
+
+/** Patch @p data in place and re-seal the trailing checksum. */
+std::string
+patchAndReseal(std::string data, size_t offset, char value)
+{
+    data[offset] = value;
+    uint64_t sum = ser::fnv1a(data.data(), data.size() - 8);
+    std::memcpy(&data[data.size() - 8], &sum, 8);
+    return data;
+}
+
+SamplingConfig
+smallSampling()
+{
+    SamplingConfig s;
+    s.period = 20000;
+    s.detail = 1000;
+    s.warmup = 2000;
+    return s;
+}
+
+/** 10 espresso live-points every 20k instructions, baseline geometry. */
+LvptBuildResult
+buildSmallLib(const std::string &path)
+{
+    LvptBuildRequest req;
+    req.workload = "espresso";
+    req.pipe = baselineConfig(32);
+    req.sampling = smallSampling();
+    req.maxInsts = 200000;
+    return buildLvptLibrary(path, req);
+}
+
+/**
+ * Container header layout (must track sim/lvpt.cc): magic[8],
+ * version u32, workload length u64 + bytes, scale u64, seed u64,
+ * support u8, fingerprint u64, period/detail/warmup u64, totalInsts
+ * u64, then the entry count u64 and the 24-byte index records.
+ */
+size_t
+countFieldOffset(const std::string &workloadName)
+{
+    return 8 + 4 + 8 + workloadName.size() + 8 + 8 + 1 + 8 + 8 + 8 + 8 +
+           8;
+}
+
+} // namespace
+
+TEST(LvptTest, LibraryIdentityAndShape)
+{
+    const std::string path = tmpPath("shape.lvpt");
+    LvptBuildResult r = buildSmallLib(path);
+    EXPECT_EQ(r.entries, 10u);
+    EXPECT_EQ(r.totalInsts, 200000u);
+
+    LvptLibrary lib(path);
+    EXPECT_EQ(lib.identity().workload, "espresso");
+    EXPECT_EQ(lib.identity().scale, 1u);
+    EXPECT_FALSE(lib.identity().softwareSupport);
+    EXPECT_EQ(lib.identity().warmFingerprint,
+              warmStateFingerprint(baselineConfig(32)));
+    EXPECT_EQ(lib.sampling().period, 20000u);
+    EXPECT_EQ(lib.sampling().detail, 1000u);
+    EXPECT_EQ(lib.sampling().warmup, 2000u);
+    EXPECT_EQ(lib.totalInsts(), 200000u);
+    ASSERT_EQ(lib.numEntries(), 10u);
+    for (size_t i = 0; i < lib.numEntries(); ++i)
+        EXPECT_EQ(lib.entryStartInst(i), i * 20000u);
+    EXPECT_EQ(lib.sizeBytes(), r.libraryBytes);
+}
+
+TEST(LvptTest, FarmReproducesTheSerialSampler)
+{
+    const std::string path = tmpPath("serial.lvpt");
+    buildSmallLib(path);
+    LvptLibrary lib(path);
+
+    FarmRequest req;
+    req.pipe = facPipelineConfig(32);
+    FarmResult farm = runFarm(lib, req);
+
+    // The serial sampler over the same stream: same windows, same warm
+    // state (its fast-forward warms functionally too), same estimator.
+    BuildOptions b;
+    Machine m(workload("espresso"), b);
+    Pipeline pipe(facPipelineConfig(32), m.emulator());
+    SampleEstimate serial = runSampled(pipe, smallSampling(), 200000);
+
+    EXPECT_EQ(farm.windows, serial.windows);
+    EXPECT_EQ(farm.measuredInsts, serial.measuredInsts);
+    EXPECT_EQ(farm.measuredCycles, serial.measuredCycles);
+    ASSERT_FALSE(farm.cpi.insufficient);
+    EXPECT_NEAR(farm.cpi.mean, serial.cpi.mean, 1e-12);
+    EXPECT_NEAR(farm.cpi.halfWidth, serial.cpi.halfWidth, 1e-12);
+    EXPECT_NEAR(farm.ipc.mean, serial.ipc.mean, 1e-12);
+    EXPECT_NEAR(farm.estCycles(), serial.estCycles(), 1e-6);
+}
+
+TEST(LvptTest, FarmIsDeterministicAcrossJobCounts)
+{
+    const std::string path = tmpPath("jobs.lvpt");
+    buildSmallLib(path);
+    LvptLibrary lib(path);
+
+    FarmRequest req;
+    req.pipe = facPipelineConfig(32);
+    req.partner = baselineConfig(32);
+    req.matchedPair = true;
+
+    req.jobs = 1;
+    FarmResult a = runFarm(lib, req);
+    req.jobs = 3;
+    FarmResult c = runFarm(lib, req);
+
+    // Per-entry result slots + entry-order aggregation: every derived
+    // number is bitwise identical regardless of the worker count.
+    EXPECT_EQ(a.windows, c.windows);
+    EXPECT_EQ(a.measuredInsts, c.measuredInsts);
+    EXPECT_EQ(a.measuredCycles, c.measuredCycles);
+    EXPECT_EQ(a.warmupInsts, c.warmupInsts);
+    EXPECT_EQ(a.cpi.mean, c.cpi.mean);
+    EXPECT_EQ(a.cpi.halfWidth, c.cpi.halfWidth);
+    EXPECT_EQ(a.partnerCpi.mean, c.partnerCpi.mean);
+    EXPECT_EQ(a.pairedSpeedup.mean, c.pairedSpeedup.mean);
+    EXPECT_EQ(a.pairedSpeedup.halfWidth, c.pairedSpeedup.halfWidth);
+    EXPECT_EQ(a.independentSpeedup.halfWidth,
+              c.independentSpeedup.halfWidth);
+}
+
+TEST(LvptTest, MatchedPairNarrowsTheSpeedupCi)
+{
+    const std::string path = tmpPath("pair.lvpt");
+    buildSmallLib(path);
+    LvptLibrary lib(path);
+
+    FarmRequest req;
+    req.pipe = facPipelineConfig(32);
+    req.partner = baselineConfig(32);
+    req.matchedPair = true;
+    FarmResult fr = runFarm(lib, req);
+
+    ASSERT_FALSE(fr.pairedSpeedup.insufficient);
+    ASSERT_FALSE(fr.independentSpeedup.insufficient);
+    // Same point estimate either way (both are partner/measured).
+    EXPECT_NEAR(fr.pairedSpeedup.mean, fr.independentSpeedup.mean, 0.05);
+    EXPECT_GT(fr.pairedSpeedup.mean, 1.0);
+    // The paired CI cancels the correlated window-to-window workload
+    // variation, so it must come out narrower than quadrature.
+    EXPECT_LT(fr.pairedSpeedup.halfWidth,
+              fr.independentSpeedup.halfWidth);
+}
+
+TEST(LvptDeathTest, RejectsDamagedAndMismatchedLibraries)
+{
+    const std::string good = tmpPath("good.lvpt");
+    buildSmallLib(good);
+    const std::string data = slurp(good);
+    ASSERT_GT(data.size(), 128u);
+    const size_t countOff = countFieldOffset("espresso");
+
+    // Wrong warm-structure geometry: the library was cut with 32-byte
+    // blocks, this pipeline wants 16-byte blocks.
+    EXPECT_DEATH(
+        {
+            LvptLibrary lib(good);
+            Machine m(workload("espresso"),
+                      lib.identity().buildOptions());
+            Pipeline pipe(baselineConfig(16), m.emulator());
+            lib.restoreEntry(0, m, pipe);
+        },
+        "geometry must match the mklib run");
+
+    // Stale format version (re-sealed so the checksum passes).
+    const std::string vers = tmpPath("version.lvpt");
+    spew(vers, patchAndReseal(data, 8, 99));
+    EXPECT_DEATH(LvptLibrary{vers}, "stale format version 99");
+
+    // Truncated index: the count claims more records than the file can
+    // hold (high byte of the count patched, then re-sealed).
+    const std::string trunc = tmpPath("truncindex.lvpt");
+    spew(trunc, patchAndReseal(data, countOff + 6, 0x01));
+    EXPECT_DEATH(LvptLibrary{trunc}, "truncated index");
+
+    // A single damaged entry: entry 1's payload offset points far past
+    // the end of the file. The library still *opens* (entry framing is
+    // validated lazily), and the farm dies when it reaches that entry.
+    const std::string missing = tmpPath("missing.lvpt");
+    spew(missing,
+         patchAndReseal(data, countOff + 8 + 24 * 1 + 8 + 6, 0x01));
+    EXPECT_DEATH(
+        {
+            LvptLibrary lib(missing);
+            FarmRequest req;
+            req.pipe = baselineConfig(32);
+            runFarm(lib, req);
+        },
+        "entry 1 of .* is missing or out of bounds");
+
+    // Plain corruption is still caught up front.
+    const std::string flip = tmpPath("flip.lvpt");
+    std::string flipped = data;
+    flipped[data.size() / 2] ^= 0x40;
+    spew(flip, flipped);
+    EXPECT_DEATH(LvptLibrary{flip}, "corrupted: checksum");
+
+    EXPECT_DEATH(LvptLibrary{tmpPath("nonexistent.lvpt")},
+                 "cannot open");
+}

@@ -248,6 +248,47 @@ d:      .double 1.5
     EXPECT_DOUBLE_EQ(v, 1.5);
 }
 
+TEST(Parser, RegisterTokenBoundaries)
+{
+    // Strict whole-token register numbers: the highest valid register
+    // of each file parses, in every syntactic position.
+    auto a = assembleAndRun(R"(
+        li   $31, 6
+        add  $30, $31, $31
+        mtc1 $30, $f31
+        mfc1 $8, $f31
+        halt
+    )");
+    EXPECT_EQ(a->emu->intReg(8), 12u);
+}
+
+TEST(ParserDeathTest, RejectsMalformedRegisterTokens)
+{
+    // Trailing garbage after a valid register number must not silently
+    // parse as the shorter register ($f1x used to alias $f1).
+    Program p1;
+    EXPECT_EXIT(parseAsm("add.d $f2, $f1x, $f4", p1),
+                ::testing::ExitedWithCode(1), "line 1");
+    Program p2;
+    EXPECT_EXIT(parseAsm("add $t0, $1x, $t2", p2),
+                ::testing::ExitedWithCode(1), "line 1");
+    // Hex register numbers are not a thing.
+    Program p3;
+    EXPECT_EXIT(parseAsm("mtc1 $0x2, $f2", p3),
+                ::testing::ExitedWithCode(1), "line 1");
+    // Out-of-range numbers, integer and FP.
+    Program p4;
+    EXPECT_EXIT(parseAsm("li $32, 1", p4),
+                ::testing::ExitedWithCode(1), "line 1");
+    Program p5;
+    EXPECT_EXIT(parseAsm("mfc1 $t0, $f32", p5),
+                ::testing::ExitedWithCode(1), "line 1");
+    // A bare "$f" is not a register either.
+    Program p6;
+    EXPECT_EXIT(parseAsm("mfc1 $t0, $f", p6),
+                ::testing::ExitedWithCode(1), "line 1");
+}
+
 TEST(ParserDeathTest, Errors)
 {
     Program p;

@@ -88,13 +88,25 @@ TEST(EstimatorTest, MeanAndStudentTInterval)
 TEST(EstimatorTest, DegenerateInputs)
 {
     EXPECT_EQ(estimateMean({}).n, 0u);
+    EXPECT_TRUE(estimateMean({}).insufficient);
     MetricEstimate one = estimateMean({7.0});
     EXPECT_DOUBLE_EQ(one.mean, 7.0);
     EXPECT_DOUBLE_EQ(one.halfWidth, 0.0);
+    EXPECT_TRUE(one.insufficient);
 
     MetricEstimate constant = estimateMean({3.0, 3.0, 3.0, 3.0});
     EXPECT_DOUBLE_EQ(constant.mean, 3.0);
     EXPECT_DOUBLE_EQ(constant.halfWidth, 0.0);
+    EXPECT_FALSE(constant.insufficient);
+
+    // The ratio estimator flags the same degrees-of-freedom hole: one
+    // window has a point estimate but no interval, and an all-zero
+    // denominator has neither.
+    MetricEstimate ratio1 = ratioEstimate({120.0}, {100.0});
+    EXPECT_DOUBLE_EQ(ratio1.mean, 1.2);
+    EXPECT_DOUBLE_EQ(ratio1.halfWidth, 0.0);
+    EXPECT_TRUE(ratio1.insufficient);
+    EXPECT_TRUE(ratioEstimate({1.0, 2.0}, {0.0, 0.0}).insufficient);
 }
 
 TEST(EstimatorTest, LargeNUsesNormalApproximation)
@@ -143,6 +155,40 @@ TEST(SampledRunTest, AccountsForEveryInstruction)
     EXPECT_LE(res.sample.totalInsts, kMaxInsts);
     // The detail fraction should be near (warmup+detail)/period.
     EXPECT_LT(res.sample.detailFraction(), 0.35);
+}
+
+/**
+ * Regression: a period/limit combo that completes exactly one measured
+ * window used to feed n=1 into the Student-t machinery (0 degrees of
+ * freedom). The run must report the point estimate with an explicit
+ * insufficient-windows CI, not a fabricated zero-width interval.
+ */
+TEST(SampledRunTest, SingleWindowReportsInsufficientCi)
+{
+    SamplingConfig s;
+    s.period = 50000;
+    s.detail = 600;
+    s.warmup = 600;
+    TimingRequest req = timingRequest("espresso", facPipelineConfig(32), s);
+    req.maxInsts = s.period;  // exactly one period => one window
+    TimingResult res = runTiming(req);
+
+    ASSERT_TRUE(res.sample.enabled);
+    ASSERT_EQ(res.sample.windows, 1u);
+    EXPECT_EQ(res.sample.cpi.n, 1u);
+    EXPECT_TRUE(res.sample.cpi.insufficient);
+    EXPECT_TRUE(res.sample.ipc.insufficient);
+    EXPECT_GT(res.sample.cpi.mean, 0.0);
+    EXPECT_DOUBLE_EQ(res.sample.cpi.halfWidth, 0.0);
+    // A two-window run over the same slice does produce an interval.
+    SamplingConfig two = s;
+    two.period = 25000;
+    TimingRequest req2 =
+        timingRequest("espresso", facPipelineConfig(32), two);
+    req2.maxInsts = 2 * two.period;
+    TimingResult res2 = runTiming(req2);
+    ASSERT_EQ(res2.sample.windows, 2u);
+    EXPECT_FALSE(res2.sample.cpi.insufficient);
 }
 
 TEST(SampledRunTest, RequiresFreshPipeline)

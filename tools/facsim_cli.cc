@@ -10,6 +10,8 @@
  *   facsim_cli disasm <file.s>                assemble and disassemble
  *   facsim_cli dinero <file.s|@workload>      dinero-format address trace
  *   facsim_cli fuzz [--seed=N] [--count=M]    differential fuzzing
+ *   facsim_cli mklib @workload --lib=FILE     write a live-point library
+ *   facsim_cli farm <library> [opts]          sweep a live-point library
  *   facsim_cli list                           list built-in workloads
  *
  * Fuzz options:
@@ -68,6 +70,21 @@
  *   --sample-warmup=N  unmeasured detailed warmup per window
  *                      (default 2000)
  *
+ * Live-point libraries (see docs/INTERNALS.md "Live-point library"):
+ *   mklib fast-forwards the workload once with functional warming and
+ *   writes one checkpoint per --sample-period instructions to --lib=FILE
+ *   (--sample-detail/--sample-warmup are recorded for the farm; the
+ *   cache/TLB/BTB geometry flags fix the library's warm fingerprint).
+ *   farm restores every entry and measures a detailed window per entry
+ *   across --jobs threads; --compare also measures the plain baseline
+ *   from the *same* live-points and reports the matched-pair speedup
+ *   (stdout is byte-identical for any --jobs; host timing goes to
+ *   stderr). Timing-only flags (--fac, --agi, --no-rr, latencies) may
+ *   differ from the mklib run; geometry flags must match.
+ *   --lib=FILE         library path to write (mklib)
+ *   --max-entries=N    farm: measure only the first N live-points
+ *                      (0 = all; smoke-test hook)
+ *
  * Checkpoints (@workload targets; 'run' = functional, 'time' = timing):
  *   --ckpt-save=FILE   run (honouring --max-insts), then save
  *   --ckpt-restore=FILE restore, then continue to completion (or
@@ -76,6 +93,7 @@
  *                      uninterrupted run
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -95,6 +113,7 @@
 #include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
+#include "sim/lvpt.hh"
 #include "sim/obs_views.hh"
 #include "sim/runner.hh"
 #include "util/logging.hh"
@@ -146,6 +165,10 @@ struct CliOptions
     /** Checkpoint paths; empty = no checkpointing. */
     std::string ckptSave;
     std::string ckptRestore;
+    /** Live-point library output path (mklib). */
+    std::string lib;
+    /** Farm: restore only the first N entries (0 = all). */
+    uint64_t maxEntries = 0;
 };
 
 std::string
@@ -242,7 +265,13 @@ parseOptions(int argc, char **argv, int first)
             if (!*v)
                 fatal("usage: --ckpt-restore expects a file path");
             o.ckptRestore = v;
-        } else
+        } else if (const char *v = val("--lib=")) {
+            if (!*v)
+                fatal("usage: --lib expects a file path");
+            o.lib = v;
+        } else if (const char *v = val("--max-entries="))
+            o.maxEntries = parse::u64Flag("--max-entries", v);
+        else
             fatal("unknown option '%s'", a.c_str());
     }
     if (!o.ckptSave.empty() && !o.ckptRestore.empty())
@@ -522,10 +551,21 @@ printSampleEstimate(const SampleEstimate &s)
                 static_cast<unsigned long long>(s.warmupInsts),
                 static_cast<unsigned long long>(s.drainInsts),
                 static_cast<unsigned long long>(s.fastForwardInsts));
-    std::printf("  CPI estimate:    %.4f +- %.4f (95%% CI)\n",
-                s.cpi.mean, s.cpi.halfWidth);
-    std::printf("  IPC estimate:    %.4f +- %.4f (95%% CI)\n",
-                s.ipc.mean, s.ipc.halfWidth);
+    if (s.cpi.insufficient) {
+        // < 2 windows: the ratio-estimator variance has 0 degrees of
+        // freedom, so no confidence interval exists.
+        std::printf("  CPI estimate:    %.4f (insufficient windows for "
+                    "a CI; need >= 2, got %llu)\n",
+                    s.cpi.mean,
+                    static_cast<unsigned long long>(s.cpi.n));
+        std::printf("  IPC estimate:    %.4f (insufficient windows for "
+                    "a CI)\n", s.ipc.mean);
+    } else {
+        std::printf("  CPI estimate:    %.4f +- %.4f (95%% CI)\n",
+                    s.cpi.mean, s.cpi.halfWidth);
+        std::printf("  IPC estimate:    %.4f +- %.4f (95%% CI)\n",
+                    s.ipc.mean, s.ipc.halfWidth);
+    }
     std::printf("  est. cycles:     %.0f\n", s.estCycles());
 }
 
@@ -697,6 +737,113 @@ cmdTime(const std::string &target, const CliOptions &o)
                     bcyc > 0.0 && mcyc > 0.0 ? bcyc / mcyc : 0.0,
                     sample.enabled ? " (sampled estimate)" : "");
     }
+    return 0;
+}
+
+/** One estimate line; "insufficient" when the CI needs more windows. */
+void
+printEstimateLine(const char *label, const MetricEstimate &e)
+{
+    if (e.insufficient)
+        std::printf("%s%.4f (insufficient windows for a CI; need >= 2, "
+                    "got %llu)\n", label, e.mean,
+                    static_cast<unsigned long long>(e.n));
+    else
+        std::printf("%s%.4f +- %.4f (95%% CI)\n", label, e.mean,
+                    e.halfWidth);
+}
+
+int
+cmdMklib(const std::string &target, const CliOptions &o)
+{
+    if (target.empty() || target[0] != '@')
+        fatal("mklib requires a built-in @workload target");
+    if (!o.sampling.enabled())
+        fatal("mklib requires --sample-period (one live-point per "
+              "period)");
+    if (o.lib.empty())
+        fatal("mklib requires --lib=FILE");
+
+    LvptBuildRequest req;
+    req.workload = target.substr(1);
+    req.build.policy = policyOf(o);
+    req.build.scale = o.scale;
+    req.pipe = pipeOf(o);
+    req.sampling = o.sampling;
+    req.maxInsts = o.maxInsts;
+
+    auto t0 = std::chrono::steady_clock::now();
+    LvptBuildResult r = buildLvptLibrary(o.lib, req);
+    double secs = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    std::printf("library:           '%s'\n", o.lib.c_str());
+    std::printf("live-points:       %llu (one per %llu insts)\n",
+                static_cast<unsigned long long>(r.entries),
+                static_cast<unsigned long long>(o.sampling.period));
+    std::printf("covered insts:     %llu\n",
+                static_cast<unsigned long long>(r.totalInsts));
+    std::printf("library bytes:     %llu\n",
+                static_cast<unsigned long long>(r.libraryBytes));
+    // Host accounting goes to stderr so stdout stays deterministic.
+    std::fprintf(stderr, "mklib: %.2fs host time\n", secs);
+
+    writeStatsFile(o.statsOut, [&](obs::Group &root) {
+        LvptLibrary lib(o.lib);
+        registerLvptStats(root.group("lvpt"), lib);
+    });
+    return 0;
+}
+
+int
+cmdFarm(const std::string &target, const CliOptions &o)
+{
+    LvptLibrary lib(target);
+
+    FarmRequest req;
+    req.pipe = pipeOf(o);
+    req.matchedPair = o.compare;
+    if (o.compare) {
+        // Same convention as 'time --compare': the partner is the plain
+        // baseline sharing the memory system, measured from the *same*
+        // live-points (matched pair).
+        PipelineConfig base = baselineConfig(o.block);
+        base.hierarchy = hierarchyOf(o);
+        req.partner = base;
+    }
+    req.jobs = o.jobs;
+    req.maxEntries = o.maxEntries;
+
+    FarmResult fr = runFarm(lib, req);
+
+    std::printf("library:           '%s' (%zu live-points, %llu insts)\n",
+                lib.path().c_str(), lib.numEntries(),
+                static_cast<unsigned long long>(lib.totalInsts()));
+    std::printf("farm windows:      %llu measured; %llu insts / %llu "
+                "cycles (+%llu warmup)\n",
+                static_cast<unsigned long long>(fr.windows),
+                static_cast<unsigned long long>(fr.measuredInsts),
+                static_cast<unsigned long long>(fr.measuredCycles),
+                static_cast<unsigned long long>(fr.warmupInsts));
+    printEstimateLine("  CPI estimate:    ", fr.cpi);
+    printEstimateLine("  IPC estimate:    ", fr.ipc);
+    std::printf("  est. cycles:     %.0f\n", fr.estCycles());
+    if (o.compare) {
+        printEstimateLine("baseline CPI:      ", fr.partnerCpi);
+        printEstimateLine("paired speedup:    ", fr.pairedSpeedup);
+        printEstimateLine("  vs independent:  ", fr.independentSpeedup);
+    }
+    // Host accounting goes to stderr so stdout is byte-identical for
+    // any --jobs (the CI smoke job diffs jobs=1 against jobs=2).
+    std::fprintf(stderr, "farm: %u thread(s), %.2fs host time "
+                 "(%.1f live-points/s)\n",
+                 fr.report.jobs, fr.report.wallSeconds,
+                 fr.jobsPerSecond());
+
+    writeStatsFile(o.statsOut, [&](obs::Group &root) {
+        registerLvptStats(root.group("lvpt"), lib);
+        registerFarmStats(root.group("farm"), fr);
+    });
     return 0;
 }
 
@@ -896,8 +1043,9 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s run|time|profile|disasm|list "
-                             "<file.s|@workload> [options]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s run|time|profile|disasm|mklib|"
+                             "farm|list <file.s|@workload> [options]\n",
+                     argv[0]);
         return 1;
     }
     std::string cmd = argv[1];
@@ -927,5 +1075,9 @@ main(int argc, char **argv)
         return cmdDisasm(target, o);
     if (cmd == "dinero")
         return cmdDinero(target, o);
+    if (cmd == "mklib")
+        return cmdMklib(target, o);
+    if (cmd == "farm")
+        return cmdFarm(target, o);
     fatal("unknown command '%s'", cmd.c_str());
 }
