@@ -14,12 +14,19 @@
 # Also cuts a small scratch live-point library and times a matched-pair
 # farm sweep over it (facsim_cli mklib/farm), recording the farm's
 # throughput in live-point jobs per host second.
+#
+# Also boots a scratch experiment-serving daemon (facsim_cli serve) and
+# drives it with two identical fixed-seed loadgen passes — the first
+# cold (every request executed), the second fully warm (every request a
+# cache hit) — recording cold/warm QPS and latency percentiles in
+# BENCH_serve.json.
 set -eu
 
 BUILD=${1:-build}
 BIN="$BUILD/bench/micro_sim"
 CLI="$BUILD/tools/facsim_cli"
 OUT=BENCH_emulator.json
+SERVE_OUT=BENCH_serve.json
 
 if [ ! -x "$BIN" ]; then
     echo "bench_snapshot.sh: $BIN not built (cmake --build $BUILD)" >&2
@@ -27,7 +34,9 @@ if [ ! -x "$BIN" ]; then
 fi
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+SERVE_COLD=$(mktemp)
+SERVE_WARM=$(mktemp)
+trap 'rm -f "$RAW" "$SERVE_COLD" "$SERVE_WARM"' EXIT
 
 "$BIN" --benchmark_filter='BM_EmulatorStep|BM_EmulatorRate|BM_PipelineRate' \
        --benchmark_min_time=0.3 \
@@ -49,8 +58,36 @@ else
     echo "bench_snapshot.sh: $CLI not built; skipping farm rate" >&2
 fi
 
+# Serving-path throughput: a scratch daemon answers one cold pass (all
+# 30 unique requests executed) and one identical warm pass (all 30 from
+# the cache). Fixed seed, fixed mix — the passes are comparable across
+# commits.
+SERVE_OK=""
+if [ -x "$CLI" ]; then
+    SOCK=$(mktemp -u)
+    "$CLI" serve --socket="$SOCK" --jobs=2 > /dev/null 2>&1 &
+    SRV=$!
+    i=0
+    while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    "$CLI" loadgen --socket="$SOCK" --requests=30 --repeat-pct=0 \
+           --concurrency=2 --seed=11 --max-insts=60000 \
+           --json="$SERVE_COLD" > /dev/null
+    "$CLI" loadgen --socket="$SOCK" --requests=30 --repeat-pct=0 \
+           --concurrency=2 --seed=11 --max-insts=60000 \
+           --json="$SERVE_WARM" > /dev/null
+    kill -TERM "$SRV"
+    wait "$SRV"
+    rm -f "$SOCK"
+    SERVE_OK=1
+else
+    echo "bench_snapshot.sh: $CLI not built; skipping serve rate" >&2
+fi
+
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-export GIT_REV OUT FARM_RATE
+export GIT_REV OUT FARM_RATE SERVE_OUT SERVE_COLD SERVE_WARM SERVE_OK
 
 python3 - "$RAW" <<'EOF'
 import json, os, sys
@@ -65,7 +102,7 @@ for b in raw.get("benchmarks", []):
         rates[b["name"]] = round(rate)
 
 snapshot = {
-    "schema_version": 2,
+    "schema_version": 3,
     "git_rev": os.environ["GIT_REV"],
     "insts_per_sec": rates,
 }
@@ -82,4 +119,35 @@ for name, rate in sorted(rates.items()):
     print(f"  {name:20s} {rate / 1e6:8.1f}M insts/s")
 if farm_rate:
     print(f"  {'FarmRate':20s} {float(farm_rate):8.1f}  live-points/s")
+
+if os.environ.get("SERVE_OK"):
+    with open(os.environ["SERVE_COLD"]) as f:
+        cold = json.load(f)
+    with open(os.environ["SERVE_WARM"]) as f:
+        warm = json.load(f)
+    assert cold["errors"] == 0 and warm["errors"] == 0, (cold, warm)
+    # The warm pass replays the cold pass's bytes, so a digest change
+    # here means the serving path itself is broken, not just slow.
+    assert warm["response_digest"] == cold["response_digest"], \
+        (cold["response_digest"], warm["response_digest"])
+    serve = {
+        "schema_version": 3,
+        "git_rev": os.environ["GIT_REV"],
+        "cold_qps": round(cold["qps"], 1),
+        "warm_qps": round(warm["qps"], 1),
+        "cold_p50_us": round(cold["p50_us"], 1),
+        "cold_p99_us": round(cold["p99_us"], 1),
+        "warm_p50_us": round(warm["p50_us"], 1),
+        "warm_p99_us": round(warm["p99_us"], 1),
+        "requests_per_pass": cold["sent"],
+    }
+    serve_out = os.environ["SERVE_OUT"]
+    with open(serve_out, "w") as f:
+        json.dump(serve, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {serve_out}:")
+    print(f"  {'ColdQPS':20s} {serve['cold_qps']:10.1f} req/s "
+          f"(p50 {serve['cold_p50_us']:.0f} us)")
+    print(f"  {'WarmQPS':20s} {serve['warm_qps']:10.1f} req/s "
+          f"(p50 {serve['warm_p50_us']:.1f} us)")
 EOF

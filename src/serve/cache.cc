@@ -1,0 +1,231 @@
+#include "serve/cache.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/request_codec.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace facsim::serve
+{
+
+namespace
+{
+
+const char cacheMagic[8] = {'F', 'A', 'C', 'S', 'I', 'M', 'R', 'C'};
+constexpr uint32_t cacheFileVersion = 1;
+
+} // namespace
+
+size_t
+CacheKeyHash::operator()(const CacheKey &k) const
+{
+    // The components are already FNV hashes; fold them together.
+    uint64_t h = 0xcbf29ce484222325ull ^ k.kind;
+    for (uint64_t v : {k.configFp, k.workloadFp, k.requestFp}) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(h);
+}
+
+bool
+ResultCache::lookup(const CacheKey &key, std::string *payload)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    *payload = it->second->payload;
+    return true;
+}
+
+void
+ResultCache::insert(const CacheKey &key, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Refresh (two racing cold runs of the same request): keep the
+        // existing payload — it is what earlier hits already replayed.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (budget_ && payload.size() > budget_)
+        return;
+    lru_.push_front(Entry{key, payload});
+    index_[key] = lru_.begin();
+    bytes_ += payload.size();
+    evictLocked();
+}
+
+void
+ResultCache::evictLocked()
+{
+    while (budget_ && bytes_ > budget_ && !lru_.empty()) {
+        const Entry &victim = lru_.back();
+        bytes_ -= victim.payload.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+}
+
+uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+}
+
+uint64_t
+ResultCache::bytes() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return bytes_;
+}
+
+uint64_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+}
+
+bool
+ResultCache::save(const std::string &path) const
+{
+    ser::Writer w;
+    w.bytes(cacheMagic, sizeof(cacheMagic));
+    w.u32(cacheFileVersion);
+    w.u32(requestCodecVersion);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        w.u64(lru_.size());
+        // Oldest first, so reloading re-inserts in age order and the
+        // restored LRU order matches the saved one.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            w.u8(it->key.kind);
+            w.u64(it->key.configFp);
+            w.u64(it->key.workloadFp);
+            w.u64(it->key.requestFp);
+            w.str(it->payload);
+        }
+    }
+    uint64_t sum = ser::fnv1a(w.data().data(), w.data().size());
+    ser::Writer tail;
+    tail.u64(sum);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot open result cache '%s' for writing", path.c_str());
+        return false;
+    }
+    bool ok =
+        std::fwrite(w.data().data(), 1, w.data().size(), f) ==
+            w.data().size() &&
+        std::fwrite(tail.data().data(), 1, tail.data().size(), f) ==
+            tail.data().size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        warn("short write to result cache '%s'", path.c_str());
+    return ok;
+}
+
+bool
+ResultCache::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;  // first run; nothing to warm from
+    std::string data;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    bool read_ok = !std::ferror(f);
+    std::fclose(f);
+
+    auto reject = [&](const char *why) {
+        warn("ignoring result cache '%s': %s", path.c_str(), why);
+        std::lock_guard<std::mutex> lk(mu_);
+        lru_.clear();
+        index_.clear();
+        bytes_ = 0;
+        return false;
+    };
+
+    if (!read_ok)
+        return reject("read error");
+    if (data.size() < sizeof(cacheMagic) + 4 + 4 + 8 + 8 ||
+        std::memcmp(data.data(), cacheMagic, sizeof(cacheMagic)) != 0)
+        return reject("not a facsim result cache");
+
+    size_t body = data.size() - 8;
+    uint64_t stored;
+    std::memcpy(&stored, data.data() + body, 8);
+    if (stored != ser::fnv1a(data.data(), body))
+        return reject("checksum mismatch (corrupt file)");
+
+    ser::TryReader r(data.data(), body);
+    char skip[sizeof(cacheMagic)];
+    r.bytes(skip, sizeof(skip));
+    uint32_t file_version = r.u32();
+    uint32_t codec_version = r.u32();
+    if (!r.ok() || file_version != cacheFileVersion)
+        return reject("unknown cache file version");
+    if (codec_version != requestCodecVersion)
+        return reject("stale result-codec version (starting cold)");
+
+    uint64_t count = r.u64();
+    for (uint64_t i = 0; i < count; ++i) {
+        CacheKey key;
+        key.kind = r.u8();
+        key.configFp = r.u64();
+        key.workloadFp = r.u64();
+        key.requestFp = r.u64();
+        std::string payload = r.str();
+        if (!r.ok())
+            return reject("truncated entry list");
+        insert(key, payload);
+    }
+    if (!r.atEnd())
+        return reject("trailing bytes after the last entry");
+    return true;
+}
+
+void
+ResultCache::registerStats(obs::Group &g)
+{
+    g.formula("hits", "requests answered from the cache",
+              [this] { return static_cast<double>(hits()); });
+    g.formula("misses", "requests that had to run",
+              [this] { return static_cast<double>(misses()); });
+    g.formula("evictions", "entries evicted under the byte budget",
+              [this] { return static_cast<double>(evictions()); });
+    g.formula("bytes", "resident payload bytes",
+              [this] { return static_cast<double>(bytes()); });
+    g.formula("entries", "resident entries",
+              [this] { return static_cast<double>(entries()); });
+}
+
+} // namespace facsim::serve

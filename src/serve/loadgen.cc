@@ -1,0 +1,291 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "serve/client.hh"
+#include "sim/config.hh"
+#include "sim/request_codec.hh"
+#include "util/logging.hh"
+#include "verify/fuzz.hh"
+#include "workloads/registry.hh"
+
+namespace facsim::serve
+{
+
+namespace
+{
+
+/** One precomputed schedule slot. */
+struct Slot
+{
+    WireKind kind = WireKind::Profile;
+    const std::string *body = nullptr;  ///< into the unique pool
+    size_t uniqueId = 0;
+};
+
+/** One slot's outcome, written only by the thread owning the slot. */
+struct Outcome
+{
+    bool ok = false;
+    bool cached = false;
+    double latencyUs = 0.0;
+    uint64_t bodyHash = 0;
+    uint8_t status = 0;
+};
+
+struct UniqueRequest
+{
+    WireKind kind;
+    std::string body;
+};
+
+/** Build the seed-derived unique-request pool. */
+std::vector<UniqueRequest>
+buildPool(const LoadgenOptions &o, size_t n_unique)
+{
+    const std::vector<WorkloadInfo> &wls = allWorkloads();
+    size_t pool = std::min<size_t>(std::max(1u, o.workloadPool),
+                                   wls.size());
+    std::vector<UniqueRequest> uniq(n_unique);
+    for (size_t i = 0; i < n_unique; ++i) {
+        uint64_t r = verify::splitmix64(o.seed, i);
+        const char *wl = wls[r % pool].name;
+        bool timing = (r >> 8) % 100 < o.timingPct;
+        bool fac = (r >> 16) & 1;
+        uint32_t block = ((r >> 17) & 1) ? 16 : 32;
+        // Fold the pool index into the instruction bound so every pool
+        // member is a distinct experiment by construction — the flag
+        // space alone (workload x kind x block x fac) is small enough
+        // to collide, and a colliding "unique" would be served from the
+        // cache, breaking the serial cold-count invariant.
+        uint64_t max_insts = o.maxInsts + i;
+        ser::Writer w;
+        if (timing) {
+            TimingRequest t;
+            t.workload = wl;
+            t.build.scale = o.scale;
+            t.pipe = fac ? facPipelineConfig(block) : baselineConfig(block);
+            t.maxInsts = max_insts;
+            encodeTimingRequest(w, t);
+            uniq[i] = {WireKind::Timing, w.data()};
+        } else {
+            ProfileRequest p;
+            p.workload = wl;
+            p.build.scale = o.scale;
+            p.facConfigs = {facConfigFor(CacheConfig{16 * 1024, block, 1, 6})};
+            p.withTlb = (r >> 18) & 1;
+            p.maxInsts = max_insts;
+            encodeProfileRequest(w, p);
+            uniq[i] = {WireKind::Profile, w.data()};
+        }
+    }
+    return uniq;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+bool
+runLoadgen(const LoadgenOptions &opts, LoadgenReport *report,
+           std::string *err)
+{
+    uint64_t n = opts.requests;
+    FACSIM_ASSERT(n > 0, "loadgen needs --requests >= 1");
+    unsigned repeat_pct = std::min(opts.repeatPct, 99u);
+    size_t n_unique = std::max<uint64_t>(
+        1, n - n * repeat_pct / 100);
+    if (n_unique > n)
+        n_unique = n;
+
+    std::vector<UniqueRequest> uniq = buildPool(opts, n_unique);
+
+    // Schedule: every unique first (its slot is its first occurrence),
+    // then seeded repeats. Fixed before any I/O, so the request set is
+    // a pure function of the options.
+    std::vector<Slot> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t id = i < n_unique
+                        ? i
+                        : verify::splitmix64(
+                              opts.seed ^ 0x9e3779b97f4a7c15ull, i) %
+                              n_unique;
+        slots[i] = {uniq[id].kind, &uniq[id].body, id};
+    }
+
+    // Probe the daemon once before spawning threads.
+    {
+        int fd = connectUnix(opts.socketPath, err);
+        if (fd < 0)
+            return false;
+        ServeClient probe(fd);
+        if (!probe.ping(err))
+            return false;
+    }
+
+    unsigned conc = std::max(1u, opts.concurrency);
+    if (conc > n)
+        conc = static_cast<unsigned>(n);
+    std::vector<Outcome> outcomes(n);
+    std::vector<std::string> thread_errs(conc);
+
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < conc; ++t) {
+        threads.emplace_back([&, t] {
+            std::string cerr2;
+            int fd = connectUnix(opts.socketPath, &cerr2);
+            if (fd < 0) {
+                thread_errs[t] = cerr2;
+                return;
+            }
+            ServeClient client(fd);
+            for (uint64_t i = t; i < n; i += conc) {
+                const Slot &s = slots[i];
+                ResponseEnvelope resp;
+                std::string rerr;
+                auto rs = Clock::now();
+                bool ok = client.exchange(s.kind, *s.body, &resp, &rerr);
+                Outcome &out = outcomes[i];
+                out.latencyUs =
+                    std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              rs)
+                        .count();
+                if (!ok) {
+                    thread_errs[t] = rerr;
+                    return;  // transport broken; stop this thread
+                }
+                out.ok = resp.status == WireStatus::Ok;
+                out.status = static_cast<uint8_t>(resp.status);
+                out.cached = resp.cached;
+                out.bodyHash =
+                    ser::fnv1a(resp.body.data(), resp.body.size());
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    LoadgenReport rep;
+    rep.uniqueRequests = n_unique;
+    rep.wallSeconds = wall;
+    std::vector<double> all, cold, warm;
+    for (uint64_t i = 0; i < n; ++i) {
+        const Outcome &o = outcomes[i];
+        if (o.latencyUs == 0.0 && !o.ok)
+            continue;  // never sent (thread died earlier)
+        ++rep.sent;
+        if (!o.ok) {
+            ++rep.errors;
+            continue;
+        }
+        ++rep.ok;
+        all.push_back(o.latencyUs);
+        if (o.cached) {
+            ++rep.cachedResponses;
+            warm.push_back(o.latencyUs);
+        } else {
+            ++rep.uncachedResponses;
+            cold.push_back(o.latencyUs);
+        }
+        // Digest in slot order: status + cached-independent body hash.
+        ser::Writer w;
+        w.u64(i);
+        w.u8(o.status);
+        w.u64(o.bodyHash);
+        rep.responseDigest = ser::fnv1a(w.data().data(), w.data().size(),
+                                        rep.responseDigest
+                                            ? rep.responseDigest
+                                            : 0xcbf29ce484222325ull);
+    }
+    rep.qps = wall > 0.0 ? rep.ok / wall : 0.0;
+
+    std::sort(all.begin(), all.end());
+    std::sort(cold.begin(), cold.end());
+    std::sort(warm.begin(), warm.end());
+    rep.p50Us = percentile(all, 0.50);
+    rep.p90Us = percentile(all, 0.90);
+    rep.p99Us = percentile(all, 0.99);
+    rep.maxUs = all.empty() ? 0.0 : all.back();
+    rep.coldP50Us = percentile(cold, 0.50);
+    rep.warmP50Us = percentile(warm, 0.50);
+
+    for (const std::string &e : thread_errs) {
+        if (!e.empty()) {
+            *err = e;
+            *report = rep;
+            return false;
+        }
+    }
+    *report = rep;
+    return true;
+}
+
+std::string
+LoadgenReport::json() const
+{
+    std::string s = "{\"schema_version\":1";
+    auto num = [&](const char *k, double v) {
+        s += ",\"";
+        s += k;
+        s += "\":";
+        s += obs::jsonNumber(v);
+    };
+    num("sent", sent);
+    num("ok", ok);
+    num("errors", errors);
+    num("unique_requests", uniqueRequests);
+    num("cached_responses", cachedResponses);
+    num("uncached_responses", uncachedResponses);
+    num("wall_seconds", wallSeconds);
+    num("qps", qps);
+    num("p50_us", p50Us);
+    num("p90_us", p90Us);
+    num("p99_us", p99Us);
+    num("max_us", maxUs);
+    num("cold_p50_us", coldP50Us);
+    num("warm_p50_us", warmP50Us);
+    s += strprintf(",\"response_digest\":\"%016llx\"}",
+                   static_cast<unsigned long long>(responseDigest));
+    return s;
+}
+
+std::string
+LoadgenReport::text() const
+{
+    std::string s;
+    s += strprintf("requests:     %llu sent, %llu ok, %llu errors "
+                   "(%llu unique)\n",
+                   static_cast<unsigned long long>(sent),
+                   static_cast<unsigned long long>(ok),
+                   static_cast<unsigned long long>(errors),
+                   static_cast<unsigned long long>(uniqueRequests));
+    s += strprintf("cache:        %llu cached, %llu executed\n",
+                   static_cast<unsigned long long>(cachedResponses),
+                   static_cast<unsigned long long>(uncachedResponses));
+    s += strprintf("throughput:   %.1f req/s over %.3f s\n", qps,
+                   wallSeconds);
+    s += strprintf("latency (us): p50 %.1f  p90 %.1f  p99 %.1f  "
+                   "max %.1f\n",
+                   p50Us, p90Us, p99Us, maxUs);
+    s += strprintf("              cold p50 %.1f, warm p50 %.1f\n",
+                   coldP50Us, warmP50Us);
+    s += strprintf("digest:       %016llx\n",
+                   static_cast<unsigned long long>(responseDigest));
+    return s;
+}
+
+} // namespace facsim::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Load generator for the experiment service (`facsim_cli loadgen`):
+ * drives a daemon with a deterministic, seed-derived request schedule
+ * at configurable concurrency and reports latency percentiles, QPS and
+ * a response-set digest.
+ *
+ * The whole schedule is precomputed from the seed before any request
+ * is sent: a pool of unique experiment requests (a seeded mix of
+ * profile and timing requests over several workloads and
+ * configurations) plus repeat entries referencing pool members, in a
+ * fixed order. Threads take schedule slots round-robin (thread t sends
+ * slots t, t+C, t+2C, ...), and the digest folds the responses in
+ * *schedule* order — so the digest is identical for any --concurrency,
+ * which is how the tests pin "parallel load returns the same response
+ * set as serial load".
+ *
+ * Repeats exercise the result cache: with --concurrency=1 every repeat
+ * is answered from the cache (its first occurrence strictly precedes
+ * it), giving clean warm-vs-cold latency separation; at higher
+ * concurrency the cached flag reported by the daemon classifies each
+ * response observationally.
+ */
+
+#ifndef FACSIM_SERVE_LOADGEN_HH
+#define FACSIM_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace facsim::serve
+{
+
+/** The `facsim_cli loadgen` flag set. */
+struct LoadgenOptions
+{
+    std::string socketPath;
+    /** Client threads, each with its own connection. */
+    unsigned concurrency = 1;
+    /** Total requests to send. */
+    uint64_t requests = 100;
+    /** Percent of requests that repeat an earlier unique request. */
+    unsigned repeatPct = 50;
+    /** Percent of unique requests that are timing (rest profile). */
+    unsigned timingPct = 50;
+    /** Schedule seed: same seed = same requests = same digest. */
+    uint64_t seed = 1;
+    /** Workload scale for every generated request. */
+    uint64_t scale = 1;
+    /** Instruction bound per request (keeps cold runs short). */
+    uint64_t maxInsts = 20000;
+    /** Distinct workloads to draw from (capped at the registry size). */
+    unsigned workloadPool = 4;
+};
+
+/** Aggregate outcome of one loadgen run. */
+struct LoadgenReport
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    /** Responses the daemon marked cached / not cached. */
+    uint64_t cachedResponses = 0;
+    uint64_t uncachedResponses = 0;
+    /** Unique requests in the schedule (expected cold ceiling). */
+    uint64_t uniqueRequests = 0;
+
+    double wallSeconds = 0.0;
+    double qps = 0.0;
+
+    /** Latency percentiles over all OK responses, microseconds. */
+    double p50Us = 0.0, p90Us = 0.0, p99Us = 0.0, maxUs = 0.0;
+    /** Split by the daemon's cached flag (0 when the class is empty). */
+    double coldP50Us = 0.0, warmP50Us = 0.0;
+
+    /** FNV-1a over (slot, status, cached-stripped body) in slot order. */
+    uint64_t responseDigest = 0;
+
+    /** Render as a single JSON object (schema_version 1). */
+    std::string json() const;
+    /** Render as a human-readable text block. */
+    std::string text() const;
+};
+
+/**
+ * Run the schedule against the daemon at @p opts.socketPath. False
+ * with *err when the daemon is unreachable; per-request errors are
+ * counted in the report instead.
+ */
+bool runLoadgen(const LoadgenOptions &opts, LoadgenReport *report,
+                std::string *err);
+
+} // namespace facsim::serve
+
+#endif // FACSIM_SERVE_LOADGEN_HH

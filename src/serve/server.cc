@@ -1,0 +1,562 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/cache.hh"
+#include "serve/wire.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/request_codec.hh"
+#include "sim/runner.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace facsim::serve
+{
+
+namespace
+{
+
+/**
+ * Set by the SIGINT/SIGTERM handler. Every wait in the daemon is a
+ * bounded poll that re-checks this flag, so a plain lock-free atomic
+ * store is all the handler needs — no self-pipe required.
+ */
+std::atomic<bool> g_signalDrain{false};
+
+void
+drainSignalHandler(int)
+{
+    g_signalDrain.store(true, std::memory_order_relaxed);
+}
+
+bool
+workloadExists(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (name == w.name)
+            return true;
+    }
+    return false;
+}
+
+/** One client connection. Writes are serialized by wmu: the reader
+ *  thread answers hits/errors inline while the scheduler thread posts
+ *  miss results. */
+struct Connection
+{
+    int rfd = -1;
+    int wfd = -1;
+    bool ownsFd = false;
+    std::mutex wmu;
+
+    ~Connection()
+    {
+        if (ownsFd && rfd >= 0)
+            ::close(rfd);
+    }
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+using Clock = std::chrono::steady_clock;
+
+/** A decoded cache miss waiting for the Runner. */
+struct PendingJob
+{
+    ConnPtr conn;
+    uint64_t reqId = 0;
+    WireKind kind = WireKind::Ping;
+    ProfileRequest preq;
+    TimingRequest treq;
+    CacheKey key;
+    Clock::time_point received;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &opts)
+        : opts_(opts), cache_(opts.cacheBytes)
+    {
+        obs::Group &sg = registry_.root().group("serve");
+        requests_ = &sg.counter("requests", "request frames handled");
+        pings_ = &sg.counter("pings", "ping requests");
+        profileReqs_ = &sg.counter("profile_requests", "profile requests");
+        timingReqs_ = &sg.counter("timing_requests", "timing requests");
+        shutdowns_ = &sg.counter("shutdowns", "shutdown requests");
+        protoErrors_ = &sg.counter("protocol_errors",
+                                   "malformed frames rejected");
+        reqErrors_ = &sg.counter("request_errors",
+                                 "well-framed requests answered with an "
+                                 "error");
+        connections_ = &sg.counter("connections", "connections accepted");
+        queueDepth_ = &sg.distribution("queue_depth",
+                                       "miss-queue depth at each enqueue");
+        latencyUs_ = &sg.distribution("latency_us",
+                                      "request latency, receipt to "
+                                      "response written");
+        hitLatencyUs_ = &sg.distribution("hit_latency_us",
+                                         "latency of cache hits");
+        missLatencyUs_ = &sg.distribution("miss_latency_us",
+                                          "latency of executed requests");
+        latencyLog2_ = &sg.histogram("latency_log2_us",
+                                     "log2(request latency in us)", 0.0,
+                                     30.0, 30);
+        cache_.registerStats(registry_.root().group("cache"));
+    }
+
+    int run();
+
+  private:
+    bool draining() const
+    {
+        return drain_.load(std::memory_order_relaxed) ||
+               g_signalDrain.load(std::memory_order_relaxed);
+    }
+
+    void
+    requestDrain()
+    {
+        drain_.store(true, std::memory_order_relaxed);
+        queueCv_.notify_all();
+    }
+
+    void reply(Connection &conn, const ResponseEnvelope &env);
+    void recordLatency(Clock::time_point received, bool hit);
+    void connectionLoop(const ConnPtr &conn);
+    /** False when the connection must close (protocol error). */
+    bool handleFrame(const ConnPtr &conn, const std::string &payload);
+    void schedulerLoop();
+    void runBatch(std::vector<PendingJob> &batch);
+    int listenUnix(const std::string &path);
+
+    ServerOptions opts_;
+    ResultCache cache_;
+    std::atomic<bool> drain_{false};
+
+    std::mutex queueMu_;
+    std::condition_variable queueCv_;
+    std::deque<PendingJob> queue_;
+    bool readersDone_ = false;
+
+    obs::Registry registry_;
+    std::mutex statsMu_;
+    obs::Counter *requests_, *pings_, *profileReqs_, *timingReqs_,
+        *shutdowns_, *protoErrors_, *reqErrors_, *connections_;
+    obs::Distribution *queueDepth_, *latencyUs_, *hitLatencyUs_,
+        *missLatencyUs_;
+    obs::Histogram *latencyLog2_;
+};
+
+void
+Server::reply(Connection &conn, const ResponseEnvelope &env)
+{
+    std::string payload = encodeResponse(env);
+    std::lock_guard<std::mutex> lk(conn.wmu);
+    // A failed write means the client went away; its request already
+    // ran (and was cached), so there is nothing else to unwind.
+    writeFrame(conn.wfd, payload);
+}
+
+void
+Server::recordLatency(Clock::time_point received, bool hit)
+{
+    double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          received)
+                    .count();
+    std::lock_guard<std::mutex> lk(statsMu_);
+    latencyUs_->sample(us);
+    (hit ? hitLatencyUs_ : missLatencyUs_)->sample(us);
+    latencyLog2_->sample(us > 1.0 ? std::log2(us) : 0.0);
+}
+
+bool
+Server::handleFrame(const ConnPtr &conn, const std::string &payload)
+{
+    Clock::time_point received = Clock::now();
+    RequestEnvelope env;
+    std::string err;
+    if (!decodeRequest(payload, &env, &err)) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*protoErrors_;
+        }
+        reply(*conn, {WireStatus::Error, false, env.reqId,
+                      "protocol error: " + err});
+        return false;  // framing is unreliable now; drop the connection
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        ++*requests_;
+    }
+
+    auto replyError = [&](const std::string &msg) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*reqErrors_;
+        }
+        reply(*conn, {WireStatus::Error, false, env.reqId, msg});
+    };
+
+    switch (env.kind) {
+      case static_cast<uint8_t>(WireKind::Ping): {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*pings_;
+        }
+        reply(*conn, {WireStatus::Ok, false, env.reqId, ""});
+        return true;
+      }
+      case static_cast<uint8_t>(WireKind::Shutdown): {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*shutdowns_;
+        }
+        reply(*conn, {WireStatus::Ok, false, env.reqId, ""});
+        requestDrain();
+        return true;
+      }
+      case static_cast<uint8_t>(WireKind::Profile):
+      case static_cast<uint8_t>(WireKind::Timing):
+        break;
+      default:
+        replyError("unknown request kind " + std::to_string(env.kind));
+        return true;  // the frame itself was well-formed; keep going
+    }
+
+    PendingJob job;
+    job.conn = conn;
+    job.reqId = env.reqId;
+    job.kind = static_cast<WireKind>(env.kind);
+    job.received = received;
+    job.key.kind = env.kind;
+    job.key.requestFp = ser::fnv1a(env.body.data(), env.body.size());
+
+    std::string workload_name;
+    if (job.kind == WireKind::Profile) {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*profileReqs_;
+        }
+        ser::TryReader r(env.body.data(), env.body.size());
+        if (!decodeProfileRequest(r, &job.preq) || !r.atEnd()) {
+            replyError("malformed profile request: " +
+                       (r.ok() ? std::string("trailing bytes")
+                               : r.error()));
+            return true;
+        }
+        workload_name = job.preq.workload;
+        job.key.workloadFp =
+            workloadFingerprint(job.preq.workload, job.preq.build);
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*timingReqs_;
+        }
+        ser::TryReader r(env.body.data(), env.body.size());
+        if (!decodeTimingRequest(r, &job.treq) || !r.atEnd()) {
+            replyError("malformed timing request: " +
+                       (r.ok() ? std::string("trailing bytes")
+                               : r.error()));
+            return true;
+        }
+        workload_name = job.treq.workload;
+        job.key.workloadFp =
+            workloadFingerprint(job.treq.workload, job.treq.build);
+        job.key.configFp = configFingerprint(job.treq.pipe);
+        const SamplingConfig &s = job.treq.sampling;
+        if (s.enabled() && (s.detail < 1 || s.warmup + s.detail > s.period)) {
+            replyError("incoherent sampling parameters");
+            return true;
+        }
+    }
+    if (!workloadExists(workload_name)) {
+        replyError("unknown workload '" + workload_name + "'");
+        return true;
+    }
+    if ((job.kind == WireKind::Profile ? job.preq.build.scale
+                                       : job.treq.build.scale) == 0) {
+        replyError("workload scale must be >= 1");
+        return true;
+    }
+
+    std::string cached;
+    if (cache_.lookup(job.key, &cached)) {
+        reply(*conn, {WireStatus::Ok, true, env.reqId, cached});
+        recordLatency(received, true);
+        return true;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        queue_.push_back(std::move(job));
+        std::lock_guard<std::mutex> slk(statsMu_);
+        queueDepth_->sample(static_cast<double>(queue_.size()));
+    }
+    queueCv_.notify_one();
+    return true;
+}
+
+void
+Server::connectionLoop(const ConnPtr &conn)
+{
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        ++*connections_;
+    }
+    for (;;) {
+        std::string payload, err;
+        FrameRead fr = readFrame(conn->rfd, &payload, &err, &drain_);
+        if (fr == FrameRead::Stop || draining())
+            return;
+        if (fr == FrameRead::Eof)
+            return;
+        if (fr == FrameRead::Error) {
+            {
+                std::lock_guard<std::mutex> lk(statsMu_);
+                ++*protoErrors_;
+            }
+            reply(*conn,
+                  {WireStatus::Error, false, 0, "protocol error: " + err});
+            return;
+        }
+        if (!handleFrame(conn, payload))
+            return;
+    }
+}
+
+void
+Server::runBatch(std::vector<PendingJob> &batch)
+{
+    std::vector<std::string> payloads(batch.size());
+    Runner runner(opts_.jobs);
+    try {
+        runner.forEachIndex(batch.size(), [&](size_t i) -> uint64_t {
+            PendingJob &j = batch[i];
+            ser::Writer w;
+            if (j.kind == WireKind::Profile) {
+                ProfileResult res = runProfile(j.preq);
+                encodeProfileResult(w, res);
+                payloads[i] = w.data();
+                return res.insts;
+            }
+            TimingResult res = runTiming(j.treq);
+            encodeTimingResult(w, res);
+            payloads[i] = w.data();
+            return res.sample.enabled ? res.sample.totalInsts
+                                      : res.stats.insts;
+        });
+    } catch (const std::exception &e) {
+        warn("experiment batch failed: %s", e.what());
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        PendingJob &j = batch[i];
+        if (payloads[i].empty()) {
+            {
+                std::lock_guard<std::mutex> lk(statsMu_);
+                ++*reqErrors_;
+            }
+            reply(*j.conn, {WireStatus::Error, false, j.reqId,
+                            "experiment failed to run"});
+            continue;
+        }
+        cache_.insert(j.key, payloads[i]);
+        reply(*j.conn, {WireStatus::Ok, false, j.reqId, payloads[i]});
+        recordLatency(j.received, false);
+    }
+}
+
+void
+Server::schedulerLoop()
+{
+    for (;;) {
+        std::vector<PendingJob> batch;
+        {
+            std::unique_lock<std::mutex> lk(queueMu_);
+            queueCv_.wait_for(lk, std::chrono::milliseconds(100), [&] {
+                return !queue_.empty() || readersDone_;
+            });
+            if (queue_.empty()) {
+                if (readersDone_)
+                    return;
+                continue;
+            }
+            batch.assign(std::make_move_iterator(queue_.begin()),
+                         std::make_move_iterator(queue_.end()));
+            queue_.clear();
+        }
+        runBatch(batch);
+    }
+}
+
+int
+Server::listenUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("socket: %s", std::strerror(errno));
+        return -1;
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        warn("socket path '%s' is too long", path.c_str());
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());  // a stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        warn("cannot listen on '%s': %s", path.c_str(),
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+Server::run()
+{
+    if (!opts_.cacheFile.empty() && cache_.load(opts_.cacheFile)) {
+        inform("result cache: %llu entries (%llu bytes) restored from "
+               "'%s'",
+               static_cast<unsigned long long>(cache_.entries()),
+               static_cast<unsigned long long>(cache_.bytes()),
+               opts_.cacheFile.c_str());
+    }
+
+    std::thread scheduler([this] { schedulerLoop(); });
+    // Relay a signal-initiated drain onto drain_, which is what the
+    // reader poll loops actually watch; exits as soon as any drain
+    // source fires.
+    std::thread sig_relay([this] {
+        while (!drain_.load(std::memory_order_relaxed)) {
+            if (g_signalDrain.load(std::memory_order_relaxed)) {
+                requestDrain();
+                return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    });
+    std::vector<std::thread> readers;
+    std::vector<ConnPtr> conns;
+
+    if (opts_.stdio) {
+        auto conn = std::make_shared<Connection>();
+        conn->rfd = STDIN_FILENO;
+        conn->wfd = STDOUT_FILENO;
+        conn->ownsFd = false;
+        conns.push_back(conn);
+        connectionLoop(conn);
+        requestDrain();
+    } else {
+        int listen_fd = listenUnix(opts_.socketPath);
+        if (listen_fd < 0) {
+            requestDrain();
+            {
+                std::lock_guard<std::mutex> lk(queueMu_);
+                readersDone_ = true;
+            }
+            queueCv_.notify_all();
+            scheduler.join();
+            sig_relay.join();
+            return 1;
+        }
+        inform("serving on '%s' (%u jobs, %llu MB cache)",
+               opts_.socketPath.c_str(), resolveJobs(opts_.jobs),
+               static_cast<unsigned long long>(opts_.cacheBytes >> 20));
+        while (!draining()) {
+            struct pollfd p = {listen_fd, POLLIN, 0};
+            int pr = ::poll(&p, 1, 100);
+            if (pr < 0 && errno != EINTR) {
+                warn("poll: %s", std::strerror(errno));
+                break;
+            }
+            if (pr <= 0)
+                continue;
+            int cfd = ::accept(listen_fd, nullptr, nullptr);
+            if (cfd < 0)
+                continue;
+            auto conn = std::make_shared<Connection>();
+            conn->rfd = conn->wfd = cfd;
+            conn->ownsFd = true;
+            conns.push_back(conn);
+            readers.emplace_back(
+                [this, conn] { connectionLoop(conn); });
+        }
+        ::close(listen_fd);
+        ::unlink(opts_.socketPath.c_str());
+        requestDrain();
+    }
+
+    // Drain: readers notice the flag within one poll round; queued and
+    // in-flight jobs finish and their responses flush (jobs keep their
+    // Connection alive through the shared_ptr) before the scheduler is
+    // allowed to exit.
+    for (std::thread &t : readers)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        readersDone_ = true;
+    }
+    queueCv_.notify_all();
+    scheduler.join();
+    sig_relay.join();
+    conns.clear();
+
+    if (!opts_.cacheFile.empty())
+        cache_.save(opts_.cacheFile);
+    if (!opts_.statsOut.empty())
+        registry_.writeFile(opts_.statsOut);
+    inform("drained: %llu requests, %llu cache hits",
+           static_cast<unsigned long long>(requests_->value()),
+           static_cast<unsigned long long>(cache_.hits()));
+    return 0;
+}
+
+} // namespace
+
+int
+serveMain(const ServerOptions &opts)
+{
+    FACSIM_ASSERT(opts.stdio || !opts.socketPath.empty(),
+                  "serve needs --socket=PATH or --stdio");
+
+    g_signalDrain.store(false, std::memory_order_relaxed);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = drainSignalHandler;
+    struct sigaction old_int, old_term;
+    ::sigaction(SIGINT, &sa, &old_int);
+    ::sigaction(SIGTERM, &sa, &old_term);
+
+    int rc = Server(opts).run();
+
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    return rc;
+}
+
+} // namespace facsim::serve

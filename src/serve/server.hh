@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The experiment-serving daemon: a long-running process that owns
+ * prebuilt workload images, accepts experiment requests over the
+ * framed wire protocol (serve/wire.hh), schedules cache misses on the
+ * Runner thread pool and answers repeats from a persistent result
+ * cache (serve/cache.hh).
+ *
+ * Front ends: a unix-domain listening socket (`--socket`) and a stdio
+ * mode (`--stdio`, frames on fd 0/1) for tests, CI and ssh-style
+ * tunnelling. Both speak the identical protocol.
+ *
+ * Request path: each connection gets a reader thread. Ping, Shutdown,
+ * protocol errors and *cache hits* are answered inline on that thread
+ * — a hit costs one cache probe plus one frame write, microseconds,
+ * which is what makes warm repeats orders of magnitude faster than
+ * cold runs. Misses are queued; a single scheduler thread drains the
+ * queue in batches through Runner::forEachIndex (`--jobs` workers),
+ * encodes each result once, inserts it into the cache and replies.
+ *
+ * Graceful drain: SIGINT/SIGTERM (a lock-free flag every bounded wait
+ * in the daemon re-checks) or a Shutdown
+ * request stops the accept loop and new frame reads, lets queued and
+ * in-flight experiments finish and their responses flush, persists the
+ * cache (`--cache-file`), dumps the stats registry (`--stats-out`) and
+ * exits 0.
+ */
+
+#ifndef FACSIM_SERVE_SERVER_HH
+#define FACSIM_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace facsim::serve
+{
+
+/** Daemon configuration (the `facsim_cli serve` flag set). */
+struct ServerOptions
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+    /** Serve one connection on stdin/stdout instead of a socket. */
+    bool stdio = false;
+    /** Runner worker threads for cache misses (0 = all hardware). */
+    unsigned jobs = 1;
+    /** Result-cache byte budget (0 = unbounded). */
+    uint64_t cacheBytes = 256ull << 20;
+    /** Cache persistence file; empty = in-memory only. */
+    std::string cacheFile;
+    /** Stats-registry dump on exit; JSON iff the path ends ".json". */
+    std::string statsOut;
+};
+
+/**
+ * Run the daemon until drain; returns the process exit code (0 on a
+ * graceful drain). Installs SIGINT/SIGTERM handlers for its lifetime.
+ */
+int serveMain(const ServerOptions &opts);
+
+} // namespace facsim::serve
+
+#endif // FACSIM_SERVE_SERVER_HH

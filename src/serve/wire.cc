@@ -1,0 +1,200 @@
+#include "serve/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/serialize.hh"
+
+namespace facsim::serve
+{
+
+namespace
+{
+
+/** Parse the common magic+version prefix; false with *err on mismatch. */
+bool
+checkHeader(ser::TryReader &r, std::string *err)
+{
+    uint32_t magic = r.u32();
+    uint32_t version = r.u32();
+    if (!r.ok()) {
+        *err = "truncated header";
+        return false;
+    }
+    if (magic != wireMagic) {
+        *err = "bad magic (not a facsim serve frame)";
+        return false;
+    }
+    if (version != wireVersion) {
+        *err = "unsupported protocol version " + std::to_string(version);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeRequest(WireKind kind, uint64_t req_id, const std::string &body)
+{
+    ser::Writer w;
+    w.u32(wireMagic);
+    w.u32(wireVersion);
+    w.u8(static_cast<uint8_t>(kind));
+    w.u8(0);  // reserved
+    w.u64(req_id);
+    w.bytes(body.data(), body.size());
+    return w.data();
+}
+
+bool
+decodeRequest(const std::string &payload, RequestEnvelope *env,
+              std::string *err)
+{
+    ser::TryReader r(payload.data(), payload.size());
+    if (!checkHeader(r, err))
+        return false;
+    env->kind = r.u8();
+    r.u8();  // reserved
+    env->reqId = r.u64();
+    if (!r.ok()) {
+        *err = "truncated header";
+        return false;
+    }
+    env->body.assign(payload, r.offset(), std::string::npos);
+    return true;
+}
+
+std::string
+encodeResponse(const ResponseEnvelope &env)
+{
+    ser::Writer w;
+    w.u32(wireMagic);
+    w.u32(wireVersion);
+    w.u8(static_cast<uint8_t>(env.status));
+    w.u8(env.cached ? 1 : 0);
+    w.u64(env.reqId);
+    w.bytes(env.body.data(), env.body.size());
+    return w.data();
+}
+
+bool
+decodeResponse(const std::string &payload, ResponseEnvelope *env,
+               std::string *err)
+{
+    ser::TryReader r(payload.data(), payload.size());
+    if (!checkHeader(r, err))
+        return false;
+    uint8_t status = r.u8();
+    env->cached = r.u8() != 0;
+    env->reqId = r.u64();
+    if (!r.ok()) {
+        *err = "truncated header";
+        return false;
+    }
+    if (status > static_cast<uint8_t>(WireStatus::Error)) {
+        *err = "unknown response status";
+        return false;
+    }
+    env->status = static_cast<WireStatus>(status);
+    env->body.assign(payload, r.offset(), std::string::npos);
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Read exactly @p n bytes into @p out, polling so @p stop interrupts
+ * an idle wait. @p sawAny reports whether any byte arrived (EOF before
+ * the first byte of a length prefix is orderly; after it, truncation).
+ */
+FrameRead
+readExact(int fd, char *out, size_t n, bool *saw_any,
+          const std::atomic<bool> *stop, std::string *err)
+{
+    size_t got = 0;
+    while (got < n) {
+        struct pollfd p = {fd, POLLIN, 0};
+        int pr = ::poll(&p, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            *err = std::string("poll: ") + std::strerror(errno);
+            return FrameRead::Error;
+        }
+        if (pr == 0) {
+            if (stop && stop->load(std::memory_order_relaxed))
+                return FrameRead::Stop;
+            continue;
+        }
+        ssize_t r = ::read(fd, out + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            *err = std::string("read: ") + std::strerror(errno);
+            return FrameRead::Error;
+        }
+        if (r == 0) {
+            if (got == 0 && !*saw_any)
+                return FrameRead::Eof;
+            *err = "connection closed mid-frame";
+            return FrameRead::Error;
+        }
+        got += static_cast<size_t>(r);
+        *saw_any = true;
+    }
+    return FrameRead::Frame;
+}
+
+} // namespace
+
+FrameRead
+readFrame(int fd, std::string *payload, std::string *err,
+          const std::atomic<bool> *stop)
+{
+    char lenbuf[4];
+    bool saw_any = false;
+    FrameRead fr = readExact(fd, lenbuf, 4, &saw_any, stop, err);
+    if (fr != FrameRead::Frame)
+        return fr;
+
+    uint32_t len;
+    std::memcpy(&len, lenbuf, 4);
+    if (len > maxFrameBytes) {
+        *err = "oversized frame (" + std::to_string(len) + " bytes)";
+        return FrameRead::Error;
+    }
+    payload->resize(len);
+    if (len == 0)
+        return FrameRead::Frame;
+    return readExact(fd, payload->data(), len, &saw_any, stop, err);
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    char lenbuf[4];
+    std::memcpy(lenbuf, &len, 4);
+
+    auto writeAll = [fd](const char *p, size_t n) {
+        size_t done = 0;
+        while (done < n) {
+            ssize_t w = ::write(fd, p + done, n - done);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            done += static_cast<size_t>(w);
+        }
+        return true;
+    };
+    return writeAll(lenbuf, 4) && writeAll(payload.data(), payload.size());
+}
+
+} // namespace facsim::serve

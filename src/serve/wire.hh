@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Wire protocol of the experiment service: framing, envelopes and
+ * framed file-descriptor I/O shared by the daemon (serve/server.hh),
+ * the client (serve/client.hh) and the load generator.
+ *
+ * Framing: every message is one *frame* — a u32 little-endian payload
+ * length followed by that many payload bytes. Lengths above
+ * maxFrameBytes are rejected before any allocation, so a hostile
+ * length prefix cannot balloon the daemon.
+ *
+ * Request payload layout: u32 magic "FSRV", u32 protocol version,
+ * u8 request kind, u8 reserved (0), u64 request id, then the
+ * kind-specific body (a sim/request_codec.hh encoding for
+ * Profile/Timing; empty for Ping/Shutdown).
+ *
+ * Response payload layout: u32 magic, u32 version, u8 status, u8
+ * cached flag, u64 request id (echoed), then the body — an encoded
+ * result on Ok, a human-readable error message on Error. The cached
+ * flag lives in the envelope, *outside* the body, so a cache hit can
+ * replay the cold run's body byte-for-byte.
+ *
+ * All decoding is non-fatal (ser::TryReader): malformed input surfaces
+ * as a false return with an error message, never an abort — the daemon
+ * answers with a protocol error and carries on.
+ */
+
+#ifndef FACSIM_SERVE_WIRE_HH
+#define FACSIM_SERVE_WIRE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace facsim::serve
+{
+
+/** "FSRV" read as a little-endian u32. */
+constexpr uint32_t wireMagic = 0x56525346;
+
+/** Protocol version spoken by this build (covers the codec layouts). */
+constexpr uint32_t wireVersion = 1;
+
+/** Hard cap on one frame's payload; larger prefixes are hostile. */
+constexpr uint32_t maxFrameBytes = 16u << 20;
+
+/** Request kinds. */
+enum class WireKind : uint8_t
+{
+    Ping = 0,     ///< liveness probe; empty body, empty Ok response
+    Profile = 1,  ///< body: encoded ProfileRequest -> ProfileResult
+    Timing = 2,   ///< body: encoded TimingRequest -> TimingResult
+    Shutdown = 3, ///< ask the daemon to drain and exit; empty body
+};
+
+/** Response status. */
+enum class WireStatus : uint8_t
+{
+    Ok = 0,
+    Error = 1,  ///< body is a diagnostic message
+};
+
+/**
+ * A parsed request. `kind` is the raw byte so the server can echo a
+ * clean "unknown request kind" error (with the request id) instead of
+ * dropping the connection.
+ */
+struct RequestEnvelope
+{
+    uint8_t kind = 0;
+    uint64_t reqId = 0;
+    std::string body;
+};
+
+/** A parsed response. */
+struct ResponseEnvelope
+{
+    WireStatus status = WireStatus::Ok;
+    bool cached = false;
+    uint64_t reqId = 0;
+    std::string body;
+};
+
+/** Encode a request payload (no length prefix). */
+std::string encodeRequest(WireKind kind, uint64_t req_id,
+                          const std::string &body);
+
+/**
+ * Decode a request payload. False on bad magic/version or a truncated
+ * header, with @p err set; @p env->reqId is still filled when the
+ * header parsed that far. An out-of-range kind byte is NOT an error
+ * here — the server validates it so it can reply per-request.
+ */
+bool decodeRequest(const std::string &payload, RequestEnvelope *env,
+                   std::string *err);
+
+/** Encode a response payload (no length prefix). */
+std::string encodeResponse(const ResponseEnvelope &env);
+
+/** Decode a response payload (client side). */
+bool decodeResponse(const std::string &payload, ResponseEnvelope *env,
+                    std::string *err);
+
+/** Outcome of one framed read. */
+enum class FrameRead
+{
+    Frame,  ///< *payload holds one complete frame payload
+    Eof,    ///< orderly close before any byte of a frame
+    Stop,   ///< *stop became true while waiting
+    Error,  ///< protocol or I/O error; *err describes it
+};
+
+/**
+ * Read one frame from @p fd. Waits in poll() rounds (~100 ms) so a
+ * concurrently raised @p stop flag interrupts an idle wait; EOF in the
+ * middle of a frame is an Error (truncated frame), EOF on a frame
+ * boundary is Eof.
+ */
+FrameRead readFrame(int fd, std::string *payload, std::string *err,
+                    const std::atomic<bool> *stop = nullptr);
+
+/** Write one length-prefixed frame; false on I/O error (EPIPE, ...). */
+bool writeFrame(int fd, const std::string &payload);
+
+} // namespace facsim::serve
+
+#endif // FACSIM_SERVE_WIRE_HH

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/config.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -147,71 +148,6 @@ expectKind(const std::string &path, CheckpointKind got, CheckpointKind want)
 
 } // namespace
 
-uint64_t
-pipelineFingerprint(const PipelineConfig &c)
-{
-    ser::Writer w;
-    w.u32(c.fetchWidth);
-    w.u32(c.issueWidth);
-    w.u32(c.fetchBufferSize);
-
-    auto cacheCfg = [&](const CacheConfig &cc) {
-        w.u32(cc.sizeBytes);
-        w.u32(cc.blockBytes);
-        w.u32(cc.assoc);
-        w.u32(cc.missLatency);
-    };
-    cacheCfg(c.icache);
-    cacheCfg(c.dcache);
-
-    const HierarchyConfig &h = c.hierarchy;
-    w.u8(static_cast<uint8_t>(h.depth));
-    w.u32(h.l1Mshr.entries);
-    w.b(h.l1Mshr.mergeSecondary);
-    w.u32(h.l1WbEntries);
-    cacheCfg(h.l2);
-    w.u32(h.l2HitLatency);
-    w.u32(h.l2Mshr.entries);
-    w.b(h.l2Mshr.mergeSecondary);
-    w.u32(h.l2WbEntries);
-    w.u32(h.dram.latency);
-    w.u32(h.dram.issueInterval);
-    w.b(h.tlbEnabled);
-    w.u32(h.tlbEntries);
-    w.u32(h.tlbPageBytes);
-    w.u32(h.tlbMissPenalty);
-
-    w.u32(c.btbEntries);
-    w.u32(c.branchPenalty);
-    w.u32(c.storeBufferEntries);
-    w.u32(c.maxLoadsPerCycle);
-    w.u32(c.maxStoresPerCycle);
-    w.u32(c.numIntAlus);
-    w.u32(c.numMemUnits);
-    w.u32(c.numFpAdders);
-    w.u32(c.intAluLat);
-    w.u32(c.intMulLat);
-    w.u32(c.intDivLat);
-    w.u32(c.fpAddLat);
-    w.u32(c.fpMulLat);
-    w.u32(c.fpDivLat);
-    w.u32(c.fpSqrtLat);
-
-    w.b(c.facEnabled);
-    w.u32(c.fac.blockBits);
-    w.u32(c.fac.setBits);
-    w.b(c.fac.fullTagAdd);
-    w.b(c.fac.speculateRegReg);
-    w.b(c.speculateStores);
-    w.b(c.loadsStallOnStoreConflict);
-    w.b(c.oneCycleLoads);
-    w.b(c.perfectDCache);
-    w.b(c.perfectICache);
-    w.b(c.agiOrganization);
-
-    return ser::fnv1a(w.data().data(), w.data().size());
-}
-
 CheckpointKind
 checkpointKindOf(const std::string &path)
 {
@@ -255,7 +191,7 @@ saveTimingCheckpoint(const std::string &path, const Machine &m,
     w.bytes(magic, sizeof(magic));
     w.u32(checkpointVersion);
     w.u8(static_cast<uint8_t>(CheckpointKind::Timing));
-    writeIdentity(w, m, pipelineFingerprint(pipe.config()));
+    writeIdentity(w, m, configFingerprint(pipe.config()));
     m.emulator().saveState(w);
     m.memory().saveState(w);
     pipe.saveState(w);
@@ -269,7 +205,7 @@ restoreTimingCheckpoint(const std::string &path, Machine &m, Pipeline &pipe)
     CheckpointKind kind;
     ser::Reader r = openContainer(path, data, &kind);
     expectKind(path, kind, CheckpointKind::Timing);
-    checkIdentity(r, m, pipelineFingerprint(pipe.config()));
+    checkIdentity(r, m, configFingerprint(pipe.config()));
     m.emulator().loadState(r);
     m.memory().loadState(r);
     pipe.loadState(r);

@@ -55,12 +55,11 @@ enum class CheckpointKind : uint8_t
     Timing = 1,      ///< Functional plus the full Pipeline state
 };
 
-/**
- * Fingerprint of every timing-relevant PipelineConfig field; stored in
- * timing checkpoints so a restore into a differently configured
- * pipeline fails loudly instead of silently desynchronising.
- */
-uint64_t pipelineFingerprint(const PipelineConfig &cfg);
+// Timing checkpoints embed configFingerprint(cfg) (sim/config.hh) so a
+// restore into a differently configured pipeline fails loudly instead
+// of silently desynchronising. The fingerprint lives in sim/config
+// because the live-point library and the experiment-serving result
+// cache key on the same hash.
 
 /** Save the machine's functional state to @p path (fatal on I/O error). */
 void saveFunctionalCheckpoint(const std::string &path, const Machine &m);

@@ -66,6 +66,20 @@ HierarchyConfig hierarchyPreset(const std::string &name);
 /** Render the Table 5 parameter listing for a configuration. */
 std::string describeConfig(const PipelineConfig &config);
 
+/**
+ * Fingerprint of every timing-relevant PipelineConfig field. One hash
+ * identifies one experiment configuration across the whole system:
+ * timing checkpoints embed it so a restore into a differently
+ * configured pipeline fails loudly (sim/checkpoint.hh), live-point
+ * libraries record the configuration that cut them (sim/lvpt.hh), and
+ * the experiment-serving result cache keys on it (serve/cache.hh).
+ *
+ * Covering every field is enforced by a sizeof tripwire in
+ * sim/config.cc: growing PipelineConfig without extending this
+ * function is a compile error.
+ */
+uint64_t configFingerprint(const PipelineConfig &cfg);
+
 } // namespace facsim
 
 #endif // FACSIM_SIM_CONFIG_HH

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "sim/config.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -119,6 +120,7 @@ buildLvptLibrary(const std::string &path, const LvptBuildRequest &req)
     w.u64(req.build.seed);
     w.u8(req.build.policy.softwareSupport ? 1 : 0);
     w.u64(warmStateFingerprint(req.pipe));
+    w.u64(configFingerprint(req.pipe));
     w.u64(req.sampling.period);
     w.u64(req.sampling.detail);
     w.u64(req.sampling.warmup);
@@ -192,6 +194,7 @@ LvptLibrary::LvptLibrary(const std::string &path)
     id_.seed = r.u64();
     id_.softwareSupport = r.u8() != 0;
     id_.warmFingerprint = r.u64();
+    id_.buildFingerprint = r.u64();
     sampling_.period = r.u64();
     sampling_.detail = r.u64();
     sampling_.warmup = r.u64();

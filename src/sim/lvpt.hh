@@ -55,8 +55,14 @@
 namespace facsim
 {
 
-/** Library format version written by this build. */
-constexpr uint32_t lvptLibraryVersion = 1;
+/**
+ * Library format version written by this build. v2: the identity header
+ * additionally records configFingerprint() of the full PipelineConfig
+ * that ran the creation pass, so tooling can tell *which* timing config
+ * cut a library even though any geometry-compatible config may consume
+ * it.
+ */
+constexpr uint32_t lvptLibraryVersion = 2;
 
 /**
  * Fingerprint of the PipelineConfig fields that shape the functionally
@@ -74,6 +80,14 @@ struct LvptIdentity
     uint64_t seed = 0;
     bool softwareSupport = false;
     uint64_t warmFingerprint = 0;
+    /**
+     * configFingerprint() of the full PipelineConfig the creation pass
+     * ran with. Informational: restores match on warmFingerprint (any
+     * geometry-compatible timing config may consume the library), but
+     * the full fingerprint identifies the originating configuration in
+     * stats dumps and provenance checks.
+     */
+    uint64_t buildFingerprint = 0;
 
     /** BuildOptions reproducing the machine the library was cut from. */
     BuildOptions buildOptions() const;

@@ -320,6 +320,9 @@ registerLvptStats(obs::Group &g, const LvptLibrary &lib)
            static_cast<double>(lib.sampling().detail));
     scalar("warmup", "detailed warmup instructions per window",
            static_cast<double>(lib.sampling().warmup));
+    scalar("build_fingerprint",
+           "configFingerprint() of the creation pass's pipeline config",
+           static_cast<double>(lib.identity().buildFingerprint));
 }
 
 void

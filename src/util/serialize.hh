@@ -206,6 +206,130 @@ class Reader
     size_t off_ = 0;
 };
 
+/**
+ * Non-fatal variant of Reader for *untrusted* input (the experiment
+ * service's wire frames and cache files): instead of dying through
+ * fatal(), the first out-of-bounds read latches a failure flag and an
+ * error message, and every subsequent read returns zero without
+ * touching the buffer. Callers check ok() once after decoding a whole
+ * structure; a daemon must reject a malformed frame with a protocol
+ * error, never abort.
+ */
+class TryReader
+{
+  public:
+    TryReader(const void *data, size_t len)
+        : p_(static_cast<const uint8_t *>(data)), len_(len)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return p_[off_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v;
+        if (!need(4))
+            return 0;
+        std::memcpy(&v, p_ + off_, 4);
+        off_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v;
+        if (!need(8))
+            return 0;
+        std::memcpy(&v, p_ + off_, 8);
+        off_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v;
+        if (!need(8))
+            return 0.0;
+        std::memcpy(&v, p_ + off_, 8);
+        off_ += 8;
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        // Same sanity cap as Reader: a huge length means a corrupt or
+        // hostile stream, not a real identifier.
+        if (ok_ && n > (1u << 24)) {
+            fail("unreasonable string length");
+            return std::string();
+        }
+        if (!need(static_cast<size_t>(n)))
+            return std::string();
+        std::string s(reinterpret_cast<const char *>(p_ + off_),
+                      static_cast<size_t>(n));
+        off_ += static_cast<size_t>(n);
+        return s;
+    }
+
+    bool
+    bytes(void *out, size_t n)
+    {
+        if (!need(n))
+            return false;
+        std::memcpy(out, p_ + off_, n);
+        off_ += n;
+        return true;
+    }
+
+    /** Record a semantic (not framing) failure; reads stop succeeding. */
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why;
+        }
+    }
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    size_t offset() const { return off_; }
+    size_t remaining() const { return len_ - off_; }
+    bool atEnd() const { return off_ == len_; }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (!ok_)
+            return false;
+        if (off_ + n > len_) {
+            fail("truncated stream");
+            return false;
+        }
+        return true;
+    }
+
+    const uint8_t *p_;
+    size_t len_;
+    size_t off_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
 } // namespace facsim::ser
 
 #endif // FACSIM_UTIL_SERIALIZE_HH

@@ -348,12 +348,12 @@ TEST(CheckpointDeathTest, RejectsDamagedAndMismatchedFiles)
 
 TEST(CheckpointTest, FingerprintSeparatesConfigurations)
 {
-    uint64_t base = pipelineFingerprint(baselineConfig(32));
-    EXPECT_EQ(base, pipelineFingerprint(baselineConfig(32)));
-    EXPECT_NE(base, pipelineFingerprint(baselineConfig(16)));
-    EXPECT_NE(base, pipelineFingerprint(facPipelineConfig(32)));
+    uint64_t base = configFingerprint(baselineConfig(32));
+    EXPECT_EQ(base, configFingerprint(baselineConfig(32)));
+    EXPECT_NE(base, configFingerprint(baselineConfig(16)));
+    EXPECT_NE(base, configFingerprint(facPipelineConfig(32)));
 
     PipelineConfig deep = baselineConfig(32);
     deep.hierarchy = hierarchyPreset("modern");
-    EXPECT_NE(base, pipelineFingerprint(deep));
+    EXPECT_NE(base, configFingerprint(deep));
 }

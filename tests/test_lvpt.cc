@@ -90,14 +90,15 @@ buildSmallLib(const std::string &path)
 /**
  * Container header layout (must track sim/lvpt.cc): magic[8],
  * version u32, workload length u64 + bytes, scale u64, seed u64,
- * support u8, fingerprint u64, period/detail/warmup u64, totalInsts
- * u64, then the entry count u64 and the 24-byte index records.
+ * support u8, warm fingerprint u64, build fingerprint u64,
+ * period/detail/warmup u64, totalInsts u64, then the entry count u64
+ * and the 24-byte index records.
  */
 size_t
 countFieldOffset(const std::string &workloadName)
 {
     return 8 + 4 + 8 + workloadName.size() + 8 + 8 + 1 + 8 + 8 + 8 + 8 +
-           8;
+           8 + 8;
 }
 
 } // namespace
@@ -115,6 +116,8 @@ TEST(LvptTest, LibraryIdentityAndShape)
     EXPECT_FALSE(lib.identity().softwareSupport);
     EXPECT_EQ(lib.identity().warmFingerprint,
               warmStateFingerprint(baselineConfig(32)));
+    EXPECT_EQ(lib.identity().buildFingerprint,
+              configFingerprint(baselineConfig(32)));
     EXPECT_EQ(lib.sampling().period, 20000u);
     EXPECT_EQ(lib.sampling().detail, 1000u);
     EXPECT_EQ(lib.sampling().warmup, 2000u);

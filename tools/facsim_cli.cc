@@ -12,7 +12,34 @@
  *   facsim_cli fuzz [--seed=N] [--count=M]    differential fuzzing
  *   facsim_cli mklib @workload --lib=FILE     write a live-point library
  *   facsim_cli farm <library> [opts]          sweep a live-point library
+ *   facsim_cli serve [opts]                   experiment-serving daemon
+ *   facsim_cli loadgen [opts]                 drive a serve daemon
  *   facsim_cli list                           list built-in workloads
+ *
+ * Serve options (see docs/INTERNALS.md "Experiment service"):
+ *   --socket=PATH      listen on a unix-domain socket at PATH
+ *   --stdio            serve one connection over stdin/stdout instead
+ *   --jobs=N           worker threads for cache misses (0 = all)
+ *   --cache-bytes=N    result-cache byte budget (default 256 MiB)
+ *   --cache-file=FILE  persist the result cache across restarts
+ *   --stats-out=FILE   dump serve.* / cache.* stats on drain
+ *   SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
+ *   requests, flush the cache, dump stats, exit 0.
+ *
+ * Loadgen options:
+ *   --socket=PATH      daemon socket to drive (required)
+ *   --requests=N       total requests (default 100)
+ *   --concurrency=N    client threads (default 1)
+ *   --repeat-pct=N     percent of requests repeating an earlier one
+ *                      (default 50)
+ *   --timing-pct=N     percent of unique requests that are timing
+ *                      (default 50; rest are profile)
+ *   --seed=N           schedule seed (default 1); same seed = same
+ *                      request set = same response digest
+ *   --scale=N          workload scale per request (default 1)
+ *   --max-insts=N      instruction bound per request (default 20000)
+ *   --workloads=N      distinct workloads in the mix (default 4)
+ *   --json[=FILE]      JSON report to stdout (or FILE) instead of text
  *
  * Fuzz options:
  *   --seed=N           batch seed (default 2026); case i is generated
@@ -116,6 +143,8 @@
 #include "sim/lvpt.hh"
 #include "sim/obs_views.hh"
 #include "sim/runner.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 #include "verify/fuzz.hh"
@@ -1037,6 +1066,113 @@ cmdDisasm(const std::string &target, const CliOptions &o)
     return 0;
 }
 
+int
+cmdServe(int argc, char **argv, int first)
+{
+    serve::ServerOptions so;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *p) -> const char * {
+            size_t n = std::strlen(p);
+            return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char *v = val("--socket=")) {
+            if (!*v)
+                fatal("usage: --socket expects a path");
+            so.socketPath = v;
+        } else if (a == "--stdio")
+            so.stdio = true;
+        else if (const char *v = val("--jobs="))
+            so.jobs = parse::u32Flag("--jobs", v);
+        else if (const char *v = val("--cache-bytes="))
+            so.cacheBytes = parse::u64FlagPositive("--cache-bytes", v);
+        else if (const char *v = val("--cache-file=")) {
+            if (!*v)
+                fatal("usage: --cache-file expects a path");
+            so.cacheFile = v;
+        } else if (const char *v = val("--stats-out=")) {
+            if (!*v)
+                fatal("usage: --stats-out expects a file path");
+            so.statsOut = v;
+        } else
+            fatal("unknown serve option '%s'", a.c_str());
+    }
+    if (so.socketPath.empty() && !so.stdio)
+        fatal("usage: serve needs --socket=PATH or --stdio");
+    if (!so.socketPath.empty() && so.stdio)
+        fatal("usage: --socket and --stdio are mutually exclusive");
+    return serve::serveMain(so);
+}
+
+int
+cmdLoadgen(int argc, char **argv, int first)
+{
+    serve::LoadgenOptions lo;
+    bool json = false;
+    std::string jsonFile;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *p) -> const char * {
+            size_t n = std::strlen(p);
+            return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char *v = val("--socket=")) {
+            if (!*v)
+                fatal("usage: --socket expects a path");
+            lo.socketPath = v;
+        } else if (const char *v = val("--requests="))
+            lo.requests = parse::u64FlagPositive("--requests", v);
+        else if (const char *v = val("--concurrency="))
+            lo.concurrency = parse::u32FlagPositive("--concurrency", v);
+        else if (const char *v = val("--repeat-pct="))
+            lo.repeatPct = parse::u32Flag("--repeat-pct", v);
+        else if (const char *v = val("--timing-pct="))
+            lo.timingPct = parse::u32Flag("--timing-pct", v);
+        else if (const char *v = val("--seed="))
+            lo.seed = parse::u64Flag("--seed", v);
+        else if (const char *v = val("--scale="))
+            lo.scale = parse::u64FlagPositive("--scale", v);
+        else if (const char *v = val("--max-insts="))
+            lo.maxInsts = parse::u64FlagPositive("--max-insts", v);
+        else if (const char *v = val("--workloads="))
+            lo.workloadPool = parse::u32FlagPositive("--workloads", v);
+        else if (a == "--json")
+            json = true;
+        else if (const char *v = val("--json=")) {
+            json = true;
+            jsonFile = v;
+        } else
+            fatal("unknown loadgen option '%s'", a.c_str());
+    }
+    if (lo.socketPath.empty())
+        fatal("usage: loadgen needs --socket=PATH");
+    if (lo.repeatPct > 100 || lo.timingPct > 100)
+        fatal("usage: --repeat-pct/--timing-pct are percentages (0..100)");
+    serve::LoadgenReport rep;
+    std::string err;
+    bool ok = serve::runLoadgen(lo, &rep, &err);
+    if (!ok && rep.sent == 0)
+        fatal("loadgen: %s", err.c_str());
+    if (!ok)
+        warn("loadgen: %s", err.c_str());
+    if (json) {
+        std::string body = rep.json() + "\n";
+        if (jsonFile.empty()) {
+            std::fputs(body.c_str(), stdout);
+        } else {
+            std::ofstream out(jsonFile, std::ios::binary);
+            if (!out)
+                fatal("cannot write '%s'", jsonFile.c_str());
+            out << body;
+            std::printf("loadgen report written to '%s'\n",
+                        jsonFile.c_str());
+        }
+    } else {
+        std::fputs(rep.text().c_str(), stdout);
+    }
+    return ok && rep.errors == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -1044,11 +1180,16 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: %s run|time|profile|disasm|mklib|"
-                             "farm|list <file.s|@workload> [options]\n",
+                             "farm|serve|loadgen|list "
+                             "<file.s|@workload> [options]\n",
                      argv[0]);
         return 1;
     }
     std::string cmd = argv[1];
+    if (cmd == "serve")
+        return cmdServe(argc, argv, 2);
+    if (cmd == "loadgen")
+        return cmdLoadgen(argc, argv, 2);
     if (cmd == "list") {
         for (const WorkloadInfo &w : allWorkloads())
             std::printf("%-10s %-3s %s\n", w.name,
