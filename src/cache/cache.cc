@@ -136,6 +136,19 @@ Cache::probe(uint32_t addr) const
     return false;
 }
 
+int
+Cache::wayOf(uint32_t addr) const
+{
+    uint32_t base = setBase(addr);
+    uint32_t tag = tagOf(addr);
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
 void
 Cache::reset()
 {

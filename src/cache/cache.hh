@@ -82,6 +82,15 @@ class Cache
     /** Tag probe with no state change (store-buffer tag check). */
     bool probe(uint32_t addr) const;
 
+    /**
+     * Way currently holding @p addr's block, or -1 when absent; no
+     * state change. This is the way-memoization verify hook: a
+     * memoized way may only skip the tag read while it still equals
+     * wayOf() for the block — anything else is a stale entry the late
+     * verify must catch.
+     */
+    int wayOf(uint32_t addr) const;
+
     /** Invalidate everything and clear statistics. */
     void reset();
 

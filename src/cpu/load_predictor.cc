@@ -1,0 +1,252 @@
+#include "cpu/load_predictor.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace facsim
+{
+
+void
+PredictorConfig::validate(const char *what) const
+{
+    FACSIM_ASSERT(strideEntries && isPow2(strideEntries),
+                  "%s stride table entries must be a positive power of "
+                  "two (got %u)", what, strideEntries);
+    FACSIM_ASSERT(wayMemoEntries && isPow2(wayMemoEntries),
+                  "%s way-memo table entries must be a positive power "
+                  "of two (got %u)", what, wayMemoEntries);
+    FACSIM_ASSERT(strideConfMax >= 1,
+                  "%s stride confidence ceiling must be at least 1",
+                  what);
+    FACSIM_ASSERT(strideConfThreshold >= 1 &&
+                  strideConfThreshold <= strideConfMax,
+                  "%s stride confidence threshold (%u) must lie in "
+                  "[1, %u]", what, strideConfThreshold, strideConfMax);
+}
+
+StridePredictor::StridePredictor(const PredictorConfig &cfg)
+    : size_(cfg.strideEntries), confMax_(cfg.strideConfMax),
+      confThreshold_(cfg.strideConfThreshold)
+{
+    cfg.validate();
+    table_.resize(size_);
+}
+
+StridePredictor::Lookup
+StridePredictor::predict(uint32_t pc) const
+{
+    const Entry &e = table_[indexOf(pc)];
+    Lookup l;
+    if (e.valid && e.tag == pc >> 2 && e.conf >= confThreshold_) {
+        l.confident = true;
+        l.predictedAddr = e.lastAddr + static_cast<uint32_t>(e.stride);
+    }
+    return l;
+}
+
+void
+StridePredictor::train(uint32_t pc, uint32_t eff_addr)
+{
+    Entry &e = table_[indexOf(pc)];
+    uint32_t tag = pc >> 2;
+    if (!e.valid || e.tag != tag) {
+        e = Entry{};
+        e.tag = tag;
+        e.lastAddr = eff_addr;
+        e.valid = true;
+        return;
+    }
+    int32_t stride = static_cast<int32_t>(eff_addr - e.lastAddr);
+    if (stride == e.stride) {
+        if (e.conf < confMax_)
+            ++e.conf;
+    } else {
+        // Saturating-down on a broken pattern; only a fully drained
+        // entry retrains its stride, so one outlier in a steady stream
+        // does not flush the pattern.
+        if (e.conf)
+            --e.conf;
+        if (!e.conf)
+            e.stride = stride;
+    }
+    e.lastAddr = eff_addr;
+}
+
+void
+StridePredictor::reset()
+{
+    for (Entry &e : table_)
+        e = Entry{};
+}
+
+void
+StridePredictor::saveState(ser::Writer &w) const
+{
+    w.u64(table_.size());
+    for (const Entry &e : table_) {
+        w.u32(e.tag);
+        w.u32(e.lastAddr);
+        w.u32(static_cast<uint32_t>(e.stride));
+        w.u32(e.conf);
+        w.b(e.valid);
+    }
+}
+
+void
+StridePredictor::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == table_.size(),
+                  "checkpoint stride table has %llu entries, this "
+                  "config has %zu",
+                  static_cast<unsigned long long>(n), table_.size());
+    for (Entry &e : table_) {
+        e.tag = r.u32();
+        e.lastAddr = r.u32();
+        e.stride = static_cast<int32_t>(r.u32());
+        e.conf = r.u32();
+        e.valid = r.b();
+    }
+}
+
+WayMemo::WayMemo(const PredictorConfig &cfg)
+    : size_(cfg.wayMemoEntries)
+{
+    cfg.validate();
+    table_.resize(size_);
+}
+
+int
+WayMemo::lookup(uint32_t pc, uint32_t block_addr) const
+{
+    const Entry &e = table_[indexOf(pc)];
+    if (e.valid && e.tag == pc >> 2 && e.blockAddr == block_addr)
+        return static_cast<int>(e.way);
+    return -1;
+}
+
+void
+WayMemo::train(uint32_t pc, uint32_t block_addr, uint32_t way)
+{
+    Entry &e = table_[indexOf(pc)];
+    e.tag = pc >> 2;
+    e.blockAddr = block_addr;
+    e.way = way;
+    e.valid = true;
+}
+
+void
+WayMemo::reset()
+{
+    for (Entry &e : table_)
+        e = Entry{};
+}
+
+void
+WayMemo::saveState(ser::Writer &w) const
+{
+    w.u64(table_.size());
+    for (const Entry &e : table_) {
+        w.u32(e.tag);
+        w.u32(e.blockAddr);
+        w.u32(e.way);
+        w.b(e.valid);
+    }
+}
+
+void
+WayMemo::loadState(ser::Reader &r)
+{
+    uint64_t n = r.u64();
+    FACSIM_ASSERT(n == table_.size(),
+                  "checkpoint way-memo table has %llu entries, this "
+                  "config has %zu",
+                  static_cast<unsigned long long>(n), table_.size());
+    for (Entry &e : table_) {
+        e.tag = r.u32();
+        e.blockAddr = r.u32();
+        e.way = r.u32();
+        e.valid = r.b();
+    }
+}
+
+LoadPredictor::LoadPredictor(bool fac_enabled, const FacConfig &fc,
+                             const PredictorConfig &pc)
+    : facEnabled_(fac_enabled), cfg_(pc), fac_(fc), stride_(pc),
+      wayMemo_(pc)
+{
+    cfg_.validate();
+}
+
+PredResult
+LoadPredictor::predict(uint32_t pc, uint32_t base, int32_t offset,
+                       bool offset_from_reg, uint32_t eff_addr) const
+{
+    PredResult r;
+    if (cfg_.stride) {
+        StridePredictor::Lookup l = stride_.predict(pc);
+        if (l.confident) {
+            r.attempted = true;
+            r.source = PredSource::Stride;
+            r.predictedAddr = l.predictedAddr;
+            r.success = l.predictedAddr == eff_addr;
+            return r;
+        }
+    }
+    if (facEnabled_) {
+        FacResult fr = fac_.predict(base, offset, offset_from_reg);
+        if (fr.attempted) {
+            r.attempted = true;
+            r.source = PredSource::Fac;
+            r.predictedAddr = fr.predictedAddr;
+            r.success = fr.success;
+            r.facFailMask = fr.failMask;
+        }
+    }
+    return r;
+}
+
+void
+LoadPredictor::train(uint32_t pc, uint32_t eff_addr)
+{
+    if (cfg_.stride)
+        stride_.train(pc, eff_addr);
+}
+
+int
+LoadPredictor::memoWay(uint32_t pc, uint32_t block_addr) const
+{
+    if (!cfg_.wayMemo)
+        return -1;
+    return wayMemo_.lookup(pc, block_addr);
+}
+
+void
+LoadPredictor::trainWay(uint32_t pc, uint32_t block_addr, uint32_t way)
+{
+    if (cfg_.wayMemo)
+        wayMemo_.train(pc, block_addr, way);
+}
+
+void
+LoadPredictor::reset()
+{
+    stride_.reset();
+    wayMemo_.reset();
+}
+
+void
+LoadPredictor::saveState(ser::Writer &w) const
+{
+    stride_.saveState(w);
+    wayMemo_.saveState(w);
+}
+
+void
+LoadPredictor::loadState(ser::Reader &r)
+{
+    stride_.loadState(r);
+    wayMemo_.loadState(r);
+}
+
+} // namespace facsim

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Pluggable load/store address predictors — the predictor zoo.
+ *
+ * The paper's fast address calculation (FAC) predicts an access's
+ * effective address from the *operands* of the address computation
+ * (core/fast_addr_calc.hh). The related work predicts from the
+ * instruction's *PC* instead:
+ *
+ *  - a PC-indexed base/stride table (PCAX-style; Murthy & Sohi) that
+ *    predicts lastAddr+stride once a stride has repeated often enough,
+ *    trained in retire order, and
+ *  - way memoization (Ishihara & Fallah): a PC-indexed table
+ *    remembering which L1 way a load's block lived in, so a confident
+ *    FAC hit can skip the tag read entirely — with a mandatory late
+ *    verify against the tag state, since the memo can go stale under
+ *    eviction.
+ *
+ * LoadPredictor is the pipeline-facing front-end. Every mode feeds the
+ * same speculative-access path: predict() nominates one early address
+ * source per access (stride-confident first, FAC otherwise), the
+ * pipeline issues the speculative cache access, and the verify signal
+ * (PredResult::success) fires iff the predicted address equals the
+ * architectural one. Training is unconditional and in program order so
+ * the cosim verifier can reproduce every table deterministically.
+ */
+
+#ifndef FACSIM_CPU_LOAD_PREDICTOR_HH
+#define FACSIM_CPU_LOAD_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fast_addr_calc.hh"
+#include "util/serialize.hh"
+
+namespace facsim
+{
+
+/** Knobs for the table-based predictors (FAC itself is in FacConfig). */
+struct PredictorConfig
+{
+    /** Enable the PC-indexed stride predictor as an address source. */
+    bool stride = false;
+    /** Enable way memoization on confident FAC hits (loads only). */
+    bool wayMemo = false;
+    /** Stride table entries (positive power of two). */
+    uint32_t strideEntries = 1024;
+    /** Saturating confidence ceiling (>= 1). */
+    uint32_t strideConfMax = 3;
+    /** Predict only at conf >= threshold (1 <= threshold <= max). */
+    uint32_t strideConfThreshold = 2;
+    /** Way-memo table entries (positive power of two). */
+    uint32_t wayMemoEntries = 64;
+
+    /** True when any table-based predictor is switched on. */
+    bool anyEnabled() const { return stride || wayMemo; }
+
+    /**
+     * Die with a clear message unless the knobs are coherent: table
+     * sizes positive powers of two, confidence threshold within
+     * [1, strideConfMax]. Same contract as CacheConfig::validate().
+     * @param what label for the error message.
+     */
+    void validate(const char *what = "predictor") const;
+};
+
+/** Which early-address source produced a speculative access. */
+enum class PredSource : uint8_t
+{
+    None = 0,
+    Fac = 1,     ///< carry-free fast address calculation
+    Stride = 2,  ///< PC-indexed stride table
+};
+
+/** Outcome of one prediction (any source). */
+struct PredResult
+{
+    /** False when no source nominated an address for this access. */
+    bool attempted = false;
+    /** Verify signal: true iff predictedAddr == architectural address. */
+    bool success = false;
+    /** Address the speculative cache access used. */
+    uint32_t predictedAddr = 0;
+    /** The source that made the prediction. */
+    PredSource source = PredSource::None;
+    /** FAC failure-condition mask; valid only when source == Fac. */
+    uint8_t facFailMask = 0;
+};
+
+/**
+ * Direct-mapped PC-indexed base/stride predictor with saturating
+ * confidence. predict() is const; train() must be called exactly once
+ * per executed load/store, in program order, so the cosim shadow copy
+ * stays in lockstep with the pipeline's.
+ */
+class StridePredictor
+{
+  public:
+    explicit StridePredictor(const PredictorConfig &cfg);
+
+    /** One table lookup. */
+    struct Lookup
+    {
+        bool confident = false;     ///< entry hit at conf >= threshold
+        uint32_t predictedAddr = 0; ///< lastAddr + stride (valid iff confident)
+    };
+
+    /** Look up the memory instruction at @p pc; no state change. */
+    Lookup predict(uint32_t pc) const;
+
+    /** Train with the architectural address (every load/store). */
+    void train(uint32_t pc, uint32_t eff_addr);
+
+    /** Invalidate all entries. */
+    void reset();
+
+    /** Serialize table contents. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (table size must match). */
+    void loadState(ser::Reader &r);
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint32_t lastAddr = 0;
+        int32_t stride = 0;
+        uint32_t conf = 0;
+        bool valid = false;
+    };
+
+    uint32_t indexOf(uint32_t pc) const { return (pc >> 2) & (size_ - 1); }
+
+    uint32_t size_;
+    uint32_t confMax_;
+    uint32_t confThreshold_;
+    std::vector<Entry> table_;
+};
+
+/**
+ * Direct-mapped PC-indexed way-memoization table: remembers which way
+ * of the L1 set a load's block occupied. A lookup hit only *nominates*
+ * a way — the pipeline must verify it against Cache::wayOf() before
+ * trusting it (the mandatory late verify); a mismatch is a stale entry
+ * and costs a full replay, never silent wrong data.
+ */
+class WayMemo
+{
+  public:
+    explicit WayMemo(const PredictorConfig &cfg);
+
+    /**
+     * Memoized way for @p pc at block-aligned @p block_addr, or -1
+     * when the table has no matching entry.
+     */
+    int lookup(uint32_t pc, uint32_t block_addr) const;
+
+    /** Record the resolved way after the access completed. */
+    void train(uint32_t pc, uint32_t block_addr, uint32_t way);
+
+    /** Invalidate all entries. */
+    void reset();
+
+    /** Serialize table contents. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (table size must match). */
+    void loadState(ser::Reader &r);
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint32_t blockAddr = 0;
+        uint32_t way = 0;
+        bool valid = false;
+    };
+
+    uint32_t indexOf(uint32_t pc) const { return (pc >> 2) & (size_ - 1); }
+
+    uint32_t size_;
+    std::vector<Entry> table_;
+};
+
+/**
+ * Pipeline-facing predictor front-end: owns the FAC circuit and the
+ * table predictors and arbitrates between them. Selection is
+ * stride-confident first (the PC-indexed source is available earlier
+ * in the pipe than the operands), FAC otherwise; a source that does
+ * not fire leaves the access on the normal 2-cycle path.
+ */
+class LoadPredictor
+{
+  public:
+    LoadPredictor(bool fac_enabled, const FacConfig &fc,
+                  const PredictorConfig &pc);
+
+    /**
+     * Nominate an early address for the access at @p pc.
+     *
+     * @param base value of the base register.
+     * @param offset displacement or index-register value.
+     * @param offset_from_reg true for register+register addressing.
+     * @param eff_addr the architectural effective address (used only
+     *        to compute the verify signal, as the pipeline does).
+     */
+    PredResult predict(uint32_t pc, uint32_t base, int32_t offset,
+                       bool offset_from_reg, uint32_t eff_addr) const;
+
+    /**
+     * Train the stride table; call exactly once per executed
+     * load/store, in program order (after predict()).
+     */
+    void train(uint32_t pc, uint32_t eff_addr);
+
+    /** Way-memo lookup (see WayMemo::lookup); -1 when disabled. */
+    int memoWay(uint32_t pc, uint32_t block_addr) const;
+
+    /** Way-memo training; no-op when disabled. */
+    void trainWay(uint32_t pc, uint32_t block_addr, uint32_t way);
+
+    /** Invalidate every table. */
+    void reset();
+
+    /** Serialize all table state. */
+    void saveState(ser::Writer &w) const;
+    /** Restore state saved by saveState (config must match). */
+    void loadState(ser::Reader &r);
+
+    /** The table-predictor knobs in force. */
+    const PredictorConfig &config() const { return cfg_; }
+
+  private:
+    bool facEnabled_;
+    PredictorConfig cfg_;
+    FastAddrCalc fac_;
+    StridePredictor stride_;
+    WayMemo wayMemo_;
+};
+
+} // namespace facsim
+
+#endif // FACSIM_CPU_LOAD_PREDICTOR_HH

@@ -12,12 +12,25 @@ namespace facsim
 Pipeline::Pipeline(const PipelineConfig &config, Emulator &emulator)
     : cfg(config), emu(emulator), icache(cfg.icache),
       dmem(cfg.dcache, cfg.hierarchy), btb(cfg.btbEntries),
-      sbuf(cfg.storeBufferEntries), fac(cfg.fac)
+      sbuf(cfg.storeBufferEntries),
+      predictor(cfg.facEnabled, cfg.fac, cfg.pred)
 {
     if (cfg.agiOrganization) {
         FACSIM_ASSERT(!cfg.facEnabled && !cfg.oneCycleLoads,
                       "the AGI organisation is an alternative to fast "
                       "address calculation, not a companion");
+        FACSIM_ASSERT(!cfg.pred.anyEnabled(),
+                      "the AGI organisation removes the load-use hazard "
+                      "the predictor zoo targets; they are alternatives, "
+                      "not companions");
+    }
+    if (cfg.pred.wayMemo) {
+        FACSIM_ASSERT(cfg.facEnabled,
+                      "way memoization only skips the tag read on "
+                      "confident FAC hits; enable FAC to use it");
+        FACSIM_ASSERT(!cfg.perfectDCache,
+                      "way memoization is meaningless with a perfect "
+                      "data cache (no tag array to skip)");
     }
     if (cfg.facEnabled) {
         FACSIM_ASSERT(cfg.fac.blockBits == cfg.dcache.blockBits() &&
@@ -96,6 +109,12 @@ unsigned &
 Pipeline::readPortsAt(uint64_t t)
 {
     return readPorts[t % portWindow];
+}
+
+unsigned &
+Pipeline::tagReadsAt(uint64_t t)
+{
+    return tagReads[t % portWindow];
 }
 
 MemResult
@@ -379,45 +398,102 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
             return false;
         }
 
-        bool allow_spec = cfg.facEnabled;
-        if (rec.offsetFromReg && !cfg.fac.speculateRegReg)
-            allow_spec = false;
+        bool allow_spec = cfg.facEnabled || cfg.pred.stride;
         // Section 5.5 issue rule: memory ops issued the cycle after a
         // misprediction access the cache in MEM — unless this is a load
-        // right after a misspeculated load.
+        // right after a misspeculated load. (The FAC R+R policy gate
+        // lives inside the predictor: an unattempted prediction costs
+        // nothing, exactly like allow_spec=false.)
         if (cycle == lastMispredictCycle + 1 && !lastMispredictWasLoad)
             allow_spec = false;
 
         bool issued_spec = false;
         bool spec_failed = false;
+        bool wm_used = false;
+        bool wm_stale = false;
         uint64_t data_ready = 0;
         uint8_t mem_level = memlevel::None;
+        PredResult pr;
 
         if (allow_spec && readPortsAt(cycle) < cfg.maxLoadsPerCycle) {
-            FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
-                                       rec.offsetFromReg);
-            if (fr.attempted) {
+            pr = predictor.predict(rec.pc, rec.baseVal, rec.offsetVal,
+                                   rec.offsetFromReg, rec.effAddr);
+            if (pr.attempted) {
                 ++st.loadsSpeculated;
+                if (pr.source == PredSource::Stride)
+                    ++st.strideSpeculated;
                 ++readPortsAt(cycle);
-                if (fr.success) {
-                    FACSIM_ASSERT(fr.predictedAddr == rec.effAddr,
-                                  "FAC success with wrong address");
-                    MemResult mr = dcacheReadAt(cycle, rec.effAddr);
-                    data_ready = mr.doneCycle;
-                    mem_level = mr.level;
+                if (pr.success) {
+                    FACSIM_ASSERT(pr.predictedAddr == rec.effAddr,
+                                  "predictor success with wrong address");
+                    // Way memoization: a confident FAC hit may reuse the
+                    // memoized way and skip the L1 tag read; the
+                    // mandatory late verify against the tag state turns
+                    // a stale memo into a MEM replay, never wrong data.
+                    bool skip_tag = false;
+                    if (cfg.pred.wayMemo &&
+                        pr.source == PredSource::Fac) {
+                        uint32_t block = rec.effAddr &
+                            ~(cfg.dcache.blockBytes - 1);
+                        int memo = predictor.memoWay(rec.pc, block);
+                        if (memo >= 0) {
+                            wm_used = true;
+                            if (memo == dmem.l1().wayOf(rec.effAddr)) {
+                                skip_tag = true;
+                                ++st.wayMemoTagReadsSaved;
+                            } else {
+                                wm_stale = true;
+                            }
+                        }
+                    }
+                    if (!wm_stale) {
+                        if (!skip_tag)
+                            ++tagReadsAt(cycle);
+                        MemResult mr = dcacheReadAt(cycle, rec.effAddr);
+                        data_ready = mr.doneCycle;
+                        mem_level = mr.level;
+                    } else {
+                        // The set/way data read returned the wrong line;
+                        // squash and re-execute in MEM with a full tag
+                        // read, like an address mispredict.
+                        FACSIM_DPRINTF(FacVerify, "cycle=%llu pc=%08x "
+                                       "load way-memo stale, MEM replay",
+                                       static_cast<unsigned long long>(
+                                           cycle), rec.pc);
+                        ++st.wayMemoStale;
+                        ++st.predRecoveryCycles;
+                        ++st.extraAccesses;
+                        ++st.dcacheAccesses;
+                        ++readPortsAt(cycle + 1);
+                        ++tagReadsAt(cycle + 1);
+                        MemResult mr =
+                            dcacheReadAt(cycle + 1, rec.effAddr);
+                        data_ready = mr.doneCycle;
+                        mem_level = mr.level;
+                        lastMispredictCycle = cycle;
+                        lastMispredictWasLoad = true;
+                    }
                 } else {
                     // Wasted speculative access with the wrong address
                     // (bandwidth only — the fill is squashed), then a
                     // MEM-stage re-execution next cycle.
                     FACSIM_DPRINTF(FacVerify, "cycle=%llu pc=%08x load "
-                                   "FAC mispredict pred=%08x actual=%08x, "
+                                   "%s mispredict pred=%08x actual=%08x, "
                                    "MEM replay",
                                    static_cast<unsigned long long>(cycle),
-                                   rec.pc, fr.predictedAddr, rec.effAddr);
+                                   rec.pc,
+                                   pr.source == PredSource::Stride
+                                       ? "stride" : "FAC",
+                                   pr.predictedAddr, rec.effAddr);
                     ++st.loadSpecFailures;
+                    if (pr.source == PredSource::Stride)
+                        ++st.strideSpecFailures;
+                    ++st.predRecoveryCycles;
                     ++st.extraAccesses;
                     ++st.dcacheAccesses;
+                    ++tagReadsAt(cycle);
                     ++readPortsAt(cycle + 1);
+                    ++tagReadsAt(cycle + 1);
                     MemResult mr = dcacheReadAt(cycle + 1, rec.effAddr);
                     data_ready = mr.doneCycle;
                     mem_level = mr.level;
@@ -437,9 +513,22 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
                 return false;
             }
             ++readPortsAt(at);
+            ++tagReadsAt(at);
             MemResult mr = dcacheReadAt(at, rec.effAddr);
             data_ready = mr.doneCycle;
             mem_level = mr.level;
+        }
+
+        // Train the tables in program order (issue is in-order), once
+        // per load — including non-speculated ones, so the cosim shadow
+        // can reproduce the state from the retire stream alone.
+        predictor.train(rec.pc, rec.effAddr);
+        if (cfg.pred.wayMemo) {
+            uint32_t block = rec.effAddr & ~(cfg.dcache.blockBytes - 1);
+            int way = dmem.l1().wayOf(rec.effAddr);
+            if (way >= 0)
+                predictor.trainWay(rec.pc, block,
+                                   static_cast<uint32_t>(way));
         }
 
         // Under the AGI organisation the consumer's ALU stage sits level
@@ -465,7 +554,8 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         // alias: a second load issuing successfully in the same cycle as
         // another load's misprediction would be reported as mispredicted
         // too.
-        notifyIssue(fi, issued_spec, spec_failed, data_ready, mem_level);
+        notifyIssue(fi, issued_spec, spec_failed, data_ready, mem_level,
+                    static_cast<uint8_t>(pr.source), wm_used, wm_stale);
         fbuf.pop_front();
         return true;
     }
@@ -488,32 +578,40 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         }
 
         uint64_t seq = seqCounter++;
-        bool allow_spec = cfg.facEnabled && cfg.speculateStores;
-        if (rec.offsetFromReg && !cfg.fac.speculateRegReg)
-            allow_spec = false;
+        bool allow_spec =
+            (cfg.facEnabled || cfg.pred.stride) && cfg.speculateStores;
         if (cycle == lastMispredictCycle + 1)
             allow_spec = false;  // the load-after-load exception is loads-only
 
         bool handled = false;
         bool spec_failed = false;
+        PredResult pr;
         if (allow_spec) {
-            FacResult fr = fac.predict(rec.baseVal, rec.offsetVal,
-                                       rec.offsetFromReg);
-            if (fr.attempted) {
+            pr = predictor.predict(rec.pc, rec.baseVal, rec.offsetVal,
+                                   rec.offsetFromReg, rec.effAddr);
+            if (pr.attempted) {
                 ++st.storesSpeculated;
-                if (fr.success) {
-                    FACSIM_ASSERT(fr.predictedAddr == rec.effAddr,
-                                  "FAC success with wrong address");
+                if (pr.source == PredSource::Stride)
+                    ++st.strideSpeculated;
+                if (pr.success) {
+                    FACSIM_ASSERT(pr.predictedAddr == rec.effAddr,
+                                  "predictor success with wrong address");
                     sbuf.push(rec.effAddr, seq, true);
                 } else {
                     // Wasted tag probe; the buffered entry is patched by
                     // the MEM-stage re-execution next cycle.
                     FACSIM_DPRINTF(FacVerify, "cycle=%llu pc=%08x store "
-                                   "FAC mispredict pred=%08x actual=%08x, "
+                                   "%s mispredict pred=%08x actual=%08x, "
                                    "buffer entry patched",
                                    static_cast<unsigned long long>(cycle),
-                                   rec.pc, fr.predictedAddr, rec.effAddr);
+                                   rec.pc,
+                                   pr.source == PredSource::Stride
+                                       ? "stride" : "FAC",
+                                   pr.predictedAddr, rec.effAddr);
                     ++st.storeSpecFailures;
+                    if (pr.source == PredSource::Stride)
+                        ++st.strideSpecFailures;
+                    ++st.predRecoveryCycles;
                     ++st.extraAccesses;
                     ++st.dcacheAccesses;
                     sbuf.push(0, seq, false);
@@ -532,6 +630,11 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
             patches.push_back({cycle + 1, seq, rec.effAddr});
         }
 
+        // Stores train the stride table too (the PCAX-style predictor
+        // keys on the static memory instruction, loads and stores
+        // alike); stores never touch the way memo — only loads read.
+        predictor.train(rec.pc, rec.effAddr);
+
         if (in.amode == AMode::PostInc)
             setIntReady(in.rs, cycle + 1);
 
@@ -544,7 +647,8 @@ Pipeline::tryIssue(unsigned &loads_this_cycle, unsigned &stores_this_cycle,
         // store issues per cycle). A store's data leaves the core when
         // its buffer entry is complete (cycle+1); the cache write and
         // its service level happen at retirement, asynchronously.
-        notifyIssue(fi, handled, spec_failed, cycle + 1, memlevel::None);
+        notifyIssue(fi, handled, spec_failed, cycle + 1, memlevel::None,
+                    static_cast<uint8_t>(pr.source));
         fbuf.pop_front();
         return true;
     }
@@ -627,6 +731,7 @@ Pipeline::stepCycle(bool allow_fetch)
     // Slot (cycle+2) cannot yet hold valid reservations (they are
     // made at most one cycle ahead), so recycle it now.
     readPorts[(cycle + 2) % portWindow] = 0;
+    tagReads[(cycle + 2) % portWindow] = 0;
 
     // Apply MEM-stage store-address patches due this cycle.
     for (auto it = patches.begin(); it != patches.end();) {
@@ -666,7 +771,11 @@ Pipeline::stepCycle(bool allow_fetch)
     // Store-buffer retirement: the data cache is "unused" when no
     // load accessed it this cycle; a pipeline stalled on a full
     // buffer forces the oldest entry out regardless.
-    if ((readPortsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
+    // (The gate keys on *tag* reads: a memoized load that skipped the
+    // tag array leaves it free for the store's tag check, which is the
+    // whole point of way memoization. With the memo off, tagReads ==
+    // readPorts and this is the original condition bit for bit.)
+    if ((tagReadsAt(cycle) == 0 || forced_retire) && sbuf.canRetire()) {
         const StoreBuffer::Entry ent = sbuf.front();
         sbuf.pop();
         ++st.dcacheAccesses;
@@ -779,6 +888,7 @@ Pipeline::drain()
 
     cycle = q;
     readPorts.fill(0);
+    tagReads.fill(0);
     fetchReadyCycle = cycle;
     // Keep the deadlock watchdog from seeing the jump as a stall.
     lastProgressCycle = cycle;
@@ -808,6 +918,11 @@ Pipeline::saveState(ser::Writer &w) const
     w.u64(st.stallData);
     w.u64(st.stallStructural);
     w.u64(st.stallStoreBuffer);
+    w.u64(st.strideSpeculated);
+    w.u64(st.strideSpecFailures);
+    w.u64(st.predRecoveryCycles);
+    w.u64(st.wayMemoTagReadsSaved);
+    w.u64(st.wayMemoStale);
 
     // Clocks and control flags (all cycle values are absolute).
     w.u64(cycle);
@@ -865,12 +980,15 @@ Pipeline::saveState(ser::Writer &w) const
     }
     for (unsigned v : readPorts)
         w.u32(v);
+    for (unsigned v : tagReads)
+        w.u32(v);
 
     // Structures.
     icache.saveState(w);
     dmem.saveState(w);
     btb.saveState(w);
     sbuf.saveState(w);
+    predictor.saveState(w);
 }
 
 void
@@ -896,6 +1014,11 @@ Pipeline::loadState(ser::Reader &r)
     st.stallData = r.u64();
     st.stallStructural = r.u64();
     st.stallStoreBuffer = r.u64();
+    st.strideSpeculated = r.u64();
+    st.strideSpecFailures = r.u64();
+    st.predRecoveryCycles = r.u64();
+    st.wayMemoTagReadsSaved = r.u64();
+    st.wayMemoStale = r.u64();
 
     cycle = r.u64();
     fetchReadyCycle = r.u64();
@@ -959,11 +1082,14 @@ Pipeline::loadState(ser::Reader &r)
     }
     for (unsigned &v : readPorts)
         v = r.u32();
+    for (unsigned &v : tagReads)
+        v = r.u32();
 
     icache.loadState(r);
     dmem.loadState(r);
     btb.loadState(r);
     sbuf.loadState(r);
+    predictor.loadState(r);
 }
 
 void

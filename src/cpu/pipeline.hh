@@ -46,6 +46,7 @@
 #include "cache/store_buffer.hh"
 #include "core/fast_addr_calc.hh"
 #include "cpu/emulator.hh"
+#include "cpu/load_predictor.hh"
 #include "mem/hierarchy/hierarchy.hh"
 #include "obs/ring.hh"
 #include "obs/trace.hh"
@@ -106,6 +107,15 @@ struct PipelineConfig
      */
     bool loadsStallOnStoreConflict = false;
 
+    /**
+     * Table-based predictor zoo (PC-indexed stride source, way
+     * memoization); all off by default, leaving FAC behaviour
+     * bit-identical to the pre-zoo model. Way memoization requires
+     * facEnabled and a non-perfect data cache; the stride source is
+     * independent of facEnabled.
+     */
+    PredictorConfig pred;
+
     // --- idealisations for the Figure 2 potential study -----------------
     bool oneCycleLoads = false;   ///< loads skip the address-calc cycle
     bool perfectDCache = false;   ///< all data accesses hit
@@ -146,6 +156,20 @@ struct PipeStats
     /** Mispredicted speculative accesses actually performed (Table 6). */
     uint64_t extraAccesses = 0;
 
+    /**
+     * @{ @name Predictor-zoo counters
+     * Stride-sourced speculation is a subset of loadsSpeculated /
+     * storesSpeculated (the shared speculative-access path); recovery
+     * cycles count the MEM-stage replay each mispredict or stale
+     * memoized way costs; way-memo counters are loads-only.
+     */
+    uint64_t strideSpeculated = 0;      ///< speculations sourced by stride
+    uint64_t strideSpecFailures = 0;    ///< ... that mispredicted
+    uint64_t predRecoveryCycles = 0;    ///< MEM replays (all predictors)
+    uint64_t wayMemoTagReadsSaved = 0;  ///< fresh memo: tag read skipped
+    uint64_t wayMemoStale = 0;          ///< stale memo: replayed late
+    /** @} */
+
     uint64_t storeBufferFullStalls = 0;
 
     /**
@@ -179,6 +203,22 @@ struct PipeStats
     {
         uint64_t refs = loads + stores;
         return refs ? static_cast<double>(extraAccesses) / refs : 0.0;
+    }
+    /** Guarded: stride mispredicts over stride-sourced attempts. */
+    double strideFailRate() const
+    {
+        return strideSpeculated
+            ? static_cast<double>(strideSpecFailures) / strideSpeculated
+            : 0.0;
+    }
+    /** Guarded: all mispredicts over all speculative attempts. */
+    double predFailRate() const
+    {
+        uint64_t attempts = loadsSpeculated + storesSpeculated;
+        return attempts
+            ? static_cast<double>(loadSpecFailures + storeSpecFailures) /
+                  attempts
+            : 0.0;
     }
 };
 
@@ -277,8 +317,14 @@ class Pipeline
     {
         uint64_t cycle;          ///< issue (EX-entry) cycle
         ExecRecord rec;          ///< the instruction issued
-        bool speculated = false; ///< FAC speculative cache access
-        bool mispredicted = false;
+        bool speculated = false; ///< speculative cache access (any source)
+        bool mispredicted = false; ///< address verify fired
+        /** PredSource of the speculation (None when !speculated). */
+        uint8_t predSource = 0;
+        /** A memoized way was consulted for this load's access. */
+        bool wayMemoUsed = false;
+        /** The memoized way was stale: late verify forced a replay. */
+        bool wayMemoStale = false;
     };
 
     /**
@@ -387,8 +433,9 @@ class Pipeline
     // Data-cache access at a given cycle; returns the completion cycle
     // plus L1-hit and service-level attribution.
     MemResult dcacheReadAt(uint64_t t, uint32_t addr);
-    // Port-usage ring helper.
+    // Port-usage ring helpers.
     unsigned &readPortsAt(uint64_t t);
+    unsigned &tagReadsAt(uint64_t t);
 
     // Observability slow path: history-ring push + windowed trace
     // emission for one issued instruction (done = result-ready cycle,
@@ -399,14 +446,16 @@ class Pipeline
 
     void
     notifyIssue(const FetchedInst &fi, bool spec, bool mispred,
-                uint64_t done, uint8_t level)
+                uint64_t done, uint8_t level, uint8_t pred_source = 0,
+                bool wm_used = false, bool wm_stale = false)
     {
         // Record before the hook fires so a divergence/panic raised from
         // inside the hook sees this instruction in the history ring.
         if (trace_ || ring_)
             recordInst(fi, spec, mispred, done, level);
         if (issueHook)
-            issueHook(IssueEvent{cycle, fi.rec, spec, mispred});
+            issueHook(IssueEvent{cycle, fi.rec, spec, mispred,
+                                 pred_source, wm_used, wm_stale});
     }
 
     std::function<void(const IssueEvent &)> issueHook;
@@ -426,7 +475,7 @@ class Pipeline
     MemHierarchy dmem;
     Btb btb;
     StoreBuffer sbuf;
-    FastAddrCalc fac;
+    LoadPredictor predictor;
     PipeStats st;
 
     uint64_t cycle = 0;
@@ -457,9 +506,13 @@ class Pipeline
     static constexpr unsigned fuFpMulDiv = 4;
     std::array<std::vector<uint64_t>, 5> fus;
 
-    // Read-port usage for a short window of cycles.
+    // Read-port usage for a short window of cycles, plus the parallel
+    // tag-read count: every load port use reads the L1 tag array too,
+    // *except* a fresh memoized way. Store-buffer retirement keys off
+    // the tag reads (identical to read ports when way memo is off).
     static constexpr unsigned portWindow = 8;
     std::array<unsigned, portWindow> readPorts{};
+    std::array<unsigned, portWindow> tagReads{};
 
     // Section 5.5 post-misprediction issue rule.
     uint64_t lastMispredictCycle = UINT64_MAX - 8;

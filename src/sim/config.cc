@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/serialize.hh"
 
 namespace facsim
@@ -66,6 +67,27 @@ hierarchyPreset(const std::string &name)
         return modernHierarchy();
     fatal("unknown hierarchy preset '%s' (expected 'paper' or 'modern')",
           name.c_str());
+}
+
+const char *const kPredictorChoices[] = {
+    "none", "fac", "stride", "fac+stride", "fac+waymemo",
+    "fac+stride+waymemo", nullptr,
+};
+
+PipelineConfig
+predictorPipelineConfig(const std::string &mode,
+                        uint32_t dcache_block_bytes, bool speculate_rr)
+{
+    unsigned idx = parse::oneOfFlag("--predictor", mode,
+                                    kPredictorChoices);
+    bool fac = idx == 1 || idx >= 3;
+    PipelineConfig c = fac
+        ? facPipelineConfig(dcache_block_bytes, speculate_rr)
+        : baselineConfig(dcache_block_bytes);
+    c.pred.stride = idx == 2 || idx == 3 || idx == 5;
+    c.pred.wayMemo = idx == 4 || idx == 5;
+    c.pred.validate();
+    return c;
 }
 
 PipelineConfig
@@ -172,6 +194,17 @@ describeConfig(const PipelineConfig &c)
     } else {
         s += "FAC:          disabled\n";
     }
+    if (c.pred.stride) {
+        s += strprintf("Stride pred:  %u-entry PC-indexed table, "
+                       "confidence %u/%u\n",
+                       c.pred.strideEntries, c.pred.strideConfThreshold,
+                       c.pred.strideConfMax);
+    }
+    if (c.pred.wayMemo) {
+        s += strprintf("Way memo:     %u-entry PC-indexed table, "
+                       "mandatory late verify\n",
+                       c.pred.wayMemoEntries);
+    }
     return s;
 }
 
@@ -184,7 +217,7 @@ describeConfig(const PipelineConfig &c)
 // Linux, which is what CI builds); other ABIs skip the check rather
 // than pin a second number.
 #if defined(__linux__) && defined(__LP64__)
-static_assert(sizeof(PipelineConfig) == 200,
+static_assert(sizeof(PipelineConfig) == 220,
               "PipelineConfig changed size: update configFingerprint() "
               "in sim/config.cc (and this tripwire) to cover the new "
               "field set");
@@ -251,6 +284,13 @@ configFingerprint(const PipelineConfig &c)
     w.b(c.perfectDCache);
     w.b(c.perfectICache);
     w.b(c.agiOrganization);
+
+    w.b(c.pred.stride);
+    w.b(c.pred.wayMemo);
+    w.u32(c.pred.strideEntries);
+    w.u32(c.pred.strideConfMax);
+    w.u32(c.pred.strideConfThreshold);
+    w.u32(c.pred.wayMemoEntries);
 
     return ser::fnv1a(w.data().data(), w.data().size());
 }

@@ -43,6 +43,24 @@ FacConfig facConfigFor(const CacheConfig &dcache, bool speculate_rr = true,
                        bool full_tag_add = true);
 
 /**
+ * Accepted `--predictor=` spellings, nullptr-terminated for
+ * parse::oneOfFlag: none, fac, stride, fac+stride, fac+waymemo,
+ * fac+stride+waymemo.
+ */
+extern const char *const kPredictorChoices[];
+
+/**
+ * Pipeline configuration for one predictor-zoo mode (see
+ * cpu/load_predictor.hh). "none" is the baseline machine, "fac" is
+ * facPipelineConfig() exactly, the other modes layer the PC-indexed
+ * stride predictor and/or way memoization on top. Dies with a usage
+ * message for any spelling not in kPredictorChoices.
+ */
+PipelineConfig predictorPipelineConfig(const std::string &mode,
+                                       uint32_t dcache_block_bytes = 32,
+                                       bool speculate_rr = true);
+
+/**
  * Flat single-level memory hierarchy — the paper's machine (Table 5):
  * every L1 miss costs `dcache.missLatency` cycles, misses are unbounded
  * and untracked, writebacks are free. This is the default in

@@ -84,6 +84,36 @@ registerPipeStats(obs::Group &g, const PipeStats &st)
                                    st.storeSpecFailures);
     });
 
+    obs::Group &pred = g.group("pred");
+    pred.formula("attempts", "speculative accesses from any source", [&st] {
+        return static_cast<double>(st.loadsSpeculated +
+                                   st.storesSpeculated);
+    });
+    pred.formula("failures", "verify failures from any source", [&st] {
+        return static_cast<double>(st.loadSpecFailures +
+                                   st.storeSpecFailures);
+    });
+    pred.formula("fail_rate", "failures / attempts (0 when no attempts)",
+                 [&st] { return st.predFailRate(); });
+    pred.counterView("stride_speculated",
+                     "accesses speculated from the stride table",
+                     &st.strideSpeculated);
+    pred.counterView("stride_spec_failures",
+                     "stride-sourced speculations whose verify failed",
+                     &st.strideSpecFailures);
+    pred.formula("stride_fail_rate",
+                 "stride failures / attempts (0 when no attempts)",
+                 [&st] { return st.strideFailRate(); });
+    pred.counterView("recovery_cycles",
+                     "MEM-replay cycles spent recovering mispredictions",
+                     &st.predRecoveryCycles);
+    pred.counterView("waymemo_tag_reads_saved",
+                     "L1 tag reads skipped via a fresh memoized way",
+                     &st.wayMemoTagReadsSaved);
+    pred.counterView("waymemo_stale",
+                     "memoized ways caught stale by the late verify",
+                     &st.wayMemoStale);
+
     obs::Group &stall = g.group("stall");
     stall.counterView("fetch", "cycles stalled with no fetched inst ready",
                       &st.stallFetch);
@@ -229,6 +259,11 @@ StatsAccum::add(const TimingResult &r)
     pipe_.stallData += s.stallData;
     pipe_.stallStructural += s.stallStructural;
     pipe_.stallStoreBuffer += s.stallStoreBuffer;
+    pipe_.strideSpeculated += s.strideSpeculated;
+    pipe_.strideSpecFailures += s.strideSpecFailures;
+    pipe_.predRecoveryCycles += s.predRecoveryCycles;
+    pipe_.wayMemoTagReadsSaved += s.wayMemoTagReadsSaved;
+    pipe_.wayMemoStale += s.wayMemoStale;
 
     for (const LevelStats &lvl : r.hier.levels) {
         LevelStats *dst = nullptr;

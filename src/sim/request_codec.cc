@@ -165,6 +165,13 @@ encodePipelineConfig(ser::Writer &w, const PipelineConfig &c)
     w.b(c.perfectDCache);
     w.b(c.perfectICache);
     w.b(c.agiOrganization);
+
+    w.b(c.pred.stride);
+    w.b(c.pred.wayMemo);
+    w.u32(c.pred.strideEntries);
+    w.u32(c.pred.strideConfMax);
+    w.u32(c.pred.strideConfThreshold);
+    w.u32(c.pred.wayMemoEntries);
 }
 
 void
@@ -222,6 +229,13 @@ decodePipelineConfig(ser::TryReader &r, PipelineConfig *c)
     c->perfectDCache = r.b();
     c->perfectICache = r.b();
     c->agiOrganization = r.b();
+
+    c->pred.stride = r.b();
+    c->pred.wayMemo = r.b();
+    c->pred.strideEntries = r.u32();
+    c->pred.strideConfMax = r.u32();
+    c->pred.strideConfThreshold = r.u32();
+    c->pred.wayMemoEntries = r.u32();
 }
 
 void
@@ -466,6 +480,11 @@ encodeTimingResult(ser::Writer &w, const TimingResult &res)
     w.u64(s.stallData);
     w.u64(s.stallStructural);
     w.u64(s.stallStoreBuffer);
+    w.u64(s.strideSpeculated);
+    w.u64(s.strideSpecFailures);
+    w.u64(s.predRecoveryCycles);
+    w.u64(s.wayMemoTagReadsSaved);
+    w.u64(s.wayMemoStale);
 
     const HierarchyStats &h = res.hier;
     w.u64(h.levels.size());
@@ -531,6 +550,11 @@ decodeTimingResult(ser::TryReader &r, TimingResult *res)
     s.stallData = r.u64();
     s.stallStructural = r.u64();
     s.stallStoreBuffer = r.u64();
+    s.strideSpeculated = r.u64();
+    s.strideSpecFailures = r.u64();
+    s.predRecoveryCycles = r.u64();
+    s.wayMemoTagReadsSaved = r.u64();
+    s.wayMemoStale = r.u64();
 
     HierarchyStats &h = res->hier;
     uint64_t n;

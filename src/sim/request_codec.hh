@@ -36,7 +36,7 @@ namespace facsim
  * changes; the wire protocol and the cache container both embed it and
  * reject (protocol error / cold start) streams from another version.
  */
-constexpr uint32_t requestCodecVersion = 1;
+constexpr uint32_t requestCodecVersion = 2;
 
 /** @{ @name Request encoding (canonical bytes; also the cache key input) */
 void encodeProfileRequest(ser::Writer &w, const ProfileRequest &req);

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/fast_addr_calc.hh"
+#include "cpu/load_predictor.hh"
 #include "isa/disasm.hh"
 #include "mem/memory.hh"
 #include "obs/debug.hh"
@@ -389,6 +390,8 @@ class Verifier
     {
         if (cfg.facEnabled)
             fac_ = std::make_unique<FastAddrCalc>(cfg.fac);
+        if (cfg.pred.stride)
+            stride_ = std::make_unique<StridePredictor>(cfg.pred);
     }
 
     std::vector<Divergence> &&takeDivergences()
@@ -429,6 +432,9 @@ class Verifier
     const PipelineConfig &cfg_;
     RefModel &ref_;
     std::unique_ptr<FastAddrCalc> fac_;
+    // Shadow stride table, trained from the retire stream exactly like
+    // the pipeline trains its own (once per memory op, program order).
+    std::unique_ptr<StridePredictor> stride_;
 
     std::vector<Divergence> divs_;
     std::string context_;
@@ -581,47 +587,138 @@ Verifier::onIssue(const Pipeline &pipe, const Pipeline::IssueEvent &ev)
                    hex32(rec.nextPc));
     }
 
-    // FAC signal consistency (pipeline-internal invariants).
+    // Predictor signal consistency (pipeline-internal invariants). The
+    // verifier recomputes every predictor's predict/verify signals from
+    // the retire stream: FAC from the recorded operands, the stride
+    // predictor from a shadow table trained exactly like the
+    // pipeline's, way memoization from its implication set (its table
+    // depends on cache state the verifier does not model, but a used
+    // memo must still obey the contract visible at retire).
     if (isMem(rec.inst.op)) {
-        if (!cfg_.facEnabled && ev.speculated)
-            report(i, rec.pc, "fac-speculated-while-disabled", "0", "1");
+        constexpr uint8_t srcNone =
+            static_cast<uint8_t>(PredSource::None);
+        constexpr uint8_t srcFac = static_cast<uint8_t>(PredSource::Fac);
+        constexpr uint8_t srcStride =
+            static_cast<uint8_t>(PredSource::Stride);
+
+        // Shadow lookup before the shadow train, mirroring the
+        // pipeline's predict-then-train order within one issue.
+        StridePredictor::Lookup sl;
+        if (stride_)
+            sl = stride_->predict(rec.pc);
+
+        if (!cfg_.facEnabled && !cfg_.pred.stride && ev.speculated)
+            report(i, rec.pc, "pred-speculated-while-disabled", "0", "1");
         if (ev.mispredicted && !ev.speculated)
-            report(i, rec.pc, "fac-mispredict-without-speculation",
+            report(i, rec.pc, "pred-mispredict-without-speculation",
                    "speculated=1", "speculated=0");
-        if (fac_ && ev.speculated) {
-            FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
-                                         rec.offsetFromReg);
-            if (!fr.attempted)
-                report(i, rec.pc, "fac-speculated-unattemptable",
-                       "attempted=1", "attempted=0");
-            else if (ev.mispredicted != !fr.success)
-                report(i, rec.pc, "fac-mispredict-flag",
-                       strprintf("mispredicted=%d (verify circuit)",
-                                 !fr.success),
+        if (ev.speculated && ev.predSource == srcNone)
+            report(i, rec.pc, "pred-source-missing",
+                   "speculated access carries its source", "source=none");
+        if (!ev.speculated && ev.predSource != srcNone)
+            report(i, rec.pc, "pred-source-without-speculation",
+                   "source=none", strprintf("source=%u", ev.predSource));
+
+        if (ev.speculated && ev.predSource == srcStride) {
+            if (!stride_) {
+                report(i, rec.pc, "stride-speculated-while-disabled",
+                       "0", "1");
+            } else if (!sl.confident) {
+                report(i, rec.pc, "stride-speculated-unconfident",
+                       "confident=1 (shadow table)", "confident=0");
+            } else if (ev.mispredicted !=
+                       (sl.predictedAddr != rec.effAddr)) {
+                report(i, rec.pc, "stride-mispredict-flag",
+                       strprintf("mispredicted=%d (shadow verify)",
+                                 sl.predictedAddr != rec.effAddr),
                        strprintf("mispredicted=%d (issue event)",
                                  ev.mispredicted));
-            if (rec.offsetFromReg && !cfg_.fac.speculateRegReg)
-                report(i, rec.pc, "fac-regreg-policy",
-                       "no speculation (speculateRegReg=0)",
-                       "speculated=1");
-            // Section 5.5 issue rule: no speculation in the cycle after
-            // a misprediction, except a load right after a load.
-            if (ev.cycle == mispredCycle_ + 1 &&
-                !(isLoad(rec.inst.op) && mispredWasLoad_))
-                report(i, rec.pc, "fac-issue-policy",
-                       "MEM-deferred access after misprediction",
-                       "speculated=1");
-        }
-        if (ev.speculated && ev.mispredicted && fac_) {
-            FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
-                                         rec.offsetFromReg);
-            // Track the policy shadow only for true mispredictions so a
-            // wrong flag doesn't cascade into spurious policy reports.
-            if (fr.attempted && !fr.success) {
-                mispredCycle_ = ev.cycle;
-                mispredWasLoad_ = isLoad(rec.inst.op);
             }
         }
+
+        if (ev.speculated && ev.predSource == srcFac) {
+            if (!fac_) {
+                report(i, rec.pc, "fac-speculated-while-disabled",
+                       "0", "1");
+            } else {
+                FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
+                                             rec.offsetFromReg);
+                if (!fr.attempted)
+                    report(i, rec.pc, "fac-speculated-unattemptable",
+                           "attempted=1", "attempted=0");
+                else if (ev.mispredicted != !fr.success)
+                    report(i, rec.pc, "fac-mispredict-flag",
+                           strprintf("mispredicted=%d (verify circuit)",
+                                     !fr.success),
+                           strprintf("mispredicted=%d (issue event)",
+                                     ev.mispredicted));
+                if (rec.offsetFromReg && !cfg_.fac.speculateRegReg)
+                    report(i, rec.pc, "fac-regreg-policy",
+                           "no speculation (speculateRegReg=0)",
+                           "speculated=1");
+                // Stride-first arbitration: a confident stride entry
+                // must win over FAC for the same access.
+                if (stride_ && sl.confident)
+                    report(i, rec.pc, "pred-arbitration",
+                           "source=stride (shadow table confident)",
+                           "source=fac");
+            }
+        }
+
+        // Way-memoization implications: only a verified FAC load hit
+        // may consult the memo, and a stale outcome requires a use.
+        if (ev.wayMemoUsed) {
+            if (!cfg_.pred.wayMemo)
+                report(i, rec.pc, "waymemo-used-while-disabled",
+                       "0", "1");
+            if (!ev.speculated || ev.predSource != srcFac ||
+                !isLoad(rec.inst.op))
+                report(i, rec.pc, "waymemo-used-outside-fac-load",
+                       "memo consulted only on speculated FAC loads",
+                       strprintf("speculated=%d source=%u",
+                                 ev.speculated, ev.predSource));
+            if (ev.mispredicted)
+                report(i, rec.pc, "waymemo-used-on-mispredict",
+                       "memo consulted only when the address verified",
+                       "mispredicted=1");
+        }
+        if (ev.wayMemoStale && !ev.wayMemoUsed)
+            report(i, rec.pc, "waymemo-stale-without-use",
+                   "used=1", "used=0");
+
+        // Section 5.5 issue rule: no speculation in the cycle after a
+        // misprediction (any source, including a stale memoized way),
+        // except a load right after a misspeculated load.
+        if (ev.speculated && ev.cycle == mispredCycle_ + 1 &&
+            !(isLoad(rec.inst.op) && mispredWasLoad_))
+            report(i, rec.pc, "pred-issue-policy",
+                   "MEM-deferred access after misprediction",
+                   "speculated=1");
+
+        // Track the policy shadow only for *recomputed* mispredictions
+        // so a wrong flag doesn't cascade into spurious policy reports.
+        // A stale way memo is trusted as-reported: its truth depends on
+        // cache state, but it recovers through the same replay path.
+        bool true_mispredict = false;
+        if (ev.speculated && ev.mispredicted) {
+            if (ev.predSource == srcFac && fac_) {
+                FacResult fr = fac_->predict(rec.baseVal, rec.offsetVal,
+                                             rec.offsetFromReg);
+                true_mispredict = fr.attempted && !fr.success;
+            } else if (ev.predSource == srcStride && stride_) {
+                true_mispredict =
+                    sl.confident && sl.predictedAddr != rec.effAddr;
+            }
+        }
+        if (true_mispredict || (ev.wayMemoUsed && ev.wayMemoStale)) {
+            mispredCycle_ = ev.cycle;
+            mispredWasLoad_ = isLoad(rec.inst.op);
+        }
+
+        // Train the shadow table in lockstep with the pipeline's own
+        // (unconditional, loads and stores alike).
+        if (stride_)
+            stride_->train(rec.pc, rec.effAddr);
     }
 
     if (firstBefore && !divs_.empty())

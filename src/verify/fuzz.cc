@@ -471,19 +471,52 @@ programDigest(const std::vector<FuzzItem> &items)
 }
 
 std::vector<FuzzConfig>
-fuzzConfigMatrix()
+fuzzConfigMatrix(const std::string &predictor)
 {
     std::vector<FuzzConfig> m;
+    if (predictor == "fac") {
+        // The historical matrix, unchanged so the pinned batch digest
+        // for --predictor=fac stays stable.
+        m.push_back({"off", baselineConfig(), LinkPolicy{}});
+        m.push_back({"hw", facPipelineConfig(32, false, true),
+                     LinkPolicy{}});
+        LinkPolicy sw;
+        sw.alignGlobalPointer = true;
+        sw.alignStatics = true;
+        m.push_back({"hw+sw", facPipelineConfig(32, false, true), sw});
+        m.push_back({"r+r", facPipelineConfig(32, true, true),
+                     LinkPolicy{}});
+        PipelineConfig disamb = facPipelineConfig(32, true, true);
+        disamb.loadsStallOnStoreConflict = true;
+        m.push_back({"hw+disamb", disamb, LinkPolicy{}});
+        return m;
+    }
+
     m.push_back({"off", baselineConfig(), LinkPolicy{}});
-    m.push_back({"hw", facPipelineConfig(32, false, true), LinkPolicy{}});
-    LinkPolicy sw;
-    sw.alignGlobalPointer = true;
-    sw.alignStatics = true;
-    m.push_back({"hw+sw", facPipelineConfig(32, false, true), sw});
-    m.push_back({"r+r", facPipelineConfig(32, true, true), LinkPolicy{}});
-    PipelineConfig disamb = facPipelineConfig(32, true, true);
+    if (predictor == "none")
+        return m;
+
+    PipelineConfig base = predictorPipelineConfig(predictor, 32, false);
+    m.push_back({predictor, base, LinkPolicy{}});
+
+    PipelineConfig disamb = base;
     disamb.loadsStallOnStoreConflict = true;
-    m.push_back({"hw+disamb", disamb, LinkPolicy{}});
+    m.push_back({predictor + "+disamb", disamb, LinkPolicy{}});
+
+    if (base.facEnabled)
+        m.push_back({predictor + "+rr",
+                     predictorPipelineConfig(predictor, 32, true),
+                     LinkPolicy{}});
+
+    if (base.pred.wayMemo) {
+        // A 2-way L1 makes distinct blocks collide within a set, so
+        // memoized ways go stale under eviction — the adversarial case
+        // for the mandatory late verify.
+        PipelineConfig assoc2 = base;
+        assoc2.dcache.assoc = 2;
+        assoc2.fac = facConfigFor(assoc2.dcache, false, true);
+        m.push_back({predictor + "+assoc2", assoc2, LinkPolicy{}});
+    }
     return m;
 }
 
@@ -561,7 +594,7 @@ runFuzzCase(uint64_t case_seed, uint64_t index, const FuzzOptions &opt)
     out.items = generateItems(rng, count);
     out.digest = programDigest(out.items);
 
-    for (const FuzzConfig &fc : fuzzConfigMatrix()) {
+    for (const FuzzConfig &fc : fuzzConfigMatrix(opt.predictor)) {
         CosimOptions co;
         co.link = fc.link;
         CosimResult res = runCosim(
@@ -633,6 +666,15 @@ runFuzzBatch(const FuzzOptions &opt)
         if (o.diverged) {
             ++batch.divergingCases;
             batch.failures.push_back(o);
+        }
+    }
+    // Non-legacy modes also fold the matrix configFingerprints, so a
+    // silent change to any evaluated configuration moves the pinned
+    // digest ("fac" keeps the historical program-only digest).
+    if (opt.predictor != "fac") {
+        for (const FuzzConfig &fc : fuzzConfigMatrix(opt.predictor)) {
+            const uint64_t fp = configFingerprint(fc.pipe);
+            h = fnv1a(h, &fp, sizeof(fp));
         }
     }
     batch.digest = h;

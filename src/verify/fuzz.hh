@@ -97,8 +97,17 @@ struct FuzzConfig
     LinkPolicy link;
 };
 
-/** The configurations every case runs under. */
-std::vector<FuzzConfig> fuzzConfigMatrix();
+/**
+ * The configurations every case runs under, keyed by predictor mode
+ * (a kPredictorChoices spelling). "fac" is the legacy five-entry
+ * matrix, byte-identical to the historical one so its batch digest is
+ * stable; other modes pair the baseline with the predictor switched
+ * on, a conservative-disambiguation variant, an R+R-speculation
+ * variant when FAC is in play, and a 2-way L1 variant when way
+ * memoization is (set conflicts make memo entries go stale).
+ */
+std::vector<FuzzConfig>
+fuzzConfigMatrix(const std::string &predictor = "fac");
 
 /** Options for one fuzz batch. */
 struct FuzzOptions
@@ -114,6 +123,13 @@ struct FuzzOptions
     unsigned maxItems = 160;
     /** Cap on co-sim runs spent shrinking one case. */
     unsigned shrinkBudget = 400;
+    /**
+     * Predictor mode selecting the config matrix (kPredictorChoices).
+     * "fac" keeps the historical program-only batch digest; every
+     * other mode folds the matrix configFingerprints into the digest,
+     * so each predictor pins a distinct, config-sensitive value.
+     */
+    std::string predictor = "fac";
 };
 
 /** Outcome of one fuzz case (diverging cases carry diagnostics). */

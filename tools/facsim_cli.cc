@@ -48,6 +48,8 @@
  *   --jobs=N           worker threads (0 = all; default 1)
  *   --shrink           minimize diverging cases with ddmin
  *   --engine=E         emulator dispatch engine (see Options)
+ *   --predictor=M      config matrix under predictor mode M (see
+ *                      Options; default fac = the historical matrix)
  *
  * Options:
  *   --engine=switch|threaded
@@ -57,6 +59,9 @@
  *   --support          enable the Section 4 software support
  *   --fac              enable fast address calculation (time)
  *   --agi              AGI pipeline organisation (time)
+ *   --predictor=M      load-predictor organisation: none, fac, stride,
+ *                      fac+stride, fac+waymemo or fac+stride+waymemo
+ *                      (time; excludes --fac/--agi)
  *   --compare          also run the plain baseline and print the speedup
  *   --block=16|32      data-cache block size (default 32)
  *   --hierarchy=NAME   memory hierarchy preset: 'paper' (flat 6-cycle,
@@ -171,6 +176,8 @@ struct CliOptions
     bool support = false;
     bool fac = false;
     bool agi = false;
+    /** Predictor-zoo mode (kPredictorChoices); empty = use --fac/--agi. */
+    std::string predictor;
     bool compare = false;
     bool specRr = true;
     uint32_t block = 32;
@@ -229,7 +236,10 @@ parseOptions(int argc, char **argv, int first)
             o.fac = true;
         else if (a == "--agi")
             o.agi = true;
-        else if (a == "--compare")
+        else if (const char *v = val("--predictor=")) {
+            parse::oneOfFlag("--predictor", v, kPredictorChoices);
+            o.predictor = v;
+        } else if (a == "--compare")
             o.compare = true;
         else if (a == "--no-rr")
             o.specRr = false;
@@ -303,6 +313,9 @@ parseOptions(int argc, char **argv, int first)
         else
             fatal("unknown option '%s'", a.c_str());
     }
+    if (!o.predictor.empty() && (o.fac || o.agi))
+        fatal("usage: --predictor is mutually exclusive with --fac and "
+              "--agi (it selects the whole organisation)");
     if (!o.ckptSave.empty() && !o.ckptRestore.empty())
         fatal("usage: --ckpt-save and --ckpt-restore are mutually "
               "exclusive");
@@ -341,7 +354,9 @@ PipelineConfig
 pipeOf(const CliOptions &o)
 {
     PipelineConfig c;
-    if (o.agi)
+    if (!o.predictor.empty())
+        c = predictorPipelineConfig(o.predictor, o.block, o.specRr);
+    else if (o.agi)
         c = agiConfig(o.block);
     else if (o.fac)
         c = facPipelineConfig(o.block, o.specRr);
@@ -426,6 +441,24 @@ printPipeStats(const PipeStats &st)
                     static_cast<unsigned long long>(st.storeSpecFailures),
                     100.0 * st.bandwidthOverhead());
     }
+    // Predictor-zoo lines, gated on their own counters so legacy FAC
+    // output stays byte-identical.
+    if (st.strideSpeculated)
+        std::printf("stride sourced:    %llu of those (%llu mispredicted, "
+                    "fail rate %.2f%%)\n",
+                    static_cast<unsigned long long>(st.strideSpeculated),
+                    static_cast<unsigned long long>(st.strideSpecFailures),
+                    100.0 * st.strideFailRate());
+    if (st.wayMemoTagReadsSaved || st.wayMemoStale)
+        std::printf("way memo:          %llu tag reads skipped, %llu "
+                    "stale (late-verify replays)\n",
+                    static_cast<unsigned long long>(
+                        st.wayMemoTagReadsSaved),
+                    static_cast<unsigned long long>(st.wayMemoStale));
+    if (st.strideSpeculated || st.wayMemoTagReadsSaved || st.wayMemoStale)
+        std::printf("pred recovery:     %llu cycles\n",
+                    static_cast<unsigned long long>(
+                        st.predRecoveryCycles));
 }
 
 /**
@@ -1021,7 +1054,10 @@ cmdFuzz(int argc, char **argv, int first)
         else if (const char *v = val("--max-items="))
             fo.maxItems =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 0));
-        else
+        else if (const char *v = val("--predictor=")) {
+            parse::oneOfFlag("--predictor", v, kPredictorChoices);
+            fo.predictor = v;
+        } else
             fatal("unknown fuzz option '%s'", a.c_str());
     }
 
@@ -1030,6 +1066,8 @@ cmdFuzz(int argc, char **argv, int first)
                 static_cast<unsigned long long>(res.casesRun),
                 static_cast<unsigned long long>(fo.seed),
                 static_cast<unsigned long long>(res.digest));
+    if (fo.predictor != "fac")
+        std::printf("      predictor matrix: %s\n", fo.predictor.c_str());
     std::printf("      %.2fs host time, %.2fM sim-insts\n",
                 res.wallSeconds, res.simInsts / 1e6);
     if (!res.divergingCases) {
