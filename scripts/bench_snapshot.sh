@@ -3,13 +3,19 @@
 # BENCH_emulator.json at the repository root, so rate regressions are
 # visible in review diffs.
 #
-#   bench_snapshot.sh [build-dir]    (default: build)
+#   bench_snapshot.sh [build-dir] [noprof-build-dir]
+#                     (defaults: build, build-noprof)
 #
 # Runs BM_EmulatorStep / BM_EmulatorRate / BM_PipelineRate from
 # bench/micro_sim and records the steady-state instruction rate of each
 # (items_per_second = simulated insts per host second). Note: the
 # min-time value is deliberately suffix-less — older google-benchmark
 # releases reject the "0.3s" spelling.
+#
+# When a second build tree configured with -DFACSIM_PROF=OFF exists
+# (cmake -B build-noprof -DFACSIM_PROF=OFF), BM_PipelineRate is also
+# timed there and recorded as prof_off_insts_per_sec, so the host-phase
+# profiler's overhead (budget: <= 2%) is visible in review diffs.
 #
 # Also cuts a small scratch live-point library and times a matched-pair
 # farm sweep over it (facsim_cli mklib/farm), recording the farm's
@@ -23,7 +29,9 @@
 set -eu
 
 BUILD=${1:-build}
+NOPROF=${2:-build-noprof}
 BIN="$BUILD/bench/micro_sim"
+NOPROF_BIN="$NOPROF/bench/micro_sim"
 CLI="$BUILD/tools/facsim_cli"
 OUT=BENCH_emulator.json
 SERVE_OUT=BENCH_serve.json
@@ -34,13 +42,28 @@ if [ ! -x "$BIN" ]; then
 fi
 
 RAW=$(mktemp)
+RAW_NOPROF=$(mktemp)
 SERVE_COLD=$(mktemp)
 SERVE_WARM=$(mktemp)
-trap 'rm -f "$RAW" "$SERVE_COLD" "$SERVE_WARM"' EXIT
+trap 'rm -f "$RAW" "$RAW_NOPROF" "$SERVE_COLD" "$SERVE_WARM"' EXIT
 
 "$BIN" --benchmark_filter='BM_EmulatorStep|BM_EmulatorRate|BM_PipelineRate' \
        --benchmark_min_time=0.3 \
        --benchmark_format=json > "$RAW"
+
+# Profiler-off comparison point for the pipeline rate (the only one of
+# the three benches with FACSIM_PROF_SCOPE sites on its path).
+PROF_OFF_OK=""
+if [ -x "$NOPROF_BIN" ]; then
+    "$NOPROF_BIN" --benchmark_filter='BM_PipelineRate' \
+                  --benchmark_min_time=0.3 \
+                  --benchmark_format=json > "$RAW_NOPROF"
+    PROF_OFF_OK=1
+else
+    echo "bench_snapshot.sh: $NOPROF_BIN not built" \
+         "(cmake -B $NOPROF -DFACSIM_PROF=OFF && cmake --build $NOPROF);" \
+         "skipping prof-off rate" >&2
+fi
 
 # Farm throughput: 10 espresso live-points, matched-pair FAC-vs-baseline
 # sweep on one thread. The live-points/s figure comes from the farm's
@@ -88,6 +111,7 @@ fi
 
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 export GIT_REV OUT FARM_RATE SERVE_OUT SERVE_COLD SERVE_WARM SERVE_OK
+export RAW_NOPROF PROF_OFF_OK
 
 python3 - "$RAW" <<'EOF'
 import json, os, sys
@@ -102,13 +126,24 @@ for b in raw.get("benchmarks", []):
         rates[b["name"]] = round(rate)
 
 snapshot = {
-    "schema_version": 3,
+    "schema_version": 4,
     "git_rev": os.environ["GIT_REV"],
     "insts_per_sec": rates,
 }
 farm_rate = os.environ.get("FARM_RATE", "")
 if farm_rate:
     snapshot["farm_livepoints_per_sec"] = round(float(farm_rate))
+
+prof_off = {}
+if os.environ.get("PROF_OFF_OK"):
+    with open(os.environ["RAW_NOPROF"]) as f:
+        raw_off = json.load(f)
+    for b in raw_off.get("benchmarks", []):
+        rate = b.get("items_per_second")
+        if rate is not None:
+            prof_off[b["name"]] = round(rate)
+if prof_off:
+    snapshot["prof_off_insts_per_sec"] = prof_off
 
 out = os.environ["OUT"]
 with open(out, "w") as f:
@@ -119,6 +154,12 @@ for name, rate in sorted(rates.items()):
     print(f"  {name:20s} {rate / 1e6:8.1f}M insts/s")
 if farm_rate:
     print(f"  {'FarmRate':20s} {float(farm_rate):8.1f}  live-points/s")
+for name, off in sorted(prof_off.items()):
+    on = rates.get(name)
+    if on:
+        pct = 100.0 * (off - on) / off
+        print(f"  {name + ' prof-off':20s} {off / 1e6:8.1f}M insts/s "
+              f"(prof-on overhead {pct:+.1f}%)")
 
 if os.environ.get("SERVE_OK"):
     with open(os.environ["SERVE_COLD"]) as f:

@@ -8,6 +8,7 @@
 
 #include "cpu/emulator.hh"
 
+#include "obs/prof.hh"
 #include "util/logging.hh"
 
 namespace facsim
@@ -236,6 +237,7 @@ Emulator::translateInst(const Inst &in, uint32_t pc, EmuBlock &blk) const
 EmuBlock *
 Emulator::translateBlock(uint32_t pc, uint32_t idx)
 {
+    FACSIM_PROF_SCOPE(BlockTranslate);
     auto owned = std::make_unique<EmuBlock>();
     EmuBlock *blk = owned.get();
     blk->startPc = pc;

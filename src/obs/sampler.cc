@@ -1,0 +1,296 @@
+#include "obs/sampler.hh"
+
+#include <cstdlib>
+
+namespace facsim::obs
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON walker for the registry's own dump shape. It accepts
+ * any well-formed JSON but only *records* numbers (and bools as 0/1)
+ * reachable through object keys — strings and array elements are
+ * structure to skip, which is exactly what the flat stats schema
+ * needs.
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &s, StatsSnapshot *out) : s_(s), out_(out) {}
+
+    bool
+    parse(std::string *err)
+    {
+        skipWs();
+        if (!parseObject("", true)) {
+            *err = error_.empty() ? "malformed stats json" : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            *err = "trailing bytes after the stats object";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    fail(const char *why)
+    {
+        if (error_.empty())
+            error_ = why;
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail("unexpected character");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        std::string v;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return fail("truncated escape");
+                v += s_[pos_ + 1];  // stat paths never need real escapes
+                pos_ += 2;
+            } else {
+                v += s_[pos_++];
+            }
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_;  // closing quote
+        if (out)
+            *out = v;
+        return true;
+    }
+
+    /** @p top strips the "stats" wrapper of the outermost object. */
+    bool
+    parseObject(const std::string &prefix, bool top)
+    {
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            if (!expect(':'))
+                return false;
+            std::string path = (top && key == "stats")
+                ? ""
+                : (prefix.empty() ? key : prefix + "." + key);
+            if (!parseValue(path))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!parseValue(""))  // elements are skipped, never recorded
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return fail("unknown literal");
+        pos_ += n;
+        return true;
+    }
+
+    void
+    record(const std::string &path, double v)
+    {
+        if (!path.empty())
+            (*out_)[path] = v;
+    }
+
+    bool
+    parseValue(const std::string &path)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("truncated value");
+        char c = s_[pos_];
+        if (c == '{')
+            return parseObject(path, false);
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString(nullptr);
+        if (c == 't') {
+            record(path, 1.0);
+            return literal("true");
+        }
+        if (c == 'f') {
+            record(path, 0.0);
+            return literal("false");
+        }
+        if (c == 'n')
+            return literal("null");
+        char *end = nullptr;
+        double v = std::strtod(s_.c_str() + pos_, &end);
+        if (!end || end == s_.c_str() + pos_)
+            return fail("expected a number");
+        pos_ = static_cast<size_t>(end - s_.c_str());
+        record(path, v);
+        return true;
+    }
+
+    const std::string &s_;
+    StatsSnapshot *out_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+parseStatsJson(const std::string &json, StatsSnapshot *out,
+               std::string *err)
+{
+    out->clear();
+    return Parser(json, out).parse(err);
+}
+
+// ---------------------------------------------------------------------------
+// StatsSampler
+
+void
+StatsSampler::push(StatsSnapshot snap, double at_seconds)
+{
+    prev_ = std::move(cur_);
+    tPrev_ = tCur_;
+    cur_ = std::move(snap);
+    tCur_ = at_seconds;
+    if (have_ < 2)
+        ++have_;
+    if (have_ < 2)
+        return;
+    // Monotonicity check: only the declared counters — gauges (queue
+    // depth, cache bytes) go down in normal operation and must not be
+    // read as daemon restarts. With nothing declared, every shared key
+    // is checked.
+    if (counters_.empty()) {
+        for (const auto &[key, v] : cur_) {
+            auto it = prev_.find(key);
+            if (it != prev_.end() && v < it->second)
+                ++resets_;
+        }
+    } else {
+        for (const std::string &key : counters_) {
+            auto c = cur_.find(key);
+            auto p = prev_.find(key);
+            if (c != cur_.end() && p != prev_.end() &&
+                c->second < p->second)
+                ++resets_;
+        }
+    }
+}
+
+bool
+StatsSampler::hasWindow() const
+{
+    return have_ == 2 && tCur_ > tPrev_;
+}
+
+double
+StatsSampler::windowSeconds() const
+{
+    return hasWindow() ? tCur_ - tPrev_ : 0.0;
+}
+
+double
+StatsSampler::value(const std::string &key) const
+{
+    auto it = cur_.find(key);
+    return it != cur_.end() ? it->second : 0.0;
+}
+
+double
+StatsSampler::delta(const std::string &key) const
+{
+    if (have_ < 2)
+        return 0.0;
+    auto c = cur_.find(key);
+    auto p = prev_.find(key);
+    if (c == cur_.end() || p == prev_.end())
+        return 0.0;
+    double d = c->second - p->second;
+    return d > 0.0 ? d : 0.0;  // counter reset / wraparound guard
+}
+
+double
+StatsSampler::rate(const std::string &key) const
+{
+    if (!hasWindow())
+        return 0.0;
+    return delta(key) / windowSeconds();
+}
+
+} // namespace facsim::obs

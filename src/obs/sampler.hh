@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Client-side live-stats windowing: parse successive Registry
+ * jsonDump() snapshots (as returned by the serve daemon's Stats wire
+ * request) and diff them into per-second rates. `facsim_cli top` is
+ * the main consumer; anything that scrapes the Stats kind can reuse
+ * it.
+ *
+ * Counter semantics follow Prometheus: a counter only moves up, so a
+ * negative delta means the source restarted (or wrapped) and the
+ * window is not a rate — rate() clamps it to 0 and the violation is
+ * counted in resets() so callers can surface it instead of printing
+ * a nonsense negative throughput.
+ */
+
+#ifndef FACSIM_OBS_SAMPLER_HH
+#define FACSIM_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace facsim::obs
+{
+
+/** A parsed snapshot: flat dotted path -> numeric value. */
+using StatsSnapshot = std::map<std::string, double>;
+
+/**
+ * Parse a Registry jsonDump() document into a flat snapshot. The
+ * top-level "stats" wrapper is stripped (its children keep their bare
+ * dotted paths); other top-level numerics ("schema_version") are kept
+ * as-is. Nested objects (histograms, distributions) flatten to
+ * "path.count", "path.mean", ...; arrays (histogram buckets) and
+ * strings are skipped. False with *err on malformed input.
+ */
+bool parseStatsJson(const std::string &json, StatsSnapshot *out,
+                    std::string *err);
+
+/**
+ * Diffs the two most recent snapshots into windowed rates. Feed it
+ * one snapshot per poll; value() always reads the latest, rate()
+ * needs at least two (hasWindow()).
+ */
+class StatsSampler
+{
+  public:
+    /**
+     * Declare @p key a counter for the resets() monotonicity check.
+     * Without any declared counters every shared key is checked, which
+     * misreads normal gauge movement (queue draining) as a reset —
+     * callers watching a live daemon should declare their counters.
+     */
+    void watchCounter(std::string key)
+    {
+        counters_.push_back(std::move(key));
+    }
+
+    /** Record @p snap taken at @p at_seconds (any monotonic origin). */
+    void push(StatsSnapshot snap, double at_seconds);
+
+    /** True once two snapshots span a positive window. */
+    bool hasWindow() const;
+
+    /** Width of the current window in seconds (0 before hasWindow). */
+    double windowSeconds() const;
+
+    /** Latest value of @p key, or 0 when absent. */
+    double value(const std::string &key) const;
+
+    /**
+     * Increase of @p key across the window, clamped to >= 0; 0 when
+     * the key is missing from either snapshot.
+     */
+    double delta(const std::string &key) const;
+
+    /** delta() per second; 0 without a positive window. */
+    double rate(const std::string &key) const;
+
+    /** Monotonicity violations (counter went down) seen across all
+     *  pushes — nonzero means the daemon restarted mid-watch. */
+    uint64_t resets() const { return resets_; }
+
+  private:
+    StatsSnapshot prev_, cur_;
+    std::vector<std::string> counters_;
+    double tPrev_ = 0.0, tCur_ = 0.0;
+    unsigned have_ = 0;
+    uint64_t resets_ = 0;
+};
+
+} // namespace facsim::obs
+
+#endif // FACSIM_OBS_SAMPLER_HH

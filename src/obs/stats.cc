@@ -107,6 +107,32 @@ Histogram::jsonValue(std::string &out) const
     out += "]}";
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (!count_)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Cumulative mass walk: underflow reads as lo, overflow as hi, and
+    // the bucket crossing the target rank interpolates linearly.
+    double target = p * static_cast<double>(count_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return lo_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        double b = static_cast<double>(buckets_[i]);
+        if (b > 0.0 && cum + b >= target) {
+            double frac = (target - cum) / b;
+            return lo_ + width_ * (static_cast<double>(i) + frac);
+        }
+        cum += b;
+    }
+    return hi_;
+}
+
 std::string
 Histogram::textValue() const
 {
@@ -149,6 +175,38 @@ Distribution::textValue() const
     return strprintf("count=%llu mean=%.4f stddev=%.4f min=%.4f max=%.4f",
                      static_cast<unsigned long long>(count_), mean(),
                      stddev(), min(), max());
+}
+
+double
+DistData::stddev() const
+{
+    if (count < 2)
+        return 0.0;
+    double m = sum / count;
+    double var = sumSq / count - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+DistributionView::jsonValue(std::string &out) const
+{
+    DistData d = fn_();
+    out += strprintf("{\"count\":%llu,\"mean\":%s,\"stddev\":%s,"
+                     "\"min\":%s,\"max\":%s}",
+                     static_cast<unsigned long long>(d.count),
+                     jsonNumber(d.mean()).c_str(),
+                     jsonNumber(d.stddev()).c_str(),
+                     jsonNumber(d.min).c_str(),
+                     jsonNumber(d.max).c_str());
+}
+
+std::string
+DistributionView::textValue() const
+{
+    DistData d = fn_();
+    return strprintf("count=%llu mean=%.4f stddev=%.4f min=%.4f max=%.4f",
+                     static_cast<unsigned long long>(d.count), d.mean(),
+                     d.stddev(), d.min, d.max);
 }
 
 void
@@ -241,6 +299,13 @@ Group::formula(const std::string &name, const std::string &desc,
     return add<Formula>(name, desc, std::move(fn));
 }
 
+DistributionView &
+Group::distributionView(const std::string &name, const std::string &desc,
+                        std::function<DistData()> fn)
+{
+    return add<DistributionView>(name, desc, std::move(fn));
+}
+
 Formula &
 Group::counterView(const std::string &name, const std::string &desc,
                    const uint64_t *v)
@@ -316,6 +381,128 @@ Group::dumpJson(std::string &out, const std::string &prefix) const
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus exposition
+
+std::string
+promName(const std::string &path)
+{
+    std::string out = "facsim_";
+    for (char c : path) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+namespace
+{
+
+/** HELP text with the two characters the exposition format escapes. */
+std::string
+promEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+promHeader(std::string &out, const std::string &name,
+           const std::string &desc, const char *type)
+{
+    out += "# HELP " + name + " " + promEscape(desc.empty() ? name : desc) +
+           "\n";
+    out += "# TYPE " + name + " ";
+    out += type;
+    out += "\n";
+}
+
+void
+promStat(std::string &out, const Stat &s, const std::string &path)
+{
+    std::string name = promName(path);
+    if (const auto *c = dynamic_cast<const Counter *>(&s)) {
+        promHeader(out, name, s.desc(), "counter");
+        out += strprintf("%s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(c->value()));
+        return;
+    }
+    if (const auto *sc = dynamic_cast<const Scalar *>(&s)) {
+        promHeader(out, name, s.desc(), "gauge");
+        out += name + " " + jsonNumber(sc->value()) + "\n";
+        return;
+    }
+    if (const auto *f = dynamic_cast<const Formula *>(&s)) {
+        promHeader(out, name, s.desc(), "gauge");
+        out += name + " " + jsonNumber(f->value()) + "\n";
+        return;
+    }
+    if (const auto *h = dynamic_cast<const Histogram *>(&s)) {
+        // Native Prometheus histogram: cumulative buckets. Underflow
+        // mass is below every finite boundary, so it seeds the
+        // cumulative count; overflow only appears at le="+Inf".
+        promHeader(out, name, s.desc(), "histogram");
+        unsigned long long cum = h->underflow();
+        for (unsigned i = 0; i < h->numBuckets(); ++i) {
+            cum += h->bucket(i);
+            double le = h->lo() + h->bucketWidth() * (i + 1);
+            out += strprintf("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                             jsonNumber(le).c_str(), cum);
+        }
+        out += strprintf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h->count()));
+        out += name + "_sum " + jsonNumber(h->sum()) + "\n";
+        out += strprintf("%s_count %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h->count()));
+        return;
+    }
+    // Distribution and DistributionView share the summary rendering.
+    DistData d;
+    if (const auto *dist = dynamic_cast<const Distribution *>(&s)) {
+        d.count = dist->count();
+        d.sum = dist->mean() * dist->count();
+        d.min = dist->min();
+        d.max = dist->max();
+    } else if (const auto *v = dynamic_cast<const DistributionView *>(&s)) {
+        d = v->value();
+    } else {
+        return;  // unreachable while StatKind stays closed
+    }
+    promHeader(out, name, s.desc(), "summary");
+    out += name + "_sum " + jsonNumber(d.sum) + "\n";
+    out += strprintf("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(d.count));
+    promHeader(out, name + "_min", s.desc() + " (min)", "gauge");
+    out += name + "_min " + jsonNumber(d.min) + "\n";
+    promHeader(out, name + "_max", s.desc() + " (max)", "gauge");
+    out += name + "_max " + jsonNumber(d.max) + "\n";
+}
+
+} // namespace
+
+void
+Group::dumpProm(std::string &out, const std::string &prefix) const
+{
+    std::string base = prefix.empty()
+        ? name_
+        : (name_.empty() ? prefix : prefix + "." + name_);
+    for (const auto &s : stats_) {
+        std::string path = base.empty() ? s->name() : base + "." + s->name();
+        promStat(out, *s, path);
+    }
+    for (const auto &g : children_)
+        g->dumpProm(out, base);
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 
 std::string
@@ -336,6 +523,14 @@ Registry::textDump() const
     std::ostringstream ss;
     root_.dumpText(ss);
     return ss.str();
+}
+
+std::string
+Registry::promDump() const
+{
+    std::string out;
+    root_.dumpProm(out);
+    return out;
 }
 
 void

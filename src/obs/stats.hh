@@ -140,6 +140,18 @@ class Histogram final : public Stat
         return static_cast<unsigned>(buckets_.size());
     }
     double bucketWidth() const { return width_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double sum() const { return sum_; }
+
+    /**
+     * Estimate the @p p percentile (0.0 .. 1.0, clamped) from the
+     * bucket counts, interpolating linearly inside the bucket that
+     * crosses the target rank. Mass in the underflow bucket reads as
+     * lo, overflow as hi (the estimate saturates at the range edges).
+     * Returns 0.0 on an empty histogram.
+     */
+    double percentile(double p) const;
 
     void jsonValue(std::string &out) const override;
     std::string textValue() const override;
@@ -191,6 +203,44 @@ class Distribution final : public Stat
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/** Point-in-time summary of an externally accumulated distribution. */
+struct DistData
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;  ///< 0 when count == 0
+
+    double mean() const { return count ? sum / count : 0.0; }
+    double stddev() const;
+};
+
+/**
+ * Distribution-shaped view over data owned elsewhere (e.g. the
+ * process-global phase profiler, obs/prof.hh): the callback is invoked
+ * at dump time and the node renders exactly like a Distribution, so
+ * the JSON schema cannot tell them apart.
+ */
+class DistributionView final : public Stat
+{
+  public:
+    DistributionView(std::string name, std::string desc,
+                     std::function<DistData()> fn)
+        : Stat(StatKind::Distribution, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {
+    }
+
+    DistData value() const { return fn_(); }
+
+    void jsonValue(std::string &out) const override;
+    std::string textValue() const override;
+
+  private:
+    std::function<DistData()> fn_;
+};
+
 /** Value derived from other stats, evaluated lazily at dump time. */
 class Formula final : public Stat
 {
@@ -233,6 +283,9 @@ class Group
                                const std::string &desc);
     Formula &formula(const std::string &name, const std::string &desc,
                      std::function<double()> fn);
+    DistributionView &distributionView(const std::string &name,
+                                       const std::string &desc,
+                                       std::function<DistData()> fn);
     /**
      * Read-only integer view bound to an externally owned counter (the
      * legacy-struct migration path; @p v must outlive every dump).
@@ -257,6 +310,12 @@ class Group
      * registration order (no surrounding braces so callers can embed).
      */
     void dumpJson(std::string &out, const std::string &prefix = "") const;
+
+    /**
+     * Prometheus text-exposition lines for every node under this
+     * group (see Registry::promDump for the naming/typing rules).
+     */
+    void dumpProm(std::string &out, const std::string &prefix = "") const;
 
   private:
     explicit Group(std::string name) : name_(std::move(name)) {}
@@ -290,6 +349,19 @@ class Registry
     /** Aligned text dump of every registered node. */
     std::string textDump() const;
 
+    /**
+     * Prometheus text exposition of every registered node. Metric
+     * names are `facsim_` + the dotted path with every character
+     * outside [a-zA-Z0-9_] replaced by '_'; each metric gets a
+     * `# HELP` line (the registered description) and a `# TYPE` line.
+     * Counters expose as `counter`, scalars/formulas as `gauge`,
+     * histograms as a native Prometheus `histogram` (cumulative
+     * `_bucket{le="..."}` series plus `_sum`/`_count`), distributions
+     * as a `summary` (`_sum`/`_count`) with companion `_min`/`_max`
+     * gauges.
+     */
+    std::string promDump() const;
+
     /** Write jsonDump() or textDump() to @p path by suffix (".json"). */
     void writeFile(const std::string &path) const;
 
@@ -299,6 +371,9 @@ class Registry
 
 /** Format a double as a JSON-safe number (finite, shortest round). */
 std::string jsonNumber(double v);
+
+/** Sanitize a dotted stat path into a Prometheus metric name. */
+std::string promName(const std::string &path);
 
 } // namespace facsim::obs
 

@@ -1,6 +1,7 @@
 #include "obs/trace.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.hh"
 
@@ -202,6 +203,133 @@ openTrace(const TraceOptions &opts)
         fatal("cannot open trace file '%s'", opts.path.c_str());
     t->sink = makeTraceSink(opts.format, t->file);
     return t;
+}
+
+// ---------------------------------------------------------------------------
+// SpanTracer
+
+SpanTracer::SpanTracer(std::ostream &out)
+    : out_(out), epoch_(Clock::now())
+{
+    out_ << "{\"traceEvents\":[";
+}
+
+double
+SpanTracer::usSince(Clock::time_point t) const
+{
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+}
+
+void
+SpanTracer::emitLocked(const std::string &json)
+{
+    if (finished_)
+        return;
+    if (!first_)
+        out_ << ",";
+    first_ = false;
+    out_ << "\n" << json;
+}
+
+uint64_t
+SpanTracer::tidLocked(const char *role)
+{
+    auto it = tids_.find(std::this_thread::get_id());
+    if (it != tids_.end())
+        return it->second;
+    uint64_t tid = tids_.size();
+    tids_.emplace(std::this_thread::get_id(), tid);
+    emitLocked(strprintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%llu,"
+        "\"args\":{\"name\":\"%s-%llu\"}}",
+        static_cast<unsigned long long>(tid), role ? role : "t",
+        static_cast<unsigned long long>(tid)));
+    return tid;
+}
+
+void
+SpanTracer::instant(const char *name, uint64_t req_id)
+{
+    double ts = usSince(Clock::now());
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t tid = tidLocked(nullptr);
+    emitLocked(strprintf(
+        "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+        "\"pid\":0,\"tid\":%llu,\"args\":{\"req\":%llu}}",
+        name, ts, static_cast<unsigned long long>(tid),
+        static_cast<unsigned long long>(req_id)));
+}
+
+void
+SpanTracer::complete(const char *name, uint64_t req_id,
+                     Clock::time_point t0, Clock::time_point t1)
+{
+    double ts = usSince(t0);
+    double dur = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (dur < 0.0)
+        dur = 0.0;
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t tid = tidLocked(nullptr);
+    emitLocked(strprintf(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":0,\"tid\":%llu,\"args\":{\"req\":%llu}}",
+        name, ts, dur, static_cast<unsigned long long>(tid),
+        static_cast<unsigned long long>(req_id)));
+}
+
+void
+SpanTracer::nameThisThread(const char *role)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    tidLocked(role);
+}
+
+void
+SpanTracer::finish()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "\n]}\n";
+    out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Global span-tracer hook (consulted by obs/prof.hh scopes)
+
+namespace
+{
+std::atomic<SpanTracer *> g_spanTracer{nullptr};
+thread_local uint64_t t_spanReqId = 0;
+} // namespace
+
+void
+setSpanTracer(SpanTracer *t)
+{
+    g_spanTracer.store(t, std::memory_order_release);
+}
+
+SpanTracer *
+spanTracer()
+{
+    return g_spanTracer.load(std::memory_order_acquire);
+}
+
+uint64_t
+currentSpanReqId()
+{
+    return t_spanReqId;
+}
+
+SpanReqScope::SpanReqScope(uint64_t req_id) : prev_(t_spanReqId)
+{
+    t_spanReqId = req_id;
+}
+
+SpanReqScope::~SpanReqScope()
+{
+    t_spanReqId = prev_;
 }
 
 } // namespace facsim::obs

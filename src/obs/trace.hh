@@ -23,11 +23,15 @@
 #ifndef FACSIM_OBS_TRACE_HH
 #define FACSIM_OBS_TRACE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
 namespace facsim::obs
 {
@@ -141,6 +145,85 @@ struct OpenTrace
  * created. Returns nullptr when @p opts is disabled.
  */
 std::unique_ptr<OpenTrace> openTrace(const TraceOptions &opts);
+
+/**
+ * Thread-safe request-span recorder in the same Chrome trace-event
+ * JSON the pipeline backend writes (load at chrome://tracing or
+ * Perfetto). Each recording thread gets its own track: threads are
+ * assigned dense tids on first use, with a `thread_name` metadata
+ * event carrying the caller-supplied role ("conn", "sched",
+ * "worker"). Complete ("X") events carry the request id in args, so a
+ * loadgen burst renders as per-request spans fanned across reader /
+ * scheduler / worker tracks. Timestamps are microseconds since
+ * construction on the monotonic clock.
+ */
+class SpanTracer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit SpanTracer(std::ostream &out);
+    ~SpanTracer() { finish(); }
+
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /** Zero-duration marker event on the calling thread's track. */
+    void instant(const char *name, uint64_t req_id);
+
+    /** Complete span [t0, t1) on the calling thread's track. */
+    void complete(const char *name, uint64_t req_id, Clock::time_point t0,
+                  Clock::time_point t1);
+
+    /**
+     * Name the calling thread's track @p role (first call wins); safe
+     * to call redundantly — per-thread registration is idempotent.
+     */
+    void nameThisThread(const char *role);
+
+    /** Write the JSON trailer and flush. Idempotent. */
+    void finish();
+
+  private:
+    uint64_t tidLocked(const char *role);
+    double usSince(Clock::time_point t) const;
+    void emitLocked(const std::string &json);
+
+    std::ostream &out_;
+    Clock::time_point epoch_;
+    std::mutex mu_;
+    std::map<std::thread::id, uint64_t> tids_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/**
+ * Attach @p t as the process-global span tracer consulted by prof
+ * scopes (obs/prof.hh); pass nullptr to detach. The tracer must
+ * outlive every thread that may still record (the serve daemon
+ * detaches only after its drain joins).
+ */
+void setSpanTracer(SpanTracer *t);
+
+/** The attached span tracer, or nullptr. */
+SpanTracer *spanTracer();
+
+/** The calling thread's current request id (0 outside a request). */
+uint64_t currentSpanReqId();
+
+/** RAII: tag this thread's nested spans with a request id. */
+class SpanReqScope
+{
+  public:
+    explicit SpanReqScope(uint64_t req_id);
+    ~SpanReqScope();
+
+    SpanReqScope(const SpanReqScope &) = delete;
+    SpanReqScope &operator=(const SpanReqScope &) = delete;
+
+  private:
+    uint64_t prev_;
+};
 
 } // namespace facsim::obs
 

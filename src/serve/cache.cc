@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/prof.hh"
 #include "sim/request_codec.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
@@ -114,6 +115,7 @@ ResultCache::entries() const
 bool
 ResultCache::save(const std::string &path) const
 {
+    FACSIM_PROF_SCOPE(CacheSave);
     ser::Writer w;
     w.bytes(cacheMagic, sizeof(cacheMagic));
     w.u32(cacheFileVersion);
@@ -154,6 +156,7 @@ ResultCache::save(const std::string &path) const
 bool
 ResultCache::load(const std::string &path)
 {
+    FACSIM_PROF_SCOPE(CacheLoad);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;  // first run; nothing to warm from

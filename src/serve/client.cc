@@ -98,6 +98,30 @@ ServeClient::shutdown(std::string *err)
 }
 
 bool
+ServeClient::stats(std::string *json, std::string *prom, std::string *err)
+{
+    ResponseEnvelope resp;
+    if (!exchange(WireKind::Stats, "", &resp, err))
+        return false;
+    if (resp.status != WireStatus::Ok) {
+        *err = resp.body;
+        return false;
+    }
+    ser::TryReader r(resp.body.data(), resp.body.size());
+    std::string j = r.str();
+    std::string p = r.str();
+    if (!r.ok() || !r.atEnd()) {
+        *err = "malformed stats response";
+        return false;
+    }
+    if (json)
+        *json = std::move(j);
+    if (prom)
+        *prom = std::move(p);
+    return true;
+}
+
+bool
 ServeClient::profile(const ProfileRequest &req, ProfileResult *res,
                      bool *cached, std::string *err)
 {

@@ -43,6 +43,8 @@ class ServeClient
     /** @{ @name Typed wrappers (false with *err on any failure) */
     bool ping(std::string *err);
     bool shutdown(std::string *err);
+    /** Live stats snapshot: flat JSON dump + Prometheus exposition. */
+    bool stats(std::string *json, std::string *prom, std::string *err);
     bool profile(const ProfileRequest &req, ProfileResult *res,
                  bool *cached, std::string *err);
     bool timing(const TimingRequest &req, TimingResult *res, bool *cached,

@@ -10,6 +10,7 @@
 #include "sim/config.hh"
 #include "sim/request_codec.hh"
 #include "util/logging.hh"
+#include "util/percentile.hh"
 #include "verify/fuzz.hh"
 #include "workloads/registry.hh"
 
@@ -84,15 +85,6 @@ buildPool(const LoadgenOptions &o, size_t n_unique)
         }
     }
     return uniq;
-}
-
-double
-percentile(std::vector<double> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-    return sorted[idx];
 }
 
 } // namespace

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -18,6 +20,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/prof.hh"
+#include "obs/trace.hh"
 #include "serve/cache.hh"
 #include "serve/wire.hh"
 #include "sim/config.hh"
@@ -118,7 +122,34 @@ class Server
         latencyLog2_ = &sg.histogram("latency_log2_us",
                                      "log2(request latency in us)", 0.0,
                                      30.0, 30);
+        statsReqs_ = &sg.counter("stats_requests",
+                                 "live stats snapshot requests");
+        // Server-side latency percentiles, estimated from the log2
+        // histogram so no client cooperation is needed (the estimate
+        // interpolates in log space, hence exp2 back to microseconds).
+        sg.formula("latency_p50_us",
+                   "p50 request latency (log2-histogram estimate)",
+                   [this] {
+                       return latencyLog2_->count()
+                           ? std::exp2(latencyLog2_->percentile(0.5))
+                           : 0.0;
+                   });
+        sg.formula("latency_p99_us",
+                   "p99 request latency (log2-histogram estimate)",
+                   [this] {
+                       return latencyLog2_->count()
+                           ? std::exp2(latencyLog2_->percentile(0.99))
+                           : 0.0;
+                   });
+        // Instantaneous miss-queue depth; the dump path takes statsMu_
+        // then queueMu_, so no enqueue path may nest them the other
+        // way around.
+        sg.formula("queue_now", "miss-queue depth right now", [this] {
+            std::lock_guard<std::mutex> lk(queueMu_);
+            return static_cast<double>(queue_.size());
+        });
         cache_.registerStats(registry_.root().group("cache"));
+        obs::registerProfStats(registry_.root().group("prof"));
     }
 
     int run();
@@ -145,6 +176,10 @@ class Server
     void schedulerLoop();
     void runBatch(std::vector<PendingJob> &batch);
     int listenUnix(const std::string &path);
+    void statsFlushLoop();
+    void writeStatsSnapshot();
+    /** Close out one request's trace span (received -> replied). */
+    void endRequestSpan(uint64_t req_id, Clock::time_point received);
 
     ServerOptions opts_;
     ResultCache cache_;
@@ -158,7 +193,8 @@ class Server
     obs::Registry registry_;
     std::mutex statsMu_;
     obs::Counter *requests_, *pings_, *profileReqs_, *timingReqs_,
-        *shutdowns_, *protoErrors_, *reqErrors_, *connections_;
+        *shutdowns_, *protoErrors_, *reqErrors_, *connections_,
+        *statsReqs_;
     obs::Distribution *queueDepth_, *latencyUs_, *hitLatencyUs_,
         *missLatencyUs_;
     obs::Histogram *latencyLog2_;
@@ -172,6 +208,15 @@ Server::reply(Connection &conn, const ResponseEnvelope &env)
     // A failed write means the client went away; its request already
     // ran (and was cached), so there is nothing else to unwind.
     writeFrame(conn.wfd, payload);
+}
+
+void
+Server::endRequestSpan(uint64_t req_id, Clock::time_point received)
+{
+    if (obs::SpanTracer *tr = obs::spanTracer()) {
+        tr->instant("replied", req_id);
+        tr->complete("request", req_id, received, Clock::now());
+    }
 }
 
 void
@@ -207,12 +252,23 @@ Server::handleFrame(const ConnPtr &conn, const std::string &payload)
         ++*requests_;
     }
 
+    // Tag every span this thread emits while handling the frame
+    // (including prof-scope spans fired inside inline work) with the
+    // request id.
+    obs::SpanReqScope reqSpan(env.reqId);
+    obs::SpanTracer *tr = obs::spanTracer();
+    if (tr) {
+        tr->nameThisThread("conn");
+        tr->instant("received", env.reqId);
+    }
+
     auto replyError = [&](const std::string &msg) {
         {
             std::lock_guard<std::mutex> lk(statsMu_);
             ++*reqErrors_;
         }
         reply(*conn, {WireStatus::Error, false, env.reqId, msg});
+        endRequestSpan(env.reqId, received);
     };
 
     switch (env.kind) {
@@ -222,6 +278,7 @@ Server::handleFrame(const ConnPtr &conn, const std::string &payload)
             ++*pings_;
         }
         reply(*conn, {WireStatus::Ok, false, env.reqId, ""});
+        endRequestSpan(env.reqId, received);
         return true;
       }
       case static_cast<uint8_t>(WireKind::Shutdown): {
@@ -230,7 +287,27 @@ Server::handleFrame(const ConnPtr &conn, const std::string &payload)
             ++*shutdowns_;
         }
         reply(*conn, {WireStatus::Ok, false, env.reqId, ""});
+        endRequestSpan(env.reqId, received);
         requestDrain();
+        return true;
+      }
+      case static_cast<uint8_t>(WireKind::Stats): {
+        if (!env.body.empty()) {
+            replyError("stats request body must be empty");
+            return true;
+        }
+        // Snapshot under statsMu_ so the counters the reader threads
+        // bump mid-dump cannot tear; the cache/prof formulas take
+        // their own (leaf) locks.
+        ser::Writer w;
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            ++*statsReqs_;
+            w.str(registry_.jsonDump());
+            w.str(registry_.promDump());
+        }
+        reply(*conn, {WireStatus::Ok, false, env.reqId, w.data()});
+        endRequestSpan(env.reqId, received);
         return true;
       }
       case static_cast<uint8_t>(WireKind::Profile):
@@ -299,17 +376,31 @@ Server::handleFrame(const ConnPtr &conn, const std::string &payload)
 
     std::string cached;
     if (cache_.lookup(job.key, &cached)) {
+        if (tr)
+            tr->instant("cache_hit", env.reqId);
         reply(*conn, {WireStatus::Ok, true, env.reqId, cached});
         recordLatency(received, true);
+        endRequestSpan(env.reqId, received);
         return true;
     }
+    if (tr)
+        tr->instant("cache_miss", env.reqId);
 
+    size_t depth;
     {
         std::lock_guard<std::mutex> lk(queueMu_);
         queue_.push_back(std::move(job));
-        std::lock_guard<std::mutex> slk(statsMu_);
-        queueDepth_->sample(static_cast<double>(queue_.size()));
+        depth = queue_.size();
     }
+    // Sampled outside queueMu_: the stats dump path nests statsMu_ ->
+    // queueMu_ (the queue_now formula), so nesting them the other way
+    // here would deadlock a stats request against an enqueue.
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        queueDepth_->sample(static_cast<double>(depth));
+    }
+    if (tr)
+        tr->instant("enqueued", env.reqId);
     queueCv_.notify_one();
     return true;
 }
@@ -350,18 +441,35 @@ Server::runBatch(std::vector<PendingJob> &batch)
     try {
         runner.forEachIndex(batch.size(), [&](size_t i) -> uint64_t {
             PendingJob &j = batch[i];
+            // The request id rides into the experiment through this
+            // thread-local scope: prof scopes fired inside
+            // runProfile/runTiming (translate, warmup, detail, drain)
+            // emit spans tagged with it on this worker's track.
+            obs::SpanTracer *tr = obs::spanTracer();
+            if (tr)
+                tr->nameThisThread("worker");
+            obs::SpanReqScope reqSpan(j.reqId);
+            Clock::time_point t0 = Clock::now();
             ser::Writer w;
+            uint64_t insts;
             if (j.kind == WireKind::Profile) {
                 ProfileResult res = runProfile(j.preq);
+                FACSIM_PROF_SCOPE(Encode);
                 encodeProfileResult(w, res);
-                payloads[i] = w.data();
-                return res.insts;
+                insts = res.insts;
+            } else {
+                TimingResult res = runTiming(j.treq);
+                FACSIM_PROF_SCOPE(Encode);
+                encodeTimingResult(w, res);
+                insts = res.sample.enabled ? res.sample.totalInsts
+                                           : res.stats.insts;
             }
-            TimingResult res = runTiming(j.treq);
-            encodeTimingResult(w, res);
             payloads[i] = w.data();
-            return res.sample.enabled ? res.sample.totalInsts
-                                      : res.stats.insts;
+            if (tr) {
+                tr->complete("run", j.reqId, t0, Clock::now());
+                tr->instant("encoded", j.reqId);
+            }
+            return insts;
         });
     } catch (const std::exception &e) {
         warn("experiment batch failed: %s", e.what());
@@ -376,11 +484,13 @@ Server::runBatch(std::vector<PendingJob> &batch)
             }
             reply(*j.conn, {WireStatus::Error, false, j.reqId,
                             "experiment failed to run"});
+            endRequestSpan(j.reqId, j.received);
             continue;
         }
         cache_.insert(j.key, payloads[i]);
         reply(*j.conn, {WireStatus::Ok, false, j.reqId, payloads[i]});
         recordLatency(j.received, false);
+        endRequestSpan(j.reqId, j.received);
     }
 }
 
@@ -403,7 +513,54 @@ Server::schedulerLoop()
                          std::make_move_iterator(queue_.end()));
             queue_.clear();
         }
+        if (obs::SpanTracer *tr = obs::spanTracer()) {
+            tr->nameThisThread("sched");
+            for (const PendingJob &j : batch)
+                tr->instant("scheduled", j.reqId);
+        }
         runBatch(batch);
+    }
+}
+
+void
+Server::writeStatsSnapshot()
+{
+    // Snapshot first (under statsMu_, same as a Stats request), then
+    // write to a temp file and rename() it into place so a concurrent
+    // reader of --stats-out never sees a torn dump.
+    bool json = opts_.statsOut.size() >= 5 &&
+        opts_.statsOut.compare(opts_.statsOut.size() - 5, 5, ".json") == 0;
+    std::string text;
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        text = json ? registry_.jsonDump() : registry_.textDump();
+    }
+    std::string tmp = opts_.statsOut + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            warn("cannot write stats snapshot '%s'", tmp.c_str());
+            return;
+        }
+        f.write(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+    if (::rename(tmp.c_str(), opts_.statsOut.c_str()) != 0)
+        warn("rename '%s': %s", tmp.c_str(), std::strerror(errno));
+}
+
+void
+Server::statsFlushLoop()
+{
+    // 100 ms polls so a drain is noticed promptly even with a long
+    // interval; the final authoritative dump happens after drain.
+    auto interval = std::chrono::seconds(opts_.statsInterval);
+    Clock::time_point next = Clock::now() + interval;
+    while (!draining()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (Clock::now() < next)
+            continue;
+        writeStatsSnapshot();
+        next = Clock::now() + interval;
     }
 }
 
@@ -447,7 +604,26 @@ Server::run()
                opts_.cacheFile.c_str());
     }
 
+    // Span tracing: a single process-wide tracer shared by every
+    // daemon thread; detached (and only then finished) after all of
+    // them have joined.
+    std::ofstream trace_out;
+    std::unique_ptr<obs::SpanTracer> tracer;
+    if (!opts_.tracePath.empty()) {
+        trace_out.open(opts_.tracePath,
+                       std::ios::binary | std::ios::trunc);
+        if (!trace_out) {
+            warn("cannot write trace '%s'", opts_.tracePath.c_str());
+        } else {
+            tracer = std::make_unique<obs::SpanTracer>(trace_out);
+            obs::setSpanTracer(tracer.get());
+        }
+    }
+
     std::thread scheduler([this] { schedulerLoop(); });
+    std::thread flusher;
+    if (opts_.statsInterval > 0 && !opts_.statsOut.empty())
+        flusher = std::thread([this] { statsFlushLoop(); });
     // Relay a signal-initiated drain onto drain_, which is what the
     // reader poll loops actually watch; exits as soon as any drain
     // source fires.
@@ -482,6 +658,12 @@ Server::run()
             queueCv_.notify_all();
             scheduler.join();
             sig_relay.join();
+            if (flusher.joinable())
+                flusher.join();
+            if (tracer) {
+                obs::setSpanTracer(nullptr);
+                tracer->finish();
+            }
             return 1;
         }
         inform("serving on '%s' (%u jobs, %llu MB cache)",
@@ -524,12 +706,20 @@ Server::run()
     queueCv_.notify_all();
     scheduler.join();
     sig_relay.join();
+    if (flusher.joinable())
+        flusher.join();
     conns.clear();
 
     if (!opts_.cacheFile.empty())
         cache_.save(opts_.cacheFile);
+    if (tracer) {
+        // Every span-emitting thread has joined; detach before finish
+        // so no late emitter can race the closing bracket.
+        obs::setSpanTracer(nullptr);
+        tracer->finish();
+    }
     if (!opts_.statsOut.empty())
-        registry_.writeFile(opts_.statsOut);
+        writeStatsSnapshot();
     inform("drained: %llu requests, %llu cache hits",
            static_cast<unsigned long long>(requests_->value()),
            static_cast<unsigned long long>(cache_.hits()));

@@ -24,6 +24,13 @@
  * in-flight experiments finish and their responses flush, persists the
  * cache (`--cache-file`), dumps the stats registry (`--stats-out`) and
  * exits 0.
+ *
+ * Live telemetry (docs/INTERNALS.md "Live telemetry"): a
+ * WireKind::Stats request snapshots the registry mid-run (flat JSON +
+ * Prometheus exposition) without touching the experiment queue;
+ * `--stats-interval` flushes `--stats-out` periodically via
+ * write-to-temp + rename; `--trace` records per-request span events
+ * into Chrome trace-event JSON with one track per daemon thread.
  */
 
 #ifndef FACSIM_SERVE_SERVER_HH
@@ -50,6 +57,18 @@ struct ServerOptions
     std::string cacheFile;
     /** Stats-registry dump on exit; JSON iff the path ends ".json". */
     std::string statsOut;
+    /**
+     * Flush --stats-out every N seconds while serving (0 = only on
+     * drain). Each flush writes to a temp file and rename()s it into
+     * place, so a scraper never reads a torn dump.
+     */
+    unsigned statsInterval = 0;
+    /**
+     * Per-request span trace (Chrome trace-event JSON): received /
+     * enqueued / scheduled / run / replied events per request, on
+     * per-thread tracks. Empty = disabled.
+     */
+    std::string tracePath;
 };
 
 /**

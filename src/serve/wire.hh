@@ -38,8 +38,13 @@ namespace facsim::serve
 /** "FSRV" read as a little-endian u32. */
 constexpr uint32_t wireMagic = 0x56525346;
 
-/** Protocol version spoken by this build (covers the codec layouts). */
-constexpr uint32_t wireVersion = 1;
+/**
+ * Protocol version spoken by this build (covers the codec layouts).
+ * History: v1 = initial protocol; v2 added WireKind::Stats (live
+ * telemetry snapshots). A daemon answers a mismatched version with a
+ * clean "unsupported protocol version N" error, never a hang.
+ */
+constexpr uint32_t wireVersion = 2;
 
 /** Hard cap on one frame's payload; larger prefixes are hostile. */
 constexpr uint32_t maxFrameBytes = 16u << 20;
@@ -51,6 +56,9 @@ enum class WireKind : uint8_t
     Profile = 1,  ///< body: encoded ProfileRequest -> ProfileResult
     Timing = 2,   ///< body: encoded TimingRequest -> TimingResult
     Shutdown = 3, ///< ask the daemon to drain and exit; empty body
+    Stats = 4,    ///< live stats snapshot; empty request body, response
+                  ///< body: ser string JSON dump + ser string
+                  ///< Prometheus exposition
 };
 
 /** Response status. */

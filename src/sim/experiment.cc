@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include "obs/prof.hh"
+
 namespace facsim
 {
 
@@ -62,6 +64,7 @@ runTiming(const TimingRequest &req)
         res.sample = runSampled(pipe, req.sampling, req.maxInsts);
         res.stats = pipe.stats();
     } else {
+        FACSIM_PROF_SCOPE(DetailedWindow);
         res.stats = pipe.run(req.maxInsts);
     }
     res.hier = pipe.hierarchyStats();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/prof.hh"
 #include "util/logging.hh"
 
 namespace facsim
@@ -141,6 +142,9 @@ runSampled(Pipeline &pipe, const SamplingConfig &cfg, uint64_t max_insts)
         // (The run()s below are measured in *detailed* instructions, so
         // targets are expressed against stats().insts.)
         if (cfg.warmup) {
+            // Detailed warmup counts toward DetailedWindow host time:
+            // it runs the full timing model; only *measurement* is off.
+            FACSIM_PROF_SCOPE(DetailedWindow);
             uint64_t i0 = pipe.stats().insts;
             pipe.run(i0 + cfg.warmup);
             est.warmupInsts += pipe.stats().insts - i0;
@@ -151,9 +155,13 @@ runSampled(Pipeline &pipe, const SamplingConfig &cfg, uint64_t max_insts)
         // Measured window.
         uint64_t i0 = pipe.stats().insts;
         uint64_t c0 = pipe.currentCycle();
-        pipe.run(i0 + cfg.detail);
-        uint64_t di = pipe.stats().insts - i0;
-        uint64_t dc = pipe.currentCycle() - c0;
+        uint64_t di, dc;
+        {
+            FACSIM_PROF_SCOPE(DetailedWindow);
+            pipe.run(i0 + cfg.detail);
+            di = pipe.stats().insts - i0;
+            dc = pipe.currentCycle() - c0;
+        }
         if (di) {
             ++est.windows;
             est.measuredInsts += di;
@@ -163,15 +171,19 @@ runSampled(Pipeline &pipe, const SamplingConfig &cfg, uint64_t max_insts)
         }
 
         // Drain in-flight work (counts as detailed, unmeasured insts).
-        uint64_t preDrain = pipe.stats().insts;
-        pipe.drain();
-        est.drainInsts += pipe.stats().insts - preDrain;
+        {
+            FACSIM_PROF_SCOPE(Drain);
+            uint64_t preDrain = pipe.stats().insts;
+            pipe.drain();
+            est.drainInsts += pipe.stats().insts - preDrain;
+        }
         if (pipe.done())
             break;
 
         // Fast-forward the rest of the period with functional warming.
         uint64_t consumed = total() - periodStart;
         if (consumed < cfg.period) {
+            FACSIM_PROF_SCOPE(Warmup);
             uint64_t want = cfg.period - consumed;
             if (max_insts && total() + want > max_insts)
                 want = max_insts - total();

@@ -1,5 +1,6 @@
 #include "util/parse.hh"
 
+#include <cstdlib>
 #include <limits>
 
 #include "util/logging.hh"
@@ -77,6 +78,17 @@ u32FlagPositive(const char *flag, const std::string &value)
     if (v == 0)
         fatal("usage: %s expects a positive integer, got '%s'",
               flag, value.c_str());
+    return v;
+}
+
+double
+doubleFlag(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size())
+        fatal("usage: %s expects a number, got '%s'", flag,
+              value.c_str());
     return v;
 }
 

@@ -41,6 +41,13 @@ uint32_t u32Flag(const char *flag, const std::string &value);
 uint32_t u32FlagPositive(const char *flag, const std::string &value);
 
 /**
+ * Parse @p value as a floating-point number (whole token, strtod
+ * syntax) or die with a usage message. Range/sign checks stay with
+ * the caller — "0.5" and "-1" are both numbers.
+ */
+double doubleFlag(const char *flag, const std::string &value);
+
+/**
  * Match @p value against the nullptr-terminated choice list @p choices
  * or die with a usage message listing every accepted spelling.
  *

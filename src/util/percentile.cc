@@ -1,0 +1,26 @@
+#include "util/percentile.hh"
+
+#include <cmath>
+#include <cstddef>
+
+namespace facsim
+{
+
+double
+percentile(std::span<const double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 1.0)
+        return sorted.back();
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+} // namespace facsim

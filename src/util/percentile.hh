@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Percentile over an ascending-sorted sample, shared by the loadgen
+ * report, the serve-side latency estimators and any future summary
+ * code. Takes a span so callers never copy their sample vector per
+ * call (the original loadgen helper took the vector by value — one
+ * full copy per percentile).
+ */
+
+#ifndef FACSIM_UTIL_PERCENTILE_HH
+#define FACSIM_UTIL_PERCENTILE_HH
+
+#include <span>
+
+namespace facsim
+{
+
+/**
+ * The @p p percentile (0.0 .. 1.0, clamped) of @p sorted, which must
+ * be in ascending order. Uses linear interpolation between the two
+ * nearest ranks (the "exclusive" definition degenerates on tiny
+ * samples; this one returns sorted.front() at p=0 and sorted.back()
+ * at p=1 for every size). Returns 0.0 on an empty sample.
+ */
+double percentile(std::span<const double> sorted, double p);
+
+} // namespace facsim
+
+#endif // FACSIM_UTIL_PERCENTILE_HH

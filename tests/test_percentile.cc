@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The shared percentile helper (util/percentile.hh): exact ranks land
+ * on sample points, fractional ranks interpolate linearly, and the
+ * degenerate inputs (empty, single element, clamped p) are all total.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/percentile.hh"
+
+using facsim::percentile;
+
+TEST(Percentile, ExactRanksReturnSamplePoints)
+{
+    std::vector<double> v{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.75), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+}
+
+TEST(Percentile, FractionalRanksInterpolateLinearly)
+{
+    std::vector<double> v{0, 100};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.9), 90.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.01), 1.0);
+
+    std::vector<double> w{10, 20, 40};
+    // rank = p * (n-1); p=0.75 -> rank 1.5 -> halfway 20..40.
+    EXPECT_DOUBLE_EQ(percentile(w, 0.75), 30.0);
+}
+
+TEST(Percentile, EmptySampleYieldsZero)
+{
+    std::vector<double> v;
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile)
+{
+    std::vector<double> v{42.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+}
+
+TEST(Percentile, OutOfRangePIsClamped)
+{
+    std::vector<double> v{1, 2, 3};
+    EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.5), 3.0);
+}

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/sampler.hh"
 #include "serve/cache.hh"
 #include "serve/client.hh"
 #include "serve/loadgen.hh"
@@ -814,4 +817,219 @@ TEST(ServeLoadgen, ReportRendersJson)
     EXPECT_NE(js.find("00000000deadbeef"), std::string::npos);
     EXPECT_EQ(js.front(), '{');
     EXPECT_EQ(js.back(), '}');
+}
+
+// ---------------------------------------------------------------------
+// Live telemetry (WireKind::Stats, trace spans, periodic flush)
+// ---------------------------------------------------------------------
+
+TEST(ServeTelemetry, StatsSnapshotReflectsServedRequests)
+{
+    sv::ServerOptions opts;
+    opts.socketPath = tmpPath("stats.sock");
+    DaemonFixture daemon(opts);
+
+    int fd = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    sv::ServeClient client(fd);
+    std::string err;
+
+    ProfileRequest req = smallProfileRequest();
+    ProfileResult res;
+    bool cached = true;
+    ASSERT_TRUE(client.profile(req, &res, &cached, &err)) << err;
+    ASSERT_TRUE(client.profile(req, &res, &cached, &err)) << err;
+    EXPECT_TRUE(cached);
+
+    std::string json, prom;
+    ASSERT_TRUE(client.stats(&json, &prom, &err)) << err;
+
+    // The JSON side parses with the client-side flattener and shows the
+    // work done so far.
+    obs::StatsSnapshot snap;
+    ASSERT_TRUE(obs::parseStatsJson(json, &snap, &err)) << err;
+    EXPECT_GE(snap["serve.requests"], 3.0);
+    EXPECT_EQ(snap["serve.profile_requests"], 2.0);
+    EXPECT_EQ(snap["cache.hits"], 1.0);
+    EXPECT_EQ(snap["cache.misses"], 1.0);
+    EXPECT_GE(snap["serve.stats_requests"], 1.0);
+    // Formulas evaluate at snapshot time.
+    ASSERT_TRUE(snap.count("serve.latency_p50_us"));
+    EXPECT_GT(snap["serve.latency_p50_us"], 0.0);
+
+    // The Prometheus side carries typed, sanitized series.
+    EXPECT_NE(prom.find("# TYPE facsim_serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE facsim_cache_hits gauge"),
+              std::string::npos);
+    EXPECT_NE(prom.find("facsim_serve_latency_log2_us_bucket"),
+              std::string::npos);
+
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    EXPECT_EQ(daemon.join(), 0);
+}
+
+TEST(ServeTelemetry, StatsWithBodyIsRejectedAndConnectionSurvives)
+{
+    sv::ServerOptions opts;
+    opts.socketPath = tmpPath("statsbody.sock");
+    DaemonFixture daemon(opts);
+
+    int fd = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    sv::ServeClient client(fd);
+    std::string err;
+
+    sv::ResponseEnvelope resp;
+    ASSERT_TRUE(client.exchange(sv::WireKind::Stats, "payload", &resp,
+                                &err))
+        << err;
+    EXPECT_EQ(resp.status, sv::WireStatus::Error);
+    EXPECT_NE(resp.body.find("body must be empty"), std::string::npos);
+
+    // Same connection keeps working, and an empty-body Stats succeeds.
+    ASSERT_TRUE(client.ping(&err)) << err;
+    std::string json, prom;
+    ASSERT_TRUE(client.stats(&json, &prom, &err)) << err;
+    EXPECT_FALSE(json.empty());
+    EXPECT_FALSE(prom.empty());
+
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    EXPECT_EQ(daemon.join(), 0);
+}
+
+TEST(ServeTelemetry, OldVersionClientGetsCleanVersionError)
+{
+    sv::ServerOptions opts;
+    opts.socketPath = tmpPath("oldver.sock");
+    DaemonFixture daemon(opts);
+
+    int fd = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd, 0);
+
+    // Hand-build a v1 Ping frame (the protocol before WireKind::Stats).
+    ser::Writer w;
+    w.u32(sv::wireMagic);
+    w.u32(1);  // stale protocol version
+    w.u8(0);   // Ping
+    w.u8(0);
+    w.u64(42);
+    ASSERT_TRUE(sv::writeFrame(fd, w.data()));
+
+    // The daemon answers promptly with a version error — no hang, no
+    // dropped frame.
+    std::string payload, err;
+    ASSERT_EQ(sv::readFrame(fd, &payload, &err), sv::FrameRead::Frame)
+        << err;
+    sv::ResponseEnvelope resp;
+    ASSERT_TRUE(sv::decodeResponse(payload, &resp, &err)) << err;
+    EXPECT_EQ(resp.status, sv::WireStatus::Error);
+    EXPECT_NE(resp.body.find("unsupported protocol version 1"),
+              std::string::npos);
+    ::close(fd);
+
+    // The daemon itself is unharmed.
+    int fd2 = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd2, 0);
+    sv::ServeClient client(fd2);
+    ASSERT_TRUE(client.ping(&err)) << err;
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    EXPECT_EQ(daemon.join(), 0);
+}
+
+TEST(ServeTelemetry, TraceFileHasOneRequestSpanPerRequest)
+{
+    sv::ServerOptions opts;
+    opts.socketPath = tmpPath("trace.sock");
+    opts.tracePath = tmpPath("spans.json");
+    opts.jobs = 2;
+    std::remove(opts.tracePath.c_str());
+    DaemonFixture daemon(opts);
+
+    int fd = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    sv::ServeClient client(fd);
+    std::string err;
+
+    ProfileRequest req = smallProfileRequest();
+    ProfileResult res;
+    bool cached = false;
+    ASSERT_TRUE(client.profile(req, &res, &cached, &err)) << err;  // cold
+    ASSERT_TRUE(client.profile(req, &res, &cached, &err)) << err;  // warm
+    ASSERT_TRUE(client.ping(&err)) << err;
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    EXPECT_EQ(daemon.join(), 0);
+
+    std::ifstream in(opts.tracePath, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string trace = ss.str();
+
+    // Structurally a Chrome trace-event file...
+    EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+    ASSERT_GE(trace.size(), 3u);
+    EXPECT_EQ(trace.substr(trace.size() - 3), "]}\n");
+
+    // ...with one closing "request" span per request frame (2 profile +
+    // 1 ping + 1 shutdown), the per-request breadcrumbs and named
+    // thread tracks.
+    auto count = [&](const char *needle) {
+        size_t n = 0;
+        for (size_t at = trace.find(needle); at != std::string::npos;
+             at = trace.find(needle, at + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count("\"name\":\"request\""), 4u);
+    EXPECT_EQ(count("\"name\":\"received\""), 4u);
+    EXPECT_EQ(count("\"name\":\"replied\""), 4u);
+    EXPECT_EQ(count("\"name\":\"cache_miss\""), 1u);
+    EXPECT_EQ(count("\"name\":\"cache_hit\""), 1u);
+    EXPECT_EQ(count("\"name\":\"enqueued\""), 1u);
+    EXPECT_EQ(count("\"name\":\"scheduled\""), 1u);
+    EXPECT_EQ(count("\"name\":\"run\""), 1u);
+    EXPECT_GE(count("\"name\":\"thread_name\""), 2u);  // conn + sched
+    EXPECT_NE(trace.find("\"conn-"), std::string::npos);
+}
+
+TEST(ServeTelemetry, StatsIntervalFlushesWhileServing)
+{
+    sv::ServerOptions opts;
+    opts.socketPath = tmpPath("flush.sock");
+    opts.statsOut = tmpPath("flush-stats.json");
+    opts.statsInterval = 1;
+    std::remove(opts.statsOut.c_str());
+    DaemonFixture daemon(opts);
+
+    int fd = connectWithRetry(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    sv::ServeClient client(fd);
+    std::string err;
+    ASSERT_TRUE(client.ping(&err)) << err;
+
+    // The snapshot must appear while the daemon is still serving (the
+    // interval is 1 s; allow generous slack for loaded CI hosts).
+    bool appeared = false;
+    for (int i = 0; i < 300 && !appeared; ++i) {
+        std::ifstream in(opts.statsOut);
+        appeared = in.is_open();
+        if (!appeared)
+            usleep(20 * 1000);
+    }
+    ASSERT_TRUE(appeared) << "no periodic flush within 6 s";
+
+    // Still serving — the flush did not require a drain.
+    ASSERT_TRUE(client.ping(&err)) << err;
+
+    std::ifstream in(opts.statsOut);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\"serve.requests\""), std::string::npos);
+    // No torn temp file left behind after the rename.
+    std::ifstream tmp(opts.statsOut + ".tmp");
+    EXPECT_FALSE(tmp.is_open());
+
+    ASSERT_TRUE(client.shutdown(&err)) << err;
+    EXPECT_EQ(daemon.join(), 0);
 }

@@ -14,6 +14,7 @@
  *   facsim_cli farm <library> [opts]          sweep a live-point library
  *   facsim_cli serve [opts]                   experiment-serving daemon
  *   facsim_cli loadgen [opts]                 drive a serve daemon
+ *   facsim_cli top [opts]                     live stats from a daemon
  *   facsim_cli list                           list built-in workloads
  *
  * Serve options (see docs/INTERNALS.md "Experiment service"):
@@ -23,8 +24,20 @@
  *   --cache-bytes=N    result-cache byte budget (default 256 MiB)
  *   --cache-file=FILE  persist the result cache across restarts
  *   --stats-out=FILE   dump serve.* / cache.* stats on drain
+ *   --stats-interval=S flush --stats-out every S seconds while serving
+ *                      (atomic write-to-temp + rename)
+ *   --trace=FILE       per-request span trace (Chrome trace-event JSON;
+ *                      one track per daemon thread)
  *   SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
  *   requests, flush the cache, dump stats, exit 0.
+ *
+ * Top options (live telemetry client; docs/INTERNALS.md):
+ *   --socket=PATH      daemon socket to poll (required)
+ *   --interval=S       seconds between polls (default 2)
+ *   --once             print a single frame and exit (two polls for a
+ *                      windowed-rate frame; one poll with --prom)
+ *   --prom             print the raw Prometheus exposition instead of
+ *                      the rate table
  *
  * Loadgen options:
  *   --socket=PATH      daemon socket to drive (required)
@@ -131,8 +144,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <functional>
+
+#include <unistd.h>
 
 #include "asm/parser.hh"
 #include "cpu/pipeline.hh"
@@ -140,6 +156,7 @@
 #include "isa/disasm.hh"
 #include "link/linker.hh"
 #include "obs/debug.hh"
+#include "obs/sampler.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "sim/checkpoint.hh"
@@ -148,6 +165,7 @@
 #include "sim/lvpt.hh"
 #include "sim/obs_views.hh"
 #include "sim/runner.hh"
+#include "serve/client.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
 #include "util/logging.hh"
@@ -1132,6 +1150,12 @@ cmdServe(int argc, char **argv, int first)
             if (!*v)
                 fatal("usage: --stats-out expects a file path");
             so.statsOut = v;
+        } else if (const char *v = val("--stats-interval="))
+            so.statsInterval = parse::u32FlagPositive("--stats-interval", v);
+        else if (const char *v = val("--trace=")) {
+            if (!*v)
+                fatal("usage: --trace expects a file path");
+            so.tracePath = v;
         } else
             fatal("unknown serve option '%s'", a.c_str());
     }
@@ -1139,7 +1163,129 @@ cmdServe(int argc, char **argv, int first)
         fatal("usage: serve needs --socket=PATH or --stdio");
     if (!so.socketPath.empty() && so.stdio)
         fatal("usage: --socket and --stdio are mutually exclusive");
+    if (so.statsInterval > 0 && so.statsOut.empty())
+        fatal("usage: --stats-interval needs --stats-out=FILE");
     return serve::serveMain(so);
+}
+
+/**
+ * One rendered `top` frame: windowed rates computed by the sampler
+ * from two successive Stats snapshots.
+ */
+void
+printTopFrame(const obs::StatsSampler &s)
+{
+    double reqs = s.rate("serve.profile_requests") +
+                  s.rate("serve.timing_requests");
+    double hits = s.delta("cache.hits");
+    double lookups = hits + s.delta("cache.misses");
+    double hitPct = lookups > 0.0 ? 100.0 * hits / lookups : 0.0;
+    std::printf("window %.1fs\n", s.windowSeconds());
+    std::printf("  %-22s %10.1f /s\n", "experiment requests", reqs);
+    std::printf("  %-22s %10.1f /s\n", "cache hits",
+                s.rate("cache.hits"));
+    std::printf("  %-22s %9.1f %%\n", "cache hit rate (win)", hitPct);
+    std::printf("  %-22s %10.1f /s\n", "cache evictions",
+                s.rate("cache.evictions"));
+    std::printf("  %-22s %10.0f\n", "queue depth now",
+                s.value("serve.queue_now"));
+    std::printf("  %-22s %10.1f us\n", "latency p50 (lifetime)",
+                s.value("serve.latency_p50_us"));
+    std::printf("  %-22s %10.1f us\n", "latency p99 (lifetime)",
+                s.value("serve.latency_p99_us"));
+    std::printf("  %-22s %10.0f\n", "requests total",
+                s.value("serve.requests"));
+    std::printf("  %-22s %10.0f\n", "cache entries",
+                s.value("cache.entries"));
+    if (s.resets())
+        std::printf("  %-22s %10llu\n", "counter resets seen",
+                    static_cast<unsigned long long>(s.resets()));
+    std::fflush(stdout);
+}
+
+int
+cmdTop(int argc, char **argv, int first)
+{
+    std::string socket;
+    double interval = 2.0;
+    bool once = false, prom = false;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *p) -> const char * {
+            size_t n = std::strlen(p);
+            return a.compare(0, n, p) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char *v = val("--socket=")) {
+            if (!*v)
+                fatal("usage: --socket expects a path");
+            socket = v;
+        } else if (const char *v = val("--interval=")) {
+            interval = parse::doubleFlag("--interval", v);
+            if (interval <= 0.0)
+                fatal("usage: --interval must be positive");
+        } else if (a == "--once")
+            once = true;
+        else if (a == "--prom")
+            prom = true;
+        else
+            fatal("unknown top option '%s'", a.c_str());
+    }
+    if (socket.empty())
+        fatal("usage: top needs --socket=PATH");
+
+    std::string err;
+    int fd = serve::connectUnix(socket, &err);
+    if (fd < 0)
+        fatal("top: %s", err.c_str());
+    serve::ServeClient client(fd);
+
+    if (prom) {
+        // Raw Prometheus exposition; --once prints one scrape, else one
+        // scrape per interval (a file-based scraper can poll this).
+        do {
+            std::string promText;
+            if (!client.stats(nullptr, &promText, &err))
+                fatal("top: %s", err.c_str());
+            std::fputs(promText.c_str(), stdout);
+            std::fflush(stdout);
+            if (!once)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval));
+        } while (!once);
+        return 0;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point t0 = Clock::now();
+    obs::StatsSampler sampler;
+    // Only true counters take part in the resets() monotonicity check;
+    // gauges (queue depth, percentiles) move down in normal operation.
+    sampler.watchCounter("serve.requests");
+    sampler.watchCounter("serve.profile_requests");
+    sampler.watchCounter("serve.timing_requests");
+    sampler.watchCounter("cache.hits");
+    sampler.watchCounter("cache.misses");
+    bool clearScreen = !once && ::isatty(STDOUT_FILENO);
+    for (;;) {
+        std::string json;
+        if (!client.stats(&json, nullptr, &err))
+            fatal("top: %s", err.c_str());
+        obs::StatsSnapshot snap;
+        if (!obs::parseStatsJson(json, &snap, &err))
+            fatal("top: malformed stats JSON: %s", err.c_str());
+        sampler.push(snap,
+                     std::chrono::duration<double>(Clock::now() - t0)
+                         .count());
+        if (sampler.hasWindow()) {
+            if (clearScreen)
+                std::fputs("\x1b[H\x1b[2J", stdout);
+            printTopFrame(sampler);
+            if (once)
+                return 0;  // two polls -> one windowed frame -> done
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+    }
 }
 
 int
@@ -1218,7 +1364,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: %s run|time|profile|disasm|mklib|"
-                             "farm|serve|loadgen|list "
+                             "farm|serve|loadgen|top|list "
                              "<file.s|@workload> [options]\n",
                      argv[0]);
         return 1;
@@ -1228,6 +1374,8 @@ main(int argc, char **argv)
         return cmdServe(argc, argv, 2);
     if (cmd == "loadgen")
         return cmdLoadgen(argc, argv, 2);
+    if (cmd == "top")
+        return cmdTop(argc, argv, 2);
     if (cmd == "list") {
         for (const WorkloadInfo &w : allWorkloads())
             std::printf("%-10s %-3s %s\n", w.name,
